@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Figure 1: delay of a 40-stage FO4 inverter chain vs Vdd, 7 nm FinFET
+ * with Vth = 0.23 V. The paper's headline ratio: NTV (0.30 V) is about 3x
+ * slower than STV (0.45 V).
+ */
+
+#include "bench/bench_util.hh"
+#include "circuit/inverter_chain.hh"
+
+using namespace pilotrf;
+
+int
+main()
+{
+    bench::header("Figure 1", "40-stage FO4 inverter chain delay vs Vdd "
+                              "(7nm FinFET, Vth=0.23V)");
+    const auto &tech = circuit::finfet7();
+    std::printf("%8s %14s\n", "Vdd (V)", "delay (ns)");
+    for (const auto &p : circuit::fig1Sweep(tech))
+        std::printf("%8.3f %14.4f\n", p.vdd, p.delaySec * 1e9);
+
+    const double dStv = circuit::chainDelay(tech, circuit::vddStv);
+    const double dNtv = circuit::chainDelay(tech, circuit::vddNtv);
+    std::printf("\nNTV/STV delay ratio: %.2fx (paper: ~3x; e.g. the 16-bit "
+                "adder slows from .051ns to .153ns)\n",
+                dNtv / dStv);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 2: percentage of accesses to the top 3/4/5 most accessed
+ * registers per workload. Paper averages: 62% / 72% / 77%.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace pilotrf;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::header("Figure 2",
+                  "accesses to the top-N registers (fraction of total)");
+    std::printf("%-10s %8s %8s %8s\n", "workload", "top-3", "top-4",
+                "top-5");
+    double s3 = 0, s4 = 0, s5 = 0;
+    unsigned n = 0;
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::Partitioned;
+    bench::forEachWorkload([&](const workloads::Workload &w) {
+        const auto r = bench::runWorkload(cfg, w);
+        const double t3 = bench::kernelWeightedTopN(r, 3);
+        const double t4 = bench::kernelWeightedTopN(r, 4);
+        const double t5 = bench::kernelWeightedTopN(r, 5);
+        std::printf("%-10s %7.1f%% %7.1f%% %7.1f%%\n", w.name.c_str(),
+                    100 * t3, 100 * t4, 100 * t5);
+        s3 += t3;
+        s4 += t4;
+        s5 += t5;
+        ++n;
+    });
+    std::printf("%-10s %7.1f%% %7.1f%% %7.1f%%   (paper: 62%% / 72%% / "
+                "77%%)\n",
+                "AVERAGE", 100 * s3 / n, 100 * s4 / n, 100 * s5 / n);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the analytic models and the hot
+ * simulation paths: SNM extraction, array-model evaluation, swap-table
+ * lookup, and whole-SM cycle throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/sram.hh"
+#include "common/logging.hh"
+#include "regfile/swap_table.hh"
+#include "rfmodel/array_model.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace pilotrf;
+
+static void
+BM_SnmButterfly(benchmark::State &state)
+{
+    const auto &tech = circuit::finfet7();
+    const auto cell = circuit::defaultCellParams(circuit::SramCellType::T8);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            circuit::snm(cell, tech, circuit::vddStv, circuit::SnmMode::Hold));
+}
+BENCHMARK(BM_SnmButterfly);
+
+static void
+BM_ArrayModelAccessEnergy(benchmark::State &state)
+{
+    rfmodel::ArrayConfig cfg{double(state.range(0)) * 1024.0};
+    for (auto _ : state) {
+        rfmodel::ArrayModel m(cfg);
+        benchmark::DoNotOptimize(m.accessEnergyPj());
+    }
+}
+BENCHMARK(BM_ArrayModelAccessEnergy)->Arg(32)->Arg(224)->Arg(256);
+
+static void
+BM_SwapTableLookup(benchmark::State &state)
+{
+    regfile::SwapTable t(4);
+    t.program({9, 10, 11, 12});
+    RegId r = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.lookup(r));
+        r = RegId((r + 1) % 16);
+    }
+}
+BENCHMARK(BM_SwapTableLookup);
+
+static void
+BM_SimulatedKernelCycles(benchmark::State &state)
+{
+    setQuiet(true);
+    const auto &w = workloads::workload("srad");
+    for (auto _ : state) {
+        sim::SimConfig cfg;
+        cfg.rfKind = sim::RfKind::Partitioned;
+        sim::Gpu gpu(cfg);
+        const auto r = gpu.run(w.kernels);
+        benchmark::DoNotOptimize(r.totalCycles);
+        state.counters["cycles/s"] = benchmark::Counter(
+            double(r.totalCycles), benchmark::Counter::kIsRate);
+    }
+}
+BENCHMARK(BM_SimulatedKernelCycles)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

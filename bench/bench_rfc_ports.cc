@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Sec. V-D: RFC port/bank energy scaling from the FinCACTI-style model.
+ * Paper anchors: a (2R,1W) 6-registers-per-warp RFC costs 0.37x the MRF
+ * access energy; growing to (8R,4W) costs 3x; an 8-banked RFC at the
+ * 32-warp size costs about the same as the MRF.
+ */
+
+#include "bench/bench_util.hh"
+#include "rfmodel/rfc_model.hh"
+
+using namespace pilotrf;
+
+int
+main()
+{
+    bench::header("Sec. V-D", "RFC access energy vs ports and banks "
+                              "(relative to the 14.9pJ MRF access)");
+    struct Row
+    {
+        const char *label;
+        rfmodel::RfcConfig cfg;
+        double paper;
+    };
+    const Row rows[] = {
+        {"(2R,1W), 1 bank, 8 warps", {6, 8, 2, 1, 1}, 0.37},
+        {"(4R,2W), 1 bank, 8 warps", {6, 8, 4, 2, 1}, -1},
+        {"(8R,4W), 1 bank, 8 warps", {6, 8, 8, 4, 1}, 3.0},
+        {"(2R,1W), 2 banks, 8 warps", {6, 8, 2, 1, 2}, -1},
+        {"(2R,1W), 4 banks, 16 warps", {6, 16, 2, 1, 4}, -1},
+        {"(2R,1W), 8 banks, 32 warps", {6, 32, 2, 1, 8}, 1.0},
+    };
+    std::printf("%-28s %8s %12s %8s\n", "configuration", "size", "E/MRF",
+                "paper");
+    for (const auto &r : rows) {
+        rfmodel::RfcModel m(r.cfg);
+        std::printf("%-28s %6.1fKB %12.3f", r.label, m.sizeKb(),
+                    m.accessEnergyPj() / 14.9);
+        if (r.paper > 0)
+            std::printf(" %8.2f", r.paper);
+        std::printf("\n");
+    }
+    std::printf("\nTag-check energy: %.3f pJ per request\n",
+                rfmodel::RfcModel({6, 8, 2, 1, 1}).tagEnergyPj());
+    return 0;
+}

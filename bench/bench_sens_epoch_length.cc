@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Sec. V-C sensitivity: adaptive-FRF epoch length at a fixed 20% issue
+ * threshold. Paper: the epoch length has a small impact on performance.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace pilotrf;
+
+int
+main()
+{
+    setQuiet(true);
+    bench::header("Sec. V-C", "adaptive FRF epoch length sensitivity "
+                              "(threshold fixed at 20% of issue slots)");
+    std::printf("%-8s %12s %12s %16s\n", "epoch", "overhead", "low epochs",
+                "FRF_low share");
+    sim::SimConfig base;
+    base.rfKind = sim::RfKind::MrfStv;
+    double cb = 0;
+    bench::forEachWorkload([&](const workloads::Workload &w) {
+        cb += double(bench::runWorkload(base, w).totalCycles);
+    });
+    for (unsigned epoch : {25u, 50u, 100u, 200u}) {
+        sim::SimConfig part;
+        part.rfKind = sim::RfKind::Partitioned;
+        part.prf.epochLength = epoch;
+        // 20% of the maximum issue slots in one epoch (8/cycle).
+        part.prf.issueThreshold =
+            unsigned(0.20 * epoch * part.schedulers *
+                     part.issuePerScheduler + 0.5);
+        double cp = 0, lo = 0, hi = 0;
+        bench::forEachWorkload([&](const workloads::Workload &w) {
+            const auto r = bench::runWorkload(part, w);
+            cp += double(r.totalCycles);
+            lo += r.rfStats.get("access.FRF_low");
+            hi += r.rfStats.get("access.FRF_high");
+        });
+        std::printf("%-8u %+11.2f%% %12s %15.1f%%\n", epoch,
+                    100 * (cp / cb - 1), "-", 100 * lo / (lo + hi));
+        std::fflush(stdout);
+    }
+    return 0;
+}

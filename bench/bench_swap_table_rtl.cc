@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sec. III-B: RTL characteristics of the swapping table — 8 entries of 13
+ * bits (104 bits total); lookup delay 105 / 95 / 55 ps at 22 nm CMOS /
+ * 16 nm CMOS / 7 nm FinFET, i.e. under 10% of a 900 MHz cycle.
+ */
+
+#include "bench/bench_util.hh"
+#include "rfmodel/swap_table_rtl.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::circuit;
+
+int
+main()
+{
+    bench::header("Sec. III-B", "swapping table RTL evaluation");
+    rfmodel::SwapTableRtl cam(4, rfmodel::SwapTableStyle::Cam);
+    std::printf("entries: %u x 13 bits = %u bits (paper: 104)\n", 8,
+                cam.bits());
+    struct NodeRow
+    {
+        const CmosNode &node;
+        double paperPs;
+    };
+    const NodeRow rows[] = {
+        {cmos22(), 105}, {cmos16(), 95}, {finfetNode7(), 55}};
+    std::printf("%-12s %12s %8s %14s\n", "node", "delay (ps)", "paper",
+                "cycle frac");
+    for (const auto &r : rows)
+        std::printf("%-12s %12.0f %8.0f %13.1f%%\n", r.node.name,
+                    cam.delayPs(r.node), r.paperPs,
+                    100 * cam.cycleFraction(r.node));
+    std::printf("\nScaling with tracked register count n (7nm FinFET "
+                "CAM):\n");
+    for (unsigned nTop : {4u, 8u, 16u}) {
+        rfmodel::SwapTableRtl t(nTop);
+        std::printf("  n=%2u: %3u bits, %5.1f ps, %5.3f pJ/lookup\n", nTop,
+                    t.bits(), t.delayPs(finfetNode7()),
+                    t.lookupEnergyPj());
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table I: benchmark runtime information — registers/thread, threads/CTA,
+ * and the pilot warp's runtime as a fraction of the kernel runtime.
+ *
+ * Note on scale: the synthetic grids are sized for fast simulation (a few
+ * CTA waves per SM), which compresses the kernel runtime relative to the
+ * pilot and therefore inflates the small pilot-CTA%% values; the paper's
+ * ordering (Category 3 >> MUM/CP >> the rest) is preserved.
+ */
+
+#include <cmath>
+
+#include "bench/bench_util.hh"
+
+using namespace pilotrf;
+
+namespace
+{
+struct PaperRow
+{
+    const char *name;
+    double pilotPct;
+};
+const PaperRow paperRows[] = {
+    {"BFS", 0.12},    {"btree", 0.7},  {"hotspot", 3.6}, {"nw", 0.48},
+    {"stencil", 0.2}, {"backprop", 2.6}, {"sad", 0.13},  {"srad", 0.6},
+    {"MUM", 37.0},    {"kmeans", 7.5}, {"lavaMD", 0.2},  {"mri-q", 14.3},
+    {"NN", 8.2},      {"sgemm", 16.2}, {"CP", 47.0},     {"LIB", 60.0},
+    {"WP", 75.0},
+};
+
+double
+paperPilot(const std::string &name)
+{
+    for (const auto &r : paperRows)
+        if (name == r.name)
+            return r.pilotPct;
+    return -1.0;
+}
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    bench::header("Table I", "benchmark runtime information");
+    std::printf("%-10s %4s %10s %8s %12s %12s\n", "workload", "cat",
+                "regs/thr", "thr/CTA", "pilot%%(sim)", "pilot%%(paper)");
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::Partitioned;
+    double logSum = 0;
+    unsigned n = 0;
+    bench::forEachWorkload([&](const workloads::Workload &w) {
+        const auto r = bench::runWorkload(cfg, w);
+        // Kernel-weighted pilot fraction.
+        double frac = 0, cyc = 0;
+        for (const auto &k : r.kernels) {
+            if (k.pilotFinishCycle >= 0)
+                frac += k.pilotFinishCycle;
+            cyc += double(k.cycles);
+        }
+        const double pct = cyc > 0 ? 100.0 * frac / cyc : 0.0;
+        const auto &k0 = w.kernels.front();
+        std::printf("%-10s %4u %10u %8u %11.2f%% %11.2f%%\n",
+                    w.name.c_str(), w.category, k0.regsPerThread(),
+                    k0.threadsPerCta(), pct, paperPilot(w.name));
+        logSum += std::log(std::max(pct, 0.01));
+        ++n;
+    });
+    std::printf("GEOMEAN pilot%%(sim) = %.2f%%  (paper geomean: 3%%)\n",
+                std::exp(logSum / n));
+    return 0;
+}

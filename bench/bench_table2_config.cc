@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table II: the simulated Kepler GTX-780-class configuration.
+ */
+
+#include "bench/bench_util.hh"
+
+using namespace pilotrf;
+
+int
+main()
+{
+    bench::header("Table II", "experimental setup");
+    sim::SimConfig cfg;
+    std::printf("Architecture                 Kepler GTX 780 (modeled)\n");
+    std::printf("SMs                          %u\n", cfg.numSms);
+    std::printf("Warps per SM                 %u\n", cfg.warpsPerSm);
+    std::printf("SIMT clusters                %u\n", cfg.spWidth);
+    std::printf("SIMT lanes per cluster       32\n");
+    std::printf("Schedulers x issue width     %u x %u\n", cfg.schedulers,
+                cfg.issuePerScheduler);
+    std::printf("Register file size           256KB\n");
+    std::printf("Banks                        %u\n", cfg.rfBanks);
+    std::printf("Operand collector units      %u\n", cfg.collectors);
+    std::printf("Max CTAs per SM              %u\n", cfg.maxCtasPerSm);
+    std::printf("FRF registers per warp       %u (32KB FRF / 224KB SRF)\n",
+                cfg.prf.frfRegs);
+    std::printf("Latencies (cycles)           FRF_high %u / FRF_low %u / "
+                "SRF %u\n",
+                cfg.prf.frfHighLatency, cfg.prf.frfLowLatency,
+                cfg.prf.srfLatency);
+    std::printf("Adaptive FRF epoch           %u cycles, threshold %u/400\n",
+                cfg.prf.epochLength, cfg.prf.issueThreshold);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table IV: size, access energy and leakage power of the partitioned
+ * register file and the power-aggressive MRF baseline, plus the area
+ * overhead analysis of Sec. V-A (<10%).
+ */
+
+#include "bench/bench_util.hh"
+#include "rfmodel/rf_specs.hh"
+
+using namespace pilotrf;
+using rfmodel::RfMode;
+
+int
+main()
+{
+    bench::header("Table IV",
+                  "register file access energy / leakage power / size");
+    rfmodel::RfSpecs specs;
+
+    struct PaperRow
+    {
+        RfMode mode;
+        double e, p, kb;
+    };
+    const PaperRow paper[] = {
+        {RfMode::FrfLow, 5.25, 7.28, 32},
+        {RfMode::FrfHigh, 7.65, 7.28, 32},
+        {RfMode::Srf, 7.03, 13.4, 224},
+        {RfMode::MrfStv, 14.9, 33.8, 256},
+    };
+
+    std::printf("%-9s %12s %8s %13s %8s %7s %9s %6s\n", "RF type",
+                "E/access(pJ)", "paper", "leakage(mW)", "paper", "size",
+                "t_acc(ns)", "cycles");
+    for (const auto &pr : paper) {
+        const auto &s = specs.spec(pr.mode);
+        std::printf("%-9s %12.2f %8.2f %13.2f %8.2f %5.0fKB %9.3f %6u\n",
+                    rfmodel::toString(pr.mode), s.accessEnergyPj, pr.e,
+                    s.leakagePowerMw, pr.p, s.sizeKb, s.accessTimeNs,
+                    s.accessCycles);
+    }
+    const auto &ntv = specs.spec(RfMode::MrfNtv);
+    std::printf("%-9s %12.2f %8s %13.2f %8s %5.0fKB %9.3f %6u\n",
+                rfmodel::toString(RfMode::MrfNtv), ntv.accessEnergyPj, "-",
+                ntv.leakagePowerMw, "-", ntv.sizeKb, ntv.accessTimeNs,
+                ntv.accessCycles);
+
+    std::printf("\nArea: baseline %.4f mm2 (paper 0.2), proposed %.4f mm2 "
+                "(paper 0.214) -> %.1f%% overhead (paper <10%%)\n",
+                specs.baselineAreaMm2(), specs.proposedAreaMm2(),
+                100 * (specs.proposedAreaMm2() / specs.baselineAreaMm2() -
+                       1.0));
+    std::printf("Leakage: partitioned %.1f mW vs MRF %.1f mW -> %.1f%% "
+                "saving (paper 39%%)\n",
+                specs.spec(RfMode::FrfHigh).leakagePowerMw +
+                    specs.spec(RfMode::Srf).leakagePowerMw,
+                specs.spec(RfMode::MrfStv).leakagePowerMw,
+                100 * (1 - (specs.spec(RfMode::FrfHigh).leakagePowerMw +
+                            specs.spec(RfMode::Srf).leakagePowerMw) /
+                               specs.spec(RfMode::MrfStv).leakagePowerMw));
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Compare the four FRF-placement policies on one Category-2 workload
+ * (where compiler profiling mispredicts): static first-n, compiler,
+ * pure pilot, and the proposed hybrid — reporting FRF coverage, energy
+ * and runtime for each, plus the RFC alternative for context.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "power/energy_accountant.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace pilotrf;
+
+int
+main()
+{
+    setQuiet(true);
+    const auto &wl = workloads::workload("mri-q");
+    power::EnergyAccountant acct;
+
+    sim::SimConfig base;
+    base.rfKind = sim::RfKind::MrfStv;
+    sim::Gpu baseGpu(base);
+    const auto rb = baseGpu.run(wl.kernels);
+    const double eBase =
+        acct.account(base, rb.rfStats, rb.totalCycles).dynamicPj;
+
+    std::printf("Placement-policy comparison on %s (Category %u)\n\n",
+                wl.name.c_str(), wl.category);
+    std::printf("%-12s %10s %10s %10s\n", "policy", "FRF share", "energy",
+                "exec time");
+
+    using regfile::Profiling;
+    const std::pair<const char *, Profiling> policies[] = {
+        {"static", Profiling::Static},
+        {"compiler", Profiling::Compiler},
+        {"pilot", Profiling::Pilot},
+        {"hybrid", Profiling::Hybrid},
+    };
+    for (const auto &[name, prof] : policies) {
+        sim::SimConfig cfg;
+        cfg.rfKind = sim::RfKind::Partitioned;
+        cfg.prf.profiling = prof;
+        sim::Gpu gpu(cfg);
+        const auto r = gpu.run(wl.kernels);
+        const double hi = r.rfStats.get("access.FRF_high");
+        const double lo = r.rfStats.get("access.FRF_low");
+        const double srf = r.rfStats.get("access.SRF");
+        const double e =
+            acct.account(cfg, r.rfStats, r.totalCycles).dynamicPj;
+        std::printf("%-12s %9.1f%% %10.3f %10.3f\n", name,
+                    100 * (hi + lo) / (hi + lo + srf), e / eBase,
+                    double(r.totalCycles) / rb.totalCycles);
+    }
+
+    // The hierarchical RFC alternative under its two-level scheduler.
+    sim::SimConfig rfcCfg;
+    rfcCfg.rfKind = sim::RfKind::Rfc;
+    rfcCfg.policy = sim::SchedulerPolicy::TwoLevel;
+    rfcCfg.tlActiveWarps = 32;
+    sim::Gpu rfcGpu(rfcCfg);
+    const auto rr = rfcGpu.run(wl.kernels);
+    const double eRfc =
+        acct.account(rfcCfg, rr.rfStats, rr.totalCycles).dynamicPj;
+    std::printf("%-12s %9.1f%% %10.3f %10.3f   (hit rate %.0f%%)\n",
+                "RFC+TL", 0.0, eRfc / eBase,
+                double(rr.totalCycles) / rb.totalCycles,
+                100 * rr.rfStats.get("rfc.readHit") /
+                    (rr.rfStats.get("rfc.readHit") +
+                     rr.rfStats.get("rfc.readMiss")));
+
+    std::printf(
+        "\nOn Category-2 code the compiler's static counts chase "
+        "rarely-executed decoy registers,\nso little reaches the FRF and "
+        "execution slows; the pilot fixes the placement at runtime.\n"
+        "Note the role of profiling: it protects PERFORMANCE (1-cycle FRF "
+        "hits). The energy saving\ncomes from the partitioning itself -- "
+        "both partitions are far cheaper than the 14.9pJ MRF.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytic dual-gate (DG) FinFET transistor model.
+ *
+ * Models the binary back-gate control exploited by the adaptive FRF: with
+ * the back gate enabled the device drives with both channels and full gate
+ * capacitance Cg; with the back gate disabled only the front channel forms,
+ * halving Cg, halving the drive prefactor and raising Vth — which is exactly
+ * the knob the FRF_low power mode uses.
+ */
+
+#ifndef PILOTRF_CIRCUIT_FINFET_HH
+#define PILOTRF_CIRCUIT_FINFET_HH
+
+#include "circuit/tech.hh"
+
+namespace pilotrf::circuit
+{
+
+/** Back-gate state of a DG FinFET. */
+enum class BackGate { Enabled, Disabled };
+
+/**
+ * One FinFET device of a given width (in fins).
+ */
+class FinFet
+{
+  public:
+    /**
+     * @param tech technology parameters
+     * @param fins number of parallel fins (device width quantum)
+     * @param vthDelta additional threshold shift, used for Monte-Carlo
+     *        process variation (LER + WFV)
+     */
+    explicit FinFet(const TechParams &tech, unsigned fins = 1,
+                    double vthDelta = 0.0);
+
+    /** Effective threshold voltage for the given back-gate state. */
+    double vth(BackGate bg) const;
+
+    /** Soft-plus drive function g(Vgs, Vds) in volts, including DIBL
+     *  barrier lowering (see tech.hh). */
+    double drive(double vgs, double vds, BackGate bg) const;
+
+    /**
+     * Drain current in amperes.
+     * @param vgs gate-source voltage
+     * @param vds drain-source voltage
+     * @param bg back-gate state
+     */
+    double current(double vgs, double vds, BackGate bg) const;
+
+    /** ON current per micron of width, A/um (Table III convention). */
+    double onCurrentPerUm(double vdd, BackGate bg) const;
+
+    /** Subthreshold leakage current (Vgs = 0) in amperes. */
+    double leakage(double vdd, BackGate bg) const;
+
+    /** Total gate capacitance in farads. */
+    double gateCap(BackGate bg) const;
+
+    /** Device width in microns. */
+    double widthUm() const;
+
+    const TechParams &tech() const { return _tech; }
+    unsigned fins() const { return _fins; }
+
+  private:
+    const TechParams &_tech;
+    unsigned _fins;
+    double _vthDelta;
+};
+
+} // namespace pilotrf::circuit
+
+#endif // PILOTRF_CIRCUIT_FINFET_HH

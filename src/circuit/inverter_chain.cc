@@ -1,0 +1,39 @@
+#include "circuit/inverter_chain.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pilotrf::circuit
+{
+
+double
+inverterDelay(const TechParams &tech, double vdd, double fanout, BackGate bg)
+{
+    panicIf(vdd <= 0.0, "inverterDelay with non-positive Vdd");
+    FinFet dev(tech);
+    const double g = dev.drive(vdd, vdd, bg);
+    if (g <= 1e-9)
+        return 1.0; // effectively non-functional: 1 second
+    // Load and drive both halve with the back gate disabled; only the Vth
+    // shift inside g() survives in the ratio.
+    return tech.kDelay * (fanout / 4.0) * vdd / std::pow(g, tech.alphaDelay);
+}
+
+double
+chainDelay(const TechParams &tech, double vdd, unsigned stages, double fanout,
+           BackGate bg)
+{
+    return stages * inverterDelay(tech, vdd, fanout, bg);
+}
+
+std::vector<DelayPoint>
+fig1Sweep(const TechParams &tech, double vLo, double vHi, double step)
+{
+    std::vector<DelayPoint> points;
+    for (double v = vLo; v <= vHi + 1e-9; v += step)
+        points.push_back({v, chainDelay(tech, v)});
+    return points;
+}
+
+} // namespace pilotrf::circuit

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Alpha-power inverter delay model and the Fig. 1 FO4 chain experiment.
+ */
+
+#ifndef PILOTRF_CIRCUIT_INVERTER_CHAIN_HH
+#define PILOTRF_CIRCUIT_INVERTER_CHAIN_HH
+
+#include <vector>
+
+#include "circuit/finfet.hh"
+#include "circuit/tech.hh"
+
+namespace pilotrf::circuit
+{
+
+/**
+ * Delay of a single inverter driving @p fanout copies of itself, seconds.
+ *
+ * Uses the alpha-power law t = kDelay * fanout * Vdd / g(Vdd)^alphaDelay
+ * with the soft-plus drive g shared with the current model, so the delay
+ * explodes smoothly as Vdd approaches and then crosses the threshold —
+ * reproducing the shape of Fig. 1. When the back gate is disabled both the
+ * load capacitance and the drive strength halve; the residual slowdown
+ * comes from the effective Vth increase.
+ */
+double inverterDelay(const TechParams &tech, double vdd, double fanout = 4.0,
+                     BackGate bg = BackGate::Enabled);
+
+/** Delay of an N-stage FO4 inverter chain at the given supply, seconds. */
+double chainDelay(const TechParams &tech, double vdd, unsigned stages = 40,
+                  double fanout = 4.0, BackGate bg = BackGate::Enabled);
+
+/** One point of the Fig. 1 sweep. */
+struct DelayPoint
+{
+    double vdd;      ///< supply voltage (V)
+    double delaySec; ///< 40-stage FO4 chain delay (s)
+};
+
+/** Sweep the 40-stage FO4 chain delay over [vLo, vHi] (Fig. 1). */
+std::vector<DelayPoint> fig1Sweep(const TechParams &tech, double vLo = 0.20,
+                                  double vHi = 0.60, double step = 0.025);
+
+} // namespace pilotrf::circuit
+
+#endif // PILOTRF_CIRCUIT_INVERTER_CHAIN_HH

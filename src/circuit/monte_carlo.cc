@@ -1,0 +1,38 @@
+#include "circuit/monte_carlo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.hh"
+
+namespace pilotrf::circuit
+{
+
+YieldResult
+monteCarloSnm(const SramCellParams &cell, const TechParams &tech, double vdd,
+              SnmMode mode, BackGate bg, double snmMargin, unsigned samples,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    const double sigma = std::hypot(tech.sigmaVthLer, tech.sigmaVthWfv);
+
+    double sum = 0.0, sumSq = 0.0, minSnm = 1e9;
+    unsigned pass = 0;
+    for (unsigned i = 0; i < samples; ++i) {
+        CellVariation var;
+        for (auto &d : var)
+            d = rng.gaussian(0.0, sigma);
+        const double s = snm(cell, tech, vdd, mode, bg, var);
+        sum += s;
+        sumSq += s * s;
+        minSnm = std::min(minSnm, s);
+        if (s >= snmMargin)
+            ++pass;
+    }
+    const double mean = sum / samples;
+    const double variance = std::max(0.0, sumSq / samples - mean * mean);
+    return {mean, std::sqrt(variance), minSnm, double(pass) / samples,
+            samples};
+}
+
+} // namespace pilotrf::circuit

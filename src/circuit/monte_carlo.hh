@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Monte-Carlo process-variation yield analysis of SRAM cells.
+ *
+ * FinFETs have undoped channels and are immune to random dopant
+ * fluctuation; the residual Vth variation comes from line-edge roughness
+ * (LER) and work-function variation (WFV), modeled as independent Gaussian
+ * threshold shifts per transistor (Sec. IV-A).
+ */
+
+#ifndef PILOTRF_CIRCUIT_MONTE_CARLO_HH
+#define PILOTRF_CIRCUIT_MONTE_CARLO_HH
+
+#include <cstdint>
+
+#include "circuit/sram.hh"
+
+namespace pilotrf::circuit
+{
+
+/** Aggregate result of a Monte-Carlo SNM run. */
+struct YieldResult
+{
+    double meanSnm;   ///< mean SNM over samples (V)
+    double stdSnm;    ///< standard deviation of SNM (V)
+    double minSnm;    ///< worst sampled SNM (V)
+    double yield;     ///< fraction of samples with SNM above the margin
+    unsigned samples; ///< number of Monte-Carlo samples
+};
+
+/**
+ * Run a Monte-Carlo SNM yield analysis.
+ *
+ * @param cell cell flavour under test
+ * @param tech technology (supplies sigmaVthLer / sigmaVthWfv)
+ * @param vdd supply voltage
+ * @param mode Hold or Read SNM
+ * @param bg back-gate state
+ * @param snmMargin minimum acceptable SNM (V) for the yield criterion
+ * @param samples Monte-Carlo sample count
+ * @param seed RNG seed (results are deterministic per seed)
+ */
+YieldResult monteCarloSnm(const SramCellParams &cell, const TechParams &tech,
+                          double vdd, SnmMode mode,
+                          BackGate bg = BackGate::Enabled,
+                          double snmMargin = 0.04, unsigned samples = 200,
+                          std::uint64_t seed = 1);
+
+} // namespace pilotrf::circuit
+
+#endif // PILOTRF_CIRCUIT_MONTE_CARLO_HH

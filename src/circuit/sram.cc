@@ -1,0 +1,190 @@
+#include "circuit/sram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pilotrf::circuit
+{
+
+const char *
+toString(SramCellType t)
+{
+    switch (t) {
+      case SramCellType::T6: return "6T";
+      case SramCellType::T8: return "8T";
+      case SramCellType::T9: return "9T";
+      case SramCellType::T10: return "10T";
+    }
+    return "?";
+}
+
+SramCellParams
+defaultCellParams(SramCellType type)
+{
+    // Areas from fin-grid layout estimates at 7 nm (gate pitch 54 nm, fin
+    // pitch 27 nm). The 6T variant is upsized (2-fin pull-downs) as in the
+    // paper's comparison and is still larger than the compact 8T cell.
+    switch (type) {
+      case SramCellType::T6:
+        return {type, 2, 1, 1, false, 0.0315, 0.88};
+      case SramCellType::T8:
+        return {type, 1, 1, 1, true, 0.0291, 0.88};
+      case SramCellType::T9:
+        return {type, 1, 1, 1, true, 0.0335, 0.88};
+      case SramCellType::T10:
+        return {type, 1, 1, 1, true, 0.0379, 0.88};
+    }
+    panic("unknown cell type");
+}
+
+Vtc::Vtc(const SramCellParams &cell, const TechParams &tech, double vdd,
+         BackGate bg, bool readDisturb, double dVthPd, double dVthPu,
+         double dVthAx, unsigned samples)
+    : _vdd(vdd)
+{
+    panicIf(samples < 2, "Vtc needs at least 2 samples");
+    // Cell fins are minimum size with degraded subthreshold swing; with the
+    // back gate disabled the single-gate channel control degrades further.
+    TechParams cellTech = tech;
+    cellTech.aSlope *= tech.cellSlopeFactor;
+    cellTech.diblDrive *= tech.cellDiblFactor;
+    if (bg == BackGate::Disabled)
+        cellTech.aSlope *= tech.cellSlopeBackGateOff;
+    FinFet pd(cellTech, cell.pullDownFins, dVthPd);
+    FinFet pu(cellTech, cell.pullUpFins, dVthPu);
+    FinFet ax(cellTech, cell.accessFins, dVthAx);
+
+    vout.resize(samples);
+    for (unsigned i = 0; i < samples; ++i) {
+        const double vin = vdd * i / (samples - 1);
+        // Current balance at the output node, monotone increasing in vo:
+        //   h(vo) = Ipd(vin, vo) - pf*Ipu(vdd-vin, vdd-vo) - Iax(read)
+        auto h = [&](double vo) {
+            double ipd = pd.current(vin, vo, bg);
+            double ipu = cell.pmosFactor * pu.current(vdd - vin, vdd - vo, bg);
+            double iax = 0.0;
+            if (readDisturb) {
+                // Wordline and bitline at vdd; access device sources at the
+                // storage node, pulling it toward the bitline.
+                iax = ax.current(vdd - vo, vdd - vo, bg);
+            }
+            return ipd - ipu - iax;
+        };
+        double lo = 0.0, hi = vdd;
+        if (h(hi - 1e-9) <= 0.0) {
+            vout[i] = vdd; // pull-down cannot win anywhere: output stays high
+            continue;
+        }
+        if (h(lo + 1e-12) >= 0.0) {
+            vout[i] = 0.0;
+            continue;
+        }
+        for (int it = 0; it < 60; ++it) {
+            double mid = 0.5 * (lo + hi);
+            (h(mid) < 0.0 ? lo : hi) = mid;
+        }
+        vout[i] = 0.5 * (lo + hi);
+    }
+}
+
+double
+Vtc::eval(double vin) const
+{
+    const unsigned n = vout.size();
+    if (vin <= 0.0)
+        return vout.front();
+    if (vin >= _vdd)
+        return vout.back();
+    const double pos = vin / _vdd * (n - 1);
+    const unsigned i = std::min<unsigned>(unsigned(pos), n - 2);
+    const double frac = pos - i;
+    return vout[i] * (1.0 - frac) + vout[i + 1] * frac;
+}
+
+double
+lobeSnm(const Vtc &a, const Vtc &b)
+{
+    // Largest square with lower-left corner on curve B (x = b(y)) and
+    // upper-right corner under curve A (y = a(x)) in the upper-left lobe:
+    // for each anchor y, find max s with y + s = a(b(y) + s).
+    const double vdd = a.vdd();
+    double best = 0.0;
+    const unsigned anchors = 192;
+    for (unsigned i = 0; i < anchors; ++i) {
+        const double y = vdd * i / (anchors - 1);
+        const double xb = b.eval(y);
+        auto fits = [&](double s) { return y + s <= a.eval(xb + s); };
+        if (!fits(0.0))
+            continue;
+        double lo = 0.0, hi = vdd;
+        if (fits(hi)) {
+            best = std::max(best, hi);
+            continue;
+        }
+        for (int it = 0; it < 40; ++it) {
+            double mid = 0.5 * (lo + hi);
+            (fits(mid) ? lo : hi) = mid;
+        }
+        best = std::max(best, lo);
+    }
+    return best;
+}
+
+double
+writeMargin(const SramCellParams &cell, const TechParams &tech, double vdd,
+            BackGate bg, const CellVariation &var)
+{
+    TechParams cellTech = tech;
+    cellTech.aSlope *= tech.cellSlopeFactor;
+    cellTech.diblDrive *= tech.cellDiblFactor;
+    if (bg == BackGate::Disabled)
+        cellTech.aSlope *= tech.cellSlopeBackGateOff;
+    FinFet pu(cellTech, cell.pullUpFins, var[1]);
+    FinFet ax(cellTech, cell.accessFins, var[2]);
+
+    // Node A initially '1': PMOS pull-up (gate at 0) sources current; the
+    // access device (wordline high, bitline at 0) sinks it. The balance
+    // point is monotone in V_A, so bisect.
+    auto h = [&](double va) {
+        const double iax = ax.current(vdd, va, bg);
+        const double ipu =
+            cell.pmosFactor * pu.current(vdd, vdd - va, bg);
+        return iax - ipu; // increasing in va
+    };
+    double lo = 0.0, hi = vdd;
+    if (h(hi - 1e-9) <= 0.0)
+        return -vdd; // access too weak: node stays high, unwritable
+    for (int it = 0; it < 60; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        (h(mid) < 0.0 ? lo : hi) = mid;
+    }
+    const double vNode = 0.5 * (lo + hi);
+
+    // Switching threshold of the opposite inverter: input where its
+    // output crosses vdd/2.
+    Vtc inv(cell, tech, vdd, bg, false, var[3], var[4], var[5]);
+    double vmLo = 0.0, vmHi = vdd;
+    for (int it = 0; it < 40; ++it) {
+        const double mid = 0.5 * (vmLo + vmHi);
+        (inv.eval(mid) > vdd / 2.0 ? vmLo : vmHi) = mid;
+    }
+    const double vm = 0.5 * (vmLo + vmHi);
+    return vm - vNode;
+}
+
+double
+snm(const SramCellParams &cell, const TechParams &tech, double vdd,
+    SnmMode mode, BackGate bg, const CellVariation &var)
+{
+    const bool disturb = mode == SnmMode::Read && !cell.readDecoupled;
+    // Inverter 1: pd1/pu1 with ax1 disturbance; inverter 2: pd2/pu2, ax2.
+    Vtc inv1(cell, tech, vdd, bg, disturb, var[0], var[1], var[2]);
+    Vtc inv2(cell, tech, vdd, bg, disturb, var[3], var[4], var[5]);
+    const double lobe1 = lobeSnm(inv1, inv2);
+    const double lobe2 = lobeSnm(inv2, inv1);
+    return std::min(lobe1, lobe2);
+}
+
+} // namespace pilotrf::circuit

@@ -1,0 +1,37 @@
+#include "circuit/tech.hh"
+
+namespace pilotrf::circuit
+{
+
+const TechParams &
+finfet7()
+{
+    static const TechParams p{};
+    return p;
+}
+
+// FO4 delays chosen so a 13-bit-entry, 8-entry CAM swapping table evaluates
+// in 105 / 95 / 55 ps (Sec. III-B): the CAM model charges a match line and
+// priority-encodes in ~7 FO4.
+const CmosNode &
+cmos22()
+{
+    static const CmosNode n{"22nm CMOS", 15.0e-12};
+    return n;
+}
+
+const CmosNode &
+cmos16()
+{
+    static const CmosNode n{"16nm CMOS", 13.57e-12};
+    return n;
+}
+
+const CmosNode &
+finfetNode7()
+{
+    static const CmosNode n{"7nm FinFET", 7.86e-12};
+    return n;
+}
+
+} // namespace pilotrf::circuit

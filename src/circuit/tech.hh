@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Technology parameter sets for the analytic device models.
+ *
+ * The 7 nm FinFET parameters are calibrated so the model reproduces the
+ * paper's published circuit data:
+ *   - Table III ON currents (2.372e-3 A/um at STV with back gate enabled,
+ *     2.427e-4 A/um at STV with back gate disabled, 7.505e-4 A/um at NTV);
+ *   - the ~3x inverter delay ratio between NTV (0.30 V) and STV (0.45 V)
+ *     visible in Fig. 1 and quoted for the 16-bit adder (.051 ns -> .153 ns);
+ *   - the leakage scaling implied by Table IV (224 KB SRF at NTV leaks
+ *     13.4 mW vs a 256 KB MRF at STV leaking 33.8 mW).
+ */
+
+#ifndef PILOTRF_CIRCUIT_TECH_HH
+#define PILOTRF_CIRCUIT_TECH_HH
+
+namespace pilotrf::circuit
+{
+
+/** Supply voltages used throughout the paper. */
+constexpr double vddStv = 0.45; ///< super-threshold supply (V)
+constexpr double vddNtv = 0.30; ///< near-threshold supply (V)
+
+/**
+ * Analytic parameters of one technology flavour.
+ *
+ * The drive model is a transregional soft-plus (EKV-like) current
+ *   I(Vgs, Vds) = i0 * g(Vgs)^betaI * fsat(Vds),
+ *   g(Vgs) = a * ln(1 + exp((Vgs - Vth)/a)),
+ * which is linear in overdrive above threshold (velocity saturated) and
+ * exponential below it. Delay uses the alpha-power form
+ *   t = kDelay * fanout * Vdd / g(Vdd)^alphaDelay.
+ */
+struct TechParams
+{
+    double vth = 0.23;          ///< threshold voltage (V), Fig. 1 caption
+    double aSlope = 0.0312;     ///< transregional slope n*phiT (V)
+    double betaI = 1.291;       ///< ON-current overdrive exponent
+    double i0 = 1.6202e-2;      ///< drive prefactor (A / um / V^betaI)
+    double lambda = 0.06;       ///< channel-length modulation (1/V)
+    double diblDrive = 0.08;    ///< DIBL barrier lowering in the drive (V/V)
+    double deltaVthBackGate = 0.1954; ///< Vth shift when back gate disabled (V)
+    double alphaDelay = 1.507;  ///< alpha-power delay exponent
+    double kDelay = 3.920e-12;  ///< delay prefactor (s * V^(alphaDelay-1))
+    double cgPerUm = 1.1e-15;   ///< gate capacitance (F/um), both gates on
+    double dibl = 0.08;         ///< DIBL coefficient for leakage (V/V)
+    double ioffRef = 1.0e-7;    ///< off current at Vds = vth reference (A/um)
+    double sigmaVthLer = 0.018; ///< Vth sigma from line-edge roughness (V)
+    double sigmaVthWfv = 0.017; ///< Vth sigma from work-function variation (V)
+    double finWidthUm = 0.02;   ///< effective width of one fin (um)
+
+    /**
+     * Subthreshold-slope degradation of the minimum-size SRAM-cell fins
+     * relative to logic fins (cell fins are drawn at the tightest pitch and
+     * have worse electrostatic control). Applied inside the VTC solver only.
+     */
+    double cellSlopeFactor = 1.8;
+
+    /**
+     * Additional slope degradation when the back gate is disabled: with a
+     * single active gate the channel is controlled from one side only and
+     * the swing degrades markedly (independent-gate FinFET operation).
+     */
+    double cellSlopeBackGateOff = 3.2;
+
+    /**
+     * DIBL multiplier for the SRAM-cell fins relative to logic fins, again
+     * a consequence of the minimum-size cell device geometry. Applied
+     * inside the VTC solver only.
+     */
+    double cellDiblFactor = 1.5;
+};
+
+/** Calibrated 7 nm FinFET (Lg = 7 nm, 1.5 nm underlap, Leff = 10 nm). */
+const TechParams &finfet7();
+
+/**
+ * Fan-out-of-4 inverter delays for the planar CMOS nodes used only by the
+ * swapping-table RTL comparison in Sec. III-B.
+ */
+struct CmosNode
+{
+    const char *name;
+    double fo4DelaySec; ///< FO4 delay at nominal Vdd
+};
+
+const CmosNode &cmos22(); ///< 22 nm planar CMOS
+const CmosNode &cmos16(); ///< 16 nm planar CMOS
+const CmosNode &finfetNode7(); ///< 7 nm FinFET at nominal Vdd
+
+} // namespace pilotrf::circuit
+
+#endif // PILOTRF_CIRCUIT_TECH_HH

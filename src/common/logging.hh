@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition: panic() for simulator
+ * bugs, fatal() for user/configuration errors, warn()/inform() for status.
+ */
+
+#ifndef PILOTRF_COMMON_LOGGING_HH
+#define PILOTRF_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace pilotrf
+{
+
+/** Print a formatted message and abort(); for conditions that indicate a
+ *  bug in the simulator itself. */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print a formatted message and exit(1); for conditions caused by bad
+ *  user input or configuration. */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print a warning; simulation continues. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message; simulation continues. */
+void inform(const char *fmt, ...);
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** Assert-like helper that panics with a message when cond is false. */
+inline void
+panicIf(bool cond, const char *msg)
+{
+    if (cond)
+        panic("%s", msg);
+}
+
+} // namespace pilotrf
+
+#endif // PILOTRF_COMMON_LOGGING_HH

@@ -1,0 +1,85 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pilotrf
+{
+
+namespace
+{
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Seed the four state words from splitmix64 per the xoshiro reference.
+    std::uint64_t x = seed;
+    for (auto &w : s) {
+        x += 0x9e3779b97f4a7c15ull;
+        w = splitmix64(x);
+    }
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    return hashToUnit(next());
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+double
+Rng::gaussian()
+{
+    if (haveSpare) {
+        haveSpare = false;
+        return spare;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300)
+        u1 = uniform();
+    double u2 = uniform();
+    double r = std::sqrt(-2.0 * std::log(u1));
+    spare = r * std::sin(2.0 * M_PI * u2);
+    haveSpare = true;
+    return r * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+std::uint64_t
+Rng::below(std::uint64_t n)
+{
+    panicIf(n == 0, "Rng::below(0)");
+    return next() % n;
+}
+
+} // namespace pilotrf

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Deterministic hashing and pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (branch outcomes, per-thread
+ * loop trip counts, Monte-Carlo device variation) is derived from splitmix64
+ * hashes of structural coordinates so that every run is exactly
+ * reproducible, independent of evaluation order.
+ */
+
+#ifndef PILOTRF_COMMON_RANDOM_HH
+#define PILOTRF_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace pilotrf
+{
+
+/** One round of the splitmix64 mixing function. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one hash. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/** Hash an arbitrary number of coordinates. */
+template <typename... Args>
+constexpr std::uint64_t
+hashCoords(std::uint64_t first, Args... rest)
+{
+    if constexpr (sizeof...(rest) == 0)
+        return splitmix64(first);
+    else
+        return hashCombine(splitmix64(first), hashCoords(std::uint64_t(rest)...));
+}
+
+/** Map a 64-bit hash to a uniform double in [0, 1). */
+constexpr double
+hashToUnit(std::uint64_t h)
+{
+    return double(h >> 11) * (1.0 / 9007199254740992.0); // 2^53
+}
+
+/**
+ * Small xoshiro256** generator for Monte-Carlo loops where a stream (rather
+ * than coordinate hashing) is the natural interface.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+  private:
+    std::uint64_t s[4];
+    bool haveSpare = false;
+    double spare = 0.0;
+};
+
+} // namespace pilotrf
+
+#endif // PILOTRF_COMMON_RANDOM_HH

@@ -1,0 +1,53 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace pilotrf
+{
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    values[name] += delta;
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    values[name] = value;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values.find(name);
+    return it == values.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values.count(name) != 0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[k, v] : other.values)
+        values[k] += v;
+}
+
+void
+StatSet::clear()
+{
+    values.clear();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[k, v] : values)
+        os << std::left << std::setw(40) << k << " = " << v << "\n";
+}
+
+} // namespace pilotrf

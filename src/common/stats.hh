@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A minimal named-statistics registry.
+ *
+ * Components register scalar counters by name; the registry supports
+ * formatted dumping and programmatic lookup, which the benches use to
+ * regenerate the paper's tables.
+ */
+
+#ifndef PILOTRF_COMMON_STATS_HH
+#define PILOTRF_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace pilotrf
+{
+
+/**
+ * A flat collection of named double-valued statistics.
+ */
+class StatSet
+{
+  public:
+    /** Add delta to the named stat, creating it at zero if absent. */
+    void add(const std::string &name, double delta);
+
+    /** Set the named stat to an absolute value. */
+    void set(const std::string &name, double value);
+
+    /** Read a stat; returns 0 for stats never touched. */
+    double get(const std::string &name) const;
+
+    /** True if the stat has ever been written. */
+    bool has(const std::string &name) const;
+
+    /** Merge all stats from other into this (summing values). */
+    void merge(const StatSet &other);
+
+    /** Remove all stats. */
+    void clear();
+
+    /** Write "name = value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    const std::map<std::string, double> &raw() const { return values; }
+
+  private:
+    std::map<std::string, double> values;
+};
+
+} // namespace pilotrf
+
+#endif // PILOTRF_COMMON_STATS_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the pilotrf libraries.
+ */
+
+#ifndef PILOTRF_COMMON_TYPES_HH
+#define PILOTRF_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace pilotrf
+{
+
+/** Simulation time measured in SM core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Architected (ISA-visible) register index within a thread, 0..62. */
+using RegId = std::uint8_t;
+
+/** Hardware warp slot index within an SM, 0..63. */
+using WarpId = std::uint16_t;
+
+/** Cooperative-thread-array (thread block) index within a grid. */
+using CtaId = std::uint32_t;
+
+/** Streaming-multiprocessor index within the GPU. */
+using SmId = std::uint16_t;
+
+/** Lane (thread-within-warp) index, 0..31. */
+using LaneId = std::uint8_t;
+
+/** Program counter: instruction index within a kernel. */
+using Pc = std::uint32_t;
+
+/** A 32-wide active mask, one bit per lane. */
+using ActiveMask = std::uint32_t;
+
+/** Maximum architected registers per thread (Kepler: 63 + zero reg). */
+constexpr unsigned maxRegsPerThread = 63;
+
+/** Threads per warp. */
+constexpr unsigned warpSize = 32;
+
+/** Full 32-lane active mask. */
+constexpr ActiveMask fullMask = 0xffffffffu;
+
+} // namespace pilotrf
+
+#endif // PILOTRF_COMMON_TYPES_HH

@@ -1,0 +1,72 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace pilotrf::isa
+{
+
+const char *
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Mov: return "mov";
+      case Opcode::IAdd: return "iadd";
+      case Opcode::IMul: return "imul";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FFma: return "ffma";
+      case Opcode::Mad: return "mad";
+      case Opcode::SetP: return "setp";
+      case Opcode::Shfl: return "shfl";
+      case Opcode::Rsq: return "rsq";
+      case Opcode::Sin: return "sin";
+      case Opcode::Rcp: return "rcp";
+      case Opcode::Ldg: return "ld.global";
+      case Opcode::Stg: return "st.global";
+      case Opcode::Lds: return "ld.shared";
+      case Opcode::Sts: return "st.shared";
+      case Opcode::Bra: return "bra";
+      case Opcode::Bar: return "bar.sync";
+      case Opcode::Exit: return "exit";
+    }
+    return "?";
+}
+
+ExecClass
+Instruction::execClass() const
+{
+    switch (op) {
+      case Opcode::Rsq:
+      case Opcode::Sin:
+      case Opcode::Rcp:
+        return ExecClass::Sfu;
+      case Opcode::Ldg:
+      case Opcode::Stg:
+      case Opcode::Lds:
+      case Opcode::Sts:
+        return ExecClass::Mem;
+      case Opcode::Bra:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        return ExecClass::Ctrl;
+      default:
+        return ExecClass::Sp;
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << isa::toString(op);
+    for (unsigned i = 0; i < numDsts; ++i)
+        os << (i ? "," : " ") << "r" << unsigned(dsts[i]);
+    for (unsigned i = 0; i < numSrcs; ++i)
+        os << (i || numDsts ? "," : " ") << "r" << unsigned(srcs[i]);
+    if (isBranch())
+        os << " ->" << target << " (rpc " << reconverge << ")";
+    return os.str();
+}
+
+} // namespace pilotrf::isa

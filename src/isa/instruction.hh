@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The kernel intermediate representation: a PTX-like instruction set rich
+ * enough to drive the cycle-level SM model and the register-file access
+ * analysis, with declarative branch behaviours that make whole-program
+ * execution deterministic and reproducible.
+ */
+
+#ifndef PILOTRF_ISA_INSTRUCTION_HH
+#define PILOTRF_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pilotrf::isa
+{
+
+/** Operation codes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Mov, IAdd, IMul, FAdd, FMul, FFma, Mad, SetP, Shfl, // SP pipeline
+    Rsq, Sin, Rcp,                                       // SFU pipeline
+    Ldg, Stg, Lds, Sts,                                  // memory pipeline
+    Bra, Bar, Exit,                                      // control
+};
+
+const char *toString(Opcode op);
+
+/** Functional unit class an instruction dispatches to. */
+enum class ExecClass : std::uint8_t { Sp, Sfu, Mem, Ctrl };
+
+/** Memory space of a load/store. */
+enum class MemSpace : std::uint8_t { None, Global, Shared };
+
+/**
+ * Declarative branch behaviour. Direction decisions are produced by
+ * hashing structural coordinates (kernel seed, CTA, warp, lane, PC, visit)
+ * so every simulation is reproducible and, per the paper's observation,
+ * warps of the same kernel exhibit near-identical register access
+ * behaviour.
+ */
+enum class BranchKind : std::uint8_t
+{
+    None,
+    Uniform,       ///< whole warp takes/falls through together
+    Divergent,     ///< lanes decide individually (if/else divergence)
+    LoopUniform,   ///< backedge; whole warp iterates the same trip count
+    LoopDivergent, ///< backedge; per-lane trip counts differ
+};
+
+/**
+ * One static instruction of a kernel.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    std::uint8_t numDsts = 0;
+    std::uint8_t numSrcs = 0;
+    std::array<RegId, 2> dsts{};
+    std::array<RegId, 4> srcs{};
+
+    MemSpace space = MemSpace::None;
+    /** Memory transactions generated per warp access (1 = fully
+     *  coalesced, up to 32 = fully scattered). */
+    std::uint8_t transactions = 1;
+
+    BranchKind branch = BranchKind::None;
+    Pc target = 0;       ///< branch target (loop header for backedges)
+    Pc reconverge = 0;   ///< immediate post-dominator for the SIMT stack
+    float takenFrac = 0.0f;      ///< Uniform/Divergent taken probability
+    std::uint16_t tripBase = 0;  ///< loop trip count base
+    std::uint16_t tripSpread = 0; ///< additional hashed trips in [0,spread)
+
+    /** Functional-unit class. */
+    ExecClass execClass() const;
+
+    bool isBranch() const { return op == Opcode::Bra; }
+    bool isBarrier() const { return op == Opcode::Bar; }
+    bool isExit() const { return op == Opcode::Exit; }
+    bool isMem() const { return execClass() == ExecClass::Mem; }
+    bool isLoad() const { return op == Opcode::Ldg || op == Opcode::Lds; }
+    bool isGlobal() const { return space == MemSpace::Global; }
+    bool isBackedge() const
+    {
+        return branch == BranchKind::LoopUniform ||
+               branch == BranchKind::LoopDivergent;
+    }
+
+    /** Human-readable disassembly. */
+    std::string toString() const;
+};
+
+} // namespace pilotrf::isa
+
+#endif // PILOTRF_ISA_INSTRUCTION_HH

@@ -1,0 +1,57 @@
+#include "isa/kernel.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::isa
+{
+
+Kernel::Kernel(std::string name, unsigned regsPerThread,
+               unsigned threadsPerCta, unsigned numCtas,
+               std::vector<Instruction> code, std::uint64_t seed)
+    : _name(std::move(name)), _regsPerThread(regsPerThread),
+      _threadsPerCta(threadsPerCta), _numCtas(numCtas), _seed(seed),
+      _code(std::move(code))
+{
+}
+
+void
+Kernel::validate() const
+{
+    if (_code.empty())
+        fatal("kernel %s has no code", _name.c_str());
+    if (_regsPerThread == 0 || _regsPerThread > maxRegsPerThread)
+        fatal("kernel %s: %u regs/thread out of range", _name.c_str(),
+              _regsPerThread);
+    if (_threadsPerCta == 0 || _threadsPerCta > 1024)
+        fatal("kernel %s: %u threads/CTA out of range", _name.c_str(),
+              _threadsPerCta);
+    if (_numCtas == 0)
+        fatal("kernel %s: empty grid", _name.c_str());
+    if (!_code.back().isExit())
+        fatal("kernel %s: code does not end with exit", _name.c_str());
+
+    for (Pc pc = 0; pc < length(); ++pc) {
+        const auto &in = _code[pc];
+        for (unsigned i = 0; i < in.numDsts; ++i)
+            if (in.dsts[i] >= _regsPerThread)
+                fatal("kernel %s pc %u: dst r%u out of range",
+                      _name.c_str(), pc, unsigned(in.dsts[i]));
+        for (unsigned i = 0; i < in.numSrcs; ++i)
+            if (in.srcs[i] >= _regsPerThread)
+                fatal("kernel %s pc %u: src r%u out of range",
+                      _name.c_str(), pc, unsigned(in.srcs[i]));
+        if (in.isBranch()) {
+            if (in.target >= length() || in.reconverge > length())
+                fatal("kernel %s pc %u: branch target out of range",
+                      _name.c_str(), pc);
+            if (in.isBackedge() && in.target > pc)
+                fatal("kernel %s pc %u: backedge jumps forward",
+                      _name.c_str(), pc);
+            if (in.branch == BranchKind::None)
+                fatal("kernel %s pc %u: bra without behaviour",
+                      _name.c_str(), pc);
+        }
+    }
+}
+
+} // namespace pilotrf::isa

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A GPU kernel: static code plus launch geometry.
+ */
+
+#ifndef PILOTRF_ISA_KERNEL_HH
+#define PILOTRF_ISA_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace pilotrf::isa
+{
+
+/**
+ * One kernel of a workload. All threads execute this code; per-thread
+ * behaviour differences come exclusively from the hashed branch outcomes.
+ */
+class Kernel
+{
+  public:
+    Kernel() = default;
+    Kernel(std::string name, unsigned regsPerThread, unsigned threadsPerCta,
+           unsigned numCtas, std::vector<Instruction> code,
+           std::uint64_t seed = 0);
+
+    const std::string &name() const { return _name; }
+    unsigned regsPerThread() const { return _regsPerThread; }
+    unsigned threadsPerCta() const { return _threadsPerCta; }
+    unsigned numCtas() const { return _numCtas; }
+    std::uint64_t seed() const { return _seed; }
+
+    unsigned warpsPerCta() const
+    {
+        return (_threadsPerCta + warpSize - 1) / warpSize;
+    }
+
+    const std::vector<Instruction> &code() const { return _code; }
+    const Instruction &at(Pc pc) const { return _code.at(pc); }
+    Pc length() const { return Pc(_code.size()); }
+
+    /**
+     * Structural sanity checks: register ids within bounds, branch targets
+     * and reconvergence PCs in range, code terminated by Exit. Calls
+     * fatal() on violation (a malformed kernel is a user error).
+     */
+    void validate() const;
+
+  private:
+    std::string _name;
+    unsigned _regsPerThread = 0;
+    unsigned _threadsPerCta = 0;
+    unsigned _numCtas = 0;
+    std::uint64_t _seed = 0;
+    std::vector<Instruction> _code;
+};
+
+} // namespace pilotrf::isa
+
+#endif // PILOTRF_ISA_KERNEL_HH

@@ -1,0 +1,157 @@
+#include "isa/kernel_builder.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::isa
+{
+
+KernelBuilder::KernelBuilder(std::string name_, unsigned regs,
+                             unsigned threads, unsigned ctas,
+                             std::uint64_t seed_)
+    : name(std::move(name_)), regsPerThread(regs), threadsPerCta(threads),
+      numCtas(ctas), seed(seed_)
+{
+}
+
+KernelBuilder &
+KernelBuilder::op(Opcode o, RegId dst, std::initializer_list<RegId> srcs)
+{
+    Instruction in;
+    in.op = o;
+    in.numDsts = 1;
+    in.dsts[0] = dst;
+    panicIf(srcs.size() > in.srcs.size(), "too many sources");
+    for (RegId s : srcs)
+        in.srcs[in.numSrcs++] = s;
+    code.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::opNoDst(Opcode o, std::initializer_list<RegId> srcs)
+{
+    Instruction in;
+    in.op = o;
+    panicIf(srcs.size() > in.srcs.size(), "too many sources");
+    for (RegId s : srcs)
+        in.srcs[in.numSrcs++] = s;
+    code.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::load(RegId dst, RegId addr, MemSpace space,
+                    unsigned transactions)
+{
+    Instruction in;
+    in.op = space == MemSpace::Global ? Opcode::Ldg : Opcode::Lds;
+    in.space = space;
+    in.transactions = std::uint8_t(transactions);
+    in.numDsts = 1;
+    in.dsts[0] = dst;
+    in.numSrcs = 1;
+    in.srcs[0] = addr;
+    code.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::store(RegId addr, RegId data, MemSpace space,
+                     unsigned transactions)
+{
+    Instruction in;
+    in.op = space == MemSpace::Global ? Opcode::Stg : Opcode::Sts;
+    in.space = space;
+    in.transactions = std::uint8_t(transactions);
+    in.numSrcs = 2;
+    in.srcs[0] = addr;
+    in.srcs[1] = data;
+    code.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::barrier()
+{
+    Instruction in;
+    in.op = Opcode::Bar;
+    code.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::beginLoop(unsigned tripBase, unsigned tripSpread,
+                         bool divergent)
+{
+    panicIf(tripBase == 0 && tripSpread == 0, "loop with zero trips");
+    frames.push_back({Frame::Loop, Pc(code.size()), tripBase, tripSpread,
+                      divergent});
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::endLoop()
+{
+    panicIf(frames.empty() || frames.back().kind != Frame::Loop,
+            "endLoop without beginLoop");
+    const Frame f = frames.back();
+    frames.pop_back();
+    Instruction in;
+    in.op = Opcode::Bra;
+    in.branch = f.divergent ? BranchKind::LoopDivergent
+                            : BranchKind::LoopUniform;
+    in.target = f.headerPc;
+    in.reconverge = Pc(code.size()) + 1; // fall-through after the backedge
+    in.tripBase = std::uint16_t(f.tripBase);
+    in.tripSpread = std::uint16_t(f.tripSpread);
+    code.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::beginIf(double fraction, bool uniform)
+{
+    panicIf(fraction < 0.0 || fraction > 1.0, "if fraction out of range");
+    Instruction in;
+    in.op = Opcode::Bra;
+    in.branch = uniform ? BranchKind::Uniform : BranchKind::Divergent;
+    // "Taken" means skipping the body to the join point; lanes enter the
+    // body with probability fraction.
+    in.takenFrac = float(1.0 - fraction);
+    // target/reconverge patched by endIf()
+    frames.push_back({Frame::If, Pc(code.size()), 0, 0, !uniform});
+    code.push_back(in);
+    return *this;
+}
+
+KernelBuilder &
+KernelBuilder::endIf()
+{
+    panicIf(frames.empty() || frames.back().kind != Frame::If,
+            "endIf without beginIf");
+    const Frame f = frames.back();
+    frames.pop_back();
+    const Pc join = Pc(code.size());
+    code[f.headerPc].target = join;
+    code[f.headerPc].reconverge = join;
+    return *this;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    panicIf(built, "KernelBuilder::build called twice");
+    panicIf(!frames.empty(), "unclosed loop or if region");
+    built = true;
+    if (code.empty() || !code.back().isExit()) {
+        Instruction in;
+        in.op = Opcode::Exit;
+        code.push_back(in);
+    }
+    Kernel k(name, regsPerThread, threadsPerCta, numCtas, std::move(code),
+             seed);
+    k.validate();
+    return k;
+}
+
+} // namespace pilotrf::isa

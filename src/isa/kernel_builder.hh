@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Structured-control-flow builder for kernels.
+ *
+ * Emits well-nested loops and divergent if-regions with correct SIMT
+ * reconvergence PCs, so hand-written synthetic workloads cannot produce
+ * malformed control flow.
+ */
+
+#ifndef PILOTRF_ISA_KERNEL_BUILDER_HH
+#define PILOTRF_ISA_KERNEL_BUILDER_HH
+
+#include <initializer_list>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace pilotrf::isa
+{
+
+class KernelBuilder
+{
+  public:
+    KernelBuilder(std::string name, unsigned regsPerThread,
+                  unsigned threadsPerCta, unsigned numCtas,
+                  std::uint64_t seed = 0);
+
+    /** Generic ALU/SFU emitter: op dst <- srcs. */
+    KernelBuilder &op(Opcode o, RegId dst,
+                      std::initializer_list<RegId> srcs);
+
+    /** ALU op with no destination (e.g. setp-like side effects). */
+    KernelBuilder &opNoDst(Opcode o, std::initializer_list<RegId> srcs);
+
+    /** Load into dst from addr register. */
+    KernelBuilder &load(RegId dst, RegId addr,
+                        MemSpace space = MemSpace::Global,
+                        unsigned transactions = 1);
+
+    /** Store data register to addr register. */
+    KernelBuilder &store(RegId addr, RegId data,
+                         MemSpace space = MemSpace::Global,
+                         unsigned transactions = 1);
+
+    /** CTA-wide barrier. */
+    KernelBuilder &barrier();
+
+    /**
+     * Open a loop body. The matching endLoop() emits the backedge.
+     * @param tripBase guaranteed body executions
+     * @param tripSpread extra executions hashed in [0, spread)
+     * @param divergent true: per-lane trip counts (SIMT divergence)
+     */
+    KernelBuilder &beginLoop(unsigned tripBase, unsigned tripSpread = 0,
+                             bool divergent = false);
+    KernelBuilder &endLoop();
+
+    /**
+     * Open a divergent if-region executed by roughly @p fraction of the
+     * lanes; the rest jump to the matching endIf(). fraction == 1 with
+     * uniform=true makes a uniform (non-divergent) conditional with the
+     * given taken probability per warp.
+     */
+    KernelBuilder &beginIf(double fraction, bool uniform = false);
+    KernelBuilder &endIf();
+
+    /** Uniform forward branch skipping the region with probability p. */
+    KernelBuilder &beginIfUniform(double executeProb)
+    {
+        return beginIf(executeProb, true);
+    }
+
+    /** Finish: appends exit, validates, and returns the kernel. */
+    Kernel build();
+
+    /** Number of instructions emitted so far. */
+    Pc size() const { return Pc(code.size()); }
+
+  private:
+    struct Frame
+    {
+        enum Kind { Loop, If } kind;
+        Pc headerPc;       // loop: first body pc; if: the bra pc
+        unsigned tripBase, tripSpread;
+        bool divergent;
+    };
+
+    std::string name;
+    unsigned regsPerThread, threadsPerCta, numCtas;
+    std::uint64_t seed;
+    std::vector<Instruction> code;
+    std::vector<Frame> frames;
+    bool built = false;
+};
+
+} // namespace pilotrf::isa
+
+#endif // PILOTRF_ISA_KERNEL_BUILDER_HH

@@ -1,0 +1,367 @@
+#include "isa/kernel_text.hh"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/kernel_builder.hh"
+
+namespace pilotrf::isa
+{
+
+namespace
+{
+
+/** Tokenizer state over one kernel text. */
+struct Lexer
+{
+    std::vector<std::vector<std::string>> lines; // tokens per line
+    std::vector<unsigned> lineNumbers;
+
+    explicit Lexer(const std::string &text)
+    {
+        std::istringstream is(text);
+        std::string line;
+        unsigned num = 0;
+        while (std::getline(is, line)) {
+            ++num;
+            // Strip comments.
+            const auto hash = line.find('#');
+            if (hash != std::string::npos)
+                line.resize(hash);
+            const auto slashes = line.find("//");
+            if (slashes != std::string::npos)
+                line.resize(slashes);
+            std::vector<std::string> toks;
+            std::string tok;
+            for (char c : line) {
+                if (std::isspace(static_cast<unsigned char>(c)) ||
+                    c == ',') {
+                    if (!tok.empty()) {
+                        toks.push_back(tok);
+                        tok.clear();
+                    }
+                } else if (c == '{' || c == '}' || c == '[' || c == ']') {
+                    if (!tok.empty()) {
+                        toks.push_back(tok);
+                        tok.clear();
+                    }
+                    toks.push_back(std::string(1, c));
+                } else {
+                    tok += c;
+                }
+            }
+            if (!tok.empty())
+                toks.push_back(tok);
+            if (!toks.empty()) {
+                lines.push_back(std::move(toks));
+                lineNumbers.push_back(num);
+            }
+        }
+    }
+};
+
+[[noreturn]] void
+parseError(unsigned line, const std::string &msg)
+{
+    fatal("kernel text line %u: %s", line, msg.c_str());
+}
+
+unsigned
+parseUint(const std::string &tok, unsigned line, const char *what)
+{
+    try {
+        std::size_t pos = 0;
+        const unsigned long v = std::stoul(tok, &pos);
+        if (pos != tok.size())
+            throw std::invalid_argument(tok);
+        return unsigned(v);
+    } catch (...) {
+        parseError(line, std::string("expected ") + what + ", got '" +
+                             tok + "'");
+    }
+}
+
+double
+parseFraction(const std::string &tok, unsigned line)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(tok, &pos);
+        if (pos != tok.size() || v < 0.0 || v > 1.0)
+            throw std::invalid_argument(tok);
+        return v;
+    } catch (...) {
+        parseError(line, "expected fraction in [0,1], got '" + tok + "'");
+    }
+}
+
+RegId
+parseReg(const std::string &tok, unsigned line)
+{
+    if (tok.size() < 2 || tok[0] != 'r')
+        parseError(line, "expected register (rN), got '" + tok + "'");
+    const unsigned v = parseUint(tok.substr(1), line, "register number");
+    if (v >= maxRegsPerThread)
+        parseError(line, "register out of range: " + tok);
+    return RegId(v);
+}
+
+/** key=value attribute. */
+std::pair<std::string, std::string>
+parseAttr(const std::string &tok, unsigned line)
+{
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+        parseError(line, "expected key=value, got '" + tok + "'");
+    return {tok.substr(0, eq), tok.substr(eq + 1)};
+}
+
+const std::map<std::string, Opcode> &
+aluOpcodes()
+{
+    static const std::map<std::string, Opcode> ops = {
+        {"nop", Opcode::Nop},   {"mov", Opcode::Mov},
+        {"iadd", Opcode::IAdd}, {"imul", Opcode::IMul},
+        {"fadd", Opcode::FAdd}, {"fmul", Opcode::FMul},
+        {"ffma", Opcode::FFma}, {"mad", Opcode::Mad},
+        {"setp", Opcode::SetP}, {"shfl", Opcode::Shfl},
+        {"rsq", Opcode::Rsq},   {"sin", Opcode::Sin},
+        {"rcp", Opcode::Rcp},
+    };
+    return ops;
+}
+
+/** Split "ld.global.t8" into {"ld", "global", "t8"}. */
+std::vector<std::string>
+splitDots(const std::string &tok)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : tok) {
+        if (c == '.') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+struct Parser
+{
+    Lexer lex;
+    std::size_t pos = 0;
+
+    explicit Parser(const std::string &text) : lex(text) {}
+
+    bool done() const { return pos >= lex.lines.size(); }
+    const std::vector<std::string> &toks() const { return lex.lines[pos]; }
+    unsigned line() const { return lex.lineNumbers[pos]; }
+
+    Kernel parse();
+    void parseBody(KernelBuilder &b);
+    void parseMem(KernelBuilder &b, const std::vector<std::string> &parts);
+};
+
+void
+Parser::parseMem(KernelBuilder &b, const std::vector<std::string> &parts)
+{
+    const auto &t = toks();
+    const bool isLoad = parts[0] == "ld";
+    MemSpace space = MemSpace::Global;
+    unsigned txn = 1;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        if (parts[i] == "global")
+            space = MemSpace::Global;
+        else if (parts[i] == "shared")
+            space = MemSpace::Shared;
+        else if (parts[i].size() > 1 && parts[i][0] == 't')
+            txn = parseUint(parts[i].substr(1), line(), "transactions");
+        else
+            parseError(line(), "bad memory qualifier '." + parts[i] + "'");
+    }
+    if (isLoad) {
+        // ld.* rd, [ raddr ]
+        if (t.size() != 5 || t[2] != "[" || t[4] != "]")
+            parseError(line(), "expected: ld.* rD, [rA]");
+        b.load(parseReg(t[1], line()), parseReg(t[3], line()), space, txn);
+    } else {
+        // st.* [ raddr ], rs
+        if (t.size() != 5 || t[1] != "[" || t[3] != "]")
+            parseError(line(), "expected: st.* [rA], rS");
+        b.store(parseReg(t[2], line()), parseReg(t[4], line()), space, txn);
+    }
+}
+
+void
+Parser::parseBody(KernelBuilder &b)
+{
+    while (!done()) {
+        const auto &t = toks();
+        const std::string &head = t[0];
+
+        if (head == "}") {
+            return; // caller closes the region
+        }
+        if (head == "loop") {
+            // loop <trips> [spread <n>] [divergent] {
+            if (t.size() < 3 || t.back() != "{")
+                parseError(line(), "expected: loop N [spread M] "
+                                   "[divergent] {");
+            const unsigned trips = parseUint(t[1], line(), "trip count");
+            unsigned spread = 0;
+            bool divergent = false;
+            for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+                if (t[i] == "spread")
+                    spread = parseUint(t[++i], line(), "spread");
+                else if (t[i] == "divergent")
+                    divergent = true;
+                else
+                    parseError(line(), "bad loop modifier '" + t[i] + "'");
+            }
+            b.beginLoop(trips, spread, divergent);
+            ++pos;
+            parseBody(b);
+            if (done() || toks()[0] != "}")
+                parseError(done() ? lex.lineNumbers.back() : line(),
+                           "unclosed loop");
+            b.endLoop();
+            ++pos;
+            continue;
+        }
+        if (head == "if") {
+            // if <fraction> [uniform] {
+            if (t.size() < 3 || t.back() != "{")
+                parseError(line(), "expected: if F [uniform] {");
+            const double frac = parseFraction(t[1], line());
+            const bool uniform = t.size() > 3 && t[2] == "uniform";
+            b.beginIf(frac, uniform);
+            ++pos;
+            parseBody(b);
+            if (done() || toks()[0] != "}")
+                parseError(done() ? lex.lineNumbers.back() : line(),
+                           "unclosed if");
+            b.endIf();
+            ++pos;
+            continue;
+        }
+        if (head == "bar" || head == "bar.sync") {
+            b.barrier();
+            ++pos;
+            continue;
+        }
+        const auto parts = splitDots(head);
+        if (parts[0] == "ld" || parts[0] == "st") {
+            parseMem(b, parts);
+            ++pos;
+            continue;
+        }
+        const auto it = aluOpcodes().find(head);
+        if (it == aluOpcodes().end())
+            parseError(line(), "unknown instruction '" + head + "'");
+        if (t.size() < 2)
+            parseError(line(), "instruction needs a destination");
+        const RegId dst = parseReg(t[1], line());
+        std::vector<RegId> srcs;
+        for (std::size_t i = 2; i < t.size(); ++i)
+            srcs.push_back(parseReg(t[i], line()));
+        if (srcs.size() > 3)
+            parseError(line(), "too many source operands");
+        switch (srcs.size()) {
+          case 0: b.op(it->second, dst, {}); break;
+          case 1: b.op(it->second, dst, {srcs[0]}); break;
+          case 2: b.op(it->second, dst, {srcs[0], srcs[1]}); break;
+          default:
+            b.op(it->second, dst, {srcs[0], srcs[1], srcs[2]});
+            break;
+        }
+        ++pos;
+    }
+}
+
+Kernel
+Parser::parse()
+{
+    if (done())
+        fatal("kernel text: empty input");
+    const auto &t = toks();
+    if (t[0] != ".kernel" || t.size() < 2)
+        parseError(line(), "expected: .kernel <name> key=value...");
+    const std::string name = t[1];
+    unsigned regs = 0, threads = 0, ctas = 0;
+    std::uint64_t seed = 0;
+    for (std::size_t i = 2; i < t.size(); ++i) {
+        const auto [k, v] = parseAttr(t[i], line());
+        if (k == "regs")
+            regs = parseUint(v, line(), "regs");
+        else if (k == "threads")
+            threads = parseUint(v, line(), "threads");
+        else if (k == "ctas")
+            ctas = parseUint(v, line(), "ctas");
+        else if (k == "seed")
+            seed = parseUint(v, line(), "seed");
+        else
+            parseError(line(), "unknown attribute '" + k + "'");
+    }
+    if (!regs || !threads || !ctas)
+        parseError(line(), ".kernel needs regs=, threads= and ctas=");
+    ++pos;
+    KernelBuilder b(name, regs, threads, ctas, seed);
+    parseBody(b);
+    if (!done())
+        parseError(line(), "unexpected '}' outside any region");
+    return b.build();
+}
+
+} // namespace
+
+Kernel
+parseKernel(const std::string &text)
+{
+    Parser p(text);
+    return p.parse();
+}
+
+std::string
+disassemble(const Kernel &kernel)
+{
+    std::ostringstream os;
+    os << ".kernel " << kernel.name() << " regs=" << kernel.regsPerThread()
+       << " threads=" << kernel.threadsPerCta()
+       << " ctas=" << kernel.numCtas() << " seed=" << kernel.seed() << "\n";
+    for (Pc pc = 0; pc < kernel.length(); ++pc) {
+        const auto &in = kernel.at(pc);
+        os << "  " << pc << ": " << in.toString();
+        if (in.isBranch()) {
+            switch (in.branch) {
+              case BranchKind::Uniform:
+                os << " uniform p=" << in.takenFrac;
+                break;
+              case BranchKind::Divergent:
+                os << " divergent p=" << in.takenFrac;
+                break;
+              case BranchKind::LoopUniform:
+                os << " loop trips=" << in.tripBase << "+"
+                   << in.tripSpread;
+                break;
+              case BranchKind::LoopDivergent:
+                os << " loop trips=" << in.tripBase << "+"
+                   << in.tripSpread << " divergent";
+                break;
+              default:
+                break;
+            }
+        }
+        if (in.isMem())
+            os << " txn=" << unsigned(in.transactions);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pilotrf::isa

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Textual kernel format: a structured, PTX-flavoured assembly that maps
+ * onto the KernelBuilder, plus a flat disassembler. Lets workloads live
+ * in files and makes kernels inspectable:
+ *
+ *   .kernel backprop_k1 regs=13 threads=256 ctas=480 seed=7
+ *       iadd r1, r2
+ *       ld.global.t1 r6, [r1]
+ *       loop 9 {
+ *           ffma r0, r8, r9, r0
+ *       }
+ *       if 0.4 {
+ *           fmul r8, r0, r9
+ *       }
+ *       bar
+ *       st.global.t1 [r2], r0
+ *
+ * Loop syntax: `loop <trips> [spread <n>] [divergent] { ... }`.
+ * If syntax: `if <fraction> [uniform] { ... }`.
+ */
+
+#ifndef PILOTRF_ISA_KERNEL_TEXT_HH
+#define PILOTRF_ISA_KERNEL_TEXT_HH
+
+#include <string>
+
+#include "isa/kernel.hh"
+
+namespace pilotrf::isa
+{
+
+/** Parse one kernel from the structured text format. Calls fatal() with
+ *  a line-numbered message on malformed input. */
+Kernel parseKernel(const std::string &text);
+
+/** Flat disassembly of a kernel (one instruction per line with PCs,
+ *  branch targets and reconvergence points). */
+std::string disassemble(const Kernel &kernel);
+
+} // namespace pilotrf::isa
+
+#endif // PILOTRF_ISA_KERNEL_TEXT_HH

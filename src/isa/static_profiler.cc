@@ -1,0 +1,45 @@
+#include "isa/static_profiler.hh"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pilotrf::isa
+{
+
+StaticProfile::StaticProfile(const Kernel &kernel)
+    : occurrences(kernel.regsPerThread(), 0)
+{
+    for (const auto &in : kernel.code()) {
+        for (unsigned i = 0; i < in.numDsts; ++i)
+            ++occurrences[in.dsts[i]];
+        for (unsigned i = 0; i < in.numSrcs; ++i)
+            ++occurrences[in.srcs[i]];
+    }
+}
+
+unsigned
+StaticProfile::count(RegId r) const
+{
+    return r < occurrences.size() ? occurrences[r] : 0;
+}
+
+std::vector<RegId>
+StaticProfile::topRegisters(unsigned n) const
+{
+    return rankRegisters(occurrences, n);
+}
+
+std::vector<RegId>
+rankRegisters(const std::vector<unsigned> &counts, unsigned n)
+{
+    std::vector<RegId> regs(counts.size());
+    std::iota(regs.begin(), regs.end(), RegId(0));
+    std::stable_sort(regs.begin(), regs.end(), [&](RegId a, RegId b) {
+        return counts[a] > counts[b];
+    });
+    if (regs.size() > n)
+        regs.resize(n);
+    return regs;
+}
+
+} // namespace pilotrf::isa

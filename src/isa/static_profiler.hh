@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Compiler-based register profiling (Sec. III-A.1): counts the static
+ * occurrences of each architected register in the kernel binary. Being a
+ * static analysis it cannot see loop trip counts or branch behaviour —
+ * exactly the limitation the pilot-warp profiling repairs.
+ */
+
+#ifndef PILOTRF_ISA_STATIC_PROFILER_HH
+#define PILOTRF_ISA_STATIC_PROFILER_HH
+
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace pilotrf::isa
+{
+
+/**
+ * Static (binary) register-occurrence profile of one kernel.
+ */
+class StaticProfile
+{
+  public:
+    explicit StaticProfile(const Kernel &kernel);
+
+    /** Occurrences of register r in the kernel text. */
+    unsigned count(RegId r) const;
+
+    /** The n most frequent registers, most frequent first; ties broken by
+     *  lower register id (deterministic). */
+    std::vector<RegId> topRegisters(unsigned n) const;
+
+    /** All per-register counts, indexed by register id. */
+    const std::vector<unsigned> &counts() const { return occurrences; }
+
+  private:
+    std::vector<unsigned> occurrences;
+};
+
+/** Rank registers by a count vector, descending, ties to lower id. */
+std::vector<RegId> rankRegisters(const std::vector<unsigned> &counts,
+                                 unsigned n);
+
+} // namespace pilotrf::isa
+
+#endif // PILOTRF_ISA_STATIC_PROFILER_HH

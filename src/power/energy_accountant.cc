@@ -1,0 +1,96 @@
+#include "power/energy_accountant.hh"
+
+#include "common/logging.hh"
+#include "rfmodel/swap_table_rtl.hh"
+
+namespace pilotrf::power
+{
+
+using rfmodel::RfMode;
+
+EnergyAccountant::EnergyAccountant(double clockHz_) : clockHz(clockHz_)
+{
+    panicIf(clockHz <= 0.0, "non-positive clock frequency");
+}
+
+double
+EnergyAccountant::leakagePowerMw(const sim::SimConfig &cfg) const
+{
+    switch (cfg.rfKind) {
+      case sim::RfKind::MrfStv:
+        return _specs.spec(RfMode::MrfStv).leakagePowerMw;
+      case sim::RfKind::MrfNtv:
+      case sim::RfKind::Rfc: // RFC backs onto the (usually NTV) MRF
+        return cfg.rfc.mrfMode == RfMode::MrfStv &&
+                       cfg.rfKind == sim::RfKind::Rfc
+                   ? _specs.spec(RfMode::MrfStv).leakagePowerMw
+                   : _specs.spec(RfMode::MrfNtv).leakagePowerMw;
+      case sim::RfKind::Partitioned:
+        return _specs.spec(RfMode::FrfHigh).leakagePowerMw +
+               _specs.spec(RfMode::Srf).leakagePowerMw;
+      case sim::RfKind::Drowsy:
+        // Nominal (all awake); account() applies the awake fraction.
+        return _specs.spec(RfMode::MrfStv).leakagePowerMw;
+    }
+    panic("unknown RfKind");
+}
+
+EnergyReport
+EnergyAccountant::account(const sim::SimConfig &cfg, const StatSet &rf,
+                          std::uint64_t cycles) const
+{
+    EnergyReport rep;
+
+    auto count = [&](RfMode m) {
+        return rf.get(std::string("access.") + rfmodel::toString(m));
+    };
+
+    rep.frfPj = count(RfMode::FrfHigh) *
+                    _specs.spec(RfMode::FrfHigh).accessEnergyPj +
+                count(RfMode::FrfLow) *
+                    _specs.spec(RfMode::FrfLow).accessEnergyPj;
+    rep.srfPj = count(RfMode::Srf) * _specs.spec(RfMode::Srf).accessEnergyPj;
+    rep.mrfPj = count(RfMode::MrfStv) *
+                    _specs.spec(RfMode::MrfStv).accessEnergyPj +
+                count(RfMode::MrfNtv) *
+                    _specs.spec(RfMode::MrfNtv).accessEnergyPj;
+
+    if (cfg.rfKind == sim::RfKind::Rfc) {
+        rfmodel::RfcConfig rc;
+        rc.regsPerWarp = cfg.rfc.regsPerWarp;
+        rc.activeWarps = cfg.policy == sim::SchedulerPolicy::TwoLevel
+                             ? cfg.tlActiveWarps
+                             : cfg.warpsPerSm;
+        rc.readPorts = cfg.rfc.readPorts;
+        rc.writePorts = cfg.rfc.writePorts;
+        rc.banks = cfg.rfc.rfcBanks;
+        rfmodel::RfcModel model(rc);
+        const double dataAccesses = rf.get("rfc.readHit") +
+                                    rf.get("rfc.write") +
+                                    rf.get("rfc.fill");
+        rep.rfcPj = dataAccesses * model.accessEnergyPj() +
+                    rf.get("rfc.tag") * model.tagEnergyPj();
+    }
+
+    rfmodel::SwapTableRtl swapRtl(cfg.prf.frfRegs);
+    rep.overheadPj = rf.get("swap.lookup") * swapRtl.lookupEnergyPj();
+
+    rep.dynamicPj =
+        rep.frfPj + rep.srfPj + rep.mrfPj + rep.rfcPj + rep.overheadPj;
+
+    rep.leakagePowerMw = leakagePowerMw(cfg);
+    if (cfg.rfKind == sim::RfKind::Drowsy &&
+        rf.has("drowsy.liveWarpCycles") &&
+        rf.get("drowsy.liveWarpCycles") > 0) {
+        const double awake = rf.get("drowsy.awakeWarpCycles") /
+                             rf.get("drowsy.liveWarpCycles");
+        rep.leakagePowerMw *=
+            awake + cfg.drowsy.drowsyLeakFactor * (1.0 - awake);
+    }
+    rep.runSeconds = double(cycles) / clockHz;
+    // mW * s = mJ; express in uJ.
+    rep.leakageUj = rep.leakagePowerMw * rep.runSeconds * 1e3;
+    return rep;
+}
+
+} // namespace pilotrf::power

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Converts the RF backends' access counters into energy, GPUWattch-style:
+ * dynamic energy is counts x per-access energy from the FinCACTI-like
+ * models; leakage energy is organization leakage power x runtime.
+ */
+
+#ifndef PILOTRF_POWER_ENERGY_ACCOUNTANT_HH
+#define PILOTRF_POWER_ENERGY_ACCOUNTANT_HH
+
+#include "common/stats.hh"
+#include "rfmodel/rf_specs.hh"
+#include "rfmodel/rfc_model.hh"
+#include "sim/sim_config.hh"
+
+namespace pilotrf::power
+{
+
+/** Energy breakdown of one run. */
+struct EnergyReport
+{
+    double dynamicPj = 0.0;     ///< total RF dynamic energy
+    double frfPj = 0.0;         ///< FRF share (high + low modes)
+    double srfPj = 0.0;         ///< SRF share
+    double mrfPj = 0.0;         ///< monolithic MRF share
+    double rfcPj = 0.0;         ///< RFC data + tag share
+    double overheadPj = 0.0;    ///< swapping-table lookups etc.
+    double leakagePowerMw = 0.0; ///< RF leakage power of the organization
+    double leakageUj = 0.0;     ///< leakage energy over the run
+    double runSeconds = 0.0;
+};
+
+class EnergyAccountant
+{
+  public:
+    /** @param clockHz SM core clock (paper: 900 MHz). */
+    explicit EnergyAccountant(double clockHz = 900e6);
+
+    /**
+     * Account a run executed under the given configuration.
+     *
+     * @param cfg the simulation configuration the stats came from
+     * @param rfStats merged RF backend stats (access.* / rfc.* / swap.*)
+     * @param cycles total run cycles
+     */
+    EnergyReport account(const sim::SimConfig &cfg, const StatSet &rfStats,
+                         std::uint64_t cycles) const;
+
+    /** Leakage power of the configured RF organization, mW (per SM). */
+    double leakagePowerMw(const sim::SimConfig &cfg) const;
+
+    const rfmodel::RfSpecs &specs() const { return _specs; }
+
+  private:
+    double clockHz;
+    rfmodel::RfSpecs _specs;
+};
+
+} // namespace pilotrf::power
+
+#endif // PILOTRF_POWER_ENERGY_ACCOUNTANT_HH

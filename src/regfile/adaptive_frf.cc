@@ -1,0 +1,38 @@
+#include "regfile/adaptive_frf.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::regfile
+{
+
+AdaptiveFrfController::AdaptiveFrfController(unsigned epochLength,
+                                             unsigned threshold)
+    : epochLen(epochLength), thresh(threshold)
+{
+    panicIf(epochLen == 0, "adaptive FRF with zero epoch length");
+}
+
+void
+AdaptiveFrfController::cycle(unsigned issued)
+{
+    // 9-bit hardware counter saturates at 511.
+    issuedInEpoch = std::min(511u, issuedInEpoch + issued);
+    if (++cycleInEpoch < epochLen)
+        return;
+    lowMode = issuedInEpoch < thresh;
+    ++nEpochs;
+    if (lowMode)
+        ++nLowEpochs;
+    cycleInEpoch = 0;
+    issuedInEpoch = 0;
+}
+
+void
+AdaptiveFrfController::reset()
+{
+    cycleInEpoch = 0;
+    issuedInEpoch = 0;
+    lowMode = false;
+}
+
+} // namespace pilotrf::regfile

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Epoch-based low-compute phase detector driving the FRF power mode
+ * (Sec. IV-C). A 9-bit counter tallies issued instructions per epoch; if
+ * the tally falls below the threshold the next epoch runs the FRF in the
+ * back-gate-disabled low-power mode (FRF_low, 2-cycle access).
+ */
+
+#ifndef PILOTRF_REGFILE_ADAPTIVE_FRF_HH
+#define PILOTRF_REGFILE_ADAPTIVE_FRF_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pilotrf::regfile
+{
+
+class AdaptiveFrfController
+{
+  public:
+    /**
+     * @param epochLength epoch size in cycles (paper: 50)
+     * @param threshold issued-instruction threshold (paper: 85 out of a
+     *        maximum of 400 issue slots per 50-cycle epoch, i.e. ~20%)
+     */
+    AdaptiveFrfController(unsigned epochLength = 50, unsigned threshold = 85);
+
+    /** Advance one cycle with the number of instructions issued. */
+    void cycle(unsigned issued);
+
+    /** Current FRF power mode (applies during the present epoch). */
+    bool lowPowerMode() const { return lowMode; }
+
+    std::uint64_t epochs() const { return nEpochs; }
+    std::uint64_t lowEpochs() const { return nLowEpochs; }
+
+    /** Reset phase state at kernel boundaries. */
+    void reset();
+
+    unsigned epochLength() const { return epochLen; }
+    unsigned threshold() const { return thresh; }
+
+  private:
+    unsigned epochLen;
+    unsigned thresh;
+    unsigned cycleInEpoch = 0;
+    unsigned issuedInEpoch = 0;
+    bool lowMode = false;
+    std::uint64_t nEpochs = 0;
+    std::uint64_t nLowEpochs = 0;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_ADAPTIVE_FRF_HH

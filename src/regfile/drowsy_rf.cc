@@ -1,0 +1,80 @@
+#include "regfile/drowsy_rf.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::regfile
+{
+
+DrowsyRf::DrowsyRf(unsigned numBanks, const DrowsyRfConfig &cfg_,
+                   unsigned warpsPerSm)
+    : RegisterFile(numBanks), cfg(cfg_)
+{
+    panicIf(cfg.drowsyLeakFactor < 0.0 || cfg.drowsyLeakFactor > 1.0,
+            "drowsy leak factor out of range");
+    lastAccess.assign(warpsPerSm, 0);
+    live.assign(warpsPerSm, false);
+}
+
+void
+DrowsyRf::kernelLaunch(const isa::Kernel &kernel)
+{
+    RegisterFile::kernelLaunch(kernel);
+    std::fill(live.begin(), live.end(), false);
+}
+
+bool
+DrowsyRf::isDrowsy(WarpId w) const
+{
+    return !live[w] || lastCycle - lastAccess[w] > cfg.drowsyAfter;
+}
+
+RfAccess
+DrowsyRf::access(WarpId w, RegId r, bool write)
+{
+    note(rfmodel::RfMode::MrfStv, write);
+    noteReg(r);
+    unsigned extra = 0;
+    if (isDrowsy(w)) {
+        extra = cfg.wakeLatency;
+        _stats.add("drowsy.wakeups", 1);
+    }
+    lastAccess[w] = lastCycle;
+    return {1 + extra, 1};
+}
+
+void
+DrowsyRf::cycleHook(Cycle now, unsigned issued)
+{
+    RegisterFile::cycleHook(now, issued);
+    for (WarpId w = 0; w < live.size(); ++w) {
+        if (!live[w])
+            continue;
+        ++liveWarpCycles;
+        if (!isDrowsy(w))
+            ++awakeWarpCycles;
+    }
+    _stats.set("drowsy.awakeWarpCycles", double(awakeWarpCycles));
+    _stats.set("drowsy.liveWarpCycles", double(liveWarpCycles));
+}
+
+void
+DrowsyRf::warpStarted(WarpId w, CtaId)
+{
+    live[w] = true;
+    lastAccess[w] = lastCycle;
+}
+
+void
+DrowsyRf::warpFinished(WarpId w)
+{
+    live[w] = false;
+}
+
+double
+DrowsyRf::awakeFraction() const
+{
+    return liveWarpCycles ? double(awakeWarpCycles) / double(liveWarpCycles)
+                          : 1.0;
+}
+
+} // namespace pilotrf::regfile

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Drowsy register file baseline, in the spirit of the Warped Register
+ * File (Abdel-Majeed & Annavaram, HPCA 2013) the paper cites as related
+ * work: the registers of warps that have been idle for a while are put
+ * into a drowsy (data-retentive low-voltage) state that leaks a fraction
+ * of the awake leakage; the first access to a drowsy warp's registers
+ * pays a wake-up cycle.
+ *
+ * This baseline saves leakage like the SRF does but, unlike the
+ * partitioned design, saves no dynamic access energy — the ablation
+ * bench quantifies exactly that difference.
+ */
+
+#ifndef PILOTRF_REGFILE_DROWSY_RF_HH
+#define PILOTRF_REGFILE_DROWSY_RF_HH
+
+#include <vector>
+
+#include "regfile/register_file.hh"
+
+namespace pilotrf::regfile
+{
+
+struct DrowsyRfConfig
+{
+    unsigned drowsyAfter = 100; ///< idle cycles before a warp drowses
+    unsigned wakeLatency = 1;   ///< extra cycles on a drowsy access
+    double drowsyLeakFactor = 0.30; ///< leakage vs awake cells
+};
+
+class DrowsyRf : public RegisterFile
+{
+  public:
+    DrowsyRf(unsigned numBanks, const DrowsyRfConfig &cfg,
+             unsigned warpsPerSm);
+
+    void kernelLaunch(const isa::Kernel &kernel) override;
+    RfAccess access(WarpId w, RegId r, bool write) override;
+    void cycleHook(Cycle now, unsigned issued) override;
+    void warpStarted(WarpId w, CtaId cta) override;
+    void warpFinished(WarpId w) override;
+
+    /** Fraction of warp-cycles spent awake so far (drives the leakage
+     *  accounting). */
+    double awakeFraction() const;
+
+    bool isDrowsy(WarpId w) const;
+
+    const DrowsyRfConfig &config() const { return cfg; }
+
+  private:
+    DrowsyRfConfig cfg;
+    std::vector<Cycle> lastAccess; ///< per warp slot
+    std::vector<bool> live;
+    std::uint64_t awakeWarpCycles = 0;
+    std::uint64_t liveWarpCycles = 0;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_DROWSY_RF_HH

@@ -1,0 +1,34 @@
+#include "regfile/monolithic_rf.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::regfile
+{
+
+MonolithicRf::MonolithicRf(unsigned numBanks, rfmodel::RfMode mode_,
+                           unsigned latencyOverride)
+    : RegisterFile(numBanks), mode(mode_)
+{
+    panicIf(mode != rfmodel::RfMode::MrfStv && mode != rfmodel::RfMode::MrfNtv,
+            "MonolithicRf mode must be MrfStv or MrfNtv");
+    if (latencyOverride) {
+        lat = latencyOverride;
+    } else {
+        static const rfmodel::RfSpecs specs;
+        lat = specs.spec(mode).accessCycles;
+    }
+}
+
+RfAccess
+MonolithicRf::access(WarpId w, RegId r, bool write)
+{
+    (void)w;
+    note(mode, write);
+    noteReg(r);
+    // Banks are pipelined (one request per cycle) at both operating
+    // points, as in GPGPU-Sim's operand-collector model; NTV only
+    // lengthens the read latency.
+    return {lat, 1};
+}
+
+} // namespace pilotrf::regfile

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Baseline monolithic register files: the power-aggressive MRF at STV
+ * (1-cycle access) and the naive all-NTV MRF (3-cycle access, the design
+ * that loses 7.1% performance in Sec. V-C).
+ */
+
+#ifndef PILOTRF_REGFILE_MONOLITHIC_RF_HH
+#define PILOTRF_REGFILE_MONOLITHIC_RF_HH
+
+#include "regfile/register_file.hh"
+
+namespace pilotrf::regfile
+{
+
+class MonolithicRf : public RegisterFile
+{
+  public:
+    /**
+     * @param numBanks register banks
+     * @param mode MrfStv or MrfNtv
+     * @param latencyOverride 0: use the array model's cycle count;
+     *        otherwise force this access latency (sensitivity studies)
+     */
+    MonolithicRf(unsigned numBanks, rfmodel::RfMode mode,
+                 unsigned latencyOverride = 0);
+
+    RfAccess access(WarpId w, RegId r, bool write) override;
+
+    unsigned latency() const { return lat; }
+
+  private:
+    rfmodel::RfMode mode;
+    unsigned lat;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_MONOLITHIC_RF_HH

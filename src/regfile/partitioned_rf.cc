@@ -1,0 +1,133 @@
+#include "regfile/partitioned_rf.hh"
+
+#include "common/logging.hh"
+#include "isa/static_profiler.hh"
+
+namespace pilotrf::regfile
+{
+
+const char *
+toString(Profiling p)
+{
+    switch (p) {
+      case Profiling::Static: return "static";
+      case Profiling::Compiler: return "compiler";
+      case Profiling::Pilot: return "pilot";
+      case Profiling::Hybrid: return "hybrid";
+      case Profiling::Oracle: return "oracle";
+    }
+    return "?";
+}
+
+PartitionedRf::PartitionedRf(unsigned numBanks,
+                             const PartitionedRfConfig &cfg_)
+    : RegisterFile(numBanks), cfg(cfg_), table(cfg_.frfRegs),
+      frfController(cfg_.epochLength, cfg_.issueThreshold)
+{
+    panicIf(cfg.frfRegs == 0, "partitioned RF with empty FRF");
+}
+
+void
+PartitionedRf::kernelLaunch(const isa::Kernel &kernel)
+{
+    table.reset();
+    frfController.reset();
+    pilotHot.clear();
+    liveWarps = 0;
+
+    const bool usesPilot = cfg.profiling == Profiling::Pilot ||
+                           cfg.profiling == Profiling::Hybrid;
+    if (usesPilot)
+        pilot.kernelLaunch();
+
+    switch (cfg.profiling) {
+      case Profiling::Static:
+      case Profiling::Pilot:
+        break; // identity mapping until (if ever) the pilot reprograms it
+      case Profiling::Compiler:
+      case Profiling::Hybrid: {
+        isa::StaticProfile prof(kernel);
+        table.program(prof.topRegisters(cfg.frfRegs));
+        break;
+      }
+      case Profiling::Oracle:
+        table.program(oracleHot);
+        break;
+    }
+}
+
+void
+PartitionedRf::setOracleRegisters(const std::vector<RegId> &hot)
+{
+    oracleHot = hot;
+}
+
+unsigned
+PartitionedRf::bank(WarpId w, RegId r) const
+{
+    return (w + table.lookup(r)) % banks;
+}
+
+RfAccess
+PartitionedRf::access(WarpId w, RegId r, bool write)
+{
+    pilot.noteAccess(w, r);
+    noteReg(r);
+    _stats.add("swap.lookup", 1);
+
+    const unsigned extra = cfg.swapTableExtraCycle ? 1 : 0;
+    const RegId phys = table.lookup(r);
+    if (phys < cfg.frfRegs) {
+        // The FRF runs at STV and stays pipelined in both power modes.
+        const bool low = cfg.adaptiveFrf && frfController.lowPowerMode();
+        note(low ? rfmodel::RfMode::FrfLow : rfmodel::RfMode::FrfHigh,
+             write);
+        return {(low ? cfg.frfLowLatency : cfg.frfHighLatency) + extra, 1};
+    }
+    note(rfmodel::RfMode::Srf, write);
+    return {cfg.srfLatency + extra, 1};
+}
+
+void
+PartitionedRf::cycleHook(Cycle now, unsigned issued)
+{
+    RegisterFile::cycleHook(now, issued);
+    if (cfg.adaptiveFrf)
+        frfController.cycle(issued);
+}
+
+void
+PartitionedRf::warpStarted(WarpId w, CtaId cta)
+{
+    (void)cta;
+    ++liveWarps;
+    pilot.warpStarted(w);
+}
+
+void
+PartitionedRf::warpFinished(WarpId w)
+{
+    if (liveWarps)
+        --liveWarps;
+    if (!pilot.warpFinished(w))
+        return;
+
+    // The pilot retired: reprogram the table from the dynamic counters
+    // (Fig. 6c: reset to the original mapping, then apply the new one).
+    pilotHot = pilot.topRegisters(cfg.frfRegs);
+    table.program(pilotHot);
+    _stats.set("pilot.finishCycle", double(lastCycle));
+
+    if (cfg.countRemapTraffic) {
+        // Physically relocating the swapped registers costs one read and
+        // one write per moved register per live warp; count them as one
+        // FRF and one SRF access each way.
+        const unsigned movedPairs = table.validEntries() / 2;
+        const double moves = double(movedPairs) * (liveWarps + 1);
+        _stats.add("access.FRF_high", 2 * moves);
+        _stats.add("access.SRF", 2 * moves);
+        _stats.add("swap.remapMoves", 2 * moves);
+    }
+}
+
+} // namespace pilotrf::regfile

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The proposed partitioned register file: a small fast partition (FRF) at
+ * STV with adaptive back-gate power modes and a large slow partition (SRF)
+ * permanently at NTV, fronted by the swapping table and fed by the
+ * compiler / pilot-warp / hybrid profiling machinery (Secs. III and IV).
+ */
+
+#ifndef PILOTRF_REGFILE_PARTITIONED_RF_HH
+#define PILOTRF_REGFILE_PARTITIONED_RF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "regfile/adaptive_frf.hh"
+#include "regfile/pilot_profiler.hh"
+#include "regfile/register_file.hh"
+#include "regfile/swap_table.hh"
+
+namespace pilotrf::regfile
+{
+
+/** Which mechanism chooses the FRF residents. */
+enum class Profiling
+{
+    Static,   ///< first n architected registers (the strawman of Sec. III)
+    Compiler, ///< static binary occurrence counts only
+    Pilot,    ///< pilot-warp dynamic counts only
+    Hybrid,   ///< compiler until the pilot retires, then pilot (proposed)
+    Oracle,   ///< externally supplied hot set (post-hoc optimal)
+};
+
+const char *toString(Profiling p);
+
+struct PartitionedRfConfig
+{
+    unsigned frfRegs = 4;       ///< FRF register slots per warp (n)
+    Profiling profiling = Profiling::Hybrid;
+    bool adaptiveFrf = true;    ///< enable FRF_low epochs
+    unsigned epochLength = 50;
+    unsigned issueThreshold = 85;
+    unsigned frfHighLatency = 1;
+    unsigned frfLowLatency = 2;
+    unsigned srfLatency = 3;    ///< 4/5 for the Sec. V-C sensitivity study
+    bool countRemapTraffic = true; ///< account the one-off swap movement
+    /** Conservatively charge the swapping-table lookup as an extra
+     *  pipeline cycle on every access (Sec. III-B shows the lookup fits
+     *  in the register access time; this models the fallback). */
+    bool swapTableExtraCycle = false;
+};
+
+class PartitionedRf : public RegisterFile
+{
+  public:
+    PartitionedRf(unsigned numBanks, const PartitionedRfConfig &cfg);
+
+    void kernelLaunch(const isa::Kernel &kernel) override;
+    unsigned bank(WarpId w, RegId r) const override;
+    RfAccess access(WarpId w, RegId r, bool write) override;
+    void cycleHook(Cycle now, unsigned issued) override;
+    void warpStarted(WarpId w, CtaId cta) override;
+    void warpFinished(WarpId w) override;
+
+    /** Supply the oracle hot set (Profiling::Oracle only). */
+    void setOracleRegisters(const std::vector<RegId> &hot);
+
+    const SwapTable &swapTable() const { return table; }
+    const PilotProfiler &pilotProfiler() const { return pilot; }
+    const AdaptiveFrfController &adaptive() const { return frfController; }
+    const PartitionedRfConfig &config() const { return cfg; }
+
+    /** Registers the pilot identified as hot (empty until it retires). */
+    const std::vector<RegId> &pilotHotRegisters() const { return pilotHot; }
+
+  private:
+    void finalizeStats();
+
+    PartitionedRfConfig cfg;
+    SwapTable table;
+    PilotProfiler pilot;
+    AdaptiveFrfController frfController;
+    std::vector<RegId> oracleHot;
+    std::vector<RegId> pilotHot;
+    unsigned liveWarps = 0;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_PARTITIONED_RF_HH

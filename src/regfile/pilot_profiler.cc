@@ -1,0 +1,60 @@
+#include "regfile/pilot_profiler.hh"
+
+#include "isa/static_profiler.hh"
+
+namespace pilotrf::regfile
+{
+
+PilotProfiler::PilotProfiler()
+{
+    counts.fill(0);
+}
+
+void
+PilotProfiler::kernelLaunch()
+{
+    counts.fill(0);
+    maskBit = true;
+    pilotValid = false;
+}
+
+void
+PilotProfiler::warpStarted(WarpId w)
+{
+    if (maskBit && !pilotValid) {
+        pilot = w;
+        pilotValid = true;
+    }
+}
+
+void
+PilotProfiler::noteAccess(WarpId w, RegId r)
+{
+    if (!maskBit || !pilotValid || w != pilot)
+        return;
+    if (r < counts.size() && counts[r] != 0xffff)
+        ++counts[r];
+}
+
+bool
+PilotProfiler::warpFinished(WarpId w)
+{
+    if (!maskBit || !pilotValid || w != pilot)
+        return false;
+    maskBit = false;
+    return true;
+}
+
+std::vector<RegId>
+PilotProfiler::topRegisters(unsigned n) const
+{
+    std::vector<unsigned> v(counts.begin(), counts.end());
+    auto ranked = isa::rankRegisters(v, n);
+    // Drop registers that were never accessed: they are not "highly
+    // accessed" no matter their rank.
+    while (!ranked.empty() && counts[ranked.back()] == 0)
+        ranked.pop_back();
+    return ranked;
+}
+
+} // namespace pilotrf::regfile

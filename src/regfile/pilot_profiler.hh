@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pilot-warp profiling hardware model (Sec. III-A.2 / III-B).
+ *
+ * Per SM: 63 two-byte saturating access counters, a one-byte
+ * pilot-warp-id register and a profile mask bit. The pilot warp is the
+ * first warp that starts running after a kernel launch; while the mask bit
+ * is set every register access of the pilot increments the corresponding
+ * counter. When the pilot retires the counters are sorted to produce the
+ * highly-accessed register list.
+ */
+
+#ifndef PILOTRF_REGFILE_PILOT_PROFILER_HH
+#define PILOTRF_REGFILE_PILOT_PROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pilotrf::regfile
+{
+
+class PilotProfiler
+{
+  public:
+    PilotProfiler();
+
+    /** New kernel on this SM: set the mask bit, clear counters, forget
+     *  the pilot selection. */
+    void kernelLaunch();
+
+    /** A warp began execution; the first one becomes the pilot. */
+    void warpStarted(WarpId w);
+
+    /** Register access notification from the RF access path: counts only
+     *  while the mask bit is set and the warp is the pilot. */
+    void noteAccess(WarpId w, RegId r);
+
+    /**
+     * A warp retired. Returns true when it was the pilot finishing its
+     * profiling run (the caller should then read topRegisters() and
+     * reprogram the swapping table).
+     */
+    bool warpFinished(WarpId w);
+
+    /** The n most accessed registers per the counters, descending; ties
+     *  to the lower register id. */
+    std::vector<RegId> topRegisters(unsigned n) const;
+
+    /** Raw counter values (hardware width: 16-bit saturating). */
+    const std::array<std::uint16_t, maxRegsPerThread> &counters() const
+    {
+        return counts;
+    }
+
+    bool profiling() const { return maskBit; }
+    bool pilotSelected() const { return havePilot(); }
+    WarpId pilotWarp() const { return pilot; }
+
+  private:
+    bool havePilot() const { return pilotValid; }
+
+    std::array<std::uint16_t, maxRegsPerThread> counts{};
+    bool maskBit = false;
+    bool pilotValid = false;
+    WarpId pilot = 0;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_PILOT_PROFILER_HH

@@ -1,0 +1,71 @@
+#include "regfile/register_file.hh"
+
+#include <string>
+
+namespace pilotrf::regfile
+{
+
+RegisterFile::RegisterFile(unsigned numBanks) : banks(numBanks)
+{
+    regCounts.assign(maxRegsPerThread, 0);
+}
+
+void
+RegisterFile::kernelLaunch(const isa::Kernel &kernel)
+{
+    (void)kernel;
+}
+
+bool
+RegisterFile::needsBank(WarpId, RegId, bool) const
+{
+    return true;
+}
+
+unsigned
+RegisterFile::bank(WarpId w, RegId r) const
+{
+    return (w + r) % banks;
+}
+
+void
+RegisterFile::cycleHook(Cycle now, unsigned)
+{
+    lastCycle = now;
+}
+
+void
+RegisterFile::warpStarted(WarpId, CtaId)
+{
+}
+
+void
+RegisterFile::warpFinished(WarpId)
+{
+}
+
+void
+RegisterFile::warpActivated(WarpId)
+{
+}
+
+void
+RegisterFile::warpDeactivated(WarpId)
+{
+}
+
+void
+RegisterFile::note(rfmodel::RfMode m, bool write)
+{
+    _stats.add(std::string("access.") + rfmodel::toString(m), 1);
+    _stats.add(write ? "access.writes" : "access.reads", 1);
+}
+
+void
+RegisterFile::noteReg(RegId r)
+{
+    if (r < regCounts.size())
+        ++regCounts[r];
+}
+
+} // namespace pilotrf::regfile

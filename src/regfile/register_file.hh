@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Abstract register-file backend interface consumed by the SM model.
+ *
+ * A backend answers three questions for every operand access: does it need
+ * a main-RF bank port, which bank, and — once granted — what latency does
+ * the access take. Backends internally count every access by physical
+ * structure and power mode; the power library converts those counts into
+ * energy using the FinCACTI-style models.
+ */
+
+#ifndef PILOTRF_REGFILE_REGISTER_FILE_HH
+#define PILOTRF_REGFILE_REGISTER_FILE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/kernel.hh"
+#include "rfmodel/rf_specs.hh"
+
+namespace pilotrf::regfile
+{
+
+/**
+ * Result of one register access.
+ *
+ * Banks accept one request per cycle (the arrays are pipelined, as in
+ * GPGPU-Sim's operand-collector model); `busy` lets a backend model a
+ * non-pipelined array by occupying its bank for several cycles.
+ */
+struct RfAccess
+{
+    unsigned latency; ///< cycles until data is available
+    unsigned busy;    ///< cycles the serving bank stays occupied
+};
+
+/**
+ * Per-SM register file backend. One instance per SM.
+ */
+class RegisterFile
+{
+  public:
+    explicit RegisterFile(unsigned numBanks);
+    virtual ~RegisterFile() = default;
+
+    /** A new kernel starts on this SM: reset profiling/mapping state. */
+    virtual void kernelLaunch(const isa::Kernel &kernel);
+
+    /** Does this access need a main-RF bank port? (RFC hits do not.) */
+    virtual bool needsBank(WarpId w, RegId r, bool write) const;
+
+    /** Physical bank serving the access (valid when needsBank()). */
+    virtual unsigned bank(WarpId w, RegId r) const;
+
+    /**
+     * Perform the access: record energy events and return the access
+     * latency and bank occupancy in cycles.
+     */
+    virtual RfAccess access(WarpId w, RegId r, bool write) = 0;
+
+    /** Called once per cycle with the number of instructions the SM
+     *  issued this cycle (drives the adaptive-FRF phase detector). */
+    virtual void cycleHook(Cycle now, unsigned issued);
+
+    /** Warp lifecycle notifications (pilot selection / retirement). */
+    virtual void warpStarted(WarpId w, CtaId cta);
+    virtual void warpFinished(WarpId w);
+
+    /** Two-level scheduler notifications (RFC active-pool management). */
+    virtual void warpActivated(WarpId w);
+    virtual void warpDeactivated(WarpId w);
+
+    /** Per-architected-register dynamic access counts (reads+writes). */
+    const std::vector<std::uint64_t> &regAccessCounts() const
+    {
+        return regCounts;
+    }
+
+    StatSet &stats() { return _stats; }
+    const StatSet &stats() const { return _stats; }
+
+    unsigned numBanks() const { return banks; }
+
+  protected:
+    /** Count one access in the given structure/power mode. */
+    void note(rfmodel::RfMode m, bool write);
+
+    /** Count the access against the architected register distribution. */
+    void noteReg(RegId r);
+
+    unsigned banks;
+    Cycle lastCycle = 0;
+    StatSet _stats;
+    std::vector<std::uint64_t> regCounts;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_REGISTER_FILE_HH

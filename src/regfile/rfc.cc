@@ -1,0 +1,155 @@
+#include "regfile/rfc.hh"
+
+#include <string>
+
+#include "common/logging.hh"
+
+namespace pilotrf::regfile
+{
+
+RfCacheRf::RfCacheRf(unsigned numBanks, const RfcRfConfig &cfg_,
+                     unsigned warpsPerSm)
+    : RegisterFile(numBanks), cfg(cfg_)
+{
+    panicIf(cfg.regsPerWarp == 0, "RFC with no entries per warp");
+    if (cfg.mrfLatency) {
+        mrfLat = cfg.mrfLatency;
+    } else {
+        static const rfmodel::RfSpecs specs;
+        mrfLat = specs.spec(cfg.mrfMode).accessCycles;
+    }
+    sets.assign(warpsPerSm, std::vector<Entry>(cfg.regsPerWarp));
+}
+
+void
+RfCacheRf::kernelLaunch(const isa::Kernel &kernel)
+{
+    RegisterFile::kernelLaunch(kernel);
+    for (auto &s : sets)
+        for (auto &e : s)
+            e = Entry{};
+}
+
+void
+RfCacheRf::noteInternalMrfWrite()
+{
+    _stats.add(std::string("access.") + rfmodel::toString(cfg.mrfMode), 1);
+}
+
+RfCacheRf::Entry *
+RfCacheRf::find(WarpId w, RegId r)
+{
+    for (auto &e : sets[w])
+        if (e.valid && e.reg == r)
+            return &e;
+    return nullptr;
+}
+
+const RfCacheRf::Entry *
+RfCacheRf::find(WarpId w, RegId r) const
+{
+    return const_cast<RfCacheRf *>(this)->find(w, r);
+}
+
+RfCacheRf::Entry &
+RfCacheRf::victim(WarpId w)
+{
+    Entry *best = &sets[w][0];
+    for (auto &e : sets[w]) {
+        if (!e.valid)
+            return e;
+        if (e.lastUse < best->lastUse)
+            best = &e;
+    }
+    return *best;
+}
+
+bool
+RfCacheRf::needsBank(WarpId w, RegId r, bool write) const
+{
+    if (write)
+        return false; // results always land in the RFC
+    return find(w, r) == nullptr;
+}
+
+RfAccess
+RfCacheRf::access(WarpId w, RegId r, bool write)
+{
+    noteReg(r);
+    _stats.add("rfc.tag", 1);
+
+    if (write) {
+        Entry *e = find(w, r);
+        if (!e) {
+            Entry &v = victim(w);
+            if (v.valid && v.dirty) {
+                // Write the victim back to the MRF. Internal traffic: it
+                // is energy-relevant but not an architected operand
+                // access, so only the mode counter advances.
+                noteInternalMrfWrite();
+                _stats.add("rfc.evictWb", 1);
+            }
+            v = Entry{r, true, false, 0};
+            e = &v;
+        }
+        e->dirty = true;
+        e->lastUse = ++useClock;
+        _stats.add("rfc.write", 1);
+        _stats.add("access.writes", 1);
+        return {cfg.rfcLatency, 1};
+    }
+
+    if (Entry *e = find(w, r)) {
+        e->lastUse = ++useClock;
+        _stats.add("rfc.readHit", 1);
+        _stats.add("access.reads", 1);
+        return {cfg.rfcLatency, 1};
+    }
+    // Read miss: fetch from the MRF; optionally fill the RFC.
+    _stats.add("rfc.readMiss", 1);
+    note(cfg.mrfMode, false);
+    if (cfg.allocOnReadMiss) {
+        Entry &v = victim(w);
+        if (v.valid && v.dirty) {
+            noteInternalMrfWrite();
+            _stats.add("rfc.evictWb", 1);
+        }
+        v = Entry{r, true, false, ++useClock};
+        _stats.add("rfc.fill", 1);
+    }
+    return {mrfLat, 1};
+}
+
+void
+RfCacheRf::flush(WarpId w)
+{
+    for (auto &e : sets[w]) {
+        if (e.valid && e.dirty) {
+            noteInternalMrfWrite();
+            _stats.add("rfc.flushWb", 1);
+        }
+        e = Entry{};
+    }
+}
+
+void
+RfCacheRf::warpDeactivated(WarpId w)
+{
+    flush(w);
+}
+
+void
+RfCacheRf::warpFinished(WarpId w)
+{
+    flush(w);
+}
+
+double
+RfCacheRf::readHitRate() const
+{
+    const double hits = _stats.get("rfc.readHit");
+    const double misses = _stats.get("rfc.readMiss");
+    return hits + misses > 0 ? hits / (hits + misses) : 0.0;
+}
+
+} // namespace pilotrf::regfile

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hierarchical register-file cache (RFC) baseline, after Gebhart et al.
+ * (ISCA 2011) — the comparison point of Sec. V-D.
+ *
+ * Each active warp owns a small fully-associative set of register entries.
+ * Instruction results allocate into the RFC (write-allocate, write-back);
+ * read hits avoid the MRF; read misses go straight to the MRF without
+ * allocating. When the two-level scheduler demotes a warp from the active
+ * pool its RFC entries are flushed (dirty ones written back to the MRF).
+ */
+
+#ifndef PILOTRF_REGFILE_RFC_HH
+#define PILOTRF_REGFILE_RFC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "regfile/register_file.hh"
+
+namespace pilotrf::regfile
+{
+
+struct RfcRfConfig
+{
+    unsigned regsPerWarp = 6;  ///< RFC entries per warp
+    rfmodel::RfMode mrfMode = rfmodel::RfMode::MrfNtv; ///< backing MRF
+    unsigned mrfLatency = 0;   ///< 0: from the array model
+    unsigned rfcLatency = 1;   ///< RFC hit latency
+    /** Porting/banking of the RFC structure (energy accounting). */
+    unsigned readPorts = 2;
+    unsigned writePorts = 1;
+    unsigned rfcBanks = 1;
+    /** Fill the RFC with operands fetched on read misses (the baseline
+     *  Gebhart design); the fill evicts LRU entries and thrashes the
+     *  small per-warp set on register-rich code. */
+    bool allocOnReadMiss = true;
+};
+
+class RfCacheRf : public RegisterFile
+{
+  public:
+    RfCacheRf(unsigned numBanks, const RfcRfConfig &cfg,
+              unsigned warpsPerSm);
+
+    void kernelLaunch(const isa::Kernel &kernel) override;
+    bool needsBank(WarpId w, RegId r, bool write) const override;
+    RfAccess access(WarpId w, RegId r, bool write) override;
+    void warpDeactivated(WarpId w) override;
+    void warpFinished(WarpId w) override;
+
+    /** Read hit rate so far (tag checks on reads that hit). */
+    double readHitRate() const;
+
+    const RfcRfConfig &config() const { return cfg; }
+
+  private:
+    struct Entry
+    {
+        RegId reg = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    void noteInternalMrfWrite();
+    Entry *find(WarpId w, RegId r);
+    const Entry *find(WarpId w, RegId r) const;
+    Entry &victim(WarpId w);
+    void flush(WarpId w);
+
+    RfcRfConfig cfg;
+    unsigned mrfLat;
+    std::vector<std::vector<Entry>> sets; // [warp][entry]
+    std::uint64_t useClock = 0;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_RFC_HH

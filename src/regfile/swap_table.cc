@@ -1,0 +1,77 @@
+#include "regfile/swap_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pilotrf::regfile
+{
+
+SwapTable::SwapTable(unsigned frfRegs) : frf(frfRegs)
+{
+    panicIf(frf == 0, "swap table with zero FRF registers");
+    table.resize(2 * frf);
+    reset();
+}
+
+void
+SwapTable::reset()
+{
+    for (auto &e : table)
+        e = Entry{};
+    ++nPrograms;
+}
+
+void
+SwapTable::program(const std::vector<RegId> &hotRegs)
+{
+    reset();
+
+    // Hot registers that already live in the FRF default range keep their
+    // slots; the remaining hot registers displace the coldest default
+    // residents, lowest slot first (Sec. III-B example).
+    std::vector<bool> slotTaken(frf, false);
+    std::vector<RegId> toPlace;
+    for (unsigned i = 0; i < hotRegs.size() && i < frf; ++i) {
+        const RegId h = hotRegs[i];
+        if (h < frf)
+            slotTaken[h] = true;
+        else
+            toPlace.push_back(h);
+    }
+
+    unsigned e = 0;
+    RegId slot = 0;
+    for (RegId h : toPlace) {
+        while (slot < frf && slotTaken[slot])
+            ++slot;
+        panicIf(slot >= frf, "swap table out of FRF slots");
+        // h now lives in FRF slot `slot`; the displaced register `slot`
+        // takes h's SRF home.
+        table[e++] = {true, h, slot};
+        table[e++] = {true, slot, h};
+        slotTaken[slot] = true;
+    }
+    ++nPrograms;
+}
+
+RegId
+SwapTable::lookup(RegId r) const
+{
+    ++nLookups;
+    for (const auto &e : table)
+        if (e.valid && e.archReg == r)
+            return e.mappedReg;
+    return r;
+}
+
+unsigned
+SwapTable::validEntries() const
+{
+    unsigned n = 0;
+    for (const auto &e : table)
+        n += e.valid;
+    return n;
+}
+
+} // namespace pilotrf::regfile

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The register swapping table (Sec. III-B).
+ *
+ * A 2n-entry mapping structure that swaps up to n highly-accessed
+ * architected registers into the FRF's n default slots. Both the CAM and
+ * the direct-indexed organization are provided; they are architecturally
+ * equivalent (the paper found their energy/delay differences negligible at
+ * this size).
+ */
+
+#ifndef PILOTRF_REGFILE_SWAP_TABLE_HH
+#define PILOTRF_REGFILE_SWAP_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pilotrf::regfile
+{
+
+/**
+ * Functional swapping table. Registers r < frfRegs live in the FRF by
+ * default; program() installs swap pairs so the given hot registers map
+ * into FRF slots while the displaced cold registers take their SRF homes.
+ */
+class SwapTable
+{
+  public:
+    /** @param frfRegs number of per-warp register slots in the FRF (n). */
+    explicit SwapTable(unsigned frfRegs);
+
+    /** Invalidate all entries: identity mapping (Fig. 6a). */
+    void reset();
+
+    /**
+     * Map the given hot registers into the FRF (Fig. 6b/6c). Hot registers
+     * already inside the FRF's default range keep their slots; the others
+     * are pairwise swapped with the coldest default FRF residents.
+     *
+     * @param hotRegs highly-accessed registers, most accessed first; at
+     *        most frfRegs entries are honoured.
+     */
+    void program(const std::vector<RegId> &hotRegs);
+
+    /** Physical register location of architected register r (CAM search
+     *  followed by identity fallback). */
+    RegId lookup(RegId r) const;
+
+    /** True if r currently resides in the FRF partition. */
+    bool inFrf(RegId r) const { return lookup(r) < frf; }
+
+    /** Number of valid entries (<= 2n). */
+    unsigned validEntries() const;
+
+    /** Lookups performed since construction (energy accounting). */
+    std::uint64_t lookups() const { return nLookups; }
+
+    /** Times program()/reset() rewrote the table. */
+    std::uint64_t reprograms() const { return nPrograms; }
+
+    unsigned frfRegs() const { return frf; }
+
+    /** Table entry: architected register -> current physical location. */
+    struct Entry
+    {
+        bool valid = false;
+        RegId archReg = 0;
+        RegId mappedReg = 0;
+    };
+
+    /** Raw entries, for tests and the walkthrough example (Fig. 7). */
+    const std::vector<Entry> &entries() const { return table; }
+
+  private:
+    unsigned frf;
+    std::vector<Entry> table; // 2n entries
+    mutable std::uint64_t nLookups = 0;
+    std::uint64_t nPrograms = 0;
+};
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_SWAP_TABLE_HH

@@ -1,0 +1,146 @@
+#include "rfmodel/array_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "circuit/finfet.hh"
+#include "circuit/inverter_chain.hh"
+#include "common/logging.hh"
+
+namespace pilotrf::rfmodel
+{
+
+namespace
+{
+
+// Calibration constants (fitted to Table IV; see DESIGN.md).
+constexpr double eFixedPjPerV2 = 32.663;  // periphery energy per 1024b word
+constexpr double eBitPjPerRowPerV2 = 0.4795; // bitline energy per row
+constexpr double ntvPenaltyAtNtv = 0.1409; // slow-edge penalty at 0.30 V
+constexpr double gateCapFraction = 0.6275; // switched cap that is gate cap
+constexpr double leakPerBitNw = 16.12;    // at 0.45 V, low-leakage cells
+constexpr double fastCellLeakFactor = 1.723; // FRF speed-optimized cells
+constexpr double arrayEfficiencyFactor = 3.28; // area vs raw cell area
+constexpr double portPitchGrowth = 0.348; // cell pitch growth per port
+constexpr double backGateAreaFactor = 1.56; // back-gate wiring + buffers
+constexpr double tPeriphNs = 0.079767;    // access time periphery part
+constexpr double tRowNs = 2.24e-5;        // access time per row
+constexpr double bitlineDelayFraction = 0.14; // share slowed in FRF_low
+
+double
+ntvPenalty(double vdd)
+{
+    using namespace circuit;
+    const double x = std::max(0.0, (vddStv - vdd) / (vddStv - vddNtv));
+    return 1.0 + ntvPenaltyAtNtv * x;
+}
+
+} // namespace
+
+ArrayModel::ArrayModel(const ArrayConfig &cfg_,
+                       const circuit::TechParams &tech_)
+    : cfg(cfg_), tech(tech_)
+{
+    panicIf(cfg.sizeBytes <= 0.0, "ArrayModel with non-positive size");
+    panicIf(cfg.banks == 0, "ArrayModel with zero banks");
+    panicIf(cfg.wordBits == 0, "ArrayModel with zero word width");
+    if (cfg.vdd < 0.2)
+        warn("ArrayModel at %g V is below the supported NTV range", cfg.vdd);
+}
+
+double
+ArrayModel::totalPorts() const
+{
+    // writePorts == 0 encodes the GPU register-bank style shared R/W port.
+    return std::max(1u, cfg.readPorts + cfg.writePorts);
+}
+
+double
+ArrayModel::portFactor()  const
+{
+    const double p = totalPorts();
+    const double g = 1.0 + portPitchGrowth * (p - 1.0);
+    return g * g;
+}
+
+double
+ArrayModel::rowsPerBank() const
+{
+    return cfg.sizeBytes * 8.0 / (cfg.banks * cfg.wordBits);
+}
+
+double
+ArrayModel::accessEnergyPj(bool lowPowerMode) const
+{
+    panicIf(lowPowerMode && !cfg.backGated,
+            "low-power access on an array without back-gate wiring");
+    const double widthScale = cfg.wordBits / 1024.0;
+    const double v2 = cfg.vdd * cfg.vdd; // constants are in pJ per volt^2
+    double e = (eFixedPjPerV2 * widthScale +
+                eBitPjPerRowPerV2 * widthScale * rowsPerBank() *
+                    portFactor()) *
+               v2 * ntvPenalty(cfg.vdd);
+    if (lowPowerMode) {
+        // Back gate disabled: the gate-capacitance share of the switched
+        // capacitance halves (Sec. IV-C).
+        e *= 1.0 - gateCapFraction / 2.0;
+    }
+    return e;
+}
+
+double
+ArrayModel::leakagePowerMw() const
+{
+    using circuit::BackGate;
+    circuit::FinFet dev(tech);
+    const double refLeak =
+        dev.leakage(circuit::vddStv, BackGate::Enabled) * circuit::vddStv;
+    const double vLeak = dev.leakage(cfg.vdd, BackGate::Enabled) * cfg.vdd;
+    const double bits = cfg.sizeBytes * 8.0;
+    const double flavorFactor =
+        cfg.flavor == CellFlavor::Fast ? fastCellLeakFactor : 1.0;
+    return bits * leakPerBitNw * 1e-6 * (vLeak / refLeak) * flavorFactor;
+}
+
+double
+ArrayModel::areaMm2() const
+{
+    const auto cell = circuit::defaultCellParams(cfg.cellType);
+    const double bits = cfg.sizeBytes * 8.0;
+    double a = bits * cell.areaUm2 * arrayEfficiencyFactor * portFactor();
+    if (cfg.backGated)
+        a *= backGateAreaFactor;
+    return a * 1e-6;
+}
+
+double
+ArrayModel::accessTimeNs(bool lowPowerMode) const
+{
+    panicIf(lowPowerMode && !cfg.backGated,
+            "low-power access on an array without back-gate wiring");
+    using circuit::BackGate;
+    const double delayFactor =
+        circuit::inverterDelay(tech, cfg.vdd) /
+        circuit::inverterDelay(tech, circuit::vddStv);
+    double t = (tPeriphNs + tRowNs * rowsPerBank()) * delayFactor *
+               std::sqrt(portFactor());
+    if (lowPowerMode) {
+        // Only the cell read stack slows down; the periphery stays at full
+        // drive (the mode signal back-gates the cell array rows).
+        const double bgRatio =
+            circuit::inverterDelay(tech, cfg.vdd, 4.0, BackGate::Disabled) /
+            circuit::inverterDelay(tech, cfg.vdd, 4.0, BackGate::Enabled);
+        t *= (1.0 - bitlineDelayFraction) + bitlineDelayFraction * bgRatio;
+    }
+    return t;
+}
+
+unsigned
+ArrayModel::accessCycles(bool lowPowerMode) const
+{
+    // 5% slack absorbs calibration noise right at a cycle boundary.
+    const double cycles = accessTimeNs(lowPowerMode) / cycleBudgetNs;
+    return std::max(1u, unsigned(std::ceil(cycles - 0.05)));
+}
+
+} // namespace pilotrf::rfmodel

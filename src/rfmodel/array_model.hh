@@ -1,0 +1,87 @@
+/**
+ * @file
+ * FinCACTI-style banked SRAM array model for register files.
+ *
+ * Decomposes the per-access energy into a word-width-proportional periphery
+ * term (sense amplifiers, output drivers, wordline) and a bitline term
+ * proportional to the rows per bank; leakage is per-bit with
+ * device-model-driven voltage scaling; area is cell area times an array
+ * efficiency factor with port and back-gate wiring overheads.
+ *
+ * The calibration constants are fitted so the model reproduces Table IV of
+ * the paper exactly (see rf_specs.hh) and the delay budget reproduces the
+ * paper's access-cycle assignments (FRF_high 1, FRF_low 2, SRF/MRF@NTV 3).
+ */
+
+#ifndef PILOTRF_RFMODEL_ARRAY_MODEL_HH
+#define PILOTRF_RFMODEL_ARRAY_MODEL_HH
+
+#include "circuit/sram.hh"
+#include "circuit/tech.hh"
+
+namespace pilotrf::rfmodel
+{
+
+/** Cell flavour of an array: speed-optimized cells leak more. */
+enum class CellFlavor { LowLeakage, Fast };
+
+/** Configuration of one register-file array. */
+struct ArrayConfig
+{
+    double sizeBytes;       ///< total capacity
+    unsigned banks = 24;    ///< number of independent banks
+    unsigned wordBits = 1024; ///< access width (one warp register = 128 B)
+    unsigned readPorts = 1;  ///< read ports per bank
+    unsigned writePorts = 0; ///< dedicated write ports (0: shared R/W port)
+    double vdd = circuit::vddStv; ///< operating supply voltage
+    bool backGated = false; ///< array has back-gate (mode) wiring installed
+    circuit::SramCellType cellType = circuit::SramCellType::T8;
+    CellFlavor flavor = CellFlavor::LowLeakage;
+};
+
+/**
+ * Energy / power / area / timing of one array configuration.
+ */
+class ArrayModel
+{
+  public:
+    ArrayModel(const ArrayConfig &cfg,
+               const circuit::TechParams &tech = circuit::finfet7());
+
+    /** Dynamic energy of one full-width access, picojoules.
+     *  @param lowPowerMode back gate disabled (FRF_low); requires a
+     *  backGated array. */
+    double accessEnergyPj(bool lowPowerMode = false) const;
+
+    /** Total array leakage power, milliwatts. */
+    double leakagePowerMw() const;
+
+    /** Layout area, square millimetres. */
+    double areaMm2() const;
+
+    /** Access time, nanoseconds. */
+    double accessTimeNs(bool lowPowerMode = false) const;
+
+    /** Access latency in cycles against the paper's 1-cycle access budget
+     *  (the FRF_high access time). */
+    unsigned accessCycles(bool lowPowerMode = false) const;
+
+    /** Rows per bank (diagnostic). */
+    double rowsPerBank() const;
+
+    const ArrayConfig &config() const { return cfg; }
+
+    /** The 1-cycle RF access-time budget, ns (FRF_high at STV). */
+    static constexpr double cycleBudgetNs = 0.08;
+
+  private:
+    double portFactor() const;
+    double totalPorts() const;
+
+    ArrayConfig cfg;
+    const circuit::TechParams &tech;
+};
+
+} // namespace pilotrf::rfmodel
+
+#endif // PILOTRF_RFMODEL_ARRAY_MODEL_HH

@@ -1,0 +1,88 @@
+#include "rfmodel/rf_specs.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::rfmodel
+{
+
+const char *
+toString(RfMode m)
+{
+    switch (m) {
+      case RfMode::FrfLow: return "FRF_low";
+      case RfMode::FrfHigh: return "FRF_high";
+      case RfMode::Srf: return "SRF";
+      case RfMode::MrfStv: return "MRF@STV";
+      case RfMode::MrfNtv: return "MRF@NTV";
+    }
+    return "?";
+}
+
+RfSpecs::RfSpecs()
+{
+    const double kb = 1024.0;
+
+    ArrayConfig frfCfg{32 * kb};
+    frfCfg.backGated = true;
+    frfCfg.flavor = CellFlavor::Fast;
+    ArrayModel frf(frfCfg);
+
+    ArrayConfig srfCfg{224 * kb};
+    srfCfg.vdd = circuit::vddNtv;
+    ArrayModel srfArr(srfCfg);
+
+    ArrayConfig mrfCfg{256 * kb};
+    ArrayModel mrfStvArr(mrfCfg);
+
+    ArrayConfig mrfNtvCfg{256 * kb};
+    mrfNtvCfg.vdd = circuit::vddNtv;
+    ArrayModel mrfNtvArr(mrfNtvCfg);
+
+    specs = {
+        {RfMode::FrfLow, frf.accessEnergyPj(true), frf.leakagePowerMw(),
+         32, frf.accessTimeNs(true), frf.accessCycles(true)},
+        {RfMode::FrfHigh, frf.accessEnergyPj(false), frf.leakagePowerMw(),
+         32, frf.accessTimeNs(false), frf.accessCycles(false)},
+        {RfMode::Srf, srfArr.accessEnergyPj(), srfArr.leakagePowerMw(),
+         224, srfArr.accessTimeNs(), srfArr.accessCycles()},
+        {RfMode::MrfStv, mrfStvArr.accessEnergyPj(),
+         mrfStvArr.leakagePowerMw(), 256, mrfStvArr.accessTimeNs(),
+         mrfStvArr.accessCycles()},
+        {RfMode::MrfNtv, mrfNtvArr.accessEnergyPj(),
+         mrfNtvArr.leakagePowerMw(), 256, mrfNtvArr.accessTimeNs(),
+         mrfNtvArr.accessCycles()},
+    };
+
+    baseArea = mrfStvArr.areaMm2();
+    propArea = frf.areaMm2() + srfArr.areaMm2();
+}
+
+const RfSpec &
+RfSpecs::spec(RfMode m) const
+{
+    for (const auto &s : specs)
+        if (s.mode == m)
+            return s;
+    panic("unknown RfMode");
+}
+
+std::vector<RfSpec>
+RfSpecs::tableIv() const
+{
+    return {spec(RfMode::FrfLow), spec(RfMode::FrfHigh), spec(RfMode::Srf),
+            spec(RfMode::MrfStv)};
+}
+
+double
+RfSpecs::baselineAreaMm2() const
+{
+    return baseArea;
+}
+
+double
+RfSpecs::proposedAreaMm2() const
+{
+    return propArea;
+}
+
+} // namespace pilotrf::rfmodel

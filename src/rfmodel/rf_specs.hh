@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Canonical register-file partition specifications (Table IV).
+ *
+ * The Kepler-class SM has a 256 KB register file split, in the proposed
+ * design, into a 32 KB FRF (4 registers x 64 warps x 128 B) and a 224 KB
+ * SRF; both retain the baseline's 24-bank organization.
+ */
+
+#ifndef PILOTRF_RFMODEL_RF_SPECS_HH
+#define PILOTRF_RFMODEL_RF_SPECS_HH
+
+#include <string>
+#include <vector>
+
+#include "rfmodel/array_model.hh"
+
+namespace pilotrf::rfmodel
+{
+
+/** Which physical array / power mode an access hits. */
+enum class RfMode
+{
+    FrfLow,  ///< FRF with back gate disabled (low-power mode)
+    FrfHigh, ///< FRF with back gate enabled
+    Srf,     ///< slow partition at NTV
+    MrfStv,  ///< monolithic baseline at STV
+    MrfNtv,  ///< monolithic baseline at NTV
+};
+
+const char *toString(RfMode m);
+
+/** One row of Table IV. */
+struct RfSpec
+{
+    RfMode mode;
+    double accessEnergyPj;
+    double leakagePowerMw;
+    double sizeKb;
+    double accessTimeNs;
+    unsigned accessCycles;
+};
+
+/**
+ * Energy/latency characteristics of every RF partition, derived from the
+ * array model. This is the single source the simulator's energy accounting
+ * and latency assignments consume.
+ */
+class RfSpecs
+{
+  public:
+    /** Build the default Kepler-sized specification set. */
+    RfSpecs();
+
+    const RfSpec &spec(RfMode m) const;
+
+    /** All rows, Table IV order (FRF_low, FRF_high, SRF, MRF@STV). */
+    std::vector<RfSpec> tableIv() const;
+
+    /** Baseline RF area and proposed (partitioned, back-gated FRF) RF
+     *  area, mm^2 — the <10% overhead claim of Sec. V-A. */
+    double baselineAreaMm2() const;
+    double proposedAreaMm2() const;
+
+  private:
+    std::vector<RfSpec> specs;
+    double baseArea;
+    double propArea;
+};
+
+} // namespace pilotrf::rfmodel
+
+#endif // PILOTRF_RFMODEL_RF_SPECS_HH

@@ -1,0 +1,54 @@
+#include "rfmodel/rfc_model.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::rfmodel
+{
+
+namespace
+{
+// Anchors (see file header). The MRF@STV access energy is 14.9 pJ.
+constexpr double mrfAccessPj = 14.9;
+constexpr double baseRatio = 0.37;        // 6 KB, (2R,1W), 1 bank
+constexpr double baseSizeKb = 6.0;
+constexpr double portPitchGrowth = 0.348; // same pitch growth as ArrayModel
+constexpr double bankGrowth = 0.0985;     // periphery replication per bank
+constexpr double sizeGrowth = 0.2;        // fixed-cost-dominated size slope
+constexpr double tagRatio = 0.018;        // tag check vs MRF access
+} // namespace
+
+RfcModel::RfcModel(const RfcConfig &cfg_) : cfg(cfg_)
+{
+    panicIf(cfg.regsPerWarp == 0 || cfg.activeWarps == 0,
+            "empty RFC configuration");
+    panicIf(cfg.readPorts == 0, "RFC needs at least one read port");
+}
+
+double
+RfcModel::sizeKb() const
+{
+    // One entry is a full warp register: 32 threads x 4 B = 128 B.
+    return cfg.regsPerWarp * cfg.activeWarps * 128.0 / 1024.0;
+}
+
+double
+RfcModel::accessEnergyPj() const
+{
+    const double basePorts = 3.0; // the (2R,1W) anchor
+    const double p = cfg.readPorts + cfg.writePorts;
+    const double pf = (1.0 + portPitchGrowth * (p - 1.0)) /
+                      (1.0 + portPitchGrowth * (basePorts - 1.0));
+    const double portFactor = pf * pf;
+    const double bankFactor = 1.0 + bankGrowth * (cfg.banks - 1.0);
+    const double sizeFactor =
+        (1.0 - sizeGrowth) + sizeGrowth * (sizeKb() / baseSizeKb);
+    return mrfAccessPj * baseRatio * portFactor * bankFactor * sizeFactor;
+}
+
+double
+RfcModel::tagEnergyPj() const
+{
+    return mrfAccessPj * tagRatio;
+}
+
+} // namespace pilotrf::rfmodel

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Energy model for the hierarchical register-file cache (RFC) of
+ * Gebhart et al. (ISCA 2011), the paper's main comparison point.
+ *
+ * Anchored to the paper's FinCACTI results (Sec. V-D):
+ *   - a 6-registers-per-warp RFC with (2R, 1W) ports costs 0.37x the MRF
+ *     access energy;
+ *   - growing the ports to (8R, 4W) costs 3x the MRF access energy;
+ *   - an 8-banked RFC (at the 32-active-warp, 24 KB size of Fig. 13)
+ *     costs about the same as the MRF per access.
+ */
+
+#ifndef PILOTRF_RFMODEL_RFC_MODEL_HH
+#define PILOTRF_RFMODEL_RFC_MODEL_HH
+
+namespace pilotrf::rfmodel
+{
+
+/** RFC sizing/porting configuration. */
+struct RfcConfig
+{
+    unsigned regsPerWarp = 6;  ///< cached registers per active warp
+    unsigned activeWarps = 8;  ///< warps with RFC entries (TL active pool)
+    unsigned readPorts = 2;
+    unsigned writePorts = 1;
+    unsigned banks = 1;
+};
+
+/**
+ * Per-access energies of the RFC structure.
+ */
+class RfcModel
+{
+  public:
+    explicit RfcModel(const RfcConfig &cfg);
+
+    /** Data-array energy of one RFC read or write hit, pJ. */
+    double accessEnergyPj() const;
+
+    /** Tag/bookkeeping check energy paid by every request, pJ. */
+    double tagEnergyPj() const;
+
+    /** RFC capacity in kilobytes (shown on top of the Fig. 13 bars). */
+    double sizeKb() const;
+
+    const RfcConfig &config() const { return cfg; }
+
+  private:
+    RfcConfig cfg;
+};
+
+} // namespace pilotrf::rfmodel
+
+#endif // PILOTRF_RFMODEL_RFC_MODEL_HH

@@ -1,0 +1,55 @@
+#include "rfmodel/swap_table_rtl.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace pilotrf::rfmodel
+{
+
+namespace
+{
+constexpr double gpuClockHz = 900e6;
+constexpr double baseFo4Stages = 7.0; // match + priority encode + mux, n=4
+} // namespace
+
+SwapTableRtl::SwapTableRtl(unsigned topN_, SwapTableStyle style_)
+    : topN(topN_), style(style_)
+{
+    panicIf(topN == 0, "swap table with zero tracked registers");
+}
+
+unsigned
+SwapTableRtl::bits() const
+{
+    // 2n entries x (6 + 6 + 1) bits.
+    return 2 * topN * 13;
+}
+
+double
+SwapTableRtl::delayPs(const circuit::CmosNode &node) const
+{
+    // Depth grows logarithmically with the entry count (wider priority
+    // encoder / match OR tree); the indexed variant trades the match line
+    // for a decode stage of the same depth at this size.
+    double stages = baseFo4Stages + std::log2(double(topN) / 4.0);
+    if (style == SwapTableStyle::Indexed)
+        stages += 0.0;
+    return stages * node.fo4DelaySec * 1e12;
+}
+
+double
+SwapTableRtl::cycleFraction(const circuit::CmosNode &node) const
+{
+    return delayPs(node) * 1e-12 * gpuClockHz;
+}
+
+double
+SwapTableRtl::lookupEnergyPj() const
+{
+    // ~104 bits of match/readout at 7 nm: orders of magnitude below one RF
+    // bank access; scaled linearly with the entry count.
+    return 0.012 * (bits() / 104.0);
+}
+
+} // namespace pilotrf::rfmodel

@@ -1,0 +1,65 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace pilotrf::sim
+{
+
+Cache::Cache(unsigned sizeBytes, unsigned assoc_, unsigned lineBytes)
+    : assoc(assoc_)
+{
+    panicIf(assoc == 0, "cache with zero ways");
+    panicIf(lineBytes == 0 || (lineBytes & (lineBytes - 1)) != 0,
+            "cache line size must be a power of two");
+    const unsigned lines = sizeBytes / lineBytes;
+    panicIf(lines == 0 || lines % assoc != 0,
+            "cache size/assoc/line combination invalid");
+    const unsigned nSets = lines / assoc;
+    panicIf((nSets & (nSets - 1)) != 0, "cache set count must be a power "
+                                        "of two");
+    lineShift = unsigned(std::countr_zero(lineBytes));
+    tags.assign(std::size_t(nSets) * assoc, Line{});
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    const std::uint64_t lineAddr = addr >> lineShift;
+    const unsigned nSets = sets();
+    const std::uint64_t set = lineAddr & (nSets - 1);
+    const std::uint64_t tag = lineAddr >> unsigned(std::countr_zero(nSets));
+
+    Line *base = &tags[set * assoc];
+    Line *victim = base;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.lastUse = ++useClock;
+            ++nHits;
+            return true;
+        }
+        if (!l.valid || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+    *victim = Line{tag, ++useClock, true};
+    ++nMisses;
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (auto &l : tags)
+        l = Line{};
+}
+
+double
+Cache::hitRate() const
+{
+    const std::uint64_t total = nHits + nMisses;
+    return total ? double(nHits) / double(total) : 0.0;
+}
+
+} // namespace pilotrf::sim

@@ -1,0 +1,239 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "isa/static_profiler.hh"
+#include "regfile/drowsy_rf.hh"
+#include "regfile/monolithic_rf.hh"
+#include "regfile/partitioned_rf.hh"
+#include "regfile/rfc.hh"
+
+namespace pilotrf::sim
+{
+
+double
+KernelResult::accessFraction(const std::vector<RegId> &regs) const
+{
+    double total = 0.0, hit = 0.0;
+    for (std::size_t r = 0; r < regAccess.size(); ++r) {
+        total += double(regAccess[r]);
+        if (std::find(regs.begin(), regs.end(), RegId(r)) != regs.end())
+            hit += double(regAccess[r]);
+    }
+    return total > 0.0 ? hit / total : 0.0;
+}
+
+std::vector<RegId>
+KernelResult::topRegisters(unsigned n) const
+{
+    std::vector<unsigned> counts(regAccess.size());
+    for (std::size_t i = 0; i < regAccess.size(); ++i)
+        counts[i] = unsigned(std::min<std::uint64_t>(regAccess[i],
+                                                     0xffffffffu));
+    return isa::rankRegisters(counts, n);
+}
+
+double
+KernelResult::topNFraction(unsigned n) const
+{
+    return accessFraction(topRegisters(n));
+}
+
+double
+RunResult::rfAccesses() const
+{
+    return rfStats.get("access.reads") + rfStats.get("access.writes");
+}
+
+std::unique_ptr<regfile::RegisterFile>
+makeRegisterFile(const SimConfig &cfg)
+{
+    using namespace regfile;
+    switch (cfg.rfKind) {
+      case RfKind::MrfStv:
+        return std::make_unique<MonolithicRf>(
+            cfg.rfBanks, rfmodel::RfMode::MrfStv, cfg.mrfLatencyOverride);
+      case RfKind::MrfNtv:
+        return std::make_unique<MonolithicRf>(
+            cfg.rfBanks, rfmodel::RfMode::MrfNtv, cfg.mrfLatencyOverride);
+      case RfKind::Partitioned:
+        return std::make_unique<PartitionedRf>(cfg.rfBanks, cfg.prf);
+      case RfKind::Rfc:
+        return std::make_unique<RfCacheRf>(cfg.rfBanks, cfg.rfc,
+                                           cfg.warpsPerSm);
+      case RfKind::Drowsy:
+        return std::make_unique<DrowsyRf>(cfg.rfBanks, cfg.drowsy,
+                                          cfg.warpsPerSm);
+    }
+    panic("unknown RfKind");
+}
+
+void
+Gpu::Dispenser::reset(unsigned total)
+{
+    nextId = 0;
+    totalCtas = total;
+}
+
+bool
+Gpu::Dispenser::next(CtaId &id)
+{
+    if (nextId >= totalCtas)
+        return false;
+    id = nextId++;
+    return true;
+}
+
+bool
+Gpu::Dispenser::exhausted() const
+{
+    return nextId >= totalCtas;
+}
+
+Gpu::Gpu(const SimConfig &cfg_) : cfg(cfg_)
+{
+    panicIf(cfg.numSms == 0, "GPU with no SMs");
+    panicIf(cfg.l2Enable && !cfg.l1Enable,
+            "the shared L2 requires the L1 to be enabled");
+    if (cfg.l2Enable)
+        l2 = std::make_unique<Cache>(cfg.l2SizeKb * 1024, cfg.l2Assoc);
+    for (unsigned i = 0; i < cfg.numSms; ++i) {
+        sms.push_back(std::make_unique<Sm>(cfg, SmId(i),
+                                           makeRegisterFile(cfg),
+                                           dispenser));
+        sms.back()->setL2(l2.get());
+    }
+}
+
+Gpu::~Gpu() = default;
+
+StatSet
+Gpu::mergedRfStats() const
+{
+    StatSet s;
+    for (const auto &sm : sms)
+        s.merge(sm->rf().stats());
+    return s;
+}
+
+StatSet
+Gpu::mergedSimStats() const
+{
+    StatSet s;
+    for (const auto &sm : sms)
+        s.merge(sm->stats());
+    return s;
+}
+
+std::vector<std::uint64_t>
+Gpu::mergedRegAccess() const
+{
+    std::vector<std::uint64_t> v(maxRegsPerThread, 0);
+    for (const auto &sm : sms) {
+        const auto &c = sm->rf().regAccessCounts();
+        for (std::size_t i = 0; i < c.size() && i < v.size(); ++i)
+            v[i] += c[i];
+    }
+    return v;
+}
+
+namespace
+{
+StatSet
+statDelta(const StatSet &after, const StatSet &before)
+{
+    StatSet d;
+    for (const auto &[k, v] : after.raw()) {
+        const double dv = v - before.get(k);
+        if (dv != 0.0)
+            d.set(k, dv);
+    }
+    return d;
+}
+} // namespace
+
+RunResult
+Gpu::run(const isa::Kernel &kernel)
+{
+    return run(std::vector<isa::Kernel>{kernel});
+}
+
+RunResult
+Gpu::run(const std::vector<isa::Kernel> &kernels)
+{
+    panicIf(kernels.empty(), "Gpu::run with no kernels");
+    RunResult result;
+
+    const StatSet runRf0 = mergedRfStats();
+    const StatSet runSim0 = mergedSimStats();
+
+    for (const auto &kernel : kernels) {
+        kernel.validate();
+        const Cycle kernelStart = now;
+        const StatSet rf0 = mergedRfStats();
+        const StatSet sim0 = mergedSimStats();
+        const auto reg0 = mergedRegAccess();
+
+        dispenser.reset(kernel.numCtas());
+        if (l2)
+            l2->flush();
+        for (auto &sm : sms)
+            sm->startKernel(&kernel);
+
+        auto allIdle = [&] {
+            if (!dispenser.exhausted())
+                return false;
+            for (const auto &sm : sms)
+                if (!sm->idle())
+                    return false;
+            return true;
+        };
+
+        while (!allIdle()) {
+            for (auto &sm : sms)
+                if (!sm->idle() || !dispenser.exhausted())
+                    sm->cycle(now);
+            ++now;
+            if (now - kernelStart > cfg.maxCycles)
+                fatal("kernel %s exceeded the %llu-cycle watchdog",
+                      kernel.name().c_str(),
+                      (unsigned long long)cfg.maxCycles);
+        }
+
+        KernelResult kr;
+        kr.name = kernel.name();
+        kr.cycles = now - kernelStart;
+        kr.rfStats = statDelta(mergedRfStats(), rf0);
+        kr.simStats = statDelta(mergedSimStats(), sim0);
+        kr.instructions =
+            std::uint64_t(kr.simStats.get("instructions.issued"));
+        const auto reg1 = mergedRegAccess();
+        kr.regAccess.resize(reg1.size());
+        for (std::size_t i = 0; i < reg1.size(); ++i)
+            kr.regAccess[i] = reg1[i] - reg0[i];
+
+        // Pilot / compiler profiling metadata from SM0's backend.
+        if (auto *prf = dynamic_cast<regfile::PartitionedRf *>(
+                &sms[0]->rf())) {
+            if (prf->stats().has("pilot.finishCycle")) {
+                kr.pilotFinishCycle =
+                    prf->stats().get("pilot.finishCycle") -
+                    double(kernelStart);
+            }
+            kr.pilotHot = prf->pilotHotRegisters();
+        }
+        isa::StaticProfile sp(kernel);
+        kr.staticHot = sp.topRegisters(4);
+
+        result.totalCycles += kr.cycles;
+        result.totalInstructions += kr.instructions;
+        result.kernels.push_back(std::move(kr));
+    }
+
+    result.rfStats = statDelta(mergedRfStats(), runRf0);
+    result.simStats = statDelta(mergedSimStats(), runSim0);
+    return result;
+}
+
+} // namespace pilotrf::sim

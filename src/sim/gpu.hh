@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Whole-GPU model: the SM array, the CTA dispenser, kernel sequencing and
+ * result collection.
+ */
+
+#ifndef PILOTRF_SIM_GPU_HH
+#define PILOTRF_SIM_GPU_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/sm.hh"
+
+namespace pilotrf::sim
+{
+
+/** Results for one kernel of a run. */
+struct KernelResult
+{
+    std::string name;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    /** Dynamic access counts per architected register, summed over SMs. */
+    std::vector<std::uint64_t> regAccess;
+    StatSet rfStats;  ///< RF backend stats (access.* etc.), kernel delta
+    StatSet simStats; ///< SM pipeline stats, kernel delta
+    double pilotFinishCycle = -1.0; ///< SM0 pilot retirement (rel. cycles)
+    std::vector<RegId> pilotHot;    ///< SM0 pilot-identified registers
+    std::vector<RegId> staticHot;   ///< compiler-identified registers
+
+    /** Fraction of all accesses going to the given register set. */
+    double accessFraction(const std::vector<RegId> &regs) const;
+
+    /** Fraction of accesses to the top-n dynamically accessed registers. */
+    double topNFraction(unsigned n) const;
+
+    /** The actual top-n registers by dynamic access count. */
+    std::vector<RegId> topRegisters(unsigned n) const;
+};
+
+/** Results of running a whole workload (one or more kernels). */
+struct RunResult
+{
+    std::uint64_t totalCycles = 0;
+    std::uint64_t totalInstructions = 0;
+    std::vector<KernelResult> kernels;
+    StatSet rfStats;  ///< whole-run merged backend stats
+    StatSet simStats; ///< whole-run merged SM stats
+
+    /** Total RF accesses (reads + writes). */
+    double rfAccesses() const;
+};
+
+/**
+ * The GPU: cfg-sized SM array sharing a CTA dispenser.
+ */
+class Gpu
+{
+  public:
+    explicit Gpu(const SimConfig &cfg);
+    ~Gpu();
+
+    /** Execute the kernels in order (one workload) and collect results. */
+    RunResult run(const std::vector<isa::Kernel> &kernels);
+    RunResult run(const isa::Kernel &kernel);
+
+    Sm &sm(unsigned i) { return *sms.at(i); }
+    unsigned numSms() const { return unsigned(sms.size()); }
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    class Dispenser : public CtaSource
+    {
+      public:
+        void reset(unsigned total);
+        bool next(CtaId &id) override;
+        bool exhausted() const override;
+
+      private:
+        CtaId nextId = 0;
+        unsigned totalCtas = 0;
+    };
+
+    StatSet mergedRfStats() const;
+    StatSet mergedSimStats() const;
+    std::vector<std::uint64_t> mergedRegAccess() const;
+
+    SimConfig cfg;
+    Dispenser dispenser;
+    std::unique_ptr<Cache> l2; ///< GPU-wide shared L2 (optional)
+    std::vector<std::unique_ptr<Sm>> sms;
+    Cycle now = 0;
+};
+
+/** Construct the configured RF backend (factory shared with tests). */
+std::unique_ptr<regfile::RegisterFile>
+makeRegisterFile(const SimConfig &cfg);
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_GPU_HH

@@ -1,0 +1,171 @@
+#include "sim/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pilotrf::sim
+{
+
+Scheduler::Scheduler(const SimConfig &cfg_, ActiveChangeFn fn)
+    : cfg(cfg_), onActiveChange(std::move(fn))
+{
+    reset();
+}
+
+void
+Scheduler::reset()
+{
+    ages.assign(cfg.warpsPerSm, 0);
+    live.assign(cfg.warpsPerSm, false);
+    greedy.assign(cfg.schedulers, WarpId(-1));
+    rrPtr.assign(cfg.schedulers, 0);
+    active.clear();
+    pending.clear();
+}
+
+void
+Scheduler::removeFrom(std::vector<WarpId> &v, WarpId w)
+{
+    v.erase(std::remove(v.begin(), v.end(), w), v.end());
+}
+
+void
+Scheduler::onWarpLaunched(WarpId w, std::uint64_t age)
+{
+    ages[w] = age;
+    live[w] = true;
+    if (cfg.policy == SchedulerPolicy::TwoLevel) {
+        pending.push_back(w);
+        fillActive();
+    }
+}
+
+void
+Scheduler::onWarpFinished(WarpId w)
+{
+    live[w] = false;
+    for (auto &g : greedy)
+        if (g == w)
+            g = WarpId(-1);
+    if (cfg.policy == SchedulerPolicy::TwoLevel) {
+        if (inActive(w)) {
+            removeFrom(active, w);
+            onActiveChange(w, false);
+        }
+        pending.erase(std::remove(pending.begin(), pending.end(), w),
+                      pending.end());
+        fillActive();
+    }
+}
+
+void
+Scheduler::onWarpBlocked(WarpId w, bool requeue)
+{
+    if (cfg.policy != SchedulerPolicy::TwoLevel)
+        return;
+    if (inActive(w)) {
+        removeFrom(active, w);
+        onActiveChange(w, false);
+    }
+    if (requeue &&
+        std::find(pending.begin(), pending.end(), w) == pending.end())
+        pending.push_back(w);
+    fillActive();
+}
+
+void
+Scheduler::onWarpWakeup(WarpId w)
+{
+    if (cfg.policy != SchedulerPolicy::TwoLevel)
+        return;
+    if (!live[w] || inActive(w))
+        return;
+    if (std::find(pending.begin(), pending.end(), w) == pending.end())
+        pending.push_back(w);
+    fillActive();
+}
+
+void
+Scheduler::fillActive()
+{
+    while (active.size() < cfg.tlActiveWarps && !pending.empty()) {
+        WarpId w = pending.front();
+        pending.pop_front();
+        if (!live[w])
+            continue;
+        active.push_back(w);
+        onActiveChange(w, true);
+    }
+}
+
+bool
+Scheduler::inActive(WarpId w) const
+{
+    return std::find(active.begin(), active.end(), w) != active.end();
+}
+
+bool
+Scheduler::eligible(WarpId w) const
+{
+    if (cfg.policy != SchedulerPolicy::TwoLevel)
+        return true;
+    return inActive(w);
+}
+
+void
+Scheduler::noteIssue(unsigned sched, WarpId w)
+{
+    greedy[sched] = w;
+    rrPtr[sched] = w;
+    if (cfg.policy == SchedulerPolicy::TwoLevel && inActive(w)) {
+        // Rotate the issued warp to the back of the pool (round-robin
+        // within the active set).
+        removeFrom(active, w);
+        active.push_back(w);
+    }
+}
+
+void
+Scheduler::candidates(unsigned sched, std::vector<WarpId> &out) const
+{
+    out.clear();
+    switch (cfg.policy) {
+      case SchedulerPolicy::TwoLevel:
+        for (WarpId w : active)
+            if (w % cfg.schedulers == sched && live[w])
+                out.push_back(w);
+        return;
+      case SchedulerPolicy::Gto: {
+        for (WarpId w = sched; w < cfg.warpsPerSm;
+             w += WarpId(cfg.schedulers))
+            if (live[w])
+                out.push_back(w);
+        const WarpId g = greedy[sched];
+        std::stable_sort(out.begin(), out.end(), [&](WarpId a, WarpId b) {
+            if ((a == g) != (b == g))
+                return a == g;
+            return ages[a] < ages[b];
+        });
+        return;
+      }
+      case SchedulerPolicy::Lrr: {
+        std::vector<WarpId> slot;
+        for (WarpId w = sched; w < cfg.warpsPerSm;
+             w += WarpId(cfg.schedulers))
+            slot.push_back(w);
+        // Rotate to start just after the last issued warp.
+        auto it = std::find(slot.begin(), slot.end(), rrPtr[sched]);
+        std::size_t start =
+            it == slot.end() ? 0 : (it - slot.begin() + 1) % slot.size();
+        for (std::size_t i = 0; i < slot.size(); ++i) {
+            WarpId w = slot[(start + i) % slot.size()];
+            if (live[w])
+                out.push_back(w);
+        }
+        return;
+      }
+    }
+}
+
+} // namespace pilotrf::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Warp schedulers: greedy-then-oldest (GTO), loose round-robin (LRR), and
+ * the two-level (TL) active/pending-pool scheduler of Gebhart et al. used
+ * by the RFC design. The two-level scheduler reports pool transitions so
+ * the RFC backend can flush entries of demoted warps.
+ */
+
+#ifndef PILOTRF_SIM_SCHEDULER_HH
+#define PILOTRF_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/sim_config.hh"
+
+namespace pilotrf::sim
+{
+
+class Scheduler
+{
+  public:
+    /** Callback fired on two-level pool transitions: (warp, nowActive). */
+    using ActiveChangeFn = std::function<void(WarpId, bool)>;
+
+    Scheduler(const SimConfig &cfg, ActiveChangeFn onActiveChange);
+
+    /** Reset all state at kernel boundaries. */
+    void reset();
+
+    // Lifecycle notifications from the SM.
+    void onWarpLaunched(WarpId w, std::uint64_t age);
+    void onWarpFinished(WarpId w);
+    /** Warp hit a long-latency instruction or barrier: TL demotes it. */
+    void onWarpBlocked(WarpId w, bool requeue);
+    /** A blocked (barrier) warp became runnable again. */
+    void onWarpWakeup(WarpId w);
+    /** Record an issue (updates GTO greedy / LRR pointer / TL rotation). */
+    void noteIssue(unsigned sched, WarpId w);
+
+    /** TL: only warps in the active pool may issue. */
+    bool eligible(WarpId w) const;
+
+    /**
+     * Candidate warps of scheduler @p sched in priority order. Only warp
+     * slots assigned to the scheduler (w % schedulers == sched) appear;
+     * readiness is the SM's business.
+     */
+    void candidates(unsigned sched, std::vector<WarpId> &out) const;
+
+    SchedulerPolicy policy() const { return cfg.policy; }
+
+  private:
+    bool inActive(WarpId w) const;
+    void fillActive();
+    void removeFrom(std::vector<WarpId> &v, WarpId w);
+
+    const SimConfig &cfg;
+    ActiveChangeFn onActiveChange;
+
+    std::vector<std::uint64_t> ages;      // per warp slot
+    std::vector<bool> live;               // warp slot occupied & running
+    std::vector<WarpId> greedy;           // per scheduler (GTO)
+    std::vector<WarpId> rrPtr;            // per scheduler (LRR)
+    std::vector<WarpId> active;           // TL active pool (rotation order)
+    std::deque<WarpId> pending;           // TL pending queue
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_SCHEDULER_HH

@@ -1,0 +1,62 @@
+#include "sim/sim_config.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pilotrf::sim
+{
+
+const char *
+toString(SchedulerPolicy p)
+{
+    switch (p) {
+      case SchedulerPolicy::Gto: return "GTO";
+      case SchedulerPolicy::Lrr: return "LRR";
+      case SchedulerPolicy::TwoLevel: return "TL";
+    }
+    return "?";
+}
+
+const char *
+toString(RfKind k)
+{
+    switch (k) {
+      case RfKind::MrfStv: return "MRF@STV";
+      case RfKind::MrfNtv: return "MRF@NTV";
+      case RfKind::Partitioned: return "Partitioned";
+      case RfKind::Rfc: return "RFC";
+      case RfKind::Drowsy: return "Drowsy";
+    }
+    return "?";
+}
+
+unsigned
+SimConfig::ctasPerSm(unsigned regsPerThread, unsigned threadsPerCta,
+                     unsigned warpsPerCta) const
+{
+    panicIf(warpsPerCta == 0, "CTA with no warps");
+    const unsigned byWarps = warpsPerSm / warpsPerCta;
+    const unsigned regsPerCta = regsPerThread * threadsPerCta;
+    const unsigned byRegs = regsPerCta ? threadRegsPerSm / regsPerCta
+                                       : maxCtasPerSm;
+    return std::max(1u, std::min({maxCtasPerSm, byWarps, byRegs}));
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream os;
+    os << toString(rfKind) << "/" << toString(policy) << " sms=" << numSms
+       << " sched=" << schedulers << "x" << issuePerScheduler
+       << " banks=" << rfBanks;
+    if (rfKind == RfKind::Partitioned)
+        os << " prof=" << regfile::toString(prf.profiling)
+           << (prf.adaptiveFrf ? "+adaptive" : "");
+    if (policy == SchedulerPolicy::TwoLevel)
+        os << " active=" << tlActiveWarps;
+    return os.str();
+}
+
+} // namespace pilotrf::sim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulation configuration: the Kepler GTX-780-class SM of Table II.
+ */
+
+#ifndef PILOTRF_SIM_SIM_CONFIG_HH
+#define PILOTRF_SIM_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "regfile/drowsy_rf.hh"
+#include "regfile/partitioned_rf.hh"
+#include "regfile/rfc.hh"
+
+namespace pilotrf::sim
+{
+
+/** Warp scheduling policy. */
+enum class SchedulerPolicy
+{
+    Gto,      ///< greedy-then-oldest
+    Lrr,      ///< loose round-robin (the "fetch group" style scheduler)
+    TwoLevel, ///< two-level active/pending pools (Gebhart et al.)
+};
+
+const char *toString(SchedulerPolicy p);
+
+/** Register-file organization under test. */
+enum class RfKind
+{
+    MrfStv,      ///< power-aggressive baseline: monolithic RF at STV
+    MrfNtv,      ///< monolithic RF always at NTV
+    Partitioned, ///< the proposed FRF+SRF design
+    Rfc,         ///< hierarchical register-file cache baseline
+    Drowsy,      ///< drowsy (data-retentive) RF baseline (related work)
+};
+
+const char *toString(RfKind k);
+
+struct SimConfig
+{
+    // GPU architecture (Table II).
+    unsigned numSms = 15;
+    unsigned warpsPerSm = 64;
+    unsigned schedulers = 4;
+    unsigned issuePerScheduler = 2;
+    unsigned rfBanks = 24;
+    unsigned collectors = 24;
+    unsigned maxCtasPerSm = 16;
+    unsigned threadRegsPerSm = 65536; ///< 256 KB / 4 B
+
+    // Scheduling.
+    SchedulerPolicy policy = SchedulerPolicy::Gto;
+    unsigned tlActiveWarps = 8; ///< two-level active pool size per SM
+
+    // Execution pipelines.
+    unsigned spLatency = 10;
+    unsigned sfuLatency = 20;
+    unsigned spWidth = 6;  ///< SP dispatches per cycle (6 SIMT clusters)
+    unsigned sfuWidth = 2;
+    unsigned memWidth = 1;
+    unsigned maxInflightPerWarp = 2;
+    /** Results forward from the write queue (dependents unblock one cycle
+     *  after the write is accepted). Off: dependents wait the full array
+     *  write latency — the ablation the bench quantifies. */
+    bool writeForwarding = true;
+
+    // Memory system.
+    unsigned sharedLatency = 24;
+    unsigned globalLatency = 230;
+    unsigned maxOutstandingMem = 48;
+    /** Optional per-SM L1 data cache for global accesses (off by default
+     *  to keep the paper's fixed-latency memory model). */
+    bool l1Enable = false;
+    unsigned l1SizeKb = 16;
+    unsigned l1Assoc = 4;
+    unsigned l1HitLatency = 28;
+    /** Optional GPU-wide shared L2 behind the L1s (requires l1Enable). */
+    bool l2Enable = false;
+    unsigned l2SizeKb = 1024;
+    unsigned l2Assoc = 8;
+    unsigned l2HitLatency = 120;
+
+    // Register file under test.
+    RfKind rfKind = RfKind::Partitioned;
+    regfile::PartitionedRfConfig prf;
+    regfile::RfcRfConfig rfc;
+    regfile::DrowsyRfConfig drowsy;
+    unsigned mrfLatencyOverride = 0; ///< force MRF latency (0: model)
+
+    // Watchdog: abort runaway simulations.
+    std::uint64_t maxCycles = 100'000'000;
+
+    /** Concurrent CTAs an SM can host for the given kernel geometry. */
+    unsigned ctasPerSm(unsigned regsPerThread, unsigned threadsPerCta,
+                       unsigned warpsPerCta) const;
+
+    /** Short human-readable description for bench output. */
+    std::string describe() const;
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_SIM_CONFIG_HH

@@ -1,0 +1,78 @@
+#include "sim/simt_stack.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::sim
+{
+
+void
+SimtStack::init(ActiveMask mask)
+{
+    entries.clear();
+    entries.push_back({0, noRpc, mask});
+}
+
+Pc
+SimtStack::pc() const
+{
+    panicIf(entries.empty(), "SimtStack::pc on empty stack");
+    return entries.back().pc;
+}
+
+ActiveMask
+SimtStack::mask() const
+{
+    panicIf(entries.empty(), "SimtStack::mask on empty stack");
+    return entries.back().mask;
+}
+
+void
+SimtStack::advance()
+{
+    panicIf(entries.empty(), "SimtStack::advance on empty stack");
+    ++entries.back().pc;
+    popReconverged();
+}
+
+void
+SimtStack::setPc(Pc pc)
+{
+    panicIf(entries.empty(), "SimtStack::setPc on empty stack");
+    entries.back().pc = pc;
+    popReconverged();
+}
+
+void
+SimtStack::branch(ActiveMask takenMask, Pc target, Pc rpc)
+{
+    panicIf(entries.empty(), "SimtStack::branch on empty stack");
+    Entry &tos = entries.back();
+    const Pc fallthrough = tos.pc + 1;
+    const ActiveMask cur = tos.mask;
+    panicIf((takenMask & ~cur) != 0, "taken mask outside active mask");
+    const ActiveMask ntMask = cur & ~takenMask;
+
+    // Uniform outcomes keep the TOS entry; divergence converts the TOS to
+    // the reconvergence continuation and pushes the two paths.
+    if (ntMask == 0) {
+        tos.pc = target;
+    } else if (takenMask == 0) {
+        tos.pc = fallthrough;
+    } else {
+        tos.pc = rpc;
+        if (fallthrough != rpc)
+            entries.push_back({fallthrough, rpc, ntMask});
+        if (target != rpc)
+            entries.push_back({target, rpc, takenMask});
+    }
+    popReconverged();
+}
+
+void
+SimtStack::popReconverged()
+{
+    while (entries.size() > 1 && entries.back().pc == entries.back().rpc)
+        entries.pop_back();
+}
+
+} // namespace pilotrf::sim

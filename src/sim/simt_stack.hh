@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack (immediate-post-dominator scheme, as
+ * in GPGPU-Sim). Branch divergence pushes taken/not-taken entries that
+ * share a reconvergence PC; entries pop when execution reaches it.
+ */
+
+#ifndef PILOTRF_SIM_SIMT_STACK_HH
+#define PILOTRF_SIM_SIMT_STACK_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pilotrf::sim
+{
+
+class SimtStack
+{
+  public:
+    /** Sentinel reconvergence PC of the outermost entry. */
+    static constexpr Pc noRpc = 0xffffffff;
+
+    /** Reset to a single entry at pc 0 with the given mask. */
+    void init(ActiveMask mask);
+
+    Pc pc() const;
+    ActiveMask mask() const;
+    bool empty() const { return entries.empty(); }
+    std::size_t depth() const { return entries.size(); }
+
+    /** Sequential instruction: advance TOS pc by one. */
+    void advance();
+
+    /**
+     * Apply a branch executed at the current pc.
+     *
+     * @param takenMask lanes (subset of mask()) taking the branch
+     * @param target branch target pc
+     * @param rpc immediate post-dominator of the branch
+     */
+    void branch(ActiveMask takenMask, Pc target, Pc rpc);
+
+    /** Force the TOS pc (used by tests). */
+    void setPc(Pc pc);
+
+  private:
+    struct Entry
+    {
+        Pc pc;
+        Pc rpc;
+        ActiveMask mask;
+    };
+
+    void popReconverged();
+
+    std::vector<Entry> entries;
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_SIMT_STACK_HH

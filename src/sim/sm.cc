@@ -1,0 +1,583 @@
+#include "sim/sm.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "sim/trace.hh"
+
+namespace pilotrf::sim
+{
+
+Sm::Sm(const SimConfig &cfg_, SmId id,
+       std::unique_ptr<regfile::RegisterFile> rf, CtaSource &ctas)
+    : cfg(cfg_), smId(id), backend(std::move(rf)), ctaSource(ctas),
+      scheduler(cfg_,
+                [this](WarpId w, bool nowActive) {
+                    if (nowActive)
+                        backend->warpActivated(w);
+                    else
+                        backend->warpDeactivated(w);
+                })
+{
+    warps.resize(cfg.warpsPerSm);
+    ctaSlots.resize(cfg.maxCtasPerSm);
+    collectors.resize(cfg.collectors);
+    if (cfg.l1Enable)
+        l1 = std::make_unique<Cache>(cfg.l1SizeKb * 1024, cfg.l1Assoc);
+}
+
+void
+Sm::setL2(Cache *l2_)
+{
+    l2 = l2_;
+}
+
+void
+Sm::startKernel(const isa::Kernel *k)
+{
+    panicIf(!idle(), "startKernel on a busy SM");
+    kernel = k;
+    ctaLimit =
+        cfg.ctasPerSm(k->regsPerThread(), k->threadsPerCta(), k->warpsPerCta());
+    scheduler.reset();
+    backend->kernelLaunch(*k);
+    for (auto &c : collectors)
+        c = Collector{};
+    freeCollectors = cfg.collectors;
+    exec.clear();
+    trackers.clear();
+    freeTrackers.clear();
+    wbQueue.clear();
+    clears.clear();
+    memNextFree = 0;
+    outstandingMem = 0;
+    if (l1)
+        l1->flush();
+    bankFree.assign(cfg.rfBanks, 0);
+    for (auto &slot : ctaSlots)
+        slot = CtaSlot{};
+    tryLaunchCtas();
+}
+
+bool
+Sm::idle() const
+{
+    return liveWarpCount == 0 && exec.empty() && wbQueue.empty() &&
+           clears.empty();
+}
+
+void
+Sm::tryLaunchCtas()
+{
+    if (!kernel)
+        return;
+    unsigned liveCtas = 0;
+    for (const auto &s : ctaSlots)
+        liveCtas += s.valid;
+
+    while (liveCtas < ctaLimit) {
+        // Find free warp slots for one CTA.
+        const unsigned need = kernel->warpsPerCta();
+        std::vector<WarpId> slots;
+        for (WarpId w = 0; w < cfg.warpsPerSm && slots.size() < need; ++w)
+            if (!warps[w].valid() || warps[w].done())
+                slots.push_back(w);
+        if (slots.size() < need)
+            return;
+
+        CtaId cta;
+        if (!ctaSource.next(cta))
+            return;
+
+        unsigned slotIdx = 0;
+        while (ctaSlots[slotIdx].valid)
+            ++slotIdx;
+        PILOTRF_TRACE(TraceCat::Cta, lastCycleSeen, smId,
+                      "launch cta %u into slot %u", unsigned(cta), slotIdx);
+        CtaSlot &slot = ctaSlots[slotIdx];
+        slot.valid = true;
+        slot.cta = cta;
+        slot.liveWarps = need;
+        slot.barrierArrived = 0;
+        slot.warps = slots;
+
+        unsigned threadsLeft = kernel->threadsPerCta();
+        for (unsigned i = 0; i < need; ++i) {
+            const WarpId w = slots[i];
+            const unsigned threads = std::min(threadsLeft, warpSize);
+            threadsLeft -= threads;
+            warps[w].launch(kernel, cta, i, slotIdx, launchCounter++,
+                            threads);
+            PILOTRF_TRACE(TraceCat::Warp, lastCycleSeen, smId,
+                          "launch warp %u (cta %u.%u)", unsigned(w),
+                          unsigned(cta), i);
+            ++liveWarpCount;
+            scheduler.onWarpLaunched(w, warps[w].launchAge());
+            backend->warpStarted(w, cta);
+        }
+        ++liveCtas;
+        _stats.add("ctas.launched", 1);
+    }
+}
+
+std::uint32_t
+Sm::allocTracker(WarpId warp, std::uint8_t writes)
+{
+    if (!freeTrackers.empty()) {
+        const std::uint32_t t = freeTrackers.back();
+        freeTrackers.pop_back();
+        trackers[t] = {warp, writes};
+        return t;
+    }
+    trackers.push_back({warp, writes});
+    return std::uint32_t(trackers.size() - 1);
+}
+
+void
+Sm::processWritebackClears(Cycle now)
+{
+    for (std::size_t i = 0; i < clears.size();) {
+        if (clears[i].at > now) {
+            ++i;
+            continue;
+        }
+        const PendingClear pc = clears[i];
+        clears[i] = clears.back();
+        clears.pop_back();
+
+        WbTracker &t = trackers[pc.tracker];
+        warps[t.warp].releaseWrite(pc.reg);
+        panicIf(t.left == 0, "writeback tracker underflow");
+        if (--t.left == 0) {
+            warps[t.warp].removeInflight();
+            freeTrackers.push_back(pc.tracker);
+        }
+    }
+}
+
+void
+Sm::processExecCompletions(Cycle now)
+{
+    for (std::size_t i = 0; i < exec.size();) {
+        if (exec[i].finishAt > now) {
+            ++i;
+            continue;
+        }
+        const ExecEntry e = exec[i];
+        exec[i] = exec.back();
+        exec.pop_back();
+
+        if (e.in->isMem()) {
+            panicIf(outstandingMem == 0, "memory completion underflow");
+            --outstandingMem;
+        }
+
+        if (e.in->numDsts == 0) {
+            warps[e.warp].removeInflight();
+            continue;
+        }
+        const std::uint32_t t = allocTracker(e.warp, e.in->numDsts);
+        for (unsigned d = 0; d < e.in->numDsts; ++d) {
+            const RegId r = e.in->dsts[d];
+            if (backend->needsBank(e.warp, r, true)) {
+                wbQueue.push_back(
+                    {t, r, std::uint16_t(backend->bank(e.warp, r))});
+            } else {
+                // e.g. RFC write: no main-RF bank port needed. Results
+                // forward from the write queue, so dependents unblock one
+                // cycle after the write is accepted; the array completes
+                // the write in the background (energy still accounted).
+                const regfile::RfAccess acc =
+                    backend->access(e.warp, r, true);
+                clears.push_back(
+                    {now + (cfg.writeForwarding ? 1 : acc.latency), t, r});
+            }
+        }
+    }
+}
+
+void
+Sm::latchReadyOperands(Cycle now)
+{
+    for (auto &c : collectors) {
+        if (!c.busy)
+            continue;
+        for (unsigned i = 0; i < c.nOps; ++i) {
+            Operand &op = c.ops[i];
+            if (op.state == OpState::InFlight && op.readyAt <= now) {
+                op.state = OpState::Ready;
+                warps[c.warp].releaseRead(op.reg);
+            }
+        }
+    }
+}
+
+void
+Sm::dispatchCollectors(Cycle now)
+{
+    unsigned spLeft = cfg.spWidth;
+    unsigned sfuLeft = cfg.sfuWidth;
+    unsigned memLeft = cfg.memWidth;
+
+    const std::size_t nCol = collectors.size();
+    for (std::size_t k = 0; k < nCol; ++k) {
+        Collector &c = collectors[(k + now) % nCol];
+        if (!c.busy)
+            continue;
+        bool allReady = true;
+        for (unsigned i = 0; i < c.nOps; ++i)
+            allReady &= c.ops[i].state == OpState::Ready;
+        if (!allReady)
+            continue;
+
+        const auto cls = c.in->execClass();
+        Cycle finishAt = 0;
+        switch (cls) {
+          case isa::ExecClass::Sp:
+            if (!spLeft)
+                continue;
+            --spLeft;
+            finishAt = now + cfg.spLatency;
+            break;
+          case isa::ExecClass::Sfu:
+            if (!sfuLeft)
+                continue;
+            --sfuLeft;
+            finishAt = now + cfg.sfuLatency;
+            break;
+          case isa::ExecClass::Mem: {
+            if (!memLeft || outstandingMem >= cfg.maxOutstandingMem)
+                continue;
+            --memLeft;
+            unsigned missing = c.in->transactions;
+            if (l1 && c.in->space == isa::MemSpace::Global) {
+                // One line per transaction: region keyed by the static
+                // instruction, lines laid out across warps so the access
+                // stream has spatial and (across loop iterations)
+                // temporal locality.
+                const WarpContext &wc = warps[c.warp];
+                const isa::Kernel *k = wc.kernelPtr();
+                const Pc pc = Pc(c.in - k->code().data());
+                const std::uint64_t region =
+                    hashCoords(k->seed(), pc) << 24;
+                const std::uint64_t warpIdx =
+                    std::uint64_t(wc.cta()) * k->warpsPerCta() +
+                    wc.warpIndexInCta();
+                missing = 0;
+                bool l2Missed = false;
+                for (unsigned t = 0; t < c.in->transactions; ++t) {
+                    const std::uint64_t line =
+                        warpIdx * c.in->transactions + t;
+                    const std::uint64_t addr = region + line * 128;
+                    if (l1->access(addr)) {
+                        _stats.add("l1.hits", 1);
+                        continue;
+                    }
+                    _stats.add("l1.misses", 1);
+                    ++missing;
+                    if (l2) {
+                        if (l2->access(addr))
+                            _stats.add("l2.hits", 1);
+                        else {
+                            _stats.add("l2.misses", 1);
+                            l2Missed = true;
+                        }
+                    } else {
+                        l2Missed = true;
+                    }
+                }
+                if (missing && !l2Missed) {
+                    // All refills served by the shared L2.
+                    const Cycle start = std::max(now, memNextFree);
+                    memNextFree = start + missing;
+                    finishAt = start + cfg.l2HitLatency + missing;
+                    ++outstandingMem;
+                    _stats.add("mem.transactions", c.in->transactions);
+                    exec.push_back({finishAt, c.warp, c.in});
+                    c.busy = false;
+                    ++freeCollectors;
+                    continue;
+                }
+            }
+            if (c.in->space == isa::MemSpace::Shared) {
+                const Cycle start = std::max(now, memNextFree);
+                memNextFree = start + c.in->transactions;
+                finishAt = start + cfg.sharedLatency + c.in->transactions;
+            } else if (missing == 0 && l1) {
+                finishAt = now + cfg.l1HitLatency;
+            } else {
+                const Cycle start = std::max(now, memNextFree);
+                memNextFree = start + missing;
+                finishAt = start + cfg.globalLatency + missing;
+            }
+            ++outstandingMem;
+            PILOTRF_TRACE(TraceCat::Mem, now, smId,
+                          "w%u %s txn=%u finish@%llu", unsigned(c.warp),
+                          isa::toString(c.in->op),
+                          unsigned(c.in->transactions),
+                          (unsigned long long)finishAt);
+            _stats.add("mem.transactions", c.in->transactions);
+            break;
+          }
+          case isa::ExecClass::Ctrl:
+            panic("control instruction in a collector");
+        }
+
+        exec.push_back({finishAt, c.warp, c.in});
+        c.busy = false;
+        ++freeCollectors;
+    }
+}
+
+void
+Sm::arbitrateBanks(Cycle now)
+{
+    // A bank accepts at most one request per cycle and, for NTV-operated
+    // arrays, stays occupied for the whole multi-cycle access.
+    auto bankAvailable = [&](unsigned b) { return bankFree[b] <= now; };
+    auto occupy = [&](unsigned b, unsigned busyCycles) {
+        bankFree[b] = now + std::max(1u, busyCycles);
+    };
+
+    // Writebacks have priority.
+    for (std::size_t i = 0; i < wbQueue.size();) {
+        const WbReq &req = wbQueue[i];
+        if (!bankAvailable(req.bank)) {
+            ++i;
+            continue;
+        }
+        const WbTracker &t = trackers[req.tracker];
+        // The write drains into the array in the background; dependents
+        // unblock at grant + 1 thanks to write-queue forwarding. Reads
+        // keep the partition-dependent latency (the critical path).
+        const regfile::RfAccess acc =
+            backend->access(t.warp, req.reg, true);
+        occupy(req.bank, acc.busy);
+        clears.push_back(
+            {now + (cfg.writeForwarding ? 1 : acc.latency), req.tracker,
+             req.reg});
+        wbQueue[i] = wbQueue.back();
+        wbQueue.pop_back();
+        _stats.add("banks.writeGrants", 1);
+    }
+
+    // Operand reads: rotate the scan start each cycle so no collector is
+    // systematically favoured (fixed-order scans beat against the warp
+    // schedulers and starve late collectors).
+    const std::size_t nCol = collectors.size();
+    for (std::size_t k = 0; k < nCol; ++k) {
+        Collector &c = collectors[(k + now) % nCol];
+        if (!c.busy)
+            continue;
+        for (unsigned i = 0; i < c.nOps; ++i) {
+            Operand &op = c.ops[i];
+            if (op.state != OpState::NeedBank)
+                continue;
+            if (!bankAvailable(op.bank)) {
+                _stats.add("banks.readConflicts", 1);
+                continue;
+            }
+            const regfile::RfAccess acc =
+                backend->access(c.warp, op.reg, false);
+            occupy(op.bank, acc.busy);
+            op.state = OpState::InFlight;
+            op.readyAt = now + acc.latency;
+            _stats.add("banks.readGrants", 1);
+        }
+    }
+}
+
+bool
+Sm::warpReady(const WarpContext &w) const
+{
+    if (!w.valid() || w.done() || w.atBarrier())
+        return false;
+    if (w.inflight() >= cfg.maxInflightPerWarp)
+        return false;
+    const auto &in = w.nextInstr();
+    if (in.isExit() || in.isBarrier())
+        return w.inflight() == 0;
+    if (!w.scoreboardReady(in))
+        return false;
+    if (in.execClass() != isa::ExecClass::Ctrl && freeCollectors == 0)
+        return false;
+    return true;
+}
+
+void
+Sm::finishWarp(WarpId wid)
+{
+    WarpContext &w = warps[wid];
+    PILOTRF_TRACE(TraceCat::Warp, lastCycleSeen, smId, "retire warp %u",
+                  unsigned(wid));
+    --liveWarpCount;
+    scheduler.onWarpFinished(wid);
+    backend->warpFinished(wid);
+
+    CtaSlot &slot = ctaSlots[w.ctaSlotIndex()];
+    panicIf(slot.liveWarps == 0, "CTA live warp underflow");
+    if (--slot.liveWarps == 0) {
+        slot.valid = false;
+        _stats.add("ctas.completed", 1);
+        return;
+    }
+    // If the retiring warp was the last one the barrier was waiting for,
+    // release the others now.
+    if (slot.barrierArrived > 0 && slot.barrierArrived >= slot.liveWarps) {
+        slot.barrierArrived = 0;
+        for (WarpId other : slot.warps) {
+            WarpContext &o = warps[other];
+            if (o.valid() && !o.done() && o.cta() == slot.cta &&
+                o.atBarrier()) {
+                o.setBarrier(false);
+                scheduler.onWarpWakeup(other);
+            }
+        }
+        _stats.add("barriers.released", 1);
+    }
+}
+
+void
+Sm::arriveBarrier(WarpId wid)
+{
+    WarpContext &w = warps[wid];
+    CtaSlot &slot = ctaSlots[w.ctaSlotIndex()];
+    w.setBarrier(true);
+    scheduler.onWarpBlocked(wid, false);
+    if (++slot.barrierArrived < slot.liveWarps)
+        return;
+    // Release the whole CTA.
+    slot.barrierArrived = 0;
+    for (WarpId other : slot.warps) {
+        WarpContext &o = warps[other];
+        if (o.valid() && !o.done() && o.cta() == slot.cta &&
+            o.atBarrier()) {
+            o.setBarrier(false);
+            scheduler.onWarpWakeup(other);
+        }
+    }
+    _stats.add("barriers.released", 1);
+}
+
+bool
+Sm::issueOne(WarpId wid, Cycle now)
+{
+    WarpContext &w = warps[wid];
+    const isa::Instruction &in = w.nextInstr();
+
+    PILOTRF_TRACE(TraceCat::Issue, now, smId, "w%u pc %u: %s",
+                  unsigned(wid), w.pc(), in.toString().c_str());
+    if (in.execClass() == isa::ExecClass::Ctrl) {
+        if (in.isBarrier()) {
+            w.executeControl(in);
+            arriveBarrier(wid);
+        } else if (in.isExit()) {
+            w.executeControl(in);
+            finishWarp(wid);
+        } else {
+            w.executeControl(in); // branch: SIMT stack update
+        }
+        _stats.add("instructions.ctrl", 1);
+        return true;
+    }
+
+    // Allocate a collector and file operand read requests.
+    panicIf(freeCollectors == 0, "issue without a free collector");
+    Collector *col = nullptr;
+    for (auto &c : collectors)
+        if (!c.busy) {
+            col = &c;
+            break;
+        }
+    col->busy = true;
+    --freeCollectors;
+    col->warp = wid;
+    col->in = &in;
+    col->nOps = 0;
+
+    w.scoreboardIssue(in);
+    w.addInflight();
+
+    // Unique source registers: one bank read per distinct register.
+    for (unsigned i = 0; i < in.numSrcs; ++i) {
+        const RegId r = in.srcs[i];
+        bool dup = false;
+        for (unsigned j = 0; j < col->nOps; ++j)
+            dup |= col->ops[j].reg == r;
+        if (dup) {
+            // The collector latches one read for both uses.
+            w.releaseRead(r);
+            continue;
+        }
+        Operand &op = col->ops[col->nOps++];
+        op.reg = r;
+        if (backend->needsBank(wid, r, false)) {
+            op.state = OpState::NeedBank;
+            op.bank = std::uint16_t(backend->bank(wid, r));
+        } else {
+            const regfile::RfAccess acc = backend->access(wid, r, false);
+            op.state = OpState::InFlight;
+            op.readyAt = now + acc.latency;
+        }
+    }
+
+    w.executeControl(in); // advances the PC
+
+    if (in.isGlobal() && in.isMem())
+        scheduler.onWarpBlocked(wid, true); // TL long-latency demotion
+
+    _stats.add(in.isMem() ? "instructions.mem" : "instructions.alu", 1);
+    return true;
+}
+
+unsigned
+Sm::issueStage(Cycle now)
+{
+    (void)now;
+    unsigned issuedTotal = 0;
+    for (unsigned s = 0; s < cfg.schedulers; ++s) {
+        scheduler.candidates(s, candBuf);
+        // Pick the first ready warp and dual-issue from it.
+        for (WarpId w : candBuf) {
+            if (!scheduler.eligible(w) || !warpReady(warps[w]))
+                continue;
+            unsigned issued = 0;
+            while (issued < cfg.issuePerScheduler && warpReady(warps[w]) &&
+                   scheduler.eligible(w)) {
+                issueOne(w, now);
+                ++issued;
+                if (warps[w].done())
+                    break;
+            }
+            if (issued) {
+                scheduler.noteIssue(s, w);
+                issuedTotal += issued;
+            }
+            break;
+        }
+    }
+    return issuedTotal;
+}
+
+void
+Sm::cycle(Cycle now)
+{
+    lastCycleSeen = now;
+    processWritebackClears(now);
+    processExecCompletions(now);
+    latchReadyOperands(now);
+    dispatchCollectors(now);
+    arbitrateBanks(now);
+    const unsigned issued = issueStage(now);
+    backend->cycleHook(now, issued);
+
+    _stats.add("instructions.issued", issued);
+    _stats.add("issueSlots.total", cfg.schedulers * cfg.issuePerScheduler);
+    if (liveWarpCount)
+        _stats.add("cycles.active", 1);
+
+    tryLaunchCtas();
+}
+
+} // namespace pilotrf::sim

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Cycle-level streaming multiprocessor model.
+ *
+ * Per cycle: writeback completions clear the scoreboard; finished
+ * executions enter writeback; ready operands latch; full collectors
+ * dispatch to the SP/SFU/MEM pipelines; the bank arbiter grants one
+ * request per register bank (writeback over reads); the schedulers issue
+ * up to issuePerScheduler instructions each from their warps; the RF
+ * backend sees every access and the per-cycle issue count (adaptive FRF).
+ */
+
+#ifndef PILOTRF_SIM_SM_HH
+#define PILOTRF_SIM_SM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "regfile/register_file.hh"
+#include "sim/scheduler.hh"
+#include "sim/sim_config.hh"
+#include "sim/cache.hh"
+#include "sim/warp_context.hh"
+
+namespace pilotrf::sim
+{
+
+/** Source of CTA ids for the current kernel (the GPU's dispenser). */
+class CtaSource
+{
+  public:
+    virtual ~CtaSource() = default;
+    /** Take the next CTA id; false when the grid is exhausted. */
+    virtual bool next(CtaId &id) = 0;
+    virtual bool exhausted() const = 0;
+};
+
+class Sm
+{
+  public:
+    Sm(const SimConfig &cfg, SmId id,
+       std::unique_ptr<regfile::RegisterFile> rf, CtaSource &ctas);
+
+    /** Begin executing a kernel (resets warp/scheduler/collector state). */
+    void startKernel(const isa::Kernel *kernel);
+
+    /** Advance one cycle. */
+    void cycle(Cycle now);
+
+    /** No running warps and no in-flight work. */
+    bool idle() const;
+
+    /** Attach the GPU-wide shared L2 (may be null). */
+    void setL2(Cache *l2);
+
+    regfile::RegisterFile &rf() { return *backend; }
+    const regfile::RegisterFile &rf() const { return *backend; }
+
+    StatSet &stats() { return _stats; }
+    const StatSet &stats() const { return _stats; }
+
+    const SimConfig &config() const { return cfg; }
+
+  private:
+    // --- sub-structures ---------------------------------------------------
+    enum class OpState : std::uint8_t { NeedBank, InFlight, Ready };
+
+    struct Operand
+    {
+        RegId reg;
+        OpState state;
+        Cycle readyAt;
+        std::uint16_t bank;
+    };
+
+    struct Collector
+    {
+        bool busy = false;
+        WarpId warp = 0;
+        const isa::Instruction *in = nullptr;
+        std::array<Operand, 4> ops;
+        std::uint8_t nOps = 0;
+    };
+
+    struct ExecEntry
+    {
+        Cycle finishAt;
+        WarpId warp;
+        const isa::Instruction *in;
+    };
+
+    struct WbTracker
+    {
+        WarpId warp;
+        std::uint8_t left;
+    };
+
+    struct WbReq
+    {
+        std::uint32_t tracker;
+        RegId reg;
+        std::uint16_t bank;
+    };
+
+    struct PendingClear
+    {
+        Cycle at;
+        std::uint32_t tracker;
+        RegId reg;
+    };
+
+    struct CtaSlot
+    {
+        bool valid = false;
+        CtaId cta = 0;
+        unsigned liveWarps = 0;
+        unsigned barrierArrived = 0;
+        std::vector<WarpId> warps;
+    };
+
+    // --- pipeline stages ---------------------------------------------------
+    void processWritebackClears(Cycle now);
+    void processExecCompletions(Cycle now);
+    void latchReadyOperands(Cycle now);
+    void dispatchCollectors(Cycle now);
+    void arbitrateBanks(Cycle now);
+    unsigned issueStage(Cycle now);
+    void tryLaunchCtas();
+
+    bool warpReady(const WarpContext &w) const;
+    bool issueOne(WarpId wid, Cycle now);
+    void finishWarp(WarpId wid);
+    void arriveBarrier(WarpId wid);
+    std::uint32_t allocTracker(WarpId warp, std::uint8_t writes);
+
+    // --- members ------------------------------------------------------------
+    const SimConfig &cfg;
+    SmId smId;
+    std::unique_ptr<regfile::RegisterFile> backend;
+    CtaSource &ctaSource;
+    Scheduler scheduler;
+
+    const isa::Kernel *kernel = nullptr;
+    unsigned ctaLimit = 0;
+    std::uint64_t launchCounter = 0;
+
+    std::vector<WarpContext> warps;
+    std::vector<CtaSlot> ctaSlots;
+    unsigned liveWarpCount = 0;
+
+    std::vector<Collector> collectors;
+    unsigned freeCollectors = 0;
+    std::vector<ExecEntry> exec;
+    std::vector<WbTracker> trackers;
+    std::vector<std::uint32_t> freeTrackers;
+    std::vector<WbReq> wbQueue;
+    std::vector<PendingClear> clears;
+
+    // bank occupancy: next cycle each register bank is free
+    std::vector<Cycle> bankFree;
+
+    // memory unit
+    Cycle memNextFree = 0;
+    unsigned outstandingMem = 0;
+    std::unique_ptr<Cache> l1; ///< optional L1 data cache (global space)
+    Cache *l2 = nullptr;       ///< GPU-wide shared L2 (not owned)
+
+    Cycle lastCycleSeen = 0; // for trace points outside cycle stages
+
+    std::vector<WarpId> candBuf; // scratch
+
+    StatSet _stats;
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_SM_HH

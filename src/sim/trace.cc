@@ -1,0 +1,98 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace pilotrf::sim
+{
+
+unsigned Trace::mask = 0;
+std::ostream *Trace::stream = &std::cerr;
+
+const char *
+toString(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Issue: return "issue";
+      case TraceCat::Exec: return "exec";
+      case TraceCat::Mem: return "mem";
+      case TraceCat::Bank: return "bank";
+      case TraceCat::Warp: return "warp";
+      case TraceCat::Cta: return "cta";
+      case TraceCat::NumCats: break;
+    }
+    return "?";
+}
+
+void
+Trace::enable(TraceCat cat)
+{
+    mask |= 1u << unsigned(cat);
+}
+
+void
+Trace::disable(TraceCat cat)
+{
+    mask &= ~(1u << unsigned(cat));
+}
+
+void
+Trace::disableAll()
+{
+    mask = 0;
+}
+
+unsigned
+Trace::enableFromList(const char *list)
+{
+    unsigned count = 0;
+    std::string item;
+    const char *p = list;
+    auto flush = [&] {
+        for (unsigned c = 0; c < unsigned(TraceCat::NumCats); ++c) {
+            if (item == toString(TraceCat(c))) {
+                enable(TraceCat(c));
+                ++count;
+            }
+        }
+        item.clear();
+    };
+    for (; *p; ++p) {
+        if (*p == ',')
+            flush();
+        else if (!std::isspace(static_cast<unsigned char>(*p)))
+            item += char(std::tolower(static_cast<unsigned char>(*p)));
+    }
+    flush();
+    return count;
+}
+
+void
+Trace::initFromEnvironment()
+{
+    if (const char *env = std::getenv("PILOTRF_TRACE"))
+        enableFromList(env);
+}
+
+void
+Trace::setStream(std::ostream &os)
+{
+    stream = &os;
+}
+
+void
+Trace::log(TraceCat cat, Cycle cycle, SmId sm, const char *fmt, ...)
+{
+    char buf[512];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    (*stream) << cycle << ": sm" << sm << " " << toString(cat) << ": "
+              << buf << "\n";
+}
+
+} // namespace pilotrf::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight category-gated event tracing for the simulator, in the
+ * spirit of gem5's debug flags. Disabled categories cost one branch per
+ * trace point; enabled ones print one line per event:
+ *
+ *   pilotrf::sim::Trace::enable(TraceCat::Issue);
+ *   pilotrf::sim::Trace::setStream(myStream);
+ *
+ * Categories can also be enabled from the PILOTRF_TRACE environment
+ * variable (comma-separated: "issue,mem,warp").
+ */
+
+#ifndef PILOTRF_SIM_TRACE_HH
+#define PILOTRF_SIM_TRACE_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <ostream>
+
+#include "common/types.hh"
+
+namespace pilotrf::sim
+{
+
+/** Trace event categories. */
+enum class TraceCat : unsigned
+{
+    Issue = 0, ///< instruction issue
+    Exec,      ///< execution-unit dispatch/completion
+    Mem,       ///< memory transactions
+    Bank,      ///< register bank grants/conflicts
+    Warp,      ///< warp lifecycle (launch, barrier, retire)
+    Cta,       ///< CTA scheduling
+    NumCats,
+};
+
+const char *toString(TraceCat cat);
+
+class Trace
+{
+  public:
+    /** Enable/disable one category. */
+    static void enable(TraceCat cat);
+    static void disable(TraceCat cat);
+    static void disableAll();
+
+    /** Enable categories from a comma-separated list ("issue,mem").
+     *  Unknown names are ignored. Returns the number enabled. */
+    static unsigned enableFromList(const char *list);
+
+    /** Read PILOTRF_TRACE once at startup (called lazily). */
+    static void initFromEnvironment();
+
+    static bool enabled(TraceCat cat)
+    {
+        return (mask & (1u << unsigned(cat))) != 0;
+    }
+
+    /** Redirect output (default: std::cerr). Not owned. */
+    static void setStream(std::ostream &os);
+
+    /** Emit one line: "<cycle>: sm<N> <cat>: <message>". */
+    static void log(TraceCat cat, Cycle cycle, SmId sm, const char *fmt,
+                    ...) __attribute__((format(printf, 4, 5)));
+
+  private:
+    static unsigned mask;
+    static std::ostream *stream;
+};
+
+/** Trace-point macro: evaluates arguments only when the category is on. */
+#define PILOTRF_TRACE(cat, cycle, sm, ...)                                 \
+    do {                                                                   \
+        if (pilotrf::sim::Trace::enabled(cat))                             \
+            pilotrf::sim::Trace::log(cat, cycle, sm, __VA_ARGS__);         \
+    } while (0)
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_TRACE_HH

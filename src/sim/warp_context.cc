@@ -1,0 +1,175 @@
+#include "sim/warp_context.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace pilotrf::sim
+{
+
+void
+WarpContext::launch(const isa::Kernel *k, CtaId cta, unsigned wInCta,
+                    unsigned slot, std::uint64_t age_, unsigned threads)
+{
+    kernel = k;
+    ctaId = cta;
+    warpInCta = wInCta;
+    ctaSlot = slot;
+    age = age_;
+    finished = false;
+    barrierWait = false;
+    nInflight = 0;
+    pendingWrites = 0;
+    readRefs.fill(0);
+    loops.clear();
+    branchVisits.clear();
+    launchMask = threads >= warpSize ? fullMask
+                                     : ((ActiveMask(1) << threads) - 1);
+    stack.init(launchMask);
+}
+
+namespace
+{
+std::uint64_t
+regMask(const isa::Instruction &in)
+{
+    std::uint64_t m = 0;
+    for (unsigned i = 0; i < in.numDsts; ++i)
+        m |= std::uint64_t(1) << in.dsts[i];
+    for (unsigned i = 0; i < in.numSrcs; ++i)
+        m |= std::uint64_t(1) << in.srcs[i];
+    return m;
+}
+} // namespace
+
+bool
+WarpContext::scoreboardReady(const isa::Instruction &in) const
+{
+    // RAW and WAW: no touched register may have a pending write.
+    if (regMask(in) & pendingWrites)
+        return false;
+    // WAR: a destination may not be an in-flight read of an older
+    // instruction.
+    for (unsigned i = 0; i < in.numDsts; ++i)
+        if (readRefs[in.dsts[i]])
+            return false;
+    return true;
+}
+
+void
+WarpContext::scoreboardIssue(const isa::Instruction &in)
+{
+    for (unsigned i = 0; i < in.numDsts; ++i)
+        pendingWrites |= std::uint64_t(1) << in.dsts[i];
+    for (unsigned i = 0; i < in.numSrcs; ++i)
+        ++readRefs[in.srcs[i]];
+}
+
+void
+WarpContext::releaseRead(RegId r)
+{
+    panicIf(readRefs[r] == 0, "releaseRead underflow");
+    --readRefs[r];
+}
+
+void
+WarpContext::releaseWrite(RegId r)
+{
+    pendingWrites &= ~(std::uint64_t(1) << r);
+}
+
+void
+WarpContext::removeInflight()
+{
+    panicIf(nInflight == 0, "inflight underflow");
+    --nInflight;
+}
+
+unsigned
+WarpContext::tripsFor(const isa::Instruction &in, Pc pc,
+                      unsigned lane) const
+{
+    unsigned trips = in.tripBase;
+    if (in.tripSpread) {
+        const bool perLane = in.branch == isa::BranchKind::LoopDivergent;
+        const std::uint64_t h =
+            hashCoords(kernel->seed(), ctaId, warpInCta,
+                       perLane ? lane : 1000u, pc);
+        trips += unsigned(h % in.tripSpread);
+    }
+    return trips;
+}
+
+ActiveMask
+WarpContext::evalBranch(const isa::Instruction &in, Pc pc)
+{
+    const ActiveMask active = stack.mask();
+    using isa::BranchKind;
+
+    switch (in.branch) {
+      case BranchKind::Uniform: {
+        const std::uint32_t visit = branchVisits[pc]++;
+        const double u = hashToUnit(
+            hashCoords(kernel->seed(), ctaId, warpInCta, pc, visit));
+        return u < in.takenFrac ? active : 0;
+      }
+      case BranchKind::Divergent: {
+        const std::uint32_t visit = branchVisits[pc]++;
+        ActiveMask taken = 0;
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(active & (ActiveMask(1) << lane)))
+                continue;
+            const double u = hashToUnit(hashCoords(
+                kernel->seed(), ctaId, warpInCta, lane, pc, visit));
+            if (u < in.takenFrac)
+                taken |= ActiveMask(1) << lane;
+        }
+        return taken;
+      }
+      case BranchKind::LoopUniform:
+      case BranchKind::LoopDivergent: {
+        LoopState &ls = loops[pc];
+        ActiveMask taken = 0;
+        for (unsigned lane = 0; lane < warpSize; ++lane) {
+            if (!(active & (ActiveMask(1) << lane)))
+                continue;
+            const unsigned trips = tripsFor(in, pc, lane);
+            ++ls.iter[lane];
+            if (ls.iter[lane] < trips) {
+                taken |= ActiveMask(1) << lane;
+            } else {
+                ls.iter[lane] = 0; // allow outer-loop re-entry
+            }
+        }
+        return taken;
+      }
+      case BranchKind::None:
+        break;
+    }
+    panic("branch without behaviour");
+}
+
+bool
+WarpContext::executeControl(const isa::Instruction &in)
+{
+    panicIf(finished, "executeControl on a finished warp");
+    if (in.isExit()) {
+        finished = true;
+        return true;
+    }
+    if (in.isBarrier()) {
+        // The SM tracks arrival; the warp just advances past the barrier
+        // and is held by the barrierWait flag.
+        stack.advance();
+        return false;
+    }
+    if (in.isBranch()) {
+        const Pc pc = stack.pc();
+        const ActiveMask taken = evalBranch(in, pc);
+        stack.branch(taken, in.target, in.reconverge);
+        return false;
+    }
+    stack.advance();
+    return false;
+}
+
+} // namespace pilotrf::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Per-warp execution context: SIMT stack, scoreboard, loop/branch state,
+ * and the deterministic evaluation of declarative branch behaviours.
+ */
+
+#ifndef PILOTRF_SIM_WARP_CONTEXT_HH
+#define PILOTRF_SIM_WARP_CONTEXT_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "isa/kernel.hh"
+#include "sim/simt_stack.hh"
+
+namespace pilotrf::sim
+{
+
+/**
+ * State of one hardware warp slot.
+ */
+class WarpContext
+{
+  public:
+    /** (Re)initialize for a launching warp. */
+    void launch(const isa::Kernel *kernel, CtaId cta, unsigned warpInCta,
+                unsigned ctaSlot, std::uint64_t age, unsigned threads);
+
+    bool valid() const { return kernel != nullptr; }
+    bool done() const { return finished; }
+    bool atBarrier() const { return barrierWait; }
+
+    const isa::Kernel *kernelPtr() const { return kernel; }
+    CtaId cta() const { return ctaId; }
+    unsigned warpIndexInCta() const { return warpInCta; }
+    unsigned ctaSlotIndex() const { return ctaSlot; }
+    std::uint64_t launchAge() const { return age; }
+
+    /** Next instruction's PC / the instruction itself. */
+    Pc pc() const { return stack.pc(); }
+    const isa::Instruction &nextInstr() const { return kernel->at(pc()); }
+    ActiveMask activeMask() const { return stack.mask(); }
+
+    // --- scoreboard -----------------------------------------------------
+    /** True if the instruction has no RAW/WAW/WAR hazard. */
+    bool scoreboardReady(const isa::Instruction &in) const;
+    /** Reserve destinations / reference sources at issue. */
+    void scoreboardIssue(const isa::Instruction &in);
+    /** A source operand value was latched. */
+    void releaseRead(RegId r);
+    /** A destination write completed. */
+    void releaseWrite(RegId r);
+
+    unsigned inflight() const { return nInflight; }
+    void addInflight() { ++nInflight; }
+    void removeInflight();
+
+    // --- control flow ---------------------------------------------------
+    /** Execute the control effect of the instruction at issue: advances
+     *  the PC, updates the SIMT stack, handles exit. Returns true when the
+     *  warp finished (Exit). Barriers are handled by the SM. */
+    bool executeControl(const isa::Instruction &in);
+
+    void setBarrier(bool b) { barrierWait = b; }
+
+    SimtStack &simtStack() { return stack; }
+
+  private:
+    /** Lanes (within the current mask) taking the branch. */
+    ActiveMask evalBranch(const isa::Instruction &in, Pc pc);
+
+    /** Per-lane trip count for a loop backedge at pc. */
+    unsigned tripsFor(const isa::Instruction &in, Pc pc,
+                      unsigned lane) const;
+
+    const isa::Kernel *kernel = nullptr;
+    CtaId ctaId = 0;
+    unsigned warpInCta = 0;
+    unsigned ctaSlot = 0;
+    std::uint64_t age = 0;
+    ActiveMask launchMask = 0;
+    bool finished = true;
+    bool barrierWait = false;
+    unsigned nInflight = 0;
+
+    SimtStack stack;
+
+    std::uint64_t pendingWrites = 0; ///< bit per architected register
+    std::array<std::uint8_t, maxRegsPerThread> readRefs{};
+
+    struct LoopState
+    {
+        std::array<std::uint16_t, warpSize> iter{};
+    };
+    std::unordered_map<Pc, LoopState> loops;
+    std::unordered_map<Pc, std::uint32_t> branchVisits;
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_WARP_CONTEXT_HH

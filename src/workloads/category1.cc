@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Category-1 workloads (Table I / Fig. 4): static binary occurrence counts
+ * agree with the dynamic access distribution, so compiler profiling works
+ * about as well as pilot profiling.
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace pilotrf::workloads
+{
+
+Workload
+makeBfs()
+{
+    // Frontier expansion: memory-bound with scattered neighbour loads and
+    // a divergent visited-check. 7 regs, 256 threads/CTA.
+    KernelBuilder b("bfs_k1", 7, 256, 600, 0xbf5);
+    prologue(b, {0, 4});
+    b.load(1, 0, MemSpace::Global, 1); // frontier node (coalesced)
+    b.beginLoop(5, 3, true);           // neighbour walk, divergent trips
+    b.load(2, 1, MemSpace::Global, 8); // scattered adjacency access
+    b.op(Opcode::IAdd, 3, {2, 1});
+    b.beginIf(0.4); // unvisited?
+    b.op(Opcode::IAdd, 3, {3, 2});
+    b.store(0, 3, MemSpace::Global, 8);
+    b.endIf();
+    b.op(Opcode::IAdd, 1, {1, 3});
+    coldTouch(b, {5, 6}, 2);
+    b.endLoop();
+    b.store(4, 1, MemSpace::Global, 1);
+    return {"BFS", 1, {b.build()}};
+}
+
+Workload
+makeBtree()
+{
+    // B+tree traversal: pointer chasing with scattered loads.
+    KernelBuilder b("btree_k1", 15, 508, 240, 0xb7ee);
+    prologue(b, {0, 1, 10});
+    b.load(2, 0, MemSpace::Global, 1);
+    b.beginLoop(6, 2, false); // levels of the tree
+    b.load(3, 2, MemSpace::Global, 12); // node fetch (scattered)
+    b.op(Opcode::IAdd, 7, {3, 2});
+    b.op(Opcode::SetP, 7, {7, 3});
+    b.op(Opcode::IAdd, 2, {7, 3});
+    coldTouch(b, {8, 9, 11}, 2);
+    b.endLoop();
+    b.store(10, 2, MemSpace::Global, 4);
+    b.store(10, 7, MemSpace::Global, 4);
+    return {"btree", 1, {b.build()}};
+}
+
+Workload
+makeHotspot()
+{
+    // 2D thermal stencil: compute-heavy tile iteration with barriers.
+    KernelBuilder b("hotspot_k1", 27, 256, 600, 0x407);
+    prologue(b, {0, 1, 2, 3});
+    b.load(4, 0, MemSpace::Global, 1);
+    b.load(5, 1, MemSpace::Global, 1);
+    b.beginLoop(8, 0, false); // pyramid iterations
+    b.load(10, 2, MemSpace::Shared, 1);
+    hotCompute(b, {4, 5, 6}, {10, 11}, 6);
+    b.op(Opcode::FMul, 11, {6, 10});
+    coldTouch(b, {12, 13, 14, 15}, 2);
+    b.barrier();
+    b.endLoop();
+    b.store(3, 6, MemSpace::Global, 1);
+    return {"hotspot", 1, {b.build()}};
+}
+
+Workload
+makeNw()
+{
+    // Needleman-Wunsch: tiny 16-thread CTAs, barrier per anti-diagonal.
+    KernelBuilder b("nw_k1", 21, 16, 960, 0x0909);
+    prologue(b, {0, 2, 3});
+    b.beginLoop(10, 0, false); // anti-diagonals
+    b.load(5, 0, MemSpace::Shared, 1);
+    b.op(Opcode::IAdd, 1, {5, 6});
+    b.op(Opcode::IAdd, 6, {1, 5});
+    b.op(Opcode::SetP, 1, {6, 1});
+    b.store(0, 1, MemSpace::Shared, 1);
+    coldTouch(b, {8, 9, 10}, 2);
+    b.barrier();
+    b.endLoop();
+    b.store(3, 6, MemSpace::Global, 2);
+    return {"nw", 1, {b.build()}};
+}
+
+Workload
+makeStencil()
+{
+    // 3D 7-point stencil: 1024-thread CTAs, coalesced streaming.
+    KernelBuilder b("stencil_k1", 15, 1024, 120, 0x57e);
+    prologue(b, {0, 1});
+    b.load(2, 0, MemSpace::Global, 1);
+    b.beginLoop(10, 0, false); // z-sweep
+    b.load(5, 1, MemSpace::Global, 1);
+    hotCompute(b, {3, 4, 8}, {2, 5}, 5);
+    coldTouch(b, {9, 10, 11, 12}, 2);
+    b.store(1, 3, MemSpace::Global, 1);
+    b.barrier();
+    b.endLoop();
+    return {"stencil", 1, {b.build()}};
+}
+
+Workload
+makeBackprop()
+{
+    // Two kernels with disjoint hot sets (Sec. II): k1 hot {r0,r8,r9} with
+    // r0 accessed about 6x r6; k2 hot {r4,r5,r6}.
+    KernelBuilder k1("backprop_k1", 13, 256, 480, 0xbac1);
+    prologue(k1, {1, 2});
+    k1.load(6, 1, MemSpace::Global, 1); // r6: touched once per warp here
+    k1.beginLoop(9, 0, false);          // layer fan-in
+    k1.op(Opcode::FFma, 0, {8, 9, 0});
+    k1.op(Opcode::FMul, 8, {0, 9});
+    k1.op(Opcode::FAdd, 0, {0, 8});
+    k1.op(Opcode::FAdd, 9, {0, 6});
+    coldTouch(k1, {10, 11, 12}, 2);
+    k1.endLoop();
+    k1.store(2, 0, MemSpace::Global, 1);
+
+    KernelBuilder k2("backprop_k2", 13, 256, 480, 0xbac2);
+    prologue(k2, {0, 1});
+    k2.load(4, 0, MemSpace::Global, 1);
+    k2.beginLoop(8, 0, false); // weight adjustment
+    hotCompute(k2, {4, 5, 6}, {2, 3}, 5);
+    coldTouch(k2, {7, 8, 9}, 2);
+    k2.endLoop();
+    k2.store(1, 5, MemSpace::Global, 1);
+
+    return {"backprop", 1, {k1.build(), k2.build()}};
+}
+
+Workload
+makeSad()
+{
+    // Sum-of-absolute-differences: 61-thread CTAs, dense compute.
+    KernelBuilder b("sad_k1", 29, 61, 960, 0x5ad);
+    prologue(b, {0, 1, 20});
+    b.load(3, 0, MemSpace::Global, 1);
+    b.beginLoop(12, 0, false); // search window
+    b.load(10, 1, MemSpace::Global, 2);
+    hotCompute(b, {2, 6, 7}, {3, 10}, 6);
+    coldTouch(b, {12, 13, 14, 15}, 3);
+    b.endLoop();
+    b.store(20, 2, MemSpace::Global, 1);
+    return {"sad", 1, {b.build()}};
+}
+
+Workload
+makeSrad()
+{
+    // Speckle-reducing anisotropic diffusion: divergent boundary handling.
+    KernelBuilder b("srad_k1", 12, 256, 600, 0x5bad);
+    prologue(b, {0, 3});
+    b.load(4, 0, MemSpace::Global, 1);
+    b.beginLoop(8, 0, false);
+    hotCompute(b, {1, 2, 5}, {4, 6}, 5);
+    coldTouch(b, {7, 8, 9, 10}, 2);
+    b.beginIf(0.25); // image boundary lanes
+    b.op(Opcode::FMul, 6, {1, 4});
+    b.endIf();
+    b.endLoop();
+    b.store(3, 1, MemSpace::Global, 1);
+    return {"srad", 1, {b.build()}};
+}
+
+Workload
+makeMum()
+{
+    // MUMmer suffix-tree matching: long divergent walks, small grid, so
+    // the pilot spans a large share of the kernel (Table I: 37%).
+    KernelBuilder b("mum_k1", 15, 256, 40, 0x303);
+    prologue(b, {0, 1});
+    b.load(2, 0, MemSpace::Global, 1);
+    b.beginLoop(8, 26, true); // query walk, strongly divergent trips
+    b.load(3, 2, MemSpace::Global, 10);
+    hotCompute(b, {4, 5, 6}, {3, 2}, 4);
+    coldTouch(b, {7, 8, 9}, 2);
+    b.op(Opcode::IAdd, 2, {2, 4});
+    b.endLoop();
+    b.store(1, 4, MemSpace::Global, 4);
+    return {"MUM", 1, {b.build()}};
+}
+
+} // namespace pilotrf::workloads

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Category-2 workloads: the dynamically hot registers live inside
+ * high-trip-count loops while rarely-executed code regions inflate the
+ * static occurrence counts of cold registers, so compiler profiling
+ * under-performs pilot profiling by more than 10% (Fig. 4).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace pilotrf::workloads
+{
+
+Workload
+makeKmeans()
+{
+    KernelBuilder b("kmeans_k1", 9, 256, 600, 0x3a5);
+    prologue(b, {0, 3});
+    decoyBlock(b, {1, 2, 3}, 6); // error/boundary handling, rarely run
+    b.load(4, 0, MemSpace::Global, 1);
+    b.beginLoop(10, 0, false); // distance accumulation over features
+    hotCompute(b, {5, 6, 7}, {4, 0}, 5);
+    coldTouch(b, {8, 1, 2}, 2);
+    b.endLoop();
+    b.store(3, 5, MemSpace::Global, 1);
+    return {"kmeans", 2, {b.build()}};
+}
+
+Workload
+makeLavaMd()
+{
+    KernelBuilder b("lavamd_k1", 6, 128, 1200, 0x1a7a);
+    b.op(Opcode::IAdd, 2, {5});
+    decoyBlock(b, {0, 1}, 7); // neighbour-box bookkeeping, rarely run
+    b.load(5, 2, MemSpace::Global, 1);
+    b.beginLoop(12, 0, false); // particle interactions
+    b.op(Opcode::FFma, 3, {4, 5, 3});
+    b.op(Opcode::FMul, 4, {3, 5});
+    b.op(Opcode::FAdd, 3, {3, 4});
+    coldTouch(b, {0, 1}, 1);
+    b.endLoop();
+    b.store(2, 3, MemSpace::Global, 1);
+    return {"lavaMD", 2, {b.build()}};
+}
+
+Workload
+makeMriQ()
+{
+    KernelBuilder b("mriq_k1", 12, 512, 180, 0x319);
+    prologue(b, {0, 1});
+    decoyBlock(b, {2, 3, 4}, 5); // setup/edge path, rarely run
+    b.load(5, 0, MemSpace::Global, 1);
+    b.beginLoop(11, 0, false); // k-space accumulation
+    b.op(Opcode::Sin, 6, {5});
+    hotCompute(b, {8, 9, 10}, {6, 5}, 4);
+    coldTouch(b, {7, 11, 0}, 2);
+    b.endLoop();
+    b.store(1, 8, MemSpace::Global, 1);
+    return {"mri-q", 2, {b.build()}};
+}
+
+Workload
+makeNn()
+{
+    KernelBuilder b("nn_k1", 10, 169, 600, 0x22);
+    prologue(b, {2, 3});
+    decoyBlock(b, {0, 1, 2}, 6); // record parsing, rarely run
+    b.load(7, 2, MemSpace::Global, 1);
+    b.beginLoop(9, 0, false); // distance over coordinates
+    hotCompute(b, {4, 5, 6}, {7, 3}, 5);
+    coldTouch(b, {8, 9, 0}, 2);
+    b.endLoop();
+    b.store(3, 4, MemSpace::Global, 1);
+    return {"NN", 2, {b.build()}};
+}
+
+Workload
+makeSgemm()
+{
+    // Tuned so a static first-4 allocation (r0..r3) captures ~25% of the
+    // accesses while the true top-4 {r9..r12} capture ~55% (Sec. III).
+    KernelBuilder b("sgemm_k1", 27, 128, 720, 0x96e);
+    prologue(b, {0, 1, 2, 3});
+    decoyBlock(b, {20, 21, 22, 23}, 5); // remainder-tile path, rarely run
+    b.load(5, 0, MemSpace::Global, 1);
+    b.beginLoop(12, 0, false); // k-loop
+    b.load(6, 1, MemSpace::Global, 1);
+    b.load(7, 2, MemSpace::Shared, 1);
+    hotCompute(b, {9, 10, 11, 12}, {5, 6, 7}, 9);
+    b.op(Opcode::IAdd, 0, {0, 3}); // address stride updates keep r0..r3
+    b.op(Opcode::IAdd, 1, {1, 3}); // at a ~25% share
+    b.op(Opcode::IAdd, 2, {2, 3});
+    coldTouch(b, {14, 15, 16, 17}, 1);
+    b.endLoop();
+    b.store(3, 9, MemSpace::Global, 1);
+    b.store(3, 10, MemSpace::Global, 1);
+    return {"sgemm", 2, {b.build()}};
+}
+
+Workload
+makeCp()
+{
+    // Coulombic potential: small grid (pilot spans ~half the kernel,
+    // Table I: 47%) with hot set {r1, r9, r10} (Sec. II).
+    KernelBuilder b("cp_k1", 12, 128, 40, 0xc9);
+    prologue(b, {0, 2});
+    decoyBlock(b, {4, 5, 6}, 5);
+    b.load(3, 0, MemSpace::Global, 1);
+    b.beginLoop(10, 10, false); // atoms, per-warp workload varies
+    b.op(Opcode::Rsq, 7, {3});
+    hotCompute(b, {10, 1, 9}, {7, 3}, 5);
+    b.op(Opcode::FMul, 9, {10, 9});
+    coldTouch(b, {8, 11, 0}, 2);
+    b.endLoop();
+    b.store(2, 1, MemSpace::Global, 1);
+    return {"CP", 2, {b.build()}};
+}
+
+} // namespace pilotrf::workloads

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Category-3 workloads (LIB, WP): very few warps, so the pilot warp spans
+ * most of the kernel runtime (60-75%, Table I), and per-warp uniform
+ * branches select between code paths with different register pressure —
+ * the single pilot's view is unrepresentative and compiler profiling
+ * identifies a better register set (Fig. 4).
+ */
+
+#include "workloads/common.hh"
+#include "workloads/workloads.hh"
+
+namespace pilotrf::workloads
+{
+
+namespace
+{
+
+/** Emit a per-warp-selected pair of compute paths with different hot
+ *  register sets; shared contains registers hot on every path. */
+void
+perWarpPaths(KernelBuilder &b, const std::vector<RegId> &pathA,
+             const std::vector<RegId> &pathB,
+             const std::vector<RegId> &shared, unsigned trips,
+             unsigned opsPerIter)
+{
+    // Mandatory shared work so every warp (the pilot included) runs for a
+    // comparable stretch...
+    b.beginLoop(trips / 2, 2, false);
+    hotCompute(b, shared, pathA, 2);
+    b.endLoop();
+    // ...then per-warp path selection: most warps take exactly one of the
+    // two register-disjoint paths, so a single pilot's counters are
+    // unrepresentative of the aggregate (the Category-3 mechanism).
+    b.beginIfUniform(0.65); // path A warps
+    b.beginLoop(trips, 6, false);
+    hotCompute(b, pathA, shared, opsPerIter);
+    b.endLoop();
+    b.endIf();
+    b.beginIfUniform(0.65); // path B warps
+    b.beginLoop(trips, 6, false);
+    hotCompute(b, pathB, shared, opsPerIter);
+    b.endLoop();
+    b.endIf();
+}
+
+} // namespace
+
+Workload
+makeLib()
+{
+    // LIBOR Monte-Carlo: 64-thread CTAs, 8 CTAs total.
+    KernelBuilder b("lib_k1", 18, 64, 8, 0x11b);
+    prologue(b, {0, 12});
+    b.load(1, 0, MemSpace::Global, 1);
+    perWarpPaths(b, {2, 3, 4}, {5, 6, 7}, {1}, 14, 6);
+    b.op(Opcode::FAdd, 12, {1, 12});
+    b.store(0, 12, MemSpace::Global, 1);
+    return {"LIB", 3, {b.build()}};
+}
+
+Workload
+makeWp()
+{
+    // Weather prediction kernel: 64-thread CTAs, 4 CTAs total.
+    KernelBuilder b("wp_k1", 8, 64, 4, 17);
+    b.op(Opcode::IAdd, 0, {6});
+    b.load(1, 0, MemSpace::Global, 1);
+    perWarpPaths(b, {2, 3}, {4, 5}, {1}, 16, 5);
+    b.op(Opcode::FMul, 6, {1, 0});
+    b.store(0, 6, MemSpace::Global, 1);
+    return {"WP", 3, {b.build()}};
+}
+
+} // namespace pilotrf::workloads

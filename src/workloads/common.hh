@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared emission helpers for the synthetic workloads.
+ */
+
+#ifndef PILOTRF_WORKLOADS_COMMON_HH
+#define PILOTRF_WORKLOADS_COMMON_HH
+
+#include <vector>
+
+#include "isa/kernel_builder.hh"
+
+namespace pilotrf::workloads
+{
+
+using isa::KernelBuilder;
+using isa::MemSpace;
+using isa::Opcode;
+
+/**
+ * Emit @p n fused-multiply-add style instructions cycling through the hot
+ * register set with one auxiliary operand each: hot registers collect
+ * roughly three operand references per instruction, auxiliaries one.
+ */
+inline void
+hotCompute(KernelBuilder &b, const std::vector<RegId> &hot,
+           const std::vector<RegId> &aux, unsigned n)
+{
+    const std::size_t h = hot.size(), a = aux.size();
+    for (unsigned i = 0; i < n; ++i) {
+        b.op(Opcode::FFma, hot[i % h],
+             {hot[(i + 1) % h], aux[i % a], hot[i % h]});
+    }
+}
+
+/**
+ * Emit a rarely-executed block stuffed with references to the decoy
+ * registers. The compiler's static occurrence counts see every reference;
+ * dynamically the block runs with probability @p execProb per warp — the
+ * Category-2 mechanism that defeats compiler-based profiling.
+ */
+inline void
+decoyBlock(KernelBuilder &b, const std::vector<RegId> &decoys, unsigned per,
+           double execProb = 0.02)
+{
+    b.beginIfUniform(execProb);
+    for (unsigned i = 0; i < per; ++i)
+        for (std::size_t d = 0; d < decoys.size(); ++d)
+            b.op(Opcode::IAdd, decoys[d],
+                 {decoys[(d + 1) % decoys.size()], decoys[d]});
+    b.endIf();
+}
+
+/**
+ * Emit @p k integer ops over a rotating set of cold registers: spreads a
+ * controlled share of the dynamic accesses across the long tail so the
+ * top-N concentration matches the Fig. 2 averages.
+ */
+inline void
+coldTouch(KernelBuilder &b, const std::vector<RegId> &cold, unsigned k)
+{
+    for (unsigned i = 0; i < k; ++i)
+        b.op(Opcode::IAdd, cold[i % cold.size()],
+             {cold[(i + 1) % cold.size()]});
+}
+
+/** Short address-setup prologue over the given registers. */
+inline void
+prologue(KernelBuilder &b, const std::vector<RegId> &regs)
+{
+    for (std::size_t i = 0; i < regs.size(); ++i)
+        b.op(Opcode::IAdd, regs[i], {regs[(i + 1) % regs.size()]});
+}
+
+} // namespace pilotrf::workloads
+
+#endif // PILOTRF_WORKLOADS_COMMON_HH

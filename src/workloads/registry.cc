@@ -1,0 +1,47 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::workloads
+{
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v;
+        // Category 1
+        v.push_back(makeBfs());
+        v.push_back(makeBtree());
+        v.push_back(makeHotspot());
+        v.push_back(makeNw());
+        v.push_back(makeStencil());
+        v.push_back(makeBackprop());
+        v.push_back(makeSad());
+        v.push_back(makeSrad());
+        v.push_back(makeMum());
+        // Category 2
+        v.push_back(makeKmeans());
+        v.push_back(makeLavaMd());
+        v.push_back(makeMriQ());
+        v.push_back(makeNn());
+        v.push_back(makeSgemm());
+        v.push_back(makeCp());
+        // Category 3
+        v.push_back(makeLib());
+        v.push_back(makeWp());
+        return v;
+    }();
+    return all;
+}
+
+const Workload &
+workload(const std::string &name)
+{
+    for (const auto &w : allWorkloads())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload: %s", name.c_str());
+}
+
+} // namespace pilotrf::workloads

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The benchmark suite: 17 synthetic kernels modeled on the Rodinia /
+ * Parboil / ISPASS workloads of Table I. Each kernel fixes the paper's
+ * registers-per-thread and threads-per-CTA, encodes a distinct hot
+ * register set tuned to the Fig. 2 access-skew averages, and realizes its
+ * category's profiling behaviour (Fig. 4):
+ *
+ *  - Category 1: static binary counts track the dynamic counts;
+ *  - Category 2: the dynamically hot registers live inside high-trip-count
+ *    loops while a rarely-executed region inflates the static counts of
+ *    cold registers, so compiler profiling mispredicts;
+ *  - Category 3: tiny grids where the pilot warp spans most of the kernel
+ *    and per-warp uniform branches make the pilot's view unrepresentative.
+ */
+
+#ifndef PILOTRF_WORKLOADS_WORKLOADS_HH
+#define PILOTRF_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hh"
+
+namespace pilotrf::workloads
+{
+
+struct Workload
+{
+    std::string name;
+    unsigned category; ///< 1..3, per Table I
+    std::vector<isa::Kernel> kernels;
+};
+
+/** All 17 workloads, Table I order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Lookup by name; fatal() if unknown. */
+const Workload &workload(const std::string &name);
+
+// Individual builders (exposed for unit tests).
+Workload makeBfs();
+Workload makeBtree();
+Workload makeHotspot();
+Workload makeNw();
+Workload makeStencil();
+Workload makeBackprop();
+Workload makeSad();
+Workload makeSrad();
+Workload makeMum();
+Workload makeKmeans();
+Workload makeLavaMd();
+Workload makeMriQ();
+Workload makeNn();
+Workload makeSgemm();
+Workload makeCp();
+Workload makeLib();
+Workload makeWp();
+
+} // namespace pilotrf::workloads
+
+#endif // PILOTRF_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the extension substrates: the set-associative L1 cache model,
+ * the L1-enabled memory path, and the drowsy register-file baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/kernel_builder.hh"
+#include "power/energy_accountant.hh"
+#include "regfile/drowsy_rf.hh"
+#include "sim/cache.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+
+// --- cache model -------------------------------------------------------------
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(16 * 1024, 4);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x107f)); // same 128B line
+    EXPECT_FALSE(c.access(0x1080)); // next line
+    EXPECT_EQ(c.hits(), 2u);
+    EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    Cache c(4 * 128, 4); // one set, four ways
+    EXPECT_EQ(c.sets(), 1u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        c.access(i * 128);
+    EXPECT_TRUE(c.access(0));       // refresh line 0
+    EXPECT_FALSE(c.access(4 * 128)); // evicts line 1 (LRU)
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(1 * 128)); // line 1 gone
+}
+
+TEST(Cache, SetIndexing)
+{
+    Cache c(2 * 128 * 2, 2); // 2 sets x 2 ways
+    EXPECT_EQ(c.sets(), 2u);
+    // Same set (stride 2 lines), third line evicts.
+    c.access(0 * 128);
+    c.access(2 * 128);
+    c.access(4 * 128);
+    EXPECT_FALSE(c.access(0 * 128)); // evicted
+    // The other set untouched by those.
+    EXPECT_FALSE(c.access(1 * 128)); // cold, but present afterwards
+    EXPECT_TRUE(c.access(1 * 128));
+}
+
+TEST(Cache, FlushDropsEverything)
+{
+    Cache c(16 * 1024, 4);
+    c.access(0);
+    c.flush();
+    EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, HitRate)
+{
+    Cache c(16 * 1024, 4);
+    c.access(0);
+    c.access(0);
+    EXPECT_DOUBLE_EQ(c.hitRate(), 0.5);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_DEATH(Cache(100, 3), "");
+}
+
+// --- L1-enabled memory path ----------------------------------------------------
+
+TEST(L1Integration, RepeatedLoadsHitAndSpeedUp)
+{
+    setQuiet(true);
+    isa::KernelBuilder b("l1", 8, 32, 1);
+    b.beginLoop(10);
+    b.load(1, 0, isa::MemSpace::Global, 1); // same line every iteration
+    b.op(isa::Opcode::IAdd, 2, {1});
+    b.endLoop();
+    auto k = b.build();
+
+    SimConfig off;
+    off.numSms = 1;
+    off.rfKind = RfKind::MrfStv;
+    SimConfig on = off;
+    on.l1Enable = true;
+
+    Gpu gOff(off), gOn(on);
+    const auto rOff = gOff.run(k);
+    const auto rOn = gOn.run(k);
+    EXPECT_LT(rOn.totalCycles, rOff.totalCycles);
+    EXPECT_DOUBLE_EQ(rOn.simStats.get("l1.misses"), 1.0);
+    EXPECT_DOUBLE_EQ(rOn.simStats.get("l1.hits"), 9.0);
+}
+
+TEST(L1Integration, SuiteCompletesWithL1)
+{
+    setQuiet(true);
+    SimConfig c;
+    c.numSms = 4;
+    c.l1Enable = true;
+    c.rfKind = RfKind::Partitioned;
+    Gpu gpu(c);
+    const auto r = gpu.run(workloads::workload("BFS").kernels);
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_GT(r.simStats.get("l1.hits") + r.simStats.get("l1.misses"),
+              0.0);
+}
+
+// --- drowsy RF ----------------------------------------------------------------
+
+TEST(DrowsyRf, WakeupPenaltyOnIdleWarp)
+{
+    regfile::DrowsyRfConfig cfg;
+    cfg.drowsyAfter = 10;
+    regfile::DrowsyRf rf(24, cfg, 64);
+    isa::KernelBuilder b("d", 8, 32, 1);
+    b.op(isa::Opcode::IAdd, 0, {0});
+    auto k = b.build();
+    rf.kernelLaunch(k);
+    rf.cycleHook(0, 0);
+    rf.warpStarted(3, 0);
+    EXPECT_EQ(rf.access(3, 0, false).latency, 1u); // just woke with start
+    for (Cycle c = 1; c <= 20; ++c)
+        rf.cycleHook(c, 0);
+    EXPECT_TRUE(rf.isDrowsy(3));
+    EXPECT_EQ(rf.access(3, 0, false).latency, 2u); // wake penalty
+    EXPECT_EQ(rf.access(3, 0, false).latency, 1u); // now awake
+    EXPECT_DOUBLE_EQ(rf.stats().get("drowsy.wakeups"), 1.0);
+}
+
+TEST(DrowsyRf, AwakeFractionTracksActivity)
+{
+    regfile::DrowsyRfConfig cfg;
+    cfg.drowsyAfter = 5;
+    regfile::DrowsyRf rf(24, cfg, 64);
+    isa::KernelBuilder b("d", 8, 32, 1);
+    b.op(isa::Opcode::IAdd, 0, {0});
+    auto k = b.build();
+    rf.kernelLaunch(k);
+    rf.warpStarted(0, 0);
+    for (Cycle c = 0; c < 100; ++c)
+        rf.cycleHook(c, 0); // idle the whole time
+    EXPECT_LT(rf.awakeFraction(), 0.2);
+    EXPECT_GT(rf.awakeFraction(), 0.0);
+}
+
+TEST(DrowsyRf, EndToEndSavesLeakageNotDynamic)
+{
+    setQuiet(true);
+    power::EnergyAccountant acct;
+    const auto &wl = workloads::workload("BFS"); // memory bound: idle warps
+    SimConfig base;
+    base.numSms = 4;
+    base.rfKind = RfKind::MrfStv;
+    SimConfig drowsy = base;
+    drowsy.rfKind = RfKind::Drowsy;
+    Gpu gb(base), gd(drowsy);
+    const auto rb = gb.run(wl.kernels);
+    const auto rd = gd.run(wl.kernels);
+    const auto eb = acct.account(base, rb.rfStats, rb.totalCycles);
+    const auto ed = acct.account(drowsy, rd.rfStats, rd.totalCycles);
+    // Leakage drops...
+    EXPECT_LT(ed.leakagePowerMw, 0.8 * eb.leakagePowerMw);
+    // ...but per-access dynamic energy is the full MRF cost.
+    EXPECT_NEAR(ed.dynamicPj / rd.rfAccesses(), 14.9, 0.1);
+    // Small performance cost from wakeups.
+    EXPECT_LT(double(rd.totalCycles) / rb.totalCycles, 1.10);
+}
+
+TEST(DrowsyRf, ComparedToPartitionedOnLeakage)
+{
+    setQuiet(true);
+    power::EnergyAccountant acct;
+    SimConfig drowsy;
+    drowsy.rfKind = RfKind::Drowsy;
+    SimConfig part;
+    part.rfKind = RfKind::Partitioned;
+    // Partitioned leakage is fixed at 39% savings; drowsy depends on
+    // activity but cannot beat the floor set by its factor.
+    EXPECT_NEAR(acct.leakagePowerMw(part), 20.6, 0.3);
+    EXPECT_NEAR(acct.leakagePowerMw(drowsy), 33.8, 0.3); // nominal
+}
+
+TEST(L2Integration, L2CatchesL1Evictions)
+{
+    setQuiet(true);
+    // Working set: 64 distinct lines per iteration > 16KB L1 can be
+    // thrashed with a tiny L1 but fits the shared L2.
+    isa::KernelBuilder b("l2", 8, 32, 1);
+    b.beginLoop(6);
+    b.load(1, 0, isa::MemSpace::Global, 32); // 32 lines per iteration
+    b.load(2, 0, isa::MemSpace::Global, 32);
+    b.op(isa::Opcode::IAdd, 3, {1, 2});
+    b.endLoop();
+    auto k = b.build();
+
+    SimConfig l1only;
+    l1only.numSms = 1;
+    l1only.l1Enable = true;
+    l1only.l1SizeKb = 4; // thrash
+    SimConfig both = l1only;
+    both.l2Enable = true;
+
+    Gpu g1(l1only), g2(both);
+    const auto r1 = g1.run(k);
+    const auto r2 = g2.run(k);
+    EXPECT_GT(r2.simStats.get("l2.hits"), 0.0);
+    EXPECT_LE(r2.totalCycles, r1.totalCycles);
+}
+
+TEST(L2Integration, RequiresL1)
+{
+    SimConfig c;
+    c.l2Enable = true;
+    c.l1Enable = false;
+    EXPECT_DEATH(Gpu gpu(c), "requires the L1");
+}
+
+TEST(L2Integration, SuiteCompletesWithFullHierarchy)
+{
+    setQuiet(true);
+    SimConfig c;
+    c.numSms = 4;
+    c.l1Enable = true;
+    c.l2Enable = true;
+    c.rfKind = RfKind::Partitioned;
+    Gpu gpu(c);
+    const auto r = gpu.run(workloads::workload("btree").kernels);
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_GT(r.simStats.get("l2.hits") + r.simStats.get("l2.misses"),
+              0.0);
+}

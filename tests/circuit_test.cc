@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit and property tests for the 7nm FinFET device model, the inverter
+ * delay model (Fig. 1) and its calibration to Table III.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/finfet.hh"
+#include "circuit/inverter_chain.hh"
+
+using namespace pilotrf::circuit;
+
+class FinFetTest : public ::testing::Test
+{
+  protected:
+    const TechParams &tech = finfet7();
+    FinFet dev{tech};
+};
+
+TEST_F(FinFetTest, OnCurrentStvMatchesTableIII)
+{
+    EXPECT_NEAR(dev.onCurrentPerUm(vddStv, BackGate::Enabled), 2.372e-3,
+                0.05e-3);
+}
+
+TEST_F(FinFetTest, OnCurrentNtvMatchesTableIII)
+{
+    EXPECT_NEAR(dev.onCurrentPerUm(vddNtv, BackGate::Enabled), 7.505e-4,
+                0.4e-4);
+}
+
+TEST_F(FinFetTest, OnCurrentBackGateOffMatchesTableIII)
+{
+    EXPECT_NEAR(dev.onCurrentPerUm(vddStv, BackGate::Disabled), 2.427e-4,
+                0.15e-4);
+}
+
+TEST_F(FinFetTest, BackGateDisabledRaisesVth)
+{
+    EXPECT_GT(dev.vth(BackGate::Disabled), dev.vth(BackGate::Enabled));
+    EXPECT_NEAR(dev.vth(BackGate::Disabled) - dev.vth(BackGate::Enabled),
+                tech.deltaVthBackGate, 1e-12);
+}
+
+TEST_F(FinFetTest, BackGateDisabledHalvesGateCap)
+{
+    EXPECT_DOUBLE_EQ(dev.gateCap(BackGate::Disabled),
+                     dev.gateCap(BackGate::Enabled) / 2.0);
+}
+
+TEST_F(FinFetTest, CurrentMonotoneInVgs)
+{
+    double prev = 0.0;
+    for (double vgs = 0.05; vgs <= 0.7; vgs += 0.05) {
+        const double i = dev.current(vgs, 0.3, BackGate::Enabled);
+        EXPECT_GT(i, prev);
+        prev = i;
+    }
+}
+
+TEST_F(FinFetTest, CurrentMonotoneInVds)
+{
+    double prev = -1.0;
+    for (double vds = 0.01; vds <= 0.6; vds += 0.02) {
+        const double i = dev.current(0.45, vds, BackGate::Enabled);
+        EXPECT_GT(i, prev);
+        prev = i;
+    }
+}
+
+TEST_F(FinFetTest, ZeroVdsZeroCurrent)
+{
+    EXPECT_DOUBLE_EQ(dev.current(0.45, 0.0, BackGate::Enabled), 0.0);
+    EXPECT_DOUBLE_EQ(dev.current(0.45, -0.1, BackGate::Enabled), 0.0);
+}
+
+TEST_F(FinFetTest, WidthScalesWithFins)
+{
+    FinFet wide(tech, 3);
+    EXPECT_NEAR(wide.current(0.45, 0.45, BackGate::Enabled),
+                3.0 * dev.current(0.45, 0.45, BackGate::Enabled), 1e-9);
+    EXPECT_DOUBLE_EQ(wide.widthUm(), 3 * tech.finWidthUm);
+}
+
+TEST_F(FinFetTest, SubthresholdConductionIsExponential)
+{
+    // Exponential conduction well below threshold: one decade of current
+    // per aSlope*ln(10)/betaI of gate voltage (the overdrive exponent
+    // multiplies the subthreshold slope).
+    const double i1 = dev.current(0.10, 0.3, BackGate::Enabled);
+    const double step = tech.aSlope * std::log(10.0) / tech.betaI;
+    const double i2 = dev.current(0.10 + step, 0.3, BackGate::Enabled);
+    EXPECT_NEAR(i2 / i1, 10.0, 1.5);
+}
+
+TEST_F(FinFetTest, LeakageGrowsWithVdd)
+{
+    EXPECT_GT(dev.leakage(0.45, BackGate::Enabled),
+              dev.leakage(0.30, BackGate::Enabled));
+}
+
+TEST_F(FinFetTest, LeakagePowerRatioMatchesTableIv)
+{
+    // P(NTV)/P(STV) per cell ~ 0.45 (drives the SRF leakage of Table IV).
+    const double r =
+        dev.leakage(vddNtv, BackGate::Enabled) * vddNtv /
+        (dev.leakage(vddStv, BackGate::Enabled) * vddStv);
+    EXPECT_NEAR(r, 0.453, 0.02);
+}
+
+TEST_F(FinFetTest, BackGateOffCutsLeakage)
+{
+    EXPECT_LT(dev.leakage(0.45, BackGate::Disabled),
+              dev.leakage(0.45, BackGate::Enabled));
+}
+
+TEST_F(FinFetTest, VthVariationShiftsCurrent)
+{
+    FinFet slow(tech, 1, +0.05);
+    FinFet fast(tech, 1, -0.05);
+    const double nom = dev.current(0.3, 0.3, BackGate::Enabled);
+    EXPECT_LT(slow.current(0.3, 0.3, BackGate::Enabled), nom);
+    EXPECT_GT(fast.current(0.3, 0.3, BackGate::Enabled), nom);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(InverterChain, NtvToStvRatioIsAboutThree)
+{
+    const auto &tech = finfet7();
+    const double r =
+        chainDelay(tech, vddNtv) / chainDelay(tech, vddStv);
+    EXPECT_NEAR(r, 3.0, 0.25);
+}
+
+TEST(InverterChain, DelayMonotoneDecreasingInVdd)
+{
+    const auto &tech = finfet7();
+    double prev = 1e9;
+    for (double v = 0.2; v <= 0.6; v += 0.02) {
+        const double d = chainDelay(tech, v);
+        EXPECT_LT(d, prev);
+        prev = d;
+    }
+}
+
+TEST(InverterChain, SubthresholdExplodes)
+{
+    // Fig. 1: below Vth the delay grows by orders of magnitude.
+    const auto &tech = finfet7();
+    EXPECT_GT(chainDelay(tech, 0.18) / chainDelay(tech, vddStv), 20.0);
+}
+
+TEST(InverterChain, LinearInStages)
+{
+    const auto &tech = finfet7();
+    EXPECT_NEAR(chainDelay(tech, 0.45, 80), 2 * chainDelay(tech, 0.45, 40),
+                1e-15);
+}
+
+TEST(InverterChain, FanoutScalesDelay)
+{
+    const auto &tech = finfet7();
+    EXPECT_GT(inverterDelay(tech, 0.45, 8.0), inverterDelay(tech, 0.45, 4.0));
+}
+
+TEST(InverterChain, BackGateOffIsSlower)
+{
+    const auto &tech = finfet7();
+    EXPECT_GT(inverterDelay(tech, 0.45, 4.0, BackGate::Disabled),
+              inverterDelay(tech, 0.45, 4.0, BackGate::Enabled));
+}
+
+TEST(InverterChain, Fig1SweepCoversRange)
+{
+    const auto pts = fig1Sweep(finfet7());
+    ASSERT_GE(pts.size(), 10u);
+    EXPECT_NEAR(pts.front().vdd, 0.20, 1e-9);
+    EXPECT_GE(pts.back().vdd, 0.59);
+    for (std::size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_GT(pts[i].vdd, pts[i - 1].vdd);
+        EXPECT_LT(pts[i].delaySec, pts[i - 1].delaySec);
+    }
+}
+
+// Parameterized property sweep: current continuity across the threshold.
+class CurrentContinuity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(CurrentContinuity, NoJumpAroundVth)
+{
+    const auto &tech = finfet7();
+    FinFet dev(tech);
+    const double v = GetParam();
+    const double i1 = dev.current(v, 0.3, BackGate::Enabled);
+    const double i2 = dev.current(v + 0.005, 0.3, BackGate::Enabled);
+    EXPECT_LT(i2 / i1, 1.35); // smooth: <35% change per 5 mV
+}
+
+INSTANTIATE_TEST_SUITE_P(AroundThreshold, CurrentContinuity,
+                         ::testing::Values(0.18, 0.20, 0.22, 0.23, 0.24,
+                                           0.26, 0.30, 0.35, 0.40, 0.45));

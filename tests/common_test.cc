@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the common library: deterministic hashing, the xoshiro
+ * RNG, and the stats registry.
+ */
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+using namespace pilotrf;
+
+TEST(Splitmix, Deterministic)
+{
+    EXPECT_EQ(splitmix64(42), splitmix64(42));
+    EXPECT_NE(splitmix64(42), splitmix64(43));
+}
+
+TEST(Splitmix, MixesSingleBitChanges)
+{
+    // Flipping one input bit should flip roughly half the output bits.
+    const auto a = splitmix64(0x1234);
+    const auto b = splitmix64(0x1235);
+    const int bits = __builtin_popcountll(a ^ b);
+    EXPECT_GT(bits, 16);
+    EXPECT_LT(bits, 48);
+}
+
+TEST(HashCoords, OrderSensitive)
+{
+    EXPECT_NE(hashCoords(1, 2, 3), hashCoords(3, 2, 1));
+    EXPECT_NE(hashCoords(1, 2), hashCoords(2, 1));
+}
+
+TEST(HashCoords, ArityMatters)
+{
+    EXPECT_NE(hashCoords(1, 2), hashCoords(1, 2, 0));
+}
+
+TEST(HashToUnit, InUnitInterval)
+{
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const double u = hashToUnit(splitmix64(i));
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(HashToUnit, RoughlyUniform)
+{
+    double sum = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i)
+        sum += hashToUnit(splitmix64(i));
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(7), b(7), c(8);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(7), c2(8);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-2.0, 3.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(99);
+    double sum = 0, sumSq = 0;
+    const unsigned n = 50000;
+    for (unsigned i = 0; i < n; ++i) {
+        const double g = r.gaussian();
+        sum += g;
+        sumSq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sumSq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng r(5);
+    double sum = 0;
+    const unsigned n = 20000;
+    for (unsigned i = 0; i < n; ++i)
+        sum += r.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, BelowBounds)
+{
+    Rng r(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        const auto v = r.below(7);
+        EXPECT_LT(v, 7u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all residues hit
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0.0);
+    EXPECT_FALSE(s.has("x"));
+    s.add("x", 2.5);
+    s.add("x", 1.5);
+    EXPECT_DOUBLE_EQ(s.get("x"), 4.0);
+    EXPECT_TRUE(s.has("x"));
+}
+
+TEST(StatSet, SetOverrides)
+{
+    StatSet s;
+    s.add("x", 10);
+    s.set("x", 3);
+    EXPECT_DOUBLE_EQ(s.get("x"), 3.0);
+}
+
+TEST(StatSet, Merge)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    a.add("y", 2);
+    b.add("y", 3);
+    b.add("z", 4);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 1.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 5.0);
+    EXPECT_DOUBLE_EQ(a.get("z"), 4.0);
+}
+
+TEST(StatSet, Clear)
+{
+    StatSet s;
+    s.add("x", 1);
+    s.clear();
+    EXPECT_FALSE(s.has("x"));
+}
+
+TEST(StatSet, DumpSorted)
+{
+    StatSet s;
+    s.add("b", 2);
+    s.add("a", 1);
+    std::ostringstream os;
+    s.dump(os);
+    const auto text = os.str();
+    EXPECT_LT(text.find("a"), text.find("b"));
+}

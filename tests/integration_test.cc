@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Whole-system integration tests asserting the paper's headline results
+ * hold in the reproduction, within bands:
+ *   - partitioned RF saves ~54% dynamic energy and 39% leakage with small
+ *     performance overhead;
+ *   - the all-NTV MRF saves less dynamic energy than the partitioned
+ *     design and costs more performance;
+ *   - the hybrid-profiled FRF serves ~62% of accesses;
+ *   - the adaptive FRF spends a meaningful share of FRF accesses in the
+ *     low-power mode without hurting performance.
+ *
+ * These run a representative subset of the suite (for test runtime) on
+ * the full 15-SM configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/energy_accountant.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace pilotrf;
+
+namespace
+{
+const std::vector<std::string> subset = {"BFS",    "hotspot", "backprop",
+                                         "srad",   "kmeans",  "mri-q",
+                                         "sgemm",  "MUM"};
+
+struct SuiteResult
+{
+    double cycles = 0;
+    double dynamicPj = 0;
+    double frfShare = 0;
+    double frfLowShare = 0;
+    unsigned n = 0;
+};
+
+SuiteResult
+runSuite(const sim::SimConfig &cfg)
+{
+    setQuiet(true);
+    power::EnergyAccountant acct;
+    SuiteResult out;
+    for (const auto &name : subset) {
+        sim::Gpu gpu(cfg);
+        const auto r = gpu.run(workloads::workload(name).kernels);
+        out.cycles += double(r.totalCycles);
+        out.dynamicPj +=
+            acct.account(cfg, r.rfStats, r.totalCycles).dynamicPj;
+        const double hi = r.rfStats.get("access.FRF_high");
+        const double lo = r.rfStats.get("access.FRF_low");
+        const double srf = r.rfStats.get("access.SRF");
+        if (hi + lo + srf > 0) {
+            out.frfShare += (hi + lo) / (hi + lo + srf);
+            out.frfLowShare += lo / std::max(1.0, hi + lo);
+        }
+        ++out.n;
+    }
+    return out;
+}
+
+const SuiteResult &
+baseline()
+{
+    static const SuiteResult r = [] {
+        sim::SimConfig c;
+        c.rfKind = sim::RfKind::MrfStv;
+        return runSuite(c);
+    }();
+    return r;
+}
+
+const SuiteResult &
+partitioned()
+{
+    static const SuiteResult r = [] {
+        sim::SimConfig c;
+        c.rfKind = sim::RfKind::Partitioned;
+        return runSuite(c);
+    }();
+    return r;
+}
+
+const SuiteResult &
+ntv()
+{
+    static const SuiteResult r = [] {
+        sim::SimConfig c;
+        c.rfKind = sim::RfKind::MrfNtv;
+        return runSuite(c);
+    }();
+    return r;
+}
+} // namespace
+
+TEST(Headline, DynamicEnergySavingNearPaper)
+{
+    const double ratio = partitioned().dynamicPj / baseline().dynamicPj;
+    // Paper: 54% saving (ratio 0.46).
+    EXPECT_GT(1 - ratio, 0.40);
+    EXPECT_LT(1 - ratio, 0.62);
+}
+
+TEST(Headline, PartitionedBeatsAllNtvOnEnergy)
+{
+    // Paper: monolithic NTV saves 47% < partitioned 54%.
+    EXPECT_LT(partitioned().dynamicPj, ntv().dynamicPj);
+}
+
+TEST(Headline, PerformanceOverheadSmall)
+{
+    const double ov = partitioned().cycles / baseline().cycles - 1.0;
+    EXPECT_LT(ov, 0.05); // paper: <2% suite average; band for the subset
+    EXPECT_GT(ov, -0.03);
+}
+
+TEST(Headline, NtvCostsMorePerformanceThanPartitioned)
+{
+    const double ovNtv = ntv().cycles / baseline().cycles - 1.0;
+    const double ovPart = partitioned().cycles / baseline().cycles - 1.0;
+    EXPECT_GT(ovNtv, ovPart);
+    EXPECT_GT(ovNtv, 0.01); // paper: 7.1%
+}
+
+TEST(Headline, FrfServesMostAccesses)
+{
+    // Paper Fig. 10: 62% of accesses reach the FRF.
+    const double share = partitioned().frfShare / partitioned().n;
+    EXPECT_GT(share, 0.50);
+    EXPECT_LT(share, 0.85);
+}
+
+TEST(Headline, AdaptiveFrfEngagesWithoutHurting)
+{
+    const double lowShare =
+        partitioned().frfLowShare / partitioned().n;
+    EXPECT_GT(lowShare, 0.05); // low mode actually used
+    sim::SimConfig noAdapt;
+    noAdapt.rfKind = sim::RfKind::Partitioned;
+    noAdapt.prf.adaptiveFrf = false;
+    const auto r = runSuite(noAdapt);
+    // Adaptive may cost a little performance but within a tight band.
+    EXPECT_LT(partitioned().cycles / r.cycles, 1.04);
+    // ...and must reduce dynamic energy.
+    EXPECT_LT(partitioned().dynamicPj, r.dynamicPj);
+}
+
+TEST(Headline, SrfLatencySensitivityOrdering)
+{
+    setQuiet(true);
+    double prev = 0.0;
+    for (unsigned lat : {3u, 5u}) {
+        sim::SimConfig c;
+        c.rfKind = sim::RfKind::Partitioned;
+        c.prf.srfLatency = lat;
+        const auto r = runSuite(c);
+        if (prev > 0) {
+            EXPECT_GT(r.cycles, prev * 0.995); // 5-cycle no faster
+        }
+        prev = r.cycles;
+    }
+}
+
+TEST(Headline, LeakageSaving39Percent)
+{
+    power::EnergyAccountant acct;
+    sim::SimConfig part, base;
+    part.rfKind = sim::RfKind::Partitioned;
+    base.rfKind = sim::RfKind::MrfStv;
+    EXPECT_NEAR(
+        1 - acct.leakagePowerMw(part) / acct.leakagePowerMw(base), 0.39,
+        0.02);
+}

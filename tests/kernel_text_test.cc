@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Kernel text format tests: parsing the structured assembly, error
+ * reporting, and disassembly round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+#include "isa/kernel_text.hh"
+#include "isa/static_profiler.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::isa;
+
+TEST(KernelText, ParsesHeader)
+{
+    const auto k = parseKernel(
+        ".kernel foo regs=13 threads=256 ctas=480 seed=7\n"
+        "  iadd r1, r2\n");
+    EXPECT_EQ(k.name(), "foo");
+    EXPECT_EQ(k.regsPerThread(), 13u);
+    EXPECT_EQ(k.threadsPerCta(), 256u);
+    EXPECT_EQ(k.numCtas(), 480u);
+    EXPECT_EQ(k.seed(), 7u);
+    ASSERT_EQ(k.length(), 2u); // iadd + implicit exit
+    EXPECT_EQ(k.at(0).op, Opcode::IAdd);
+    EXPECT_TRUE(k.at(1).isExit());
+}
+
+TEST(KernelText, ParsesAluOperands)
+{
+    const auto k = parseKernel(".kernel f regs=8 threads=32 ctas=1\n"
+                               "ffma r5, r4, r6, r5\n");
+    const auto &in = k.at(0);
+    EXPECT_EQ(in.op, Opcode::FFma);
+    EXPECT_EQ(in.numDsts, 1u);
+    EXPECT_EQ(in.dsts[0], 5);
+    EXPECT_EQ(in.numSrcs, 3u);
+    EXPECT_EQ(in.srcs[0], 4);
+    EXPECT_EQ(in.srcs[2], 5);
+}
+
+TEST(KernelText, ParsesMemory)
+{
+    const auto k = parseKernel(
+        ".kernel f regs=8 threads=32 ctas=1\n"
+        "ld.global.t8 r2, [r1]\n"
+        "st.shared [r0], r2\n");
+    EXPECT_EQ(k.at(0).op, Opcode::Ldg);
+    EXPECT_EQ(k.at(0).transactions, 8u);
+    EXPECT_EQ(k.at(0).dsts[0], 2);
+    EXPECT_EQ(k.at(0).srcs[0], 1);
+    EXPECT_EQ(k.at(1).op, Opcode::Sts);
+    EXPECT_EQ(k.at(1).srcs[0], 0);
+    EXPECT_EQ(k.at(1).srcs[1], 2);
+}
+
+TEST(KernelText, ParsesLoop)
+{
+    const auto k = parseKernel(
+        ".kernel f regs=8 threads=32 ctas=1\n"
+        "loop 12 spread 4 divergent {\n"
+        "  iadd r0, r0\n"
+        "}\n");
+    const auto &bra = k.at(1);
+    EXPECT_EQ(bra.branch, BranchKind::LoopDivergent);
+    EXPECT_EQ(bra.tripBase, 12u);
+    EXPECT_EQ(bra.tripSpread, 4u);
+    EXPECT_EQ(bra.target, 0u);
+}
+
+TEST(KernelText, ParsesIfAndBarrier)
+{
+    const auto k = parseKernel(
+        ".kernel f regs=8 threads=64 ctas=1\n"
+        "if 0.25 {\n"
+        "  fmul r1, r1, r2\n"
+        "}\n"
+        "bar\n");
+    EXPECT_EQ(k.at(0).branch, BranchKind::Divergent);
+    EXPECT_NEAR(k.at(0).takenFrac, 0.75f, 1e-6);
+    EXPECT_TRUE(k.at(2).isBarrier());
+}
+
+TEST(KernelText, ParsesUniformIf)
+{
+    const auto k = parseKernel(".kernel f regs=8 threads=32 ctas=1\n"
+                               "if 0.5 uniform {\n"
+                               "  iadd r0, r0\n"
+                               "}\n");
+    EXPECT_EQ(k.at(0).branch, BranchKind::Uniform);
+}
+
+TEST(KernelText, NestedRegions)
+{
+    const auto k = parseKernel(
+        ".kernel f regs=8 threads=32 ctas=2 seed=3\n"
+        "loop 3 {\n"
+        "  if 0.5 {\n"
+        "    loop 2 {\n"
+        "      iadd r0, r0\n"
+        "    }\n"
+        "  }\n"
+        "}\n");
+    k.validate();
+    EXPECT_GE(k.length(), 5u);
+}
+
+TEST(KernelText, CommentsIgnored)
+{
+    const auto k = parseKernel(
+        "# a comment line\n"
+        ".kernel f regs=8 threads=32 ctas=1  // trailing\n"
+        "iadd r0, r0  # also trailing\n");
+    EXPECT_EQ(k.length(), 2u);
+}
+
+TEST(KernelText, ErrorsAreFatal)
+{
+    EXPECT_EXIT(parseKernel(""), ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(parseKernel("iadd r0, r1\n"), ::testing::ExitedWithCode(1),
+                ".kernel");
+    EXPECT_EXIT(parseKernel(".kernel f regs=8 threads=32 ctas=1\n"
+                            "bogus r0\n"),
+                ::testing::ExitedWithCode(1), "unknown instruction");
+    EXPECT_EXIT(parseKernel(".kernel f regs=8 threads=32 ctas=1\n"
+                            "loop 3 {\n iadd r0, r0\n"),
+                ::testing::ExitedWithCode(1), "unclosed");
+    EXPECT_EXIT(parseKernel(".kernel f regs=8 threads=32 ctas=1\n"
+                            "iadd r99, r0\n"),
+                ::testing::ExitedWithCode(1), "register");
+    EXPECT_EXIT(parseKernel(".kernel f threads=32 ctas=1\n"),
+                ::testing::ExitedWithCode(1), "regs=");
+}
+
+TEST(KernelText, ParsedEqualsBuilt)
+{
+    // The same kernel built via text and via the builder must be
+    // instruction-for-instruction identical.
+    const auto parsed = parseKernel(
+        ".kernel eq regs=13 threads=256 ctas=480 seed=9\n"
+        "iadd r0, r1\n"
+        "ld.global.t1 r4, [r0]\n"
+        "loop 12 {\n"
+        "  ffma r5, r4, r6, r5\n"
+        "}\n"
+        "st.global.t1 [r0], r5\n");
+
+    KernelBuilder b("eq", 13, 256, 480, 9);
+    b.op(Opcode::IAdd, 0, {1});
+    b.load(4, 0, MemSpace::Global, 1);
+    b.beginLoop(12);
+    b.op(Opcode::FFma, 5, {4, 6, 5});
+    b.endLoop();
+    b.store(0, 5, MemSpace::Global, 1);
+    const auto built = b.build();
+
+    EXPECT_EQ(disassemble(parsed), disassemble(built));
+}
+
+TEST(KernelText, DisassemblyContainsStructure)
+{
+    const auto k = parseKernel(".kernel dis regs=8 threads=32 ctas=1\n"
+                               "loop 5 spread 2 {\n"
+                               "  iadd r0, r0\n"
+                               "}\n");
+    const auto text = disassemble(k);
+    EXPECT_NE(text.find(".kernel dis"), std::string::npos);
+    EXPECT_NE(text.find("loop trips=5+2"), std::string::npos);
+    EXPECT_NE(text.find("exit"), std::string::npos);
+}
+
+TEST(KernelText, StaticProfileOfParsedKernel)
+{
+    const auto k = parseKernel(".kernel p regs=8 threads=32 ctas=1\n"
+                               "ffma r5, r4, r6, r5\n"
+                               "iadd r5, r5\n");
+    StaticProfile sp(k);
+    EXPECT_EQ(sp.count(5), 4u);
+    EXPECT_EQ(sp.count(4), 1u);
+}

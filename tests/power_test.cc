@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Energy accountant tests: arithmetic of the count->pJ conversion and the
+ * organization-level leakage figures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_accountant.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::power;
+
+TEST(EnergyAccountant, MonolithicArithmetic)
+{
+    EnergyAccountant acct;
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::MrfStv;
+    StatSet s;
+    s.add("access.MRF@STV", 100);
+    const auto rep = acct.account(cfg, s, 1000);
+    EXPECT_NEAR(rep.mrfPj, 100 * 14.9, 1.0);
+    EXPECT_NEAR(rep.dynamicPj, rep.mrfPj, 1e-9);
+    EXPECT_NEAR(rep.leakagePowerMw, 33.8, 0.2);
+}
+
+TEST(EnergyAccountant, PartitionedArithmetic)
+{
+    EnergyAccountant acct;
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::Partitioned;
+    StatSet s;
+    s.add("access.FRF_high", 10);
+    s.add("access.FRF_low", 10);
+    s.add("access.SRF", 10);
+    s.add("swap.lookup", 30);
+    const auto rep = acct.account(cfg, s, 1000);
+    EXPECT_NEAR(rep.frfPj, 10 * 7.65 + 10 * 5.25, 0.2);
+    EXPECT_NEAR(rep.srfPj, 10 * 7.03, 0.1);
+    EXPECT_GT(rep.overheadPj, 0.0);
+    EXPECT_LT(rep.overheadPj, 0.01 * rep.dynamicPj);
+    EXPECT_NEAR(rep.leakagePowerMw, 20.6, 0.3); // FRF + SRF
+}
+
+TEST(EnergyAccountant, RfcIncludesTagAndFills)
+{
+    EnergyAccountant acct;
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::Rfc;
+    cfg.policy = sim::SchedulerPolicy::TwoLevel;
+    cfg.tlActiveWarps = 8;
+    StatSet s;
+    s.add("rfc.tag", 100);
+    s.add("rfc.readHit", 40);
+    s.add("rfc.write", 30);
+    s.add("rfc.fill", 10);
+    s.add("access.MRF@NTV", 60);
+    const auto rep = acct.account(cfg, s, 1000);
+    EXPECT_GT(rep.rfcPj, 0.0);
+    EXPECT_NEAR(rep.mrfPj, 60 * 7.56, 1.0);
+    EXPECT_NEAR(rep.dynamicPj, rep.rfcPj + rep.mrfPj, 1e-6);
+}
+
+TEST(EnergyAccountant, LeakageEnergyScalesWithRuntime)
+{
+    EnergyAccountant acct(900e6);
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::MrfStv;
+    StatSet s;
+    const auto r1 = acct.account(cfg, s, 900'000'000); // 1 second
+    EXPECT_NEAR(r1.runSeconds, 1.0, 1e-9);
+    EXPECT_NEAR(r1.leakageUj, 33.8e3, 200.0); // 33.8 mW * 1 s in uJ
+    const auto r2 = acct.account(cfg, s, 450'000'000);
+    EXPECT_NEAR(r2.leakageUj * 2, r1.leakageUj, 1.0);
+}
+
+TEST(EnergyAccountant, PartitionedLeakageSaves39Percent)
+{
+    EnergyAccountant acct;
+    sim::SimConfig part, base;
+    part.rfKind = sim::RfKind::Partitioned;
+    base.rfKind = sim::RfKind::MrfStv;
+    EXPECT_NEAR(1.0 - acct.leakagePowerMw(part) / acct.leakagePowerMw(base),
+                0.39, 0.02);
+}
+
+TEST(EnergyAccountant, RfcStvBackingLeakage)
+{
+    EnergyAccountant acct;
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::Rfc;
+    cfg.rfc.mrfMode = rfmodel::RfMode::MrfStv;
+    EXPECT_NEAR(acct.leakagePowerMw(cfg), 33.8, 0.3);
+    cfg.rfc.mrfMode = rfmodel::RfMode::MrfNtv;
+    EXPECT_NEAR(acct.leakagePowerMw(cfg), 15.2, 0.3);
+}
+
+TEST(EnergyAccountant, EmptyStatsZeroDynamic)
+{
+    EnergyAccountant acct;
+    sim::SimConfig cfg;
+    cfg.rfKind = sim::RfKind::MrfStv;
+    StatSet s;
+    EXPECT_DOUBLE_EQ(acct.account(cfg, s, 100).dynamicPj, 0.0);
+}

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Register-file backend tests: swapping table semantics (the Fig. 6/7
+ * walkthrough), pilot profiler hardware behaviour, the adaptive-FRF phase
+ * detector, and the monolithic / partitioned / RFC access paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+#include "regfile/adaptive_frf.hh"
+#include "regfile/monolithic_rf.hh"
+#include "regfile/partitioned_rf.hh"
+#include "regfile/pilot_profiler.hh"
+#include "regfile/rfc.hh"
+#include "regfile/swap_table.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::regfile;
+
+namespace
+{
+isa::Kernel
+miniKernel(unsigned regs = 16)
+{
+    isa::KernelBuilder b("mini", regs, 64, 4);
+    b.op(isa::Opcode::Mov, 0, {1});
+    return b.build();
+}
+} // namespace
+
+// --- swapping table --------------------------------------------------------
+
+TEST(SwapTable, IdentityAfterReset)
+{
+    SwapTable t(4);
+    for (RegId r = 0; r < 16; ++r)
+        EXPECT_EQ(t.lookup(r), r);
+    EXPECT_EQ(t.validEntries(), 0u);
+}
+
+TEST(SwapTable, Fig6Walkthrough)
+{
+    SwapTable t(4);
+    // Fig. 6b: compiler identifies r4..r7.
+    t.program({4, 5, 6, 7});
+    EXPECT_EQ(t.lookup(4), 0);
+    EXPECT_EQ(t.lookup(0), 4);
+    EXPECT_EQ(t.lookup(7), 3);
+    EXPECT_EQ(t.lookup(3), 7);
+    EXPECT_TRUE(t.inFrf(4));
+    EXPECT_FALSE(t.inFrf(0));
+    EXPECT_EQ(t.validEntries(), 8u);
+    // Fig. 6c: the pilot reports r8..r11; mapping resets then reapplies.
+    t.program({8, 9, 10, 11});
+    EXPECT_EQ(t.lookup(8), 0);
+    EXPECT_EQ(t.lookup(0), 8);
+    EXPECT_EQ(t.lookup(4), 4); // old mapping gone
+    EXPECT_TRUE(t.inFrf(11));
+}
+
+TEST(SwapTable, HotAlreadyInFrfKeepsSlot)
+{
+    SwapTable t(4);
+    t.program({2, 9, 1, 12});
+    EXPECT_EQ(t.lookup(2), 2);
+    EXPECT_EQ(t.lookup(1), 1);
+    // r9 and r12 take the free slots 0 and 3 (lowest first).
+    EXPECT_EQ(t.lookup(9), 0);
+    EXPECT_EQ(t.lookup(12), 3);
+    EXPECT_EQ(t.lookup(0), 9);
+    EXPECT_EQ(t.lookup(3), 12);
+    EXPECT_EQ(t.validEntries(), 4u);
+}
+
+TEST(SwapTable, FewerHotThanSlots)
+{
+    SwapTable t(4);
+    t.program({10});
+    EXPECT_EQ(t.lookup(10), 0);
+    EXPECT_EQ(t.lookup(0), 10);
+    EXPECT_EQ(t.lookup(1), 1);
+    EXPECT_EQ(t.validEntries(), 2u);
+}
+
+TEST(SwapTable, ExtraHotIgnoredBeyondN)
+{
+    SwapTable t(2);
+    t.program({8, 9, 10, 11});
+    EXPECT_EQ(t.lookup(8), 0);
+    EXPECT_EQ(t.lookup(9), 1);
+    EXPECT_EQ(t.lookup(10), 10); // beyond capacity: untouched
+}
+
+TEST(SwapTable, CountsLookupsAndPrograms)
+{
+    SwapTable t(4);
+    const auto before = t.lookups();
+    (void)t.lookup(3);
+    (void)t.lookup(5);
+    EXPECT_EQ(t.lookups(), before + 2);
+    const auto progs = t.reprograms();
+    t.program({9});
+    EXPECT_GT(t.reprograms(), progs);
+}
+
+// --- pilot profiler --------------------------------------------------------
+
+TEST(PilotProfiler, FirstWarpBecomesPilot)
+{
+    PilotProfiler p;
+    p.kernelLaunch();
+    p.warpStarted(5);
+    p.warpStarted(6);
+    EXPECT_TRUE(p.pilotSelected());
+    EXPECT_EQ(p.pilotWarp(), 5);
+}
+
+TEST(PilotProfiler, CountsOnlyPilotWhileMasked)
+{
+    PilotProfiler p;
+    p.kernelLaunch();
+    p.warpStarted(2);
+    p.noteAccess(2, 7);
+    p.noteAccess(2, 7);
+    p.noteAccess(3, 7); // not the pilot
+    EXPECT_EQ(p.counters()[7], 2);
+    EXPECT_TRUE(p.warpFinished(2));
+    p.noteAccess(2, 7); // after mask reset
+    EXPECT_EQ(p.counters()[7], 2);
+}
+
+TEST(PilotProfiler, NonPilotFinishIgnored)
+{
+    PilotProfiler p;
+    p.kernelLaunch();
+    p.warpStarted(1);
+    EXPECT_FALSE(p.warpFinished(2));
+    EXPECT_TRUE(p.profiling());
+}
+
+TEST(PilotProfiler, SaturatingCounters)
+{
+    PilotProfiler p;
+    p.kernelLaunch();
+    p.warpStarted(0);
+    for (int i = 0; i < 70000; ++i)
+        p.noteAccess(0, 3);
+    EXPECT_EQ(p.counters()[3], 0xffff);
+}
+
+TEST(PilotProfiler, TopRegistersSortedAndTrimmed)
+{
+    PilotProfiler p;
+    p.kernelLaunch();
+    p.warpStarted(0);
+    for (int i = 0; i < 5; ++i)
+        p.noteAccess(0, 10);
+    for (int i = 0; i < 9; ++i)
+        p.noteAccess(0, 2);
+    p.noteAccess(0, 30);
+    const auto top = p.topRegisters(4);
+    ASSERT_EQ(top.size(), 3u); // only 3 registers ever touched
+    EXPECT_EQ(top[0], 2);
+    EXPECT_EQ(top[1], 10);
+    EXPECT_EQ(top[2], 30);
+}
+
+TEST(PilotProfiler, RelaunchClearsState)
+{
+    PilotProfiler p;
+    p.kernelLaunch();
+    p.warpStarted(0);
+    p.noteAccess(0, 1);
+    p.kernelLaunch();
+    EXPECT_EQ(p.counters()[1], 0);
+    EXPECT_FALSE(p.pilotSelected());
+    EXPECT_TRUE(p.profiling());
+}
+
+// --- adaptive FRF ----------------------------------------------------------
+
+TEST(AdaptiveFrf, ThresholdBoundary)
+{
+    AdaptiveFrfController c(50, 85);
+    // 84 issued in the first epoch -> low mode next epoch.
+    for (int i = 0; i < 50; ++i)
+        c.cycle(i == 0 ? 84 : 0);
+    EXPECT_TRUE(c.lowPowerMode());
+    // Exactly 85 -> high mode.
+    for (int i = 0; i < 50; ++i)
+        c.cycle(i == 0 ? 85 : 0);
+    EXPECT_FALSE(c.lowPowerMode());
+}
+
+TEST(AdaptiveFrf, ModeAppliesOnEpochBoundaryOnly)
+{
+    AdaptiveFrfController c(50, 85);
+    for (int i = 0; i < 49; ++i)
+        c.cycle(0);
+    EXPECT_FALSE(c.lowPowerMode()); // not yet
+    c.cycle(0);
+    EXPECT_TRUE(c.lowPowerMode());
+}
+
+TEST(AdaptiveFrf, CountersSaturateAt9Bits)
+{
+    AdaptiveFrfController c(50, 511);
+    for (int i = 0; i < 50; ++i)
+        c.cycle(100); // 5000 issued, saturates at 511
+    EXPECT_FALSE(c.lowPowerMode()); // 511 >= 511 threshold? 511 < 511 false
+}
+
+TEST(AdaptiveFrf, EpochStats)
+{
+    AdaptiveFrfController c(10, 5);
+    for (int i = 0; i < 35; ++i)
+        c.cycle(0);
+    EXPECT_EQ(c.epochs(), 3u);
+    EXPECT_EQ(c.lowEpochs(), 3u);
+}
+
+TEST(AdaptiveFrf, ResetClearsPhase)
+{
+    AdaptiveFrfController c(10, 5);
+    for (int i = 0; i < 10; ++i)
+        c.cycle(0);
+    EXPECT_TRUE(c.lowPowerMode());
+    c.reset();
+    EXPECT_FALSE(c.lowPowerMode());
+}
+
+// --- monolithic backends ---------------------------------------------------
+
+TEST(MonolithicRf, StvLatencyAndCounts)
+{
+    MonolithicRf rf(24, rfmodel::RfMode::MrfStv);
+    EXPECT_EQ(rf.access(0, 3, false).latency, 1u);
+    EXPECT_EQ(rf.access(0, 3, true).latency, 1u);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.MRF@STV"), 2.0);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.reads"), 1.0);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.writes"), 1.0);
+    EXPECT_EQ(rf.regAccessCounts()[3], 2u);
+}
+
+TEST(MonolithicRf, NtvLatencyFromModel)
+{
+    MonolithicRf rf(24, rfmodel::RfMode::MrfNtv);
+    EXPECT_EQ(rf.latency(), 3u);
+}
+
+TEST(MonolithicRf, LatencyOverride)
+{
+    MonolithicRf rf(24, rfmodel::RfMode::MrfNtv, 5);
+    EXPECT_EQ(rf.access(1, 1, false).latency, 5u);
+}
+
+TEST(MonolithicRf, BankMapping)
+{
+    MonolithicRf rf(24, rfmodel::RfMode::MrfStv);
+    EXPECT_EQ(rf.bank(0, 0), 0u);
+    EXPECT_EQ(rf.bank(1, 2), 3u);
+    EXPECT_EQ(rf.bank(23, 1), 0u);
+    EXPECT_TRUE(rf.needsBank(0, 0, false));
+}
+
+// --- partitioned RF --------------------------------------------------------
+
+TEST(PartitionedRf, StaticProfilingRoutesFirstN)
+{
+    PartitionedRfConfig cfg;
+    cfg.profiling = Profiling::Static;
+    cfg.adaptiveFrf = false;
+    PartitionedRf rf(24, cfg);
+    rf.kernelLaunch(miniKernel());
+    EXPECT_EQ(rf.access(0, 2, false).latency, cfg.frfHighLatency);
+    EXPECT_EQ(rf.access(0, 9, false).latency, cfg.srfLatency);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.FRF_high"), 1.0);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.SRF"), 1.0);
+}
+
+TEST(PartitionedRf, OracleMapping)
+{
+    PartitionedRfConfig cfg;
+    cfg.profiling = Profiling::Oracle;
+    cfg.adaptiveFrf = false;
+    PartitionedRf rf(24, cfg);
+    rf.setOracleRegisters({9, 10, 11, 12});
+    rf.kernelLaunch(miniKernel());
+    EXPECT_EQ(rf.access(0, 9, false).latency, 1u);
+    EXPECT_EQ(rf.access(0, 0, false).latency, 3u); // displaced
+}
+
+TEST(PartitionedRf, AdaptiveModeChangesLatencyAndEnergyMode)
+{
+    PartitionedRfConfig cfg;
+    cfg.profiling = Profiling::Static;
+    cfg.epochLength = 10;
+    cfg.issueThreshold = 5;
+    PartitionedRf rf(24, cfg);
+    rf.kernelLaunch(miniKernel());
+    EXPECT_EQ(rf.access(0, 0, false).latency, 1u);
+    for (Cycle c = 0; c < 10; ++c)
+        rf.cycleHook(c, 0); // idle epoch -> low mode
+    EXPECT_TRUE(rf.adaptive().lowPowerMode());
+    EXPECT_EQ(rf.access(0, 0, false).latency, cfg.frfLowLatency);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.FRF_low"), 1.0);
+}
+
+TEST(PartitionedRf, PilotFinishReprogramsTable)
+{
+    PartitionedRfConfig cfg;
+    cfg.profiling = Profiling::Pilot;
+    cfg.adaptiveFrf = false;
+    PartitionedRf rf(24, cfg);
+    rf.kernelLaunch(miniKernel());
+    rf.warpStarted(0, 0);
+    rf.warpStarted(1, 0);
+    // The pilot hammers r9 and r10; another warp hammers r5 (ignored).
+    for (int i = 0; i < 20; ++i) {
+        rf.access(0, 9, false);
+        rf.access(0, 10, true);
+        rf.access(1, 5, false);
+    }
+    rf.warpFinished(0);
+    const auto &hot = rf.pilotHotRegisters();
+    ASSERT_GE(hot.size(), 2u);
+    EXPECT_EQ(hot[0], 9);
+    EXPECT_EQ(hot[1], 10);
+    EXPECT_TRUE(rf.swapTable().inFrf(9));
+    EXPECT_TRUE(rf.swapTable().inFrf(10));
+    EXPECT_FALSE(rf.swapTable().inFrf(5));
+    EXPECT_TRUE(rf.stats().has("pilot.finishCycle"));
+}
+
+TEST(PartitionedRf, HybridStartsWithCompilerMapping)
+{
+    // Kernel whose static top-4 is {1, 2, 3, 4} (multiple occurrences).
+    isa::KernelBuilder b("h", 16, 64, 2);
+    for (int i = 0; i < 3; ++i) {
+        b.op(isa::Opcode::IAdd, 9, {9});
+        b.op(isa::Opcode::IAdd, 9, {9});
+        b.op(isa::Opcode::IAdd, 10, {10});
+        b.op(isa::Opcode::IAdd, 10, {10});
+    }
+    auto k = b.build();
+    PartitionedRfConfig cfg;
+    cfg.profiling = Profiling::Hybrid;
+    cfg.adaptiveFrf = false;
+    PartitionedRf rf(24, cfg);
+    rf.kernelLaunch(k);
+    EXPECT_TRUE(rf.swapTable().inFrf(9));
+    EXPECT_TRUE(rf.swapTable().inFrf(10));
+}
+
+TEST(PartitionedRf, RemapTrafficCounted)
+{
+    PartitionedRfConfig cfg;
+    cfg.profiling = Profiling::Pilot;
+    cfg.adaptiveFrf = false;
+    PartitionedRf rf(24, cfg);
+    rf.kernelLaunch(miniKernel());
+    rf.warpStarted(0, 0);
+    for (int i = 0; i < 4; ++i)
+        rf.access(0, 12, false);
+    rf.warpFinished(0);
+    EXPECT_GT(rf.stats().get("swap.remapMoves"), 0.0);
+}
+
+TEST(PartitionedRf, BankFollowsPhysicalRegister)
+{
+    PartitionedRfConfig cfg;
+    cfg.profiling = Profiling::Oracle;
+    PartitionedRf rf(24, cfg);
+    rf.setOracleRegisters({9});
+    rf.kernelLaunch(miniKernel());
+    // r9 mapped into FRF slot 0: bank of (w=2, r9) == bank of phys 0.
+    EXPECT_EQ(rf.bank(2, 9), 2u);
+    EXPECT_EQ(rf.bank(2, 0), (2u + 9u) % 24u);
+}
+
+// --- register file cache ---------------------------------------------------
+
+TEST(Rfc, WriteAllocatesReadHits)
+{
+    RfcRfConfig cfg;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    EXPECT_TRUE(rf.needsBank(0, 5, false));  // cold read: MRF
+    EXPECT_FALSE(rf.needsBank(0, 5, true));  // writes go to the RFC
+    rf.access(0, 5, true);
+    EXPECT_FALSE(rf.needsBank(0, 5, false)); // now cached
+    EXPECT_EQ(rf.access(0, 5, false).latency, cfg.rfcLatency);
+    EXPECT_DOUBLE_EQ(rf.stats().get("rfc.readHit"), 1.0);
+}
+
+TEST(Rfc, ReadMissGoesToMrfAndFills)
+{
+    RfcRfConfig cfg;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    EXPECT_EQ(rf.access(0, 7, false).latency, 3u); // MRF@NTV
+    EXPECT_DOUBLE_EQ(rf.stats().get("rfc.readMiss"), 1.0);
+    EXPECT_DOUBLE_EQ(rf.stats().get("rfc.fill"), 1.0);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.MRF@NTV"), 1.0);
+    // The fill makes the next read hit.
+    EXPECT_EQ(rf.access(0, 7, false).latency, 1u);
+}
+
+TEST(Rfc, NoAllocOnReadMissVariant)
+{
+    RfcRfConfig cfg;
+    cfg.allocOnReadMiss = false;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    rf.access(0, 7, false);
+    EXPECT_EQ(rf.access(0, 7, false).latency, 3u); // still a miss
+    EXPECT_DOUBLE_EQ(rf.stats().get("rfc.fill"), 0.0);
+}
+
+TEST(Rfc, LruEvictionWritesBackDirty)
+{
+    RfcRfConfig cfg;
+    cfg.regsPerWarp = 2;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    rf.access(0, 1, true); // dirty
+    rf.access(0, 2, true); // dirty
+    rf.access(0, 1, true); // refresh r1 -> r2 becomes LRU
+    rf.access(0, 3, true); // evicts r2 (dirty) -> MRF write
+    EXPECT_DOUBLE_EQ(rf.stats().get("rfc.evictWb"), 1.0);
+    EXPECT_DOUBLE_EQ(rf.stats().get("access.MRF@NTV"), 1.0);
+    EXPECT_FALSE(rf.needsBank(0, 1, false)); // r1 survived
+    EXPECT_TRUE(rf.needsBank(0, 2, false));  // r2 evicted
+}
+
+TEST(Rfc, DeactivationFlushesDirty)
+{
+    RfcRfConfig cfg;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    rf.access(3, 1, true);
+    rf.access(3, 2, true);
+    rf.warpDeactivated(3);
+    EXPECT_DOUBLE_EQ(rf.stats().get("rfc.flushWb"), 2.0);
+    EXPECT_TRUE(rf.needsBank(3, 1, false)); // cold again
+}
+
+TEST(Rfc, PerWarpIsolation)
+{
+    RfcRfConfig cfg;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    rf.access(0, 5, true);
+    EXPECT_TRUE(rf.needsBank(1, 5, false)); // other warp unaffected
+}
+
+TEST(Rfc, HitRateAccounting)
+{
+    RfcRfConfig cfg;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    rf.access(0, 1, true);
+    rf.access(0, 1, false); // hit
+    rf.access(0, 2, false); // miss
+    EXPECT_DOUBLE_EQ(rf.readHitRate(), 0.5);
+}
+
+TEST(Rfc, MrfStvBackingLatency)
+{
+    RfcRfConfig cfg;
+    cfg.mrfMode = rfmodel::RfMode::MrfStv;
+    RfCacheRf rf(24, cfg, 64);
+    rf.kernelLaunch(miniKernel());
+    EXPECT_EQ(rf.access(0, 7, false).latency, 1u);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * FinCACTI-lite model tests: Table IV calibration, scaling laws, cycle
+ * assignment, RFC anchors and the swapping-table RTL numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rfmodel/array_model.hh"
+#include "rfmodel/rf_specs.hh"
+#include "rfmodel/rfc_model.hh"
+#include "rfmodel/swap_table_rtl.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::rfmodel;
+using pilotrf::circuit::vddNtv;
+using pilotrf::circuit::vddStv;
+
+namespace
+{
+ArrayConfig
+kb(double sizeKb)
+{
+    return ArrayConfig{sizeKb * 1024.0};
+}
+} // namespace
+
+TEST(ArrayModel, MrfAccessEnergyMatchesTableIv)
+{
+    EXPECT_NEAR(ArrayModel(kb(256)).accessEnergyPj(), 14.9, 0.05);
+}
+
+TEST(ArrayModel, FrfAccessEnergyMatchesTableIv)
+{
+    auto cfg = kb(32);
+    cfg.backGated = true;
+    cfg.flavor = CellFlavor::Fast;
+    ArrayModel frf(cfg);
+    EXPECT_NEAR(frf.accessEnergyPj(false), 7.65, 0.05);
+    EXPECT_NEAR(frf.accessEnergyPj(true), 5.25, 0.05);
+}
+
+TEST(ArrayModel, SrfAccessEnergyMatchesTableIv)
+{
+    auto cfg = kb(224);
+    cfg.vdd = vddNtv;
+    EXPECT_NEAR(ArrayModel(cfg).accessEnergyPj(), 7.03, 0.05);
+}
+
+TEST(ArrayModel, LeakageMatchesTableIv)
+{
+    EXPECT_NEAR(ArrayModel(kb(256)).leakagePowerMw(), 33.8, 0.2);
+    auto srf = kb(224);
+    srf.vdd = vddNtv;
+    EXPECT_NEAR(ArrayModel(srf).leakagePowerMw(), 13.4, 0.3);
+    auto frf = kb(32);
+    frf.backGated = true;
+    frf.flavor = CellFlavor::Fast;
+    EXPECT_NEAR(ArrayModel(frf).leakagePowerMw(), 7.28, 0.1);
+}
+
+TEST(ArrayModel, AccessCycles)
+{
+    auto frf = kb(32);
+    frf.backGated = true;
+    ArrayModel f(frf);
+    EXPECT_EQ(f.accessCycles(false), 1u);
+    EXPECT_EQ(f.accessCycles(true), 2u);
+    auto srf = kb(224);
+    srf.vdd = vddNtv;
+    EXPECT_EQ(ArrayModel(srf).accessCycles(), 3u);
+    EXPECT_EQ(ArrayModel(kb(256)).accessCycles(), 1u);
+    auto ntv = kb(256);
+    ntv.vdd = vddNtv;
+    EXPECT_EQ(ArrayModel(ntv).accessCycles(), 3u);
+}
+
+TEST(ArrayModel, EnergyMonotoneInSize)
+{
+    double prev = 0;
+    for (double s : {8.0, 32.0, 64.0, 128.0, 256.0}) {
+        const double e = ArrayModel(kb(s)).accessEnergyPj();
+        EXPECT_GT(e, prev);
+        prev = e;
+    }
+}
+
+TEST(ArrayModel, EnergyMonotoneInVoltage)
+{
+    auto c = kb(64);
+    c.vdd = 0.30;
+    const double eLow = ArrayModel(c).accessEnergyPj();
+    c.vdd = 0.45;
+    EXPECT_GT(ArrayModel(c).accessEnergyPj(), eLow);
+}
+
+TEST(ArrayModel, PortScalingGrowsEnergyAndArea)
+{
+    auto c = kb(32);
+    const double e1 = ArrayModel(c).accessEnergyPj();
+    const double a1 = ArrayModel(c).areaMm2();
+    c.readPorts = 8;
+    c.writePorts = 4;
+    EXPECT_GT(ArrayModel(c).accessEnergyPj(), e1);
+    EXPECT_GT(ArrayModel(c).areaMm2(), 4 * a1);
+}
+
+TEST(ArrayModel, MoreBanksFewerRowsLessBitlineEnergy)
+{
+    auto c = kb(256);
+    c.banks = 48;
+    EXPECT_LT(ArrayModel(c).accessEnergyPj(),
+              ArrayModel(kb(256)).accessEnergyPj());
+}
+
+TEST(ArrayModel, AreaMatchesSecVA)
+{
+    EXPECT_NEAR(ArrayModel(kb(256)).areaMm2(), 0.2, 0.005);
+}
+
+TEST(ArrayModel, FastCellsLeakMore)
+{
+    auto c = kb(32);
+    const double slow = ArrayModel(c).leakagePowerMw();
+    c.flavor = CellFlavor::Fast;
+    EXPECT_NEAR(ArrayModel(c).leakagePowerMw() / slow, 1.723, 0.01);
+}
+
+TEST(ArrayModel, LowPowerModeRequiresBackGate)
+{
+    ArrayModel m(kb(32));
+    EXPECT_DEATH((void)m.accessEnergyPj(true), "back-gate");
+}
+
+TEST(ArrayModel, WordWidthScalesEnergy)
+{
+    auto narrow = kb(32);
+    narrow.wordBits = 512;
+    EXPECT_LT(ArrayModel(narrow).accessEnergyPj(),
+              ArrayModel(kb(32)).accessEnergyPj());
+}
+
+TEST(RfSpecs, TableIvRows)
+{
+    RfSpecs s;
+    const auto rows = s.tableIv();
+    ASSERT_EQ(rows.size(), 4u);
+    EXPECT_EQ(rows[0].mode, RfMode::FrfLow);
+    EXPECT_EQ(rows[3].mode, RfMode::MrfStv);
+    EXPECT_NEAR(rows[0].accessEnergyPj, 5.25, 0.05);
+    EXPECT_NEAR(rows[1].accessEnergyPj, 7.65, 0.05);
+    EXPECT_NEAR(rows[2].accessEnergyPj, 7.03, 0.05);
+    EXPECT_NEAR(rows[3].accessEnergyPj, 14.9, 0.05);
+}
+
+TEST(RfSpecs, AreaOverheadBelowTenPercent)
+{
+    RfSpecs s;
+    const double overhead =
+        s.proposedAreaMm2() / s.baselineAreaMm2() - 1.0;
+    EXPECT_GT(overhead, 0.0);
+    EXPECT_LT(overhead, 0.10);
+    EXPECT_NEAR(s.proposedAreaMm2(), 0.214, 0.004);
+}
+
+TEST(RfSpecs, LeakageSavingIs39Percent)
+{
+    RfSpecs s;
+    const double part = s.spec(RfMode::FrfHigh).leakagePowerMw +
+                        s.spec(RfMode::Srf).leakagePowerMw;
+    const double base = s.spec(RfMode::MrfStv).leakagePowerMw;
+    EXPECT_NEAR(1.0 - part / base, 0.39, 0.02);
+}
+
+TEST(RfSpecs, ModeNames)
+{
+    EXPECT_STREQ(toString(RfMode::FrfLow), "FRF_low");
+    EXPECT_STREQ(toString(RfMode::Srf), "SRF");
+    EXPECT_STREQ(toString(RfMode::MrfNtv), "MRF@NTV");
+}
+
+TEST(RfcModel, BaseAnchorPoint37)
+{
+    RfcModel m({6, 8, 2, 1, 1});
+    EXPECT_NEAR(m.accessEnergyPj() / 14.9, 0.37, 0.01);
+    EXPECT_NEAR(m.sizeKb(), 6.0, 1e-9);
+}
+
+TEST(RfcModel, WidePortAnchor3x)
+{
+    RfcModel m({6, 8, 8, 4, 1});
+    EXPECT_NEAR(m.accessEnergyPj() / 14.9, 3.0, 0.05);
+}
+
+TEST(RfcModel, BankedAnchorNearMrf)
+{
+    RfcModel m({6, 32, 2, 1, 8});
+    EXPECT_NEAR(m.accessEnergyPj() / 14.9, 1.0, 0.1);
+}
+
+TEST(RfcModel, MonotoneInPortsBanksSize)
+{
+    const double base = RfcModel({6, 8, 2, 1, 1}).accessEnergyPj();
+    EXPECT_GT(RfcModel({6, 8, 4, 2, 1}).accessEnergyPj(), base);
+    EXPECT_GT(RfcModel({6, 8, 2, 1, 4}).accessEnergyPj(), base);
+    EXPECT_GT(RfcModel({6, 16, 2, 1, 1}).accessEnergyPj(), base);
+}
+
+TEST(RfcModel, TagEnergySmall)
+{
+    RfcModel m({6, 8, 2, 1, 1});
+    EXPECT_LT(m.tagEnergyPj(), 0.05 * 14.9);
+    EXPECT_GT(m.tagEnergyPj(), 0.0);
+}
+
+TEST(SwapTableRtl, BitsAndDelays)
+{
+    SwapTableRtl t(4);
+    EXPECT_EQ(t.bits(), 104u);
+    EXPECT_NEAR(t.delayPs(circuit::cmos22()), 105.0, 2.0);
+    EXPECT_NEAR(t.delayPs(circuit::cmos16()), 95.0, 2.0);
+    EXPECT_NEAR(t.delayPs(circuit::finfetNode7()), 55.0, 2.0);
+}
+
+TEST(SwapTableRtl, UnderTenPercentOfCycle)
+{
+    SwapTableRtl t(4);
+    EXPECT_LT(t.cycleFraction(circuit::cmos22()), 0.10);
+}
+
+TEST(SwapTableRtl, ScalesWithEntries)
+{
+    SwapTableRtl t4(4), t8(8);
+    EXPECT_EQ(t8.bits(), 208u);
+    EXPECT_GT(t8.delayPs(circuit::finfetNode7()),
+              t4.delayPs(circuit::finfetNode7()));
+    EXPECT_GT(t8.lookupEnergyPj(), t4.lookupEnergyPj());
+}
+
+TEST(SwapTableRtl, IndexedStyleComparable)
+{
+    // Sec. III-B: differences between CAM and indexed are negligible.
+    SwapTableRtl cam(4, SwapTableStyle::Cam);
+    SwapTableRtl idx(4, SwapTableStyle::Indexed);
+    EXPECT_NEAR(cam.delayPs(circuit::finfetNode7()),
+                idx.delayPs(circuit::finfetNode7()), 5.0);
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Warp scheduler tests: GTO ordering, LRR rotation, two-level pool
+ * transitions and RFC activation callbacks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+
+namespace
+{
+struct Harness
+{
+    SimConfig cfg;
+    std::vector<std::pair<WarpId, bool>> events;
+    std::unique_ptr<Scheduler> sched;
+
+    explicit Harness(SchedulerPolicy pol, unsigned pool = 4,
+                     unsigned schedulers = 2, unsigned warps = 16)
+    {
+        cfg.policy = pol;
+        cfg.tlActiveWarps = pool;
+        cfg.schedulers = schedulers;
+        cfg.warpsPerSm = warps;
+        sched = std::make_unique<Scheduler>(
+            cfg, [this](WarpId w, bool a) { events.push_back({w, a}); });
+    }
+};
+} // namespace
+
+TEST(GtoScheduler, OldestFirstThenGreedy)
+{
+    Harness h(SchedulerPolicy::Gto);
+    // Launch order: 4 (age 0), 0 (age 1), 2 (age 2) on scheduler 0.
+    h.sched->onWarpLaunched(4, 0);
+    h.sched->onWarpLaunched(0, 1);
+    h.sched->onWarpLaunched(2, 2);
+    std::vector<WarpId> cand;
+    h.sched->candidates(0, cand);
+    ASSERT_EQ(cand.size(), 3u);
+    EXPECT_EQ(cand[0], 4); // oldest first
+    EXPECT_EQ(cand[1], 0);
+    h.sched->noteIssue(0, 2);
+    h.sched->candidates(0, cand);
+    EXPECT_EQ(cand[0], 2); // greedy first now
+    EXPECT_EQ(cand[1], 4);
+}
+
+TEST(GtoScheduler, FinishedWarpRemoved)
+{
+    Harness h(SchedulerPolicy::Gto);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpLaunched(2, 1);
+    h.sched->noteIssue(0, 0);
+    h.sched->onWarpFinished(0);
+    std::vector<WarpId> cand;
+    h.sched->candidates(0, cand);
+    ASSERT_EQ(cand.size(), 1u);
+    EXPECT_EQ(cand[0], 2);
+}
+
+TEST(GtoScheduler, SchedulerPartition)
+{
+    Harness h(SchedulerPolicy::Gto);
+    for (WarpId w = 0; w < 8; ++w)
+        h.sched->onWarpLaunched(w, w);
+    std::vector<WarpId> cand;
+    h.sched->candidates(1, cand);
+    for (WarpId w : cand)
+        EXPECT_EQ(w % 2, 1u);
+}
+
+TEST(GtoScheduler, AlwaysEligible)
+{
+    Harness h(SchedulerPolicy::Gto);
+    h.sched->onWarpLaunched(0, 0);
+    EXPECT_TRUE(h.sched->eligible(0));
+    EXPECT_TRUE(h.sched->eligible(5));
+}
+
+TEST(LrrScheduler, RotatesAfterIssue)
+{
+    Harness h(SchedulerPolicy::Lrr);
+    for (WarpId w : {0, 2, 4, 6})
+        h.sched->onWarpLaunched(w, w);
+    std::vector<WarpId> cand;
+    h.sched->noteIssue(0, 2);
+    h.sched->candidates(0, cand);
+    ASSERT_EQ(cand.size(), 4u);
+    EXPECT_EQ(cand[0], 4); // starts after the last issued warp
+    EXPECT_EQ(cand[3], 2);
+}
+
+TEST(TwoLevel, PoolFillsInLaunchOrder)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 2);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpLaunched(2, 1);
+    h.sched->onWarpLaunched(4, 2);
+    EXPECT_TRUE(h.sched->eligible(0));
+    EXPECT_TRUE(h.sched->eligible(2));
+    EXPECT_FALSE(h.sched->eligible(4)); // pool full
+    ASSERT_EQ(h.events.size(), 2u);
+    EXPECT_EQ(h.events[0], std::make_pair(WarpId(0), true));
+}
+
+TEST(TwoLevel, DemotionPromotesNextPending)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 2);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpLaunched(2, 1);
+    h.sched->onWarpLaunched(4, 2);
+    h.events.clear();
+    h.sched->onWarpBlocked(0, true); // long-latency demotion
+    EXPECT_FALSE(h.sched->eligible(0));
+    EXPECT_TRUE(h.sched->eligible(4));
+    // Deactivation event for 0 then activation for 4.
+    ASSERT_EQ(h.events.size(), 2u);
+    EXPECT_EQ(h.events[0], std::make_pair(WarpId(0), false));
+    EXPECT_EQ(h.events[1], std::make_pair(WarpId(4), true));
+}
+
+TEST(TwoLevel, RequeuedWarpReturnsLater)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 1);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpLaunched(2, 1);
+    h.sched->onWarpBlocked(0, true);
+    EXPECT_TRUE(h.sched->eligible(2));
+    h.sched->onWarpBlocked(2, true);
+    EXPECT_TRUE(h.sched->eligible(0)); // came back around
+}
+
+TEST(TwoLevel, BarrierBlockedNotRequeuedUntilWakeup)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 1);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpBlocked(0, false); // barrier: no requeue
+    EXPECT_FALSE(h.sched->eligible(0));
+    h.sched->onWarpWakeup(0);
+    EXPECT_TRUE(h.sched->eligible(0));
+}
+
+TEST(TwoLevel, FinishedWarpLeavesPool)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 2);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpLaunched(2, 1);
+    h.sched->onWarpLaunched(4, 2);
+    h.sched->onWarpFinished(0);
+    EXPECT_FALSE(h.sched->eligible(0));
+    EXPECT_TRUE(h.sched->eligible(4)); // backfilled
+}
+
+TEST(TwoLevel, CandidatesOnlyFromActivePool)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 2);
+    for (WarpId w = 0; w < 8; w += 2)
+        h.sched->onWarpLaunched(w, w);
+    std::vector<WarpId> cand;
+    h.sched->candidates(0, cand);
+    EXPECT_EQ(cand.size(), 2u);
+}
+
+TEST(TwoLevel, RotationWithinPool)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 2, 1);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpLaunched(1, 1);
+    std::vector<WarpId> cand;
+    h.sched->candidates(0, cand);
+    EXPECT_EQ(cand[0], 0);
+    h.sched->noteIssue(0, 0);
+    h.sched->candidates(0, cand);
+    EXPECT_EQ(cand[0], 1); // issued warp rotated to the back
+}
+
+TEST(TwoLevel, WakeupOfDeadWarpIgnored)
+{
+    Harness h(SchedulerPolicy::TwoLevel, 2);
+    h.sched->onWarpLaunched(0, 0);
+    h.sched->onWarpFinished(0);
+    h.sched->onWarpWakeup(0);
+    EXPECT_FALSE(h.sched->eligible(0));
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SIMT reconvergence stack tests: uniform and divergent branches, loop
+ * peeling, nested divergence and reconvergence pops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simt_stack.hh"
+
+using namespace pilotrf;
+using pilotrf::sim::SimtStack;
+
+TEST(SimtStack, InitState)
+{
+    SimtStack s;
+    s.init(fullMask);
+    EXPECT_EQ(s.pc(), 0u);
+    EXPECT_EQ(s.mask(), fullMask);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, PartialLaunchMask)
+{
+    SimtStack s;
+    s.init(0x1fffffff); // 29 live lanes
+    EXPECT_EQ(s.mask(), 0x1fffffffu);
+}
+
+TEST(SimtStack, AdvanceIncrements)
+{
+    SimtStack s;
+    s.init(fullMask);
+    s.advance();
+    s.advance();
+    EXPECT_EQ(s.pc(), 2u);
+}
+
+TEST(SimtStack, UniformTaken)
+{
+    SimtStack s;
+    s.init(fullMask);
+    s.branch(fullMask, 10, 12);
+    EXPECT_EQ(s.pc(), 10u);
+    EXPECT_EQ(s.depth(), 1u);
+    EXPECT_EQ(s.mask(), fullMask);
+}
+
+TEST(SimtStack, UniformNotTaken)
+{
+    SimtStack s;
+    s.init(fullMask);
+    s.setPc(4);
+    s.branch(0, 10, 12);
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, DivergentIfThenReconverge)
+{
+    // if-skip branch at pc 0: taken lanes jump to the join at pc 3.
+    SimtStack s;
+    s.init(fullMask);
+    const ActiveMask taken = 0x0000ffff;
+    s.branch(taken, 3, 3);
+    // Taken target == rpc: those lanes wait; body executes with the rest.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask(), ~taken);
+    EXPECT_EQ(s.depth(), 2u);
+    s.advance(); // pc 2
+    s.advance(); // pc 3 == rpc -> pop
+    EXPECT_EQ(s.pc(), 3u);
+    EXPECT_EQ(s.mask(), fullMask);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, DivergentBothPaths)
+{
+    // Branch at pc 0, target 5, rpc 8: both paths pushed, taken first.
+    SimtStack s;
+    s.init(fullMask);
+    const ActiveMask taken = 0xff;
+    s.branch(taken, 5, 8);
+    EXPECT_EQ(s.depth(), 3u);
+    EXPECT_EQ(s.pc(), 5u);
+    EXPECT_EQ(s.mask(), taken);
+    // Run the taken path to the reconvergence point.
+    s.setPc(8);
+    // Now the not-taken path runs from pc 1.
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask(), ActiveMask(~taken));
+    s.setPc(8);
+    // Fully reconverged.
+    EXPECT_EQ(s.pc(), 8u);
+    EXPECT_EQ(s.mask(), fullMask);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, LoopPeelsLanesUntilEmpty)
+{
+    // Backedge at pc 3, loop head 1, rpc 4 (fallthrough).
+    SimtStack s;
+    s.init(fullMask);
+    s.setPc(3);
+    ActiveMask continuing = 0x0000fffe; // lane 0 exits in iteration 1
+    s.branch(continuing, 1, 4);
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask(), continuing);
+    s.setPc(3);
+    // Second iteration: everyone exits.
+    s.branch(0, 1, 4);
+    EXPECT_EQ(s.pc(), 4u);
+    EXPECT_EQ(s.mask(), fullMask); // reconverged with the peeled lane
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.init(fullMask);
+    s.branch(0xffff, 10, 20); // outer split
+    EXPECT_EQ(s.pc(), 10u);
+    s.branch(0xff, 15, 18); // inner split within the taken path
+    EXPECT_EQ(s.pc(), 15u);
+    EXPECT_EQ(s.mask(), 0xffu);
+    s.setPc(18); // inner taken reaches inner rpc
+    EXPECT_EQ(s.pc(), 11u);
+    EXPECT_EQ(s.mask(), 0xff00u);
+    s.setPc(18);
+    EXPECT_EQ(s.pc(), 18u);
+    EXPECT_EQ(s.mask(), 0xffffu);
+    s.setPc(20); // outer taken reaches outer rpc
+    EXPECT_EQ(s.pc(), 1u);
+    EXPECT_EQ(s.mask(), 0xffff0000u);
+    s.setPc(20);
+    EXPECT_EQ(s.mask(), fullMask);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, MaskSubsetEnforced)
+{
+    SimtStack s;
+    s.init(0xff);
+    EXPECT_DEATH(s.branch(0x100, 2, 3), "outside active mask");
+}

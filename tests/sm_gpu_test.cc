@@ -1,0 +1,283 @@
+/**
+ * @file
+ * End-to-end SM/GPU integration tests with small hand-counted kernels,
+ * plus parameterized full-suite completion sweeps across RF backends and
+ * schedulers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/kernel_builder.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+using namespace pilotrf::isa;
+
+namespace
+{
+SimConfig
+smallCfg(RfKind kind = RfKind::MrfStv)
+{
+    SimConfig c;
+    c.numSms = 2;
+    c.rfKind = kind;
+    return c;
+}
+} // namespace
+
+class SmGpuTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_F(SmGpuTest, StraightLineInstructionCountExact)
+{
+    // 4 ALU ops + exit per warp; 3 CTAs x 2 warps = 6 warps.
+    KernelBuilder b("s", 8, 64, 3);
+    b.op(Opcode::Mov, 0, {1});
+    b.op(Opcode::IAdd, 2, {0, 1});
+    b.op(Opcode::IAdd, 3, {2, 0});
+    b.op(Opcode::FMul, 4, {3, 2});
+    Gpu gpu(smallCfg());
+    const auto r = gpu.run(b.build());
+    EXPECT_EQ(r.totalInstructions, 6u * 5u);
+    EXPECT_GT(r.totalCycles, 0u);
+}
+
+TEST_F(SmGpuTest, RegisterAccessCountsExact)
+{
+    // One warp; mov r0<-r1 reads r1 once and writes r0 once per warp.
+    KernelBuilder b("ra", 8, 32, 1);
+    b.op(Opcode::Mov, 0, {1});
+    b.op(Opcode::IAdd, 2, {0, 1});
+    Gpu gpu(smallCfg());
+    const auto r = gpu.run(b.build());
+    ASSERT_EQ(r.kernels.size(), 1u);
+    const auto &reg = r.kernels[0].regAccess;
+    EXPECT_EQ(reg[0], 2u); // write by mov, read by iadd
+    EXPECT_EQ(reg[1], 2u); // read twice
+    EXPECT_EQ(reg[2], 1u); // written once
+    EXPECT_DOUBLE_EQ(r.rfStats.get("access.reads"), 3.0);
+    EXPECT_DOUBLE_EQ(r.rfStats.get("access.writes"), 2.0);
+}
+
+TEST_F(SmGpuTest, DuplicateSourceReadOnce)
+{
+    KernelBuilder b("dup", 8, 32, 1);
+    b.op(Opcode::FMul, 1, {0, 0});
+    Gpu gpu(smallCfg());
+    const auto r = gpu.run(b.build());
+    EXPECT_DOUBLE_EQ(r.rfStats.get("access.reads"), 1.0);
+}
+
+TEST_F(SmGpuTest, LoopBodyExecutionsScaleInstructions)
+{
+    const unsigned trips = 9;
+    KernelBuilder b("l", 8, 32, 1);
+    b.beginLoop(trips);
+    b.op(Opcode::IAdd, 0, {0});
+    b.endLoop();
+    Gpu gpu(smallCfg());
+    const auto r = gpu.run(b.build());
+    // body x9 + backedge x9 + exit = 19 per warp.
+    EXPECT_EQ(r.totalInstructions, 19u);
+}
+
+TEST_F(SmGpuTest, BarrierSynchronizesCta)
+{
+    KernelBuilder b("bar", 8, 128, 2); // 4 warps per CTA
+    b.op(Opcode::IAdd, 0, {0});
+    b.barrier();
+    b.op(Opcode::IAdd, 1, {1});
+    Gpu gpu(smallCfg());
+    const auto r = gpu.run(b.build());
+    EXPECT_DOUBLE_EQ(r.simStats.get("barriers.released"), 2.0);
+    EXPECT_EQ(r.totalInstructions, 8u * 4u); // 4 instrs x 8 warps
+}
+
+TEST_F(SmGpuTest, MultiWaveCtaLaunch)
+{
+    // 1 SM config, CTAs exceed the concurrent limit -> multiple waves.
+    SimConfig c = smallCfg();
+    c.numSms = 1;
+    c.maxCtasPerSm = 2;
+    KernelBuilder b("w", 8, 256, 7);
+    b.op(Opcode::IAdd, 0, {0});
+    Gpu gpu(c);
+    const auto r = gpu.run(b.build());
+    EXPECT_DOUBLE_EQ(r.simStats.get("ctas.launched"), 7.0);
+    EXPECT_DOUBLE_EQ(r.simStats.get("ctas.completed"), 7.0);
+}
+
+TEST_F(SmGpuTest, MemoryInstructionsRoundTrip)
+{
+    KernelBuilder b("m", 8, 32, 1);
+    b.load(1, 0, MemSpace::Global, 4);
+    b.op(Opcode::IAdd, 2, {1}); // depends on the load
+    b.store(0, 2, MemSpace::Global, 1);
+    Gpu gpu(smallCfg());
+    const auto r = gpu.run(b.build());
+    EXPECT_EQ(r.totalInstructions, 4u);
+    EXPECT_DOUBLE_EQ(r.simStats.get("mem.transactions"), 5.0);
+    // The dependent chain must take at least the memory latency.
+    EXPECT_GT(r.totalCycles, 230u);
+}
+
+TEST_F(SmGpuTest, SharedMemoryFaster)
+{
+    auto run = [&](MemSpace space) {
+        KernelBuilder b("m", 8, 32, 1);
+        b.load(1, 0, space, 1);
+        b.op(Opcode::IAdd, 2, {1});
+        Gpu gpu(smallCfg());
+        return gpu.run(b.build()).totalCycles;
+    };
+    EXPECT_LT(run(MemSpace::Shared), run(MemSpace::Global));
+}
+
+TEST_F(SmGpuTest, DivergentIfBothPathsExecute)
+{
+    KernelBuilder b("d", 8, 32, 1, 3);
+    b.beginIf(0.5);
+    b.op(Opcode::IAdd, 0, {0});
+    b.endIf();
+    b.op(Opcode::IAdd, 1, {1});
+    Gpu gpu(smallCfg());
+    const auto r = gpu.run(b.build());
+    // body + join op + branch + exit = 4 warp instructions.
+    EXPECT_EQ(r.totalInstructions, 4u);
+}
+
+TEST_F(SmGpuTest, NtvRfSlowsExecution)
+{
+    KernelBuilder b("chain", 8, 256, 4);
+    // Long dependent ALU chain: RF latency is on the critical path.
+    for (int i = 0; i < 10; ++i)
+        b.op(Opcode::IAdd, 1, {1, 2});
+    Gpu fast(smallCfg(RfKind::MrfStv));
+    Gpu slow(smallCfg(RfKind::MrfNtv));
+    auto k = b.build();
+    EXPECT_LT(fast.run(k).totalCycles, slow.run(k).totalCycles);
+}
+
+TEST_F(SmGpuTest, DeterministicAcrossRuns)
+{
+    const auto &w = workloads::workload("srad");
+    Gpu a(smallCfg(RfKind::Partitioned));
+    Gpu b(smallCfg(RfKind::Partitioned));
+    EXPECT_EQ(a.run(w.kernels).totalCycles, b.run(w.kernels).totalCycles);
+}
+
+TEST_F(SmGpuTest, MultiKernelSequencing)
+{
+    const auto &w = workloads::workload("backprop");
+    Gpu gpu(smallCfg(RfKind::Partitioned));
+    const auto r = gpu.run(w.kernels);
+    ASSERT_EQ(r.kernels.size(), 2u);
+    EXPECT_GT(r.kernels[0].cycles, 0u);
+    EXPECT_GT(r.kernels[1].cycles, 0u);
+    EXPECT_EQ(r.totalCycles, r.kernels[0].cycles + r.kernels[1].cycles);
+    // The pilot reprofiles per kernel: disjoint hot sets.
+    EXPECT_NE(r.kernels[0].pilotHot, r.kernels[1].pilotHot);
+}
+
+TEST_F(SmGpuTest, AccessesConservedAcrossBackends)
+{
+    // Total RF reads+writes must not depend on the backend.
+    KernelBuilder b("c", 12, 64, 4);
+    b.op(Opcode::FFma, 4, {5, 6, 4});
+    b.op(Opcode::IAdd, 7, {4});
+    auto k = b.build();
+    double counts[3];
+    int i = 0;
+    for (auto kind :
+         {RfKind::MrfStv, RfKind::Partitioned, RfKind::Rfc}) {
+        Gpu gpu(smallCfg(kind));
+        const auto r = gpu.run(k);
+        counts[i++] = r.rfStats.get("access.reads") +
+                      r.rfStats.get("access.writes");
+    }
+    EXPECT_DOUBLE_EQ(counts[0], counts[1]);
+    EXPECT_DOUBLE_EQ(counts[0], counts[2]);
+}
+
+TEST_F(SmGpuTest, PartitionedModeCountsSumToAccesses)
+{
+    const auto &w = workloads::workload("kmeans");
+    Gpu gpu(smallCfg(RfKind::Partitioned));
+    const auto r = gpu.run(w.kernels);
+    const double modes = r.rfStats.get("access.FRF_high") +
+                         r.rfStats.get("access.FRF_low") +
+                         r.rfStats.get("access.SRF");
+    // The one-off remap traffic is counted against the modes (energy)
+    // but is not an architected operand access.
+    const double remap = 2.0 * r.rfStats.get("swap.remapMoves");
+    EXPECT_DOUBLE_EQ(modes, r.rfAccesses() + remap);
+}
+
+TEST_F(SmGpuTest, WatchdogFires)
+{
+    SimConfig c = smallCfg();
+    c.maxCycles = 10; // absurdly small
+    KernelBuilder b("wd", 8, 32, 1);
+    b.beginLoop(1000);
+    b.op(Opcode::IAdd, 0, {0});
+    b.endLoop();
+    Gpu gpu(c);
+    auto k = b.build();
+    EXPECT_EXIT(gpu.run(k), ::testing::ExitedWithCode(1), "watchdog");
+}
+
+// Parameterized completion sweep: every workload completes under every
+// backend/scheduler combination and produces self-consistent stats.
+using SweepParam = std::tuple<const char *, RfKind, SchedulerPolicy>;
+
+class SuiteSweep : public ::testing::TestWithParam<SweepParam>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_P(SuiteSweep, CompletesWithConsistentStats)
+{
+    const auto [name, kind, policy] = GetParam();
+    SimConfig c;
+    c.numSms = 4; // small but multi-SM
+    c.rfKind = kind;
+    c.policy = policy;
+    Gpu gpu(c);
+    const auto r = gpu.run(workloads::workload(name).kernels);
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_GT(r.totalInstructions, 0u);
+    EXPECT_GT(r.rfAccesses(), 0.0);
+    double regTotal = 0;
+    for (const auto &k : r.kernels)
+        for (auto cnt : k.regAccess)
+            regTotal += double(cnt);
+    EXPECT_DOUBLE_EQ(regTotal, r.rfAccesses());
+    EXPECT_DOUBLE_EQ(r.simStats.get("ctas.launched"),
+                     r.simStats.get("ctas.completed"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorkloadsByBackend, SuiteSweep,
+    ::testing::Combine(
+        ::testing::Values("BFS", "hotspot", "nw", "backprop", "sgemm",
+                          "CP", "LIB", "WP"),
+        ::testing::Values(RfKind::MrfStv, RfKind::MrfNtv,
+                          RfKind::Partitioned, RfKind::Rfc),
+        ::testing::Values(SchedulerPolicy::Gto, SchedulerPolicy::Lrr,
+                          SchedulerPolicy::TwoLevel)),
+    [](const auto &info) {
+        std::string s = std::string(std::get<0>(info.param)) + "_" +
+                        toString(std::get<1>(info.param)) + "_" +
+                        toString(std::get<2>(info.param));
+        for (auto &ch : s)
+            if (ch == '@' || ch == '-')
+                ch = '_';
+        return s;
+    });

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * SRAM cell model tests: VTC properties, butterfly SNM calibration to
+ * Table III, cell-type comparisons and Monte-Carlo yield analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/monte_carlo.hh"
+#include "circuit/sram.hh"
+
+using namespace pilotrf::circuit;
+
+namespace
+{
+const TechParams &tech = finfet7();
+}
+
+TEST(Vtc, MonotoneDecreasing)
+{
+    const auto cell = defaultCellParams(SramCellType::T8);
+    Vtc vtc(cell, tech, vddStv, BackGate::Enabled, false);
+    double prev = vtc.eval(0.0);
+    for (double v = 0.01; v <= vddStv; v += 0.01) {
+        const double out = vtc.eval(v);
+        EXPECT_LE(out, prev + 1e-9);
+        prev = out;
+    }
+}
+
+TEST(Vtc, RailsAtEndpoints)
+{
+    const auto cell = defaultCellParams(SramCellType::T8);
+    Vtc vtc(cell, tech, vddStv, BackGate::Enabled, false);
+    EXPECT_GT(vtc.eval(0.0), 0.9 * vddStv);
+    EXPECT_LT(vtc.eval(vddStv), 0.1 * vddStv);
+}
+
+TEST(Vtc, ReadDisturbRaisesLowOutput)
+{
+    const auto cell = defaultCellParams(SramCellType::T6);
+    Vtc hold(cell, tech, vddStv, BackGate::Enabled, false);
+    Vtc read(cell, tech, vddStv, BackGate::Enabled, true);
+    // With the input high, the disturbed cell's low node sits above the
+    // undisturbed one (the classic read-upset bump).
+    EXPECT_GT(read.eval(vddStv), hold.eval(vddStv));
+}
+
+TEST(Snm, Tbl3HoldSnmStv)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_NEAR(snm(p8, tech, vddStv, SnmMode::Hold), 0.144, 0.015);
+}
+
+TEST(Snm, Tbl3HoldSnmNtv)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_NEAR(snm(p8, tech, vddNtv, SnmMode::Hold), 0.092, 0.015);
+}
+
+TEST(Snm, Tbl3BackGateOff)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_NEAR(snm(p8, tech, vddStv, SnmMode::Hold, BackGate::Disabled),
+                0.096, 0.015);
+}
+
+TEST(Snm, SixTReadSnmMatchesSecIVA)
+{
+    const auto p6 = defaultCellParams(SramCellType::T6);
+    EXPECT_NEAR(snm(p6, tech, vddStv, SnmMode::Read), 0.088, 0.012);
+}
+
+TEST(Snm, EightTReadEqualsHold)
+{
+    // The 8T read port is decoupled: read SNM == hold SNM.
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_DOUBLE_EQ(snm(p8, tech, vddStv, SnmMode::Read),
+                     snm(p8, tech, vddStv, SnmMode::Hold));
+}
+
+TEST(Snm, SixTReadWorseThanHold)
+{
+    const auto p6 = defaultCellParams(SramCellType::T6);
+    EXPECT_LT(snm(p6, tech, vddStv, SnmMode::Read),
+              snm(p6, tech, vddStv, SnmMode::Hold));
+}
+
+TEST(Snm, EightTBeatsUpsizedSixTAtSmallerArea)
+{
+    // The Sec. IV-A conclusion: the compact 8T cell beats the upsized 6T.
+    const auto p6 = defaultCellParams(SramCellType::T6);
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_GT(snm(p8, tech, vddStv, SnmMode::Read),
+              snm(p6, tech, vddStv, SnmMode::Read));
+    EXPECT_LT(p8.areaUm2, p6.areaUm2);
+}
+
+TEST(Snm, VariationDegradesWorstLobe)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    const double nominal = snm(p8, tech, vddStv, SnmMode::Hold);
+    CellVariation var{+0.03, -0.03, 0.0, -0.03, +0.03, 0.0};
+    EXPECT_LT(snm(p8, tech, vddStv, SnmMode::Hold, BackGate::Enabled, var),
+              nominal);
+}
+
+TEST(Snm, SymmetricCellHasEqualLobes)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    Vtc inv(p8, tech, vddStv, BackGate::Enabled, false);
+    EXPECT_NEAR(lobeSnm(inv, inv), lobeSnm(inv, inv), 1e-12);
+}
+
+// SNM positivity and scale across cells and voltages.
+class SnmSweep : public ::testing::TestWithParam<
+                     std::tuple<SramCellType, double>>
+{
+};
+
+TEST_P(SnmSweep, PositiveAndBelowHalfVdd)
+{
+    const auto [type, vdd] = GetParam();
+    const auto cell = defaultCellParams(type);
+    for (auto mode : {SnmMode::Hold, SnmMode::Read}) {
+        const double s = snm(cell, tech, vdd, mode);
+        EXPECT_GT(s, 0.0);
+        EXPECT_LT(s, vdd / 2.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsByVoltage, SnmSweep,
+    ::testing::Combine(::testing::Values(SramCellType::T6, SramCellType::T8,
+                                         SramCellType::T9,
+                                         SramCellType::T10),
+                       ::testing::Values(0.30, 0.35, 0.45)));
+
+TEST(MonteCarlo, DeterministicPerSeed)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    const auto a = monteCarloSnm(p8, tech, vddStv, SnmMode::Hold,
+                                 BackGate::Enabled, 0.04, 40, 7);
+    const auto b = monteCarloSnm(p8, tech, vddStv, SnmMode::Hold,
+                                 BackGate::Enabled, 0.04, 40, 7);
+    EXPECT_DOUBLE_EQ(a.meanSnm, b.meanSnm);
+    EXPECT_DOUBLE_EQ(a.yield, b.yield);
+}
+
+TEST(MonteCarlo, MeanNearNominal)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    const double nominal = snm(p8, tech, vddStv, SnmMode::Hold);
+    const auto y = monteCarloSnm(p8, tech, vddStv, SnmMode::Hold,
+                                 BackGate::Enabled, 0.04, 60, 11);
+    // Variation only hurts the min over the two lobes.
+    EXPECT_LT(y.meanSnm, nominal + 1e-9);
+    EXPECT_GT(y.meanSnm, 0.6 * nominal);
+}
+
+TEST(MonteCarlo, NtvYieldWorseThanStvFor6T)
+{
+    const auto p6 = defaultCellParams(SramCellType::T6);
+    const auto stv = monteCarloSnm(p6, tech, vddStv, SnmMode::Read,
+                                   BackGate::Enabled, 0.05, 60, 21);
+    const auto ntv = monteCarloSnm(p6, tech, vddNtv, SnmMode::Read,
+                                   BackGate::Enabled, 0.05, 60, 21);
+    EXPECT_LE(ntv.yield, stv.yield);
+}
+
+TEST(MonteCarlo, YieldBoundsAndStats)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    const auto y = monteCarloSnm(p8, tech, vddNtv, SnmMode::Hold,
+                                 BackGate::Enabled, 0.04, 50, 3);
+    EXPECT_GE(y.yield, 0.0);
+    EXPECT_LE(y.yield, 1.0);
+    EXPECT_LE(y.minSnm, y.meanSnm);
+    EXPECT_GE(y.stdSnm, 0.0);
+    EXPECT_EQ(y.samples, 50u);
+}
+
+TEST(CellParams, AreaOrdering)
+{
+    // 8T is the most compact; the upsized 6T and the taller 9T/10T cost
+    // more area.
+    const double a6 = defaultCellParams(SramCellType::T6).areaUm2;
+    const double a8 = defaultCellParams(SramCellType::T8).areaUm2;
+    const double a9 = defaultCellParams(SramCellType::T9).areaUm2;
+    const double a10 = defaultCellParams(SramCellType::T10).areaUm2;
+    EXPECT_LT(a8, a6);
+    EXPECT_LT(a8, a9);
+    EXPECT_LT(a9, a10);
+}
+
+TEST(CellParams, ReadDecoupling)
+{
+    EXPECT_FALSE(defaultCellParams(SramCellType::T6).readDecoupled);
+    EXPECT_TRUE(defaultCellParams(SramCellType::T8).readDecoupled);
+    EXPECT_TRUE(defaultCellParams(SramCellType::T9).readDecoupled);
+    EXPECT_TRUE(defaultCellParams(SramCellType::T10).readDecoupled);
+}
+
+TEST(CellParams, ToStringNames)
+{
+    EXPECT_STREQ(toString(SramCellType::T6), "6T");
+    EXPECT_STREQ(toString(SramCellType::T8), "8T");
+    EXPECT_STREQ(toString(SramCellType::T9), "9T");
+    EXPECT_STREQ(toString(SramCellType::T10), "10T");
+}
+
+TEST(WriteMargin, EightTWritableAtBothVoltages)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_GT(writeMargin(p8, tech, vddStv), 0.0);
+    EXPECT_GT(writeMargin(p8, tech, vddNtv), 0.0);
+}
+
+TEST(WriteMargin, DegradesAtNtv)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_LT(writeMargin(p8, tech, vddNtv),
+              writeMargin(p8, tech, vddStv));
+}
+
+TEST(WriteMargin, ReadUpsizedSixTNeedsWriteAssist)
+{
+    // The classic 6T tension: upsizing for read stability (2-fin pull
+    // downs against a 1-fin access) leaves the cell statically
+    // unwritable without assist techniques — one more reason the paper's
+    // 8T choice wins.
+    const auto p6 = defaultCellParams(SramCellType::T6);
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_LT(writeMargin(p6, tech, vddStv),
+              writeMargin(p8, tech, vddStv));
+    EXPECT_LT(writeMargin(p6, tech, vddStv), 0.0);
+}
+
+TEST(WriteMargin, StrongerAccessImprovesWriteability)
+{
+    auto weak = defaultCellParams(SramCellType::T8);
+    auto strong = weak;
+    strong.accessFins = 2;
+    EXPECT_GT(writeMargin(strong, tech, vddStv),
+              writeMargin(weak, tech, vddStv));
+}
+
+TEST(WriteMargin, SlowAccessDeviceHurts)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    CellVariation var{};
+    var[2] = +0.05; // slow access transistor
+    EXPECT_LT(writeMargin(p8, tech, vddStv, BackGate::Enabled, var),
+              writeMargin(p8, tech, vddStv));
+}
+
+TEST(WriteMargin, BackGateOffStillWritable)
+{
+    const auto p8 = defaultCellParams(SramCellType::T8);
+    EXPECT_GT(writeMargin(p8, tech, vddStv, BackGate::Disabled), 0.0);
+}

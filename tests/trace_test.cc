@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Trace infrastructure tests: category gating, list parsing, output
+ * format, and end-to-end emission from the SM.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/kernel_builder.hh"
+#include "sim/gpu.hh"
+#include "sim/trace.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Trace::disableAll(); }
+};
+
+TEST_F(TraceTest, DisabledByDefault)
+{
+    EXPECT_FALSE(Trace::enabled(TraceCat::Issue));
+    EXPECT_FALSE(Trace::enabled(TraceCat::Mem));
+}
+
+TEST_F(TraceTest, EnableDisable)
+{
+    Trace::enable(TraceCat::Mem);
+    EXPECT_TRUE(Trace::enabled(TraceCat::Mem));
+    EXPECT_FALSE(Trace::enabled(TraceCat::Issue));
+    Trace::disable(TraceCat::Mem);
+    EXPECT_FALSE(Trace::enabled(TraceCat::Mem));
+}
+
+TEST_F(TraceTest, EnableFromList)
+{
+    EXPECT_EQ(Trace::enableFromList("issue, mem,warp"), 3u);
+    EXPECT_TRUE(Trace::enabled(TraceCat::Issue));
+    EXPECT_TRUE(Trace::enabled(TraceCat::Mem));
+    EXPECT_TRUE(Trace::enabled(TraceCat::Warp));
+    EXPECT_FALSE(Trace::enabled(TraceCat::Bank));
+}
+
+TEST_F(TraceTest, UnknownNamesIgnored)
+{
+    EXPECT_EQ(Trace::enableFromList("bogus,also-bogus"), 0u);
+}
+
+TEST_F(TraceTest, LogFormat)
+{
+    std::ostringstream os;
+    Trace::setStream(os);
+    Trace::enable(TraceCat::Bank);
+    Trace::log(TraceCat::Bank, 42, SmId(3), "grant bank %u", 7u);
+    EXPECT_EQ(os.str(), "42: sm3 bank: grant bank 7\n");
+}
+
+TEST_F(TraceTest, EndToEndEmission)
+{
+    setQuiet(true);
+    std::ostringstream os;
+    Trace::setStream(os);
+    Trace::enable(TraceCat::Issue);
+    Trace::enable(TraceCat::Warp);
+    Trace::enable(TraceCat::Cta);
+
+    isa::KernelBuilder b("t", 8, 32, 1);
+    b.op(isa::Opcode::IAdd, 0, {1});
+    SimConfig cfg;
+    cfg.numSms = 1;
+    cfg.rfKind = RfKind::MrfStv;
+    Gpu gpu(cfg);
+    gpu.run(b.build());
+
+    const std::string out = os.str();
+    EXPECT_NE(out.find("launch cta 0"), std::string::npos);
+    EXPECT_NE(out.find("launch warp 0"), std::string::npos);
+    EXPECT_NE(out.find("iadd r0,r1"), std::string::npos);
+    EXPECT_NE(out.find("retire warp 0"), std::string::npos);
+}
+
+TEST_F(TraceTest, SilentWhenDisabled)
+{
+    setQuiet(true);
+    std::ostringstream os;
+    Trace::setStream(os);
+    isa::KernelBuilder b("t", 8, 32, 1);
+    b.op(isa::Opcode::IAdd, 0, {1});
+    SimConfig cfg;
+    cfg.numSms = 1;
+    Gpu gpu(cfg);
+    gpu.run(b.build());
+    EXPECT_TRUE(os.str().empty());
+}

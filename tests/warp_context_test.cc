@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Warp context tests: scoreboard hazards, deterministic branch/loop
+ * evaluation, and control-flow execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hh"
+#include "sim/warp_context.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+using namespace pilotrf::isa;
+
+namespace
+{
+Kernel
+loopKernel(unsigned trips, unsigned spread, bool divergent)
+{
+    KernelBuilder b("loop", 8, 64, 4, 1234);
+    b.op(Opcode::Mov, 0, {1});
+    b.beginLoop(trips, spread, divergent);
+    b.op(Opcode::IAdd, 2, {2});
+    b.endLoop();
+    return b.build();
+}
+
+WarpContext
+makeWarp(const Kernel &k, CtaId cta = 0, unsigned wInCta = 0,
+         unsigned threads = 32)
+{
+    WarpContext w;
+    w.launch(&k, cta, wInCta, 0, 0, threads);
+    return w;
+}
+} // namespace
+
+TEST(WarpContext, LaunchState)
+{
+    auto k = loopKernel(2, 0, false);
+    auto w = makeWarp(k);
+    EXPECT_TRUE(w.valid());
+    EXPECT_FALSE(w.done());
+    EXPECT_EQ(w.pc(), 0u);
+    EXPECT_EQ(w.activeMask(), fullMask);
+    EXPECT_EQ(w.inflight(), 0u);
+}
+
+TEST(WarpContext, PartialWarpMask)
+{
+    auto k = loopKernel(2, 0, false);
+    auto w = makeWarp(k, 0, 1, 29);
+    EXPECT_EQ(w.activeMask(), 0x1fffffffu);
+}
+
+TEST(WarpContext, ScoreboardRawBlocks)
+{
+    auto k = loopKernel(2, 0, false);
+    auto w = makeWarp(k);
+    Instruction wr;
+    wr.op = Opcode::Mov;
+    wr.numDsts = 1;
+    wr.dsts[0] = 3;
+    Instruction rd;
+    rd.op = Opcode::IAdd;
+    rd.numDsts = 1;
+    rd.dsts[0] = 4;
+    rd.numSrcs = 1;
+    rd.srcs[0] = 3;
+
+    EXPECT_TRUE(w.scoreboardReady(wr));
+    w.scoreboardIssue(wr);
+    EXPECT_FALSE(w.scoreboardReady(rd)); // RAW on r3
+    EXPECT_FALSE(w.scoreboardReady(wr)); // WAW on r3
+    w.releaseWrite(3);
+    EXPECT_TRUE(w.scoreboardReady(rd));
+}
+
+TEST(WarpContext, ScoreboardWarBlocks)
+{
+    auto k = loopKernel(2, 0, false);
+    auto w = makeWarp(k);
+    Instruction rd;
+    rd.op = Opcode::Mov;
+    rd.numDsts = 1;
+    rd.dsts[0] = 5;
+    rd.numSrcs = 1;
+    rd.srcs[0] = 6;
+    Instruction wr6;
+    wr6.op = Opcode::Mov;
+    wr6.numDsts = 1;
+    wr6.dsts[0] = 6;
+
+    w.scoreboardIssue(rd);
+    w.releaseWrite(5);
+    EXPECT_FALSE(w.scoreboardReady(wr6)); // WAR: r6 still being read
+    w.releaseRead(6);
+    EXPECT_TRUE(w.scoreboardReady(wr6));
+}
+
+TEST(WarpContext, InflightCounting)
+{
+    auto k = loopKernel(2, 0, false);
+    auto w = makeWarp(k);
+    w.addInflight();
+    w.addInflight();
+    EXPECT_EQ(w.inflight(), 2u);
+    w.removeInflight();
+    EXPECT_EQ(w.inflight(), 1u);
+}
+
+TEST(WarpContext, UniformLoopRunsExactTripCount)
+{
+    const unsigned trips = 7;
+    auto k = loopKernel(trips, 0, false);
+    auto w = makeWarp(k);
+    unsigned bodyExecutions = 0;
+    while (!w.done()) {
+        const auto &in = w.nextInstr();
+        if (w.pc() == 1)
+            ++bodyExecutions;
+        w.executeControl(in);
+    }
+    EXPECT_EQ(bodyExecutions, trips);
+}
+
+TEST(WarpContext, LoopTripsDeterministicPerCoordinates)
+{
+    auto k = loopKernel(4, 8, false);
+    auto runTrips = [&](CtaId cta, unsigned wic) {
+        auto w = makeWarp(k, cta, wic);
+        unsigned body = 0;
+        while (!w.done()) {
+            if (w.pc() == 1)
+                ++body;
+            w.executeControl(w.nextInstr());
+        }
+        return body;
+    };
+    EXPECT_EQ(runTrips(3, 1), runTrips(3, 1)); // reproducible
+}
+
+TEST(WarpContext, DivergentLoopMasksShrinkAndReconverge)
+{
+    auto k = loopKernel(3, 6, true);
+    auto w = makeWarp(k);
+    bool sawPartialMask = false;
+    while (!w.done()) {
+        if (w.pc() == 1 && w.activeMask() != fullMask)
+            sawPartialMask = true;
+        w.executeControl(w.nextInstr());
+        if (w.pc() == 3) { // after the loop: must be reconverged
+            EXPECT_EQ(w.activeMask(), fullMask);
+        }
+    }
+    EXPECT_TRUE(sawPartialMask);
+}
+
+TEST(WarpContext, DivergentIfSplitsByFraction)
+{
+    KernelBuilder b("iff", 4, 32, 4, 77);
+    b.beginIf(0.5);
+    b.op(Opcode::IAdd, 0, {0});
+    b.endIf();
+    auto k = b.build();
+    // Count lanes executing the body across several warps.
+    unsigned bodyLanes = 0;
+    for (unsigned wic = 0; wic < 8; ++wic) {
+        auto w = makeWarp(k, wic / 2, wic % 2);
+        while (!w.done()) {
+            if (w.pc() == 1)
+                bodyLanes += __builtin_popcount(w.activeMask());
+            w.executeControl(w.nextInstr());
+        }
+    }
+    EXPECT_NEAR(bodyLanes / (8.0 * 32.0), 0.5, 0.15);
+}
+
+TEST(WarpContext, UniformBranchWholeWarpDecision)
+{
+    KernelBuilder b("u", 4, 32, 4, 99);
+    b.beginIfUniform(0.5);
+    b.op(Opcode::IAdd, 0, {0});
+    b.endIf();
+    auto k = b.build();
+    for (unsigned wic = 0; wic < 8; ++wic) {
+        auto w = makeWarp(k, wic, 0);
+        while (!w.done()) {
+            if (w.pc() == 1) {
+                EXPECT_EQ(w.activeMask(), fullMask); // all or nothing
+            }
+            w.executeControl(w.nextInstr());
+        }
+    }
+}
+
+TEST(WarpContext, NestedLoopsReenterCorrectly)
+{
+    KernelBuilder b("nest", 4, 32, 1, 5);
+    b.beginLoop(3);
+    b.beginLoop(2);
+    b.op(Opcode::IAdd, 0, {0});
+    b.endLoop();
+    b.endLoop();
+    auto k = b.build();
+    auto w = makeWarp(k);
+    unsigned body = 0;
+    while (!w.done()) {
+        if (w.pc() == 1)
+            ++body;
+        w.executeControl(w.nextInstr());
+    }
+    EXPECT_EQ(body, 6u); // 3 x 2
+}
+
+TEST(WarpContext, ExitFinishesWarp)
+{
+    KernelBuilder b("e", 4, 32, 1);
+    auto k = b.build(); // just exit
+    auto w = makeWarp(k);
+    EXPECT_TRUE(w.executeControl(w.nextInstr()));
+    EXPECT_TRUE(w.done());
+}
+
+TEST(WarpContext, BarrierAdvancesAndFlagsHandledExternally)
+{
+    KernelBuilder b("bar", 4, 64, 1);
+    b.barrier();
+    auto k = b.build();
+    auto w = makeWarp(k);
+    EXPECT_FALSE(w.executeControl(w.nextInstr()));
+    EXPECT_EQ(w.pc(), 1u);
+    w.setBarrier(true);
+    EXPECT_TRUE(w.atBarrier());
+    w.setBarrier(false);
+    EXPECT_FALSE(w.atBarrier());
+}
