@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_topn_accesses.dir/bench_fig02_topn_accesses.cc.o"
+  "CMakeFiles/bench_fig02_topn_accesses.dir/bench_fig02_topn_accesses.cc.o.d"
+  "bench_fig02_topn_accesses"
+  "bench_fig02_topn_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_topn_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_profiling.dir/bench_fig04_profiling.cc.o"
+  "CMakeFiles/bench_fig04_profiling.dir/bench_fig04_profiling.cc.o.d"
+  "bench_fig04_profiling"
+  "bench_fig04_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

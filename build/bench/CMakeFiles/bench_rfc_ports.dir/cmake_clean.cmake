@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rfc_ports.dir/bench_rfc_ports.cc.o"
+  "CMakeFiles/bench_rfc_ports.dir/bench_rfc_ports.cc.o.d"
+  "bench_rfc_ports"
+  "bench_rfc_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rfc_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_epoch_length.dir/bench_sens_epoch_length.cc.o"
+  "CMakeFiles/bench_sens_epoch_length.dir/bench_sens_epoch_length.cc.o.d"
+  "bench_sens_epoch_length"
+  "bench_sens_epoch_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_epoch_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

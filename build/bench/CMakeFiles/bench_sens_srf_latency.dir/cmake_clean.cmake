@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_srf_latency.dir/bench_sens_srf_latency.cc.o"
+  "CMakeFiles/bench_sens_srf_latency.dir/bench_sens_srf_latency.cc.o.d"
+  "bench_sens_srf_latency"
+  "bench_sens_srf_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_srf_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_swap_cycle.dir/bench_sens_swap_cycle.cc.o"
+  "CMakeFiles/bench_sens_swap_cycle.dir/bench_sens_swap_cycle.cc.o.d"
+  "bench_sens_swap_cycle"
+  "bench_sens_swap_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_swap_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sens_swap_cycle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sens_threshold.dir/bench_sens_threshold.cc.o"
+  "CMakeFiles/bench_sens_threshold.dir/bench_sens_threshold.cc.o.d"
+  "bench_sens_threshold"
+  "bench_sens_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sens_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

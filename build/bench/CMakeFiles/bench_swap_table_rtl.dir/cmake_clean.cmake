@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_swap_table_rtl.dir/bench_swap_table_rtl.cc.o"
+  "CMakeFiles/bench_swap_table_rtl.dir/bench_swap_table_rtl.cc.o.d"
+  "bench_swap_table_rtl"
+  "bench_swap_table_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_swap_table_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

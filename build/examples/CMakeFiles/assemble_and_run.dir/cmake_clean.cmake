@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assemble_and_run.dir/assemble_and_run.cpp.o"
+  "CMakeFiles/assemble_and_run.dir/assemble_and_run.cpp.o.d"
+  "assemble_and_run"
+  "assemble_and_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assemble_and_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

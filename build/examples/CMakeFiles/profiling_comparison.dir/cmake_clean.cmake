@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_comparison.dir/profiling_comparison.cpp.o"
+  "CMakeFiles/profiling_comparison.dir/profiling_comparison.cpp.o.d"
+  "profiling_comparison"
+  "profiling_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

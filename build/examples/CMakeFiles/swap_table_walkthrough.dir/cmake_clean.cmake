@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swap_table_walkthrough.dir/swap_table_walkthrough.cpp.o"
+  "CMakeFiles/swap_table_walkthrough.dir/swap_table_walkthrough.cpp.o.d"
+  "swap_table_walkthrough"
+  "swap_table_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swap_table_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/finfet.cc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/finfet.cc.o" "gcc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/finfet.cc.o.d"
+  "/root/repo/src/circuit/inverter_chain.cc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/inverter_chain.cc.o" "gcc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/inverter_chain.cc.o.d"
+  "/root/repo/src/circuit/monte_carlo.cc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/monte_carlo.cc.o" "gcc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/monte_carlo.cc.o.d"
+  "/root/repo/src/circuit/sram.cc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/sram.cc.o" "gcc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/sram.cc.o.d"
+  "/root/repo/src/circuit/tech.cc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/tech.cc.o" "gcc" "src/circuit/CMakeFiles/pilotrf_circuit.dir/tech.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pilotrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

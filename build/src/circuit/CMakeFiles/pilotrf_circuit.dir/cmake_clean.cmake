@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_circuit.dir/finfet.cc.o"
+  "CMakeFiles/pilotrf_circuit.dir/finfet.cc.o.d"
+  "CMakeFiles/pilotrf_circuit.dir/inverter_chain.cc.o"
+  "CMakeFiles/pilotrf_circuit.dir/inverter_chain.cc.o.d"
+  "CMakeFiles/pilotrf_circuit.dir/monte_carlo.cc.o"
+  "CMakeFiles/pilotrf_circuit.dir/monte_carlo.cc.o.d"
+  "CMakeFiles/pilotrf_circuit.dir/sram.cc.o"
+  "CMakeFiles/pilotrf_circuit.dir/sram.cc.o.d"
+  "CMakeFiles/pilotrf_circuit.dir/tech.cc.o"
+  "CMakeFiles/pilotrf_circuit.dir/tech.cc.o.d"
+  "libpilotrf_circuit.a"
+  "libpilotrf_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

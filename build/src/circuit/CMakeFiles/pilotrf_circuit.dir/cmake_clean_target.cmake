@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpilotrf_circuit.a"
+)

@@ -1,0 +1,3 @@
+src/circuit/CMakeFiles/pilotrf_circuit.dir/tech.cc.o: \
+ /root/repo/src/circuit/tech.cc /usr/include/stdc-predef.h \
+ /root/repo/src/circuit/tech.hh

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_common.dir/logging.cc.o"
+  "CMakeFiles/pilotrf_common.dir/logging.cc.o.d"
+  "CMakeFiles/pilotrf_common.dir/random.cc.o"
+  "CMakeFiles/pilotrf_common.dir/random.cc.o.d"
+  "CMakeFiles/pilotrf_common.dir/stats.cc.o"
+  "CMakeFiles/pilotrf_common.dir/stats.cc.o.d"
+  "libpilotrf_common.a"
+  "libpilotrf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_isa.dir/instruction.cc.o"
+  "CMakeFiles/pilotrf_isa.dir/instruction.cc.o.d"
+  "CMakeFiles/pilotrf_isa.dir/kernel.cc.o"
+  "CMakeFiles/pilotrf_isa.dir/kernel.cc.o.d"
+  "CMakeFiles/pilotrf_isa.dir/kernel_builder.cc.o"
+  "CMakeFiles/pilotrf_isa.dir/kernel_builder.cc.o.d"
+  "CMakeFiles/pilotrf_isa.dir/kernel_text.cc.o"
+  "CMakeFiles/pilotrf_isa.dir/kernel_text.cc.o.d"
+  "CMakeFiles/pilotrf_isa.dir/static_profiler.cc.o"
+  "CMakeFiles/pilotrf_isa.dir/static_profiler.cc.o.d"
+  "libpilotrf_isa.a"
+  "libpilotrf_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

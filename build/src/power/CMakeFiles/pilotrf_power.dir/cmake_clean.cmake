@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_power.dir/energy_accountant.cc.o"
+  "CMakeFiles/pilotrf_power.dir/energy_accountant.cc.o.d"
+  "libpilotrf_power.a"
+  "libpilotrf_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regfile/adaptive_frf.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/adaptive_frf.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/adaptive_frf.cc.o.d"
+  "/root/repo/src/regfile/drowsy_rf.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/drowsy_rf.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/drowsy_rf.cc.o.d"
+  "/root/repo/src/regfile/monolithic_rf.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/monolithic_rf.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/monolithic_rf.cc.o.d"
+  "/root/repo/src/regfile/partitioned_rf.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/partitioned_rf.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/partitioned_rf.cc.o.d"
+  "/root/repo/src/regfile/pilot_profiler.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/pilot_profiler.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/pilot_profiler.cc.o.d"
+  "/root/repo/src/regfile/register_file.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/register_file.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/register_file.cc.o.d"
+  "/root/repo/src/regfile/rfc.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/rfc.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/rfc.cc.o.d"
+  "/root/repo/src/regfile/swap_table.cc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/swap_table.cc.o" "gcc" "src/regfile/CMakeFiles/pilotrf_regfile.dir/swap_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pilotrf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pilotrf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilotrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_regfile.dir/adaptive_frf.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/adaptive_frf.cc.o.d"
+  "CMakeFiles/pilotrf_regfile.dir/drowsy_rf.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/drowsy_rf.cc.o.d"
+  "CMakeFiles/pilotrf_regfile.dir/monolithic_rf.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/monolithic_rf.cc.o.d"
+  "CMakeFiles/pilotrf_regfile.dir/partitioned_rf.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/partitioned_rf.cc.o.d"
+  "CMakeFiles/pilotrf_regfile.dir/pilot_profiler.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/pilot_profiler.cc.o.d"
+  "CMakeFiles/pilotrf_regfile.dir/register_file.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/register_file.cc.o.d"
+  "CMakeFiles/pilotrf_regfile.dir/rfc.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/rfc.cc.o.d"
+  "CMakeFiles/pilotrf_regfile.dir/swap_table.cc.o"
+  "CMakeFiles/pilotrf_regfile.dir/swap_table.cc.o.d"
+  "libpilotrf_regfile.a"
+  "libpilotrf_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rfmodel/array_model.cc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/array_model.cc.o" "gcc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/array_model.cc.o.d"
+  "/root/repo/src/rfmodel/rf_specs.cc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/rf_specs.cc.o" "gcc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/rf_specs.cc.o.d"
+  "/root/repo/src/rfmodel/rfc_model.cc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/rfc_model.cc.o" "gcc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/rfc_model.cc.o.d"
+  "/root/repo/src/rfmodel/swap_table_rtl.cc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/swap_table_rtl.cc.o" "gcc" "src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/swap_table_rtl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/pilotrf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilotrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_rfmodel.dir/array_model.cc.o"
+  "CMakeFiles/pilotrf_rfmodel.dir/array_model.cc.o.d"
+  "CMakeFiles/pilotrf_rfmodel.dir/rf_specs.cc.o"
+  "CMakeFiles/pilotrf_rfmodel.dir/rf_specs.cc.o.d"
+  "CMakeFiles/pilotrf_rfmodel.dir/rfc_model.cc.o"
+  "CMakeFiles/pilotrf_rfmodel.dir/rfc_model.cc.o.d"
+  "CMakeFiles/pilotrf_rfmodel.dir/swap_table_rtl.cc.o"
+  "CMakeFiles/pilotrf_rfmodel.dir/swap_table_rtl.cc.o.d"
+  "libpilotrf_rfmodel.a"
+  "libpilotrf_rfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_rfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/sim_config.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/sim_config.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/sim_config.cc.o.d"
+  "/root/repo/src/sim/simt_stack.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/simt_stack.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/simt_stack.cc.o.d"
+  "/root/repo/src/sim/sm.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/sm.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/sm.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/warp_context.cc" "src/sim/CMakeFiles/pilotrf_sim.dir/warp_context.cc.o" "gcc" "src/sim/CMakeFiles/pilotrf_sim.dir/warp_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regfile/CMakeFiles/pilotrf_regfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pilotrf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pilotrf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilotrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_sim.dir/cache.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/cache.cc.o.d"
+  "CMakeFiles/pilotrf_sim.dir/gpu.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/pilotrf_sim.dir/scheduler.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/pilotrf_sim.dir/sim_config.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/sim_config.cc.o.d"
+  "CMakeFiles/pilotrf_sim.dir/simt_stack.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/simt_stack.cc.o.d"
+  "CMakeFiles/pilotrf_sim.dir/sm.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/sm.cc.o.d"
+  "CMakeFiles/pilotrf_sim.dir/trace.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/trace.cc.o.d"
+  "CMakeFiles/pilotrf_sim.dir/warp_context.cc.o"
+  "CMakeFiles/pilotrf_sim.dir/warp_context.cc.o.d"
+  "libpilotrf_sim.a"
+  "libpilotrf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/category1.cc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/category1.cc.o" "gcc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/category1.cc.o.d"
+  "/root/repo/src/workloads/category2.cc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/category2.cc.o" "gcc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/category2.cc.o.d"
+  "/root/repo/src/workloads/category3.cc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/category3.cc.o" "gcc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/category3.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/pilotrf_workloads.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pilotrf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilotrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

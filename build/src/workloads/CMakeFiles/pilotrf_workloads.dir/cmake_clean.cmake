@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilotrf_workloads.dir/category1.cc.o"
+  "CMakeFiles/pilotrf_workloads.dir/category1.cc.o.d"
+  "CMakeFiles/pilotrf_workloads.dir/category2.cc.o"
+  "CMakeFiles/pilotrf_workloads.dir/category2.cc.o.d"
+  "CMakeFiles/pilotrf_workloads.dir/category3.cc.o"
+  "CMakeFiles/pilotrf_workloads.dir/category3.cc.o.d"
+  "CMakeFiles/pilotrf_workloads.dir/registry.cc.o"
+  "CMakeFiles/pilotrf_workloads.dir/registry.cc.o.d"
+  "libpilotrf_workloads.a"
+  "libpilotrf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilotrf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_drowsy_test.dir/cache_drowsy_test.cc.o"
+  "CMakeFiles/cache_drowsy_test.dir/cache_drowsy_test.cc.o.d"
+  "cache_drowsy_test"
+  "cache_drowsy_test.pdb"
+  "cache_drowsy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_drowsy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_and_limits_test.dir/config_and_limits_test.cc.o"
+  "CMakeFiles/config_and_limits_test.dir/config_and_limits_test.cc.o.d"
+  "config_and_limits_test"
+  "config_and_limits_test.pdb"
+  "config_and_limits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_and_limits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

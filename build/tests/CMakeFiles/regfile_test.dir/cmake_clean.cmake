@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regfile_test.dir/regfile_test.cc.o"
+  "CMakeFiles/regfile_test.dir/regfile_test.cc.o.d"
+  "regfile_test"
+  "regfile_test.pdb"
+  "regfile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regfile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

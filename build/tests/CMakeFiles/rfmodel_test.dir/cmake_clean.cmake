@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfmodel_test.dir/rfmodel_test.cc.o"
+  "CMakeFiles/rfmodel_test.dir/rfmodel_test.cc.o.d"
+  "rfmodel_test"
+  "rfmodel_test.pdb"
+  "rfmodel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_stack_test.dir/simt_stack_test.cc.o"
+  "CMakeFiles/simt_stack_test.dir/simt_stack_test.cc.o.d"
+  "simt_stack_test"
+  "simt_stack_test.pdb"
+  "simt_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sm_gpu_test.dir/sm_gpu_test.cc.o"
+  "CMakeFiles/sm_gpu_test.dir/sm_gpu_test.cc.o.d"
+  "sm_gpu_test"
+  "sm_gpu_test.pdb"
+  "sm_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sm_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_test.dir/sram_test.cc.o"
+  "CMakeFiles/sram_test.dir/sram_test.cc.o.d"
+  "sram_test"
+  "sram_test.pdb"
+  "sram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

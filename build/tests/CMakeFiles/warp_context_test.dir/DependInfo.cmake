@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/warp_context_test.cc" "tests/CMakeFiles/warp_context_test.dir/warp_context_test.cc.o" "gcc" "tests/CMakeFiles/warp_context_test.dir/warp_context_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/pilotrf_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pilotrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/regfile/CMakeFiles/pilotrf_regfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfmodel/CMakeFiles/pilotrf_rfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pilotrf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pilotrf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pilotrf_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pilotrf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

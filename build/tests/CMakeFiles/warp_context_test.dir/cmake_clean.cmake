@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_context_test.dir/warp_context_test.cc.o"
+  "CMakeFiles/warp_context_test.dir/warp_context_test.cc.o.d"
+  "warp_context_test"
+  "warp_context_test.pdb"
+  "warp_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
