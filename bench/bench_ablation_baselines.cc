@@ -17,53 +17,33 @@ main()
     setQuiet(true);
     bench::header("Ablation",
                   "partitioned RF vs related-work RF organizations");
-    power::EnergyAccountant acct;
 
-    struct Row
-    {
-        const char *name;
-        sim::SimConfig cfg;
-    };
-    std::vector<Row> rows;
-    {
-        sim::SimConfig c;
-        c.rfKind = sim::RfKind::MrfStv;
-        rows.push_back({"MRF@STV (baseline)", c});
-        c.rfKind = sim::RfKind::MrfNtv;
-        rows.push_back({"MRF@NTV", c});
-        c.rfKind = sim::RfKind::Drowsy;
-        rows.push_back({"Drowsy RF", c});
-        c.rfKind = sim::RfKind::Rfc;
-        c.policy = sim::SchedulerPolicy::TwoLevel;
-        c.tlActiveWarps = 32; // generous pool: isolate the RFC itself
-        rows.push_back({"RFC + TL", c});
-        sim::SimConfig p;
-        p.rfKind = sim::RfKind::Partitioned;
-        rows.push_back({"Partitioned (proposed)", p});
-    }
+    // Config order: mrf_stv, mrf_ntv, drowsy, rfc_tl32, partitioned.
+    const char *const names[] = {"MRF@STV (baseline)", "MRF@NTV",
+                                 "Drowsy RF", "RFC + TL",
+                                 "Partitioned (proposed)"};
+
+    const auto res = bench::runSweep(exp::namedSweep("ablation_baselines"));
 
     double baseE = 0, baseC = 0;
     std::printf("%-24s %10s %13s %10s\n", "organization", "dyn energy",
                 "leakage (mW)", "exec time");
-    for (const auto &row : rows) {
-        double e = 0, c = 0, leakSum = 0;
+    for (std::size_t c = 0; c < res.configCount; ++c) {
+        double e = 0, cyc = 0, leakSum = 0;
         unsigned n = 0;
-        bench::forEachWorkload([&](const workloads::Workload &w) {
-            const auto r = bench::runWorkload(row.cfg, w);
-            const auto rep =
-                acct.account(row.cfg, r.rfStats, r.totalCycles);
-            e += rep.dynamicPj;
-            c += double(r.totalCycles);
-            leakSum += rep.leakagePowerMw;
+        for (std::size_t w = 0; w < res.workloadCount; ++w) {
+            const auto &r = res.at(w, c);
+            e += r.energy.dynamicPj;
+            cyc += double(r.run.totalCycles);
+            leakSum += r.energy.leakagePowerMw;
             ++n;
-        });
+        }
         if (baseE == 0) {
             baseE = e;
-            baseC = c;
+            baseC = cyc;
         }
-        std::printf("%-24s %10.3f %13.2f %10.3f\n", row.name, e / baseE,
-                    leakSum / n, c / baseC);
-        std::fflush(stdout);
+        std::printf("%-24s %10.3f %13.2f %10.3f\n", names[c], e / baseE,
+                    leakSum / n, cyc / baseC);
     }
     std::printf("\nThe drowsy RF attacks leakage only; the RFC's dynamic "
                 "savings erode with scale;\nthe partitioned design is the "

@@ -11,44 +11,34 @@
 
 using namespace pilotrf;
 
-namespace
-{
-double
-suiteCycles(const sim::SimConfig &cfg)
-{
-    double c = 0;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        c += double(bench::runWorkload(cfg, w).totalCycles);
-    });
-    return c;
-}
-} // namespace
-
 int
 main()
 {
     setQuiet(true);
     bench::header("Ablation", "write forwarding and L1 cache");
 
+    // Config order per toggle combo: .mrf_stv, .partitioned, .mrf_ntv;
+    // combos ordered (l1 off, fwd on) (off, off) (on, on) (on, off).
+    const auto res = bench::runSweep(exp::namedSweep("ablation_pipeline"));
+
+    const auto suiteCycles = [&](std::size_t c) {
+        double cycles = 0;
+        for (std::size_t w = 0; w < res.workloadCount; ++w)
+            cycles += double(res.at(w, c).run.totalCycles);
+        return cycles;
+    };
+
+    std::size_t c = 0;
     for (const bool l1 : {false, true}) {
         for (const bool fwd : {true, false}) {
-            sim::SimConfig base;
-            base.rfKind = sim::RfKind::MrfStv;
-            base.l1Enable = l1;
-            base.writeForwarding = fwd;
-            sim::SimConfig part = base;
-            part.rfKind = sim::RfKind::Partitioned;
-            sim::SimConfig ntv = base;
-            ntv.rfKind = sim::RfKind::MrfNtv;
-
-            const double cb = suiteCycles(base);
-            const double cp = suiteCycles(part);
-            const double cn = suiteCycles(ntv);
+            const double cb = suiteCycles(c + 0);
+            const double cp = suiteCycles(c + 1);
+            const double cn = suiteCycles(c + 2);
             std::printf("L1=%-3s fwd=%-3s : partitioned %+6.2f%%  "
                         "MRF@NTV %+6.2f%%  (vs matching baseline)\n",
                         l1 ? "on" : "off", fwd ? "on" : "off",
                         100 * (cp / cb - 1), 100 * (cn / cb - 1));
-            std::fflush(stdout);
+            c += 3;
         }
     }
     std::printf("\nThe partitioned RF's small overhead and its advantage "

@@ -17,19 +17,19 @@ main()
     bench::header("Figure 10", "partitioned RF access distribution");
     std::printf("%-10s %10s %10s %8s %14s\n", "workload", "FRF_high",
                 "FRF_low", "SRF", "low/FRF share");
-    sim::SimConfig cfg;
-    cfg.rfKind = sim::RfKind::Partitioned;
+
+    const auto res = bench::runSweep(exp::namedSweep("fig10"));
+
     double sFrf = 0, sLowShare = 0;
     double tHi = 0, tLo = 0, tSrf = 0;
     unsigned n = 0;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        const auto r = bench::runWorkload(cfg, w);
-        const double hi = r.rfStats.get("access.FRF_high");
-        const double lo = r.rfStats.get("access.FRF_low");
-        const double srf = r.rfStats.get("access.SRF");
+    for (const auto &j : res.jobs) {
+        const double hi = j.run.rfStats.get("access.FRF_high");
+        const double lo = j.run.rfStats.get("access.FRF_low");
+        const double srf = j.run.rfStats.get("access.SRF");
         const double tot = hi + lo + srf;
         std::printf("%-10s %9.1f%% %9.1f%% %7.1f%% %13.1f%%\n",
-                    w.name.c_str(), 100 * hi / tot, 100 * lo / tot,
+                    j.job.workload.c_str(), 100 * hi / tot, 100 * lo / tot,
                     100 * srf / tot, 100 * lo / std::max(1.0, hi + lo));
         sFrf += (hi + lo) / tot;
         sLowShare += lo / std::max(1.0, hi + lo);
@@ -37,7 +37,7 @@ main()
         tLo += lo;
         tSrf += srf;
         ++n;
-    });
+    }
     std::printf("AVERAGE (per workload): FRF %.1f%% of accesses "
                 "(paper 62%%); FRF_low %.1f%% of FRF accesses\n",
                 100 * sFrf / n, 100 * sLowShare / n);

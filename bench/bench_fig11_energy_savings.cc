@@ -18,49 +18,34 @@ main()
                   "normalized RF dynamic energy (baseline: MRF at STV)");
     std::printf("%-10s %12s %14s %10s\n", "workload", "partitioned",
                 "part+adaptive", "MRF@NTV");
-    power::EnergyAccountant acct;
 
-    sim::SimConfig base;
-    base.rfKind = sim::RfKind::MrfStv;
-    sim::SimConfig part;
-    part.rfKind = sim::RfKind::Partitioned;
-    part.prf.adaptiveFrf = false;
-    sim::SimConfig adap;
-    adap.rfKind = sim::RfKind::Partitioned;
-    adap.prf.adaptiveFrf = true;
-    sim::SimConfig ntv;
-    ntv.rfKind = sim::RfKind::MrfNtv;
+    // Configs 0..3: mrf_stv, partitioned, part_adaptive, mrf_ntv.
+    const auto sweep = exp::namedSweep("fig11");
+    const auto res = bench::runSweep(sweep);
 
     double sP = 0, sA = 0, sN = 0;
     unsigned n = 0;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        const auto rb = bench::runWorkload(base, w);
-        const auto rp = bench::runWorkload(part, w);
-        const auto ra = bench::runWorkload(adap, w);
-        const auto rn = bench::runWorkload(ntv, w);
-        const double eb =
-            acct.account(base, rb.rfStats, rb.totalCycles).dynamicPj;
-        const double ep =
-            acct.account(part, rp.rfStats, rp.totalCycles).dynamicPj;
-        const double ea =
-            acct.account(adap, ra.rfStats, ra.totalCycles).dynamicPj;
-        const double en =
-            acct.account(ntv, rn.rfStats, rn.totalCycles).dynamicPj;
-        std::printf("%-10s %12.3f %14.3f %10.3f\n", w.name.c_str(),
-                    ep / eb, ea / eb, en / eb);
+    for (std::size_t w = 0; w < res.workloadCount; ++w) {
+        const double eb = res.at(w, 0).energy.dynamicPj;
+        const double ep = res.at(w, 1).energy.dynamicPj;
+        const double ea = res.at(w, 2).energy.dynamicPj;
+        const double en = res.at(w, 3).energy.dynamicPj;
+        std::printf("%-10s %12.3f %14.3f %10.3f\n",
+                    res.at(w, 0).job.workload.c_str(), ep / eb, ea / eb,
+                    en / eb);
         sP += ep / eb;
         sA += ea / eb;
         sN += en / eb;
         ++n;
-    });
+    }
     std::printf("%-10s %12.3f %14.3f %10.3f\n", "AVERAGE", sP / n, sA / n,
                 sN / n);
     std::printf("\nDynamic energy saving: %.1f%% (paper: 54%%); MRF@NTV "
                 "saves %.1f%% (paper: 47%%)\n",
                 100 * (1 - sA / n), 100 * (1 - sN / n));
 
-    const double leakPart = acct.leakagePowerMw(adap);
-    const double leakBase = acct.leakagePowerMw(base);
+    const double leakPart = res.at(0, 2).energy.leakagePowerMw;
+    const double leakBase = res.at(0, 0).energy.leakagePowerMw;
     std::printf("Leakage power saving: %.1f%% (paper: 39%%)\n",
                 100 * (1 - leakPart / leakBase));
     return 0;

@@ -21,50 +21,28 @@ main()
     std::printf("%-10s %10s %10s %12s %10s\n", "workload", "GTO-hyb",
                 "TL-hyb", "GTO-compile", "MRF@NTV");
 
-    auto mk = [](sim::SchedulerPolicy pol, sim::RfKind kind,
-                 regfile::Profiling prof) {
-        sim::SimConfig c;
-        c.policy = pol;
-        c.rfKind = kind;
-        c.prf.profiling = prof;
-        return c;
-    };
-    const auto baseGto =
-        mk(sim::SchedulerPolicy::Gto, sim::RfKind::MrfStv,
-           regfile::Profiling::Hybrid);
-    const auto baseTl =
-        mk(sim::SchedulerPolicy::TwoLevel, sim::RfKind::MrfStv,
-           regfile::Profiling::Hybrid);
-    const auto gtoHyb = mk(sim::SchedulerPolicy::Gto,
-                           sim::RfKind::Partitioned,
-                           regfile::Profiling::Hybrid);
-    const auto tlHyb = mk(sim::SchedulerPolicy::TwoLevel,
-                          sim::RfKind::Partitioned,
-                          regfile::Profiling::Hybrid);
-    const auto gtoCmp = mk(sim::SchedulerPolicy::Gto,
-                           sim::RfKind::Partitioned,
-                           regfile::Profiling::Compiler);
-    const auto ntv = mk(sim::SchedulerPolicy::Gto, sim::RfKind::MrfNtv,
-                        regfile::Profiling::Hybrid);
+    // Configs 0..5: gto_mrf_stv, tl_mrf_stv, gto_hybrid, tl_hybrid,
+    // gto_compiler, mrf_ntv.
+    const auto res = bench::runSweep(exp::namedSweep("fig12"));
 
     double s[4] = {0, 0, 0, 0};
     unsigned n = 0;
-    bench::forEachWorkload([&](const workloads::Workload &w) {
-        const double cb = double(bench::runWorkload(baseGto, w).totalCycles);
-        const double ct = double(bench::runWorkload(baseTl, w).totalCycles);
+    for (std::size_t w = 0; w < res.workloadCount; ++w) {
+        const double cb = double(res.at(w, 0).run.totalCycles);
+        const double ct = double(res.at(w, 1).run.totalCycles);
         const double v[4] = {
-            bench::runWorkload(gtoHyb, w).totalCycles / cb,
-            bench::runWorkload(tlHyb, w).totalCycles / ct,
-            bench::runWorkload(gtoCmp, w).totalCycles / cb,
-            bench::runWorkload(ntv, w).totalCycles / cb,
+            res.at(w, 2).run.totalCycles / cb,
+            res.at(w, 3).run.totalCycles / ct,
+            res.at(w, 4).run.totalCycles / cb,
+            res.at(w, 5).run.totalCycles / cb,
         };
-        std::printf("%-10s %10.3f %10.3f %12.3f %10.3f\n", w.name.c_str(),
-                    v[0], v[1], v[2], v[3]);
+        std::printf("%-10s %10.3f %10.3f %12.3f %10.3f\n",
+                    res.at(w, 0).job.workload.c_str(), v[0], v[1], v[2],
+                    v[3]);
         for (int i = 0; i < 4; ++i)
             s[i] += v[i];
         ++n;
-        std::fflush(stdout);
-    });
+    }
     std::printf("%-10s %10.3f %10.3f %12.3f %10.3f\n", "AVERAGE", s[0] / n,
                 s[1] / n, s[2] / n, s[3] / n);
     std::printf("\nPaper: proposed <2%% overhead (GTO); hybrid ~2%% better "

@@ -19,56 +19,46 @@ main()
     setQuiet(true);
     bench::header("Figure 13",
                   "RFC vs partitioned RF scalability (suite aggregates)");
-    power::EnergyAccountant acct;
 
-    struct Cfg
+    struct Point
     {
-        unsigned sched, banks, warps;
-        bool stv;
+        const char *label;
+        unsigned banks, warps;
     };
-    const Cfg cfgs[] = {
-        {1, 2, 8, false}, {2, 4, 16, false}, {4, 8, 32, false},
-        {4, 8, 32, true}};
+    // Config triplets per scale point: .mrf_stv, .rfc, .part (see
+    // exp::namedSweep("fig13")).
+    const Point points[] = {{"(1,2, 8,NTV)", 2, 8},
+                            {"(2,4,16,NTV)", 4, 16},
+                            {"(4,8,32,NTV)", 8, 32},
+                            {"(4,8,32,STV)", 8, 32}};
+
+    const auto res = bench::runSweep(exp::namedSweep("fig13"));
 
     std::printf("%-16s %7s %8s %8s %8s %8s %9s\n", "config", "RFC KB",
                 "E(RFC)", "E(part)", "t(RFC)", "t(part)", "hit rate");
-    for (const auto &c : cfgs) {
-        sim::SimConfig base;
-        base.rfKind = sim::RfKind::MrfStv;
-        base.schedulers = c.sched;
-        sim::SimConfig rfc = base;
-        rfc.rfKind = sim::RfKind::Rfc;
-        rfc.policy = sim::SchedulerPolicy::TwoLevel;
-        rfc.tlActiveWarps = c.warps;
-        rfc.rfc.rfcBanks = c.banks;
-        rfc.rfc.mrfMode =
-            c.stv ? rfmodel::RfMode::MrfStv : rfmodel::RfMode::MrfNtv;
-        sim::SimConfig part = base;
-        part.rfKind = sim::RfKind::Partitioned;
-
+    for (std::size_t p = 0; p < std::size(points); ++p) {
         double eB = 0, eR = 0, eP = 0, cB = 0, cR = 0, cP = 0, hit = 0,
                miss = 0;
-        bench::forEachWorkload([&](const workloads::Workload &w) {
-            const auto rb = bench::runWorkload(base, w);
-            const auto rr = bench::runWorkload(rfc, w);
-            const auto rp = bench::runWorkload(part, w);
-            eB += acct.account(base, rb.rfStats, rb.totalCycles).dynamicPj;
-            eR += acct.account(rfc, rr.rfStats, rr.totalCycles).dynamicPj;
-            eP += acct.account(part, rp.rfStats, rp.totalCycles).dynamicPj;
-            cB += double(rb.totalCycles);
-            cR += double(rr.totalCycles);
-            cP += double(rp.totalCycles);
-            hit += rr.rfStats.get("rfc.readHit");
-            miss += rr.rfStats.get("rfc.readMiss");
-        });
+        for (std::size_t w = 0; w < res.workloadCount; ++w) {
+            const auto &rb = res.at(w, 3 * p + 0);
+            const auto &rr = res.at(w, 3 * p + 1);
+            const auto &rp = res.at(w, 3 * p + 2);
+            eB += rb.energy.dynamicPj;
+            eR += rr.energy.dynamicPj;
+            eP += rp.energy.dynamicPj;
+            cB += double(rb.run.totalCycles);
+            cR += double(rr.run.totalCycles);
+            cP += double(rp.run.totalCycles);
+            hit += rr.run.rfStats.get("rfc.readHit");
+            miss += rr.run.rfStats.get("rfc.readMiss");
+        }
         rfmodel::RfcConfig rc;
-        rc.activeWarps = c.warps;
-        rc.banks = c.banks;
+        rc.activeWarps = points[p].warps;
+        rc.banks = points[p].banks;
         rfmodel::RfcModel model(rc);
-        std::printf("(%u,%u,%2u,%s) %8.1f %8.3f %8.3f %8.3f %8.3f %8.1f%%\n",
-                    c.sched, c.banks, c.warps, c.stv ? "STV" : "NTV",
-                    model.sizeKb(), eR / eB, eP / eB, cR / cB, cP / cB,
-                    100 * hit / (hit + miss));
+        std::printf("%-13s %8.1f %8.3f %8.3f %8.3f %8.3f %8.1f%%\n",
+                    points[p].label, model.sizeKb(), eR / eB, eP / eB,
+                    cR / cB, cP / cB, 100 * hit / (hit + miss));
         std::fflush(stdout);
     }
     std::printf("\nPaper structure: RFC energy savings shrink as schedulers"

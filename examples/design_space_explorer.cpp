@@ -4,15 +4,17 @@
  * number of per-warp registers kept in the fast partition) and report the
  * energy/performance trade-off on a register-heavy workload — the kind of
  * study an architect would run before committing to n = 4.
+ *
+ * The whole study is one declarative `exp::Sweep`; the runner fans the
+ * six configurations out across every available core and hands back
+ * results (with energy already accounted) in sweep order.
  */
 
 #include <cstdio>
 
 #include "common/logging.hh"
-#include "power/energy_accountant.hh"
+#include "exp/experiment.hh"
 #include "rfmodel/array_model.hh"
-#include "sim/gpu.hh"
-#include "workloads/workloads.hh"
 
 using namespace pilotrf;
 
@@ -20,33 +22,39 @@ int
 main()
 {
     setQuiet(true);
-    const auto &wl = workloads::workload("sgemm");
-    power::EnergyAccountant acct;
 
-    // Baseline: monolithic RF at STV.
-    sim::SimConfig base;
-    base.rfKind = sim::RfKind::MrfStv;
-    sim::Gpu baseGpu(base);
-    const auto rb = baseGpu.run(wl.kernels);
-    const double eBase =
-        acct.account(base, rb.rfStats, rb.totalCycles).dynamicPj;
+    const unsigned frfSizes[] = {2, 3, 4, 6, 8};
+
+    exp::Sweep sweep;
+    sweep.name = "frf_sizing";
+    sweep.workloads = {"sgemm"};
+    {
+        sim::SimConfig base;
+        base.rfKind = sim::RfKind::MrfStv;
+        sweep.configs.push_back({"mrf_stv", base});
+        for (const unsigned n : frfSizes) {
+            sim::SimConfig cfg;
+            cfg.rfKind = sim::RfKind::Partitioned;
+            cfg.prf.frfRegs = n;
+            sweep.configs.push_back({"frf" + std::to_string(n), cfg});
+        }
+    }
+
+    const auto res = exp::ExperimentRunner().run(sweep);
+    const auto &base = res.at(0, 0);
+    const double eBase = base.energy.dynamicPj;
 
     std::printf("FRF sizing exploration on %s (baseline: MRF@STV)\n\n",
-                wl.name.c_str());
+                base.job.workload.c_str());
     std::printf("%4s %8s %10s %10s %10s %12s\n", "n", "FRF KB",
                 "FRF share", "energy", "exec time", "FRF E/access");
 
-    for (unsigned n : {2u, 3u, 4u, 6u, 8u}) {
-        sim::SimConfig cfg;
-        cfg.rfKind = sim::RfKind::Partitioned;
-        cfg.prf.frfRegs = n;
-        sim::Gpu gpu(cfg);
-        const auto r = gpu.run(wl.kernels);
-        const double e =
-            acct.account(cfg, r.rfStats, r.totalCycles).dynamicPj;
-        const double hi = r.rfStats.get("access.FRF_high");
-        const double lo = r.rfStats.get("access.FRF_low");
-        const double srf = r.rfStats.get("access.SRF");
+    for (std::size_t i = 0; i < std::size(frfSizes); ++i) {
+        const unsigned n = frfSizes[i];
+        const auto &r = res.at(0, i + 1);
+        const double hi = r.run.rfStats.get("access.FRF_high");
+        const double lo = r.run.rfStats.get("access.FRF_low");
+        const double srf = r.run.rfStats.get("access.SRF");
 
         // What would an FRF of this size cost per access? (The energy
         // accountant uses the calibrated 4-register FRF; this column shows
@@ -58,8 +66,9 @@ main()
 
         std::printf("%4u %8.0f %9.1f%% %10.3f %10.3f %10.2fpJ\n", n,
                     frfCfg.sizeBytes / 1024.0,
-                    100 * (hi + lo) / (hi + lo + srf), e / eBase,
-                    double(r.totalCycles) / rb.totalCycles,
+                    100 * (hi + lo) / (hi + lo + srf),
+                    r.energy.dynamicPj / eBase,
+                    double(r.run.totalCycles) / base.run.totalCycles,
                     frf.accessEnergyPj());
     }
 

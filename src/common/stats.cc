@@ -1,6 +1,11 @@
 #include "common/stats.hh"
 
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
+#include <limits>
+#include <sstream>
 
 namespace pilotrf
 {
@@ -37,6 +42,15 @@ StatSet::merge(const StatSet &other)
         values[k] += v;
 }
 
+StatSet
+StatSet::withPrefix(const std::string &prefix) const
+{
+    StatSet out;
+    for (const auto &[k, v] : values)
+        out.values.emplace(prefix + k, v);
+    return out;
+}
+
 void
 StatSet::clear()
 {
@@ -48,6 +62,78 @@ StatSet::dump(std::ostream &os) const
 {
     for (const auto &[k, v] : values)
         os << std::left << std::setw(40) << k << " = " << v << "\n";
+}
+
+void
+StatSet::toJson(std::ostream &os, unsigned depth) const
+{
+    const std::string pad(2 * depth, ' ');
+    if (values.empty()) {
+        os << "{}";
+        return;
+    }
+    os << "{";
+    bool first = true;
+    for (const auto &[k, v] : values) {
+        os << (first ? "\n" : ",\n") << pad << "  ";
+        first = false;
+        jsonString(os, k);
+        os << ": ";
+        jsonNumber(os, v);
+    }
+    os << "\n" << pad << "}";
+}
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) { // JSON has no inf/nan; emit null
+        os << "null";
+        return;
+    }
+    char buf[40];
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<std::int64_t>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*g",
+                      std::numeric_limits<double>::max_digits10, v);
+    }
+    os << buf;
 }
 
 } // namespace pilotrf

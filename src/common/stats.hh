@@ -39,17 +39,41 @@ class StatSet
     /** Merge all stats from other into this (summing values). */
     void merge(const StatSet &other);
 
+    /**
+     * A copy of this set with every key prefixed, e.g.
+     * `merged.merge(rfStats.withPrefix("rf."))` builds the hierarchical
+     * `rf.access.read`-style namespace the experiment reports use.
+     */
+    StatSet withPrefix(const std::string &prefix) const;
+
     /** Remove all stats. */
     void clear();
 
     /** Write "name = value" lines, sorted by name. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Write the set as one JSON object, keys sorted, at the given
+     * indentation depth (2 spaces per level; pass the depth of the
+     * surrounding object when embedding).
+     */
+    void toJson(std::ostream &os, unsigned depth = 0) const;
+
     const std::map<std::string, double> &raw() const { return values; }
 
   private:
     std::map<std::string, double> values;
 };
+
+/** Write s as a JSON string literal (quoted, escaped). */
+void jsonString(std::ostream &os, const std::string &s);
+
+/**
+ * Write v as a JSON number: integral values that fit 64 bits print without
+ * a fraction, everything else round-trips via max_digits10. Deterministic —
+ * report bytes must not depend on locale or stream state.
+ */
+void jsonNumber(std::ostream &os, double v);
 
 } // namespace pilotrf
 

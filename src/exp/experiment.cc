@@ -1,0 +1,202 @@
+#include "exp/experiment.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace pilotrf::exp
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/** Clone a kernel with a new seed (code and geometry unchanged). */
+isa::Kernel
+reseed(const isa::Kernel &k, std::uint64_t seed)
+{
+    return isa::Kernel(k.name(), k.regsPerThread(), k.threadsPerCta(),
+                       k.numCtas(), k.code(), seed);
+}
+
+} // namespace
+
+Sweep
+Sweep::overSuite(std::string name, std::vector<ConfigVariant> configs)
+{
+    Sweep s;
+    s.name = std::move(name);
+    s.configs = std::move(configs);
+    for (const auto &w : workloads::allWorkloads())
+        s.workloads.push_back(w.name);
+    return s;
+}
+
+std::uint64_t
+hashString(std::string_view s)
+{
+    std::uint64_t h = splitmix64(s.size());
+    for (const char c : s)
+        h = hashCombine(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+std::uint64_t
+deriveJobSeed(std::uint64_t baseSeed, std::string_view workload,
+              std::string_view configLabel, std::uint64_t seed)
+{
+    return hashCoords(baseSeed, hashString(workload),
+                      hashString(configLabel), seed);
+}
+
+const JobResult &
+SweepResult::at(std::size_t w, std::size_t c, std::size_t s) const
+{
+    if (w >= workloadCount || c >= configCount || s >= seedCount)
+        fatal("SweepResult::at(%zu, %zu, %zu) out of range (%zu x %zu x "
+              "%zu)",
+              w, c, s, workloadCount, configCount, seedCount);
+    return jobs.at((w * configCount + c) * seedCount + s);
+}
+
+const JobResult *
+SweepResult::find(std::string_view workload, std::string_view configLabel,
+                  std::uint64_t seed) const
+{
+    for (const auto &j : jobs)
+        if (j.job.workload == workload && j.job.configLabel == configLabel &&
+            j.job.seed == seed)
+            return &j;
+    return nullptr;
+}
+
+StatSet
+SweepResult::mergedStats() const
+{
+    StatSet merged;
+    for (const auto &j : jobs) {
+        merged.merge(j.run.rfStats.withPrefix("rf."));
+        merged.merge(j.run.simStats.withPrefix("sim."));
+    }
+    return merged;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads) : nThreads(threads)
+{
+    if (nThreads == 0)
+        nThreads = std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::vector<Job>
+ExperimentRunner::expand(const Sweep &sweep)
+{
+    if (sweep.workloads.empty() || sweep.configs.empty() ||
+        sweep.seeds.empty())
+        fatal("sweep '%s' has an empty axis (%zu workloads x %zu configs "
+              "x %zu seeds)",
+              sweep.name.c_str(), sweep.workloads.size(),
+              sweep.configs.size(), sweep.seeds.size());
+
+    std::vector<Job> jobs;
+    jobs.reserve(sweep.jobCount());
+    for (const auto &wname : sweep.workloads) {
+        // Resolves the name now, so a typo fails before any work starts.
+        const auto &w = workloads::workload(wname);
+        for (const auto &cv : sweep.configs) {
+            for (const auto seed : sweep.seeds) {
+                Job j;
+                j.index = jobs.size();
+                j.workload = w.name;
+                j.category = w.category;
+                j.configLabel = cv.label;
+                j.cfg = cv.cfg;
+                j.seed = seed;
+                j.jobSeed = deriveJobSeed(sweep.baseSeed, w.name, cv.label,
+                                          seed);
+                jobs.push_back(std::move(j));
+            }
+        }
+    }
+    return jobs;
+}
+
+JobResult
+ExperimentRunner::runJob(const Job &job) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto &w = workloads::workload(job.workload);
+
+    JobResult res;
+    res.job = job;
+    sim::Gpu gpu(job.cfg);
+    if (job.seed == 0) {
+        res.run = gpu.run(w.kernels);
+    } else {
+        // Replicate draws: every kernel gets a fresh deterministic seed
+        // derived from its own seed and the job's.
+        std::vector<isa::Kernel> kernels;
+        kernels.reserve(w.kernels.size());
+        for (const auto &k : w.kernels)
+            kernels.push_back(reseed(k, hashCombine(k.seed(), job.jobSeed)));
+        res.run = gpu.run(kernels);
+    }
+    res.energy =
+        accountant.account(job.cfg, res.run.rfStats, res.run.totalCycles);
+    res.wallSeconds = secondsSince(t0);
+    return res;
+}
+
+SweepResult
+ExperimentRunner::run(const Sweep &sweep) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<Job> jobs = expand(sweep);
+
+    SweepResult out;
+    out.sweep = sweep.name;
+    out.threads = nThreads;
+    out.workloadCount = sweep.workloads.size();
+    out.configCount = sweep.configs.size();
+    out.seedCount = sweep.seeds.size();
+    out.jobs.resize(jobs.size());
+
+    const unsigned workers =
+        unsigned(std::min<std::size_t>(nThreads, jobs.size()));
+    if (workers <= 1) {
+        for (const auto &job : jobs)
+            out.jobs[job.index] = runJob(job);
+    } else {
+        // Each worker claims the next unstarted job; each result lands in
+        // its own pre-sized slot, so completion order is irrelevant.
+        std::atomic<std::size_t> next{0};
+        std::vector<std::jthread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= jobs.size())
+                        return;
+                    out.jobs[i] = runJob(jobs[i]);
+                }
+            });
+        }
+        pool.clear(); // join
+    }
+
+    out.wallSeconds = secondsSince(t0);
+    return out;
+}
+
+} // namespace pilotrf::exp

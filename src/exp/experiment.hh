@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The experiment-runner subsystem: declarative sweeps over
+ * (workload x configuration x seed), expanded into independent jobs and
+ * executed on a worker pool.
+ *
+ * Every stochastic input of the simulator is a pure function of the
+ * kernel seed and structural coordinates, so each job is deterministic in
+ * isolation; the runner stores results by job index and merges them in
+ * job-submission order, making a parallel run bit-identical to a serial
+ * one. This is the one supported way to drive `sim::Gpu` for sweeps —
+ * the benches, the examples and the `pilotrf_run` CLI all sit on top of
+ * it.
+ */
+
+#ifndef PILOTRF_EXP_EXPERIMENT_HH
+#define PILOTRF_EXP_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "power/energy_accountant.hh"
+#include "sim/gpu.hh"
+#include "sim/sim_config.hh"
+
+namespace pilotrf::exp
+{
+
+/** One labelled point on the configuration axis of a sweep. */
+struct ConfigVariant
+{
+    std::string label; ///< short, stable id used in reports and lookups
+    sim::SimConfig cfg;
+};
+
+/**
+ * A declarative sweep: the cross product workloads x configs x seeds.
+ *
+ * Seed 0 means "run the workload with its kernels' baked-in seeds" — the
+ * exact runs the benches always did; any other value reseeds every kernel
+ * deterministically (see Job::jobSeed) so replicated sweeps explore
+ * independent branch/trip-count draws.
+ */
+struct Sweep
+{
+    std::string name;
+    std::vector<std::string> workloads; ///< registry names (Table I)
+    std::vector<ConfigVariant> configs;
+    std::vector<std::uint64_t> seeds{0};
+    std::uint64_t baseSeed = 0; ///< mixed into every derived job seed
+
+    /** A sweep over all 17 Table-I workloads with the given configs. */
+    static Sweep overSuite(std::string name,
+                           std::vector<ConfigVariant> configs);
+
+    std::size_t jobCount() const
+    {
+        return workloads.size() * configs.size() * seeds.size();
+    }
+};
+
+/** A fully-specified unit of work: one (workload, config, seed) triple. */
+struct Job
+{
+    std::size_t index = 0; ///< position in submission order
+    std::string workload;
+    unsigned category = 0; ///< Table-I profiling category (1..3)
+    std::string configLabel;
+    sim::SimConfig cfg;
+    std::uint64_t seed = 0;    ///< the sweep-axis seed value
+    std::uint64_t jobSeed = 0; ///< derived; see deriveJobSeed()
+};
+
+/** Everything one job produced. */
+struct JobResult
+{
+    Job job;
+    sim::RunResult run;
+    power::EnergyReport energy;
+    double wallSeconds = 0.0;
+};
+
+/**
+ * All results of one sweep, in job-submission order (workload-major,
+ * then config, then seed) regardless of which worker finished first.
+ */
+struct SweepResult
+{
+    std::string sweep;
+    unsigned threads = 1;
+    double wallSeconds = 0.0;
+    std::size_t workloadCount = 0;
+    std::size_t configCount = 0;
+    std::size_t seedCount = 0;
+    std::vector<JobResult> jobs;
+
+    /** Result of (workload index, config index, seed index). */
+    const JobResult &at(std::size_t w, std::size_t c,
+                        std::size_t s = 0) const;
+
+    /** Lookup by names; nullptr if absent. */
+    const JobResult *find(std::string_view workload,
+                          std::string_view configLabel,
+                          std::uint64_t seed = 0) const;
+
+    /**
+     * Union of every job's stats under hierarchical prefixes:
+     * `rf.access.FRF_high`, `sim.issue.total`, ... (summed across jobs).
+     */
+    StatSet mergedStats() const;
+};
+
+/**
+ * The per-job seed: a pure function of the sweep base seed and the job's
+ * *names* (not its position), so reordering the axes of a sweep never
+ * changes the random stream any triple sees, and seeds are stable across
+ * processes and platforms.
+ */
+std::uint64_t deriveJobSeed(std::uint64_t baseSeed,
+                            std::string_view workload,
+                            std::string_view configLabel,
+                            std::uint64_t seed);
+
+/** splitmix64-fold of a string, for deriveJobSeed(). */
+std::uint64_t hashString(std::string_view s);
+
+/**
+ * Expands sweeps into jobs and executes them on a `std::jthread` pool.
+ *
+ * Results land in a pre-sized slot per job, so no ordering (and no lock)
+ * is involved in result collection; merged outputs are bit-identical for
+ * any thread count, including 1.
+ */
+class ExperimentRunner
+{
+  public:
+    /** @param threads worker count; 0 = std::thread::hardware_concurrency. */
+    explicit ExperimentRunner(unsigned threads = 0);
+
+    unsigned threads() const { return nThreads; }
+
+    /** The jobs a sweep denotes, in submission order. fatal()s on an
+     *  unknown workload name or an empty axis. */
+    static std::vector<Job> expand(const Sweep &sweep);
+
+    /** Run every job of the sweep and collect results in order. */
+    SweepResult run(const Sweep &sweep) const;
+
+    /** Run a single job inline (no pool); the serial reference path. */
+    JobResult runJob(const Job &job) const;
+
+  private:
+    unsigned nThreads;
+    power::EnergyAccountant accountant;
+};
+
+} // namespace pilotrf::exp
+
+#endif // PILOTRF_EXP_EXPERIMENT_HH

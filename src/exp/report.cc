@@ -1,0 +1,141 @@
+#include "exp/report.hh"
+
+#include <sstream>
+
+namespace pilotrf::exp
+{
+
+namespace
+{
+
+void
+field(std::ostream &os, unsigned depth, const char *key, bool &first)
+{
+    os << (first ? "\n" : ",\n") << std::string(2 * depth, ' ');
+    first = false;
+    jsonString(os, key);
+    os << ": ";
+}
+
+void
+writeEnergy(std::ostream &os, const power::EnergyReport &e, unsigned depth)
+{
+    bool first = true;
+    os << "{";
+    const auto num = [&](const char *k, double v) {
+        field(os, depth + 1, k, first);
+        jsonNumber(os, v);
+    };
+    num("dynamicPj", e.dynamicPj);
+    num("frfPj", e.frfPj);
+    num("srfPj", e.srfPj);
+    num("mrfPj", e.mrfPj);
+    num("rfcPj", e.rfcPj);
+    num("overheadPj", e.overheadPj);
+    num("leakagePowerMw", e.leakagePowerMw);
+    num("leakageUj", e.leakageUj);
+    num("runSeconds", e.runSeconds);
+    os << "\n" << std::string(2 * depth, ' ') << "}";
+}
+
+void
+writeKernel(std::ostream &os, const sim::KernelResult &k, unsigned depth)
+{
+    bool first = true;
+    os << "{";
+    field(os, depth + 1, "name", first);
+    jsonString(os, k.name);
+    field(os, depth + 1, "cycles", first);
+    jsonNumber(os, double(k.cycles));
+    field(os, depth + 1, "instructions", first);
+    jsonNumber(os, double(k.instructions));
+    os << "\n" << std::string(2 * depth, ' ') << "}";
+}
+
+void
+writeJob(std::ostream &os, const JobResult &j, const ReportOptions &opts,
+         unsigned depth)
+{
+    bool first = true;
+    os << "{";
+    field(os, depth + 1, "workload", first);
+    jsonString(os, j.job.workload);
+    field(os, depth + 1, "category", first);
+    jsonNumber(os, j.job.category);
+    field(os, depth + 1, "config", first);
+    jsonString(os, j.job.configLabel);
+    field(os, depth + 1, "seed", first);
+    jsonNumber(os, double(j.job.seed));
+    field(os, depth + 1, "jobSeed", first);
+    // 64-bit seeds do not always fit a double; emit as a string.
+    jsonString(os, std::to_string(j.job.jobSeed));
+    field(os, depth + 1, "cycles", first);
+    jsonNumber(os, double(j.run.totalCycles));
+    field(os, depth + 1, "instructions", first);
+    jsonNumber(os, double(j.run.totalInstructions));
+    field(os, depth + 1, "energy", first);
+    writeEnergy(os, j.energy, depth + 1);
+    field(os, depth + 1, "stats", first);
+    StatSet stats = j.run.rfStats.withPrefix("rf.");
+    stats.merge(j.run.simStats.withPrefix("sim."));
+    stats.toJson(os, depth + 1);
+    if (opts.includeKernels) {
+        field(os, depth + 1, "kernels", first);
+        os << "[";
+        for (std::size_t k = 0; k < j.run.kernels.size(); ++k) {
+            os << (k ? "," : "") << "\n"
+               << std::string(2 * (depth + 2), ' ');
+            writeKernel(os, j.run.kernels[k], depth + 2);
+        }
+        os << "\n" << std::string(2 * (depth + 1), ' ') << "]";
+    }
+    if (opts.includeTiming) {
+        field(os, depth + 1, "wallSeconds", first);
+        jsonNumber(os, j.wallSeconds);
+    }
+    os << "\n" << std::string(2 * depth, ' ') << "}";
+}
+
+} // namespace
+
+void
+writeJson(const SweepResult &result, std::ostream &os,
+          const ReportOptions &opts)
+{
+    bool first = true;
+    os << "{";
+    field(os, 1, "sweep", first);
+    jsonString(os, result.sweep);
+    field(os, 1, "workloads", first);
+    jsonNumber(os, double(result.workloadCount));
+    field(os, 1, "configs", first);
+    jsonNumber(os, double(result.configCount));
+    field(os, 1, "seeds", first);
+    jsonNumber(os, double(result.seedCount));
+    field(os, 1, "jobs", first);
+    os << "[";
+    for (std::size_t i = 0; i < result.jobs.size(); ++i) {
+        os << (i ? "," : "") << "\n" << std::string(4, ' ');
+        writeJob(os, result.jobs[i], opts, 2);
+    }
+    os << "\n  ]";
+    field(os, 1, "merged", first);
+    result.mergedStats().toJson(os, 1);
+    if (opts.includeTiming) {
+        field(os, 1, "threads", first);
+        jsonNumber(os, result.threads);
+        field(os, 1, "wallSeconds", first);
+        jsonNumber(os, result.wallSeconds);
+    }
+    os << "\n}\n";
+}
+
+std::string
+toJsonString(const SweepResult &result, const ReportOptions &opts)
+{
+    std::ostringstream ss;
+    writeJson(result, ss, opts);
+    return ss.str();
+}
+
+} // namespace pilotrf::exp

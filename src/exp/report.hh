@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Structured (JSON) reporting for sweep results: per-job cycles,
+ * instructions, hierarchical stats and energy breakdown, plus the
+ * sweep-wide merged stats — the machine-readable replacement for the
+ * benches' printf tables.
+ */
+
+#ifndef PILOTRF_EXP_REPORT_HH
+#define PILOTRF_EXP_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace pilotrf::exp
+{
+
+struct ReportOptions
+{
+    /**
+     * Emit wall-clock fields (per-job and sweep-wide) and the thread
+     * count. Off, the report is a pure function of the sweep definition —
+     * byte-identical across runs and thread counts; the determinism tests
+     * rely on that.
+     */
+    bool includeTiming = true;
+
+    /** Emit the per-kernel result array inside each job. */
+    bool includeKernels = true;
+};
+
+/** Write the full sweep report as a single JSON document. */
+void writeJson(const SweepResult &result, std::ostream &os,
+               const ReportOptions &opts = {});
+
+/** writeJson() into a string (tests, in-memory comparisons). */
+std::string toJsonString(const SweepResult &result,
+                         const ReportOptions &opts = {});
+
+} // namespace pilotrf::exp
+
+#endif // PILOTRF_EXP_REPORT_HH

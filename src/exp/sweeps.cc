@@ -1,0 +1,227 @@
+#include "exp/sweeps.hh"
+
+#include <cstdio>
+#include <map>
+
+#include "common/logging.hh"
+#include "rfmodel/rf_specs.hh"
+
+namespace pilotrf::exp
+{
+
+namespace
+{
+
+sim::SimConfig
+withKind(sim::RfKind kind)
+{
+    sim::SimConfig c;
+    c.rfKind = kind;
+    return c;
+}
+
+Sweep
+smokeSweep()
+{
+    // The three shortest-running Table-I workloads under the baseline and
+    // the proposed design: a seconds-long CI / determinism vehicle.
+    Sweep s;
+    s.name = "smoke";
+    s.workloads = {"WP", "LIB", "CP"};
+    s.configs = {{"mrf_stv", withKind(sim::RfKind::MrfStv)},
+                 {"partitioned", withKind(sim::RfKind::Partitioned)}};
+    return s;
+}
+
+Sweep
+fig10Sweep()
+{
+    return Sweep::overSuite(
+        "fig10", {{"partitioned", withKind(sim::RfKind::Partitioned)}});
+}
+
+Sweep
+fig11Sweep()
+{
+    sim::SimConfig part = withKind(sim::RfKind::Partitioned);
+    part.prf.adaptiveFrf = false;
+    sim::SimConfig adap = withKind(sim::RfKind::Partitioned);
+    adap.prf.adaptiveFrf = true;
+    return Sweep::overSuite("fig11",
+                            {{"mrf_stv", withKind(sim::RfKind::MrfStv)},
+                             {"partitioned", part},
+                             {"part_adaptive", adap},
+                             {"mrf_ntv", withKind(sim::RfKind::MrfNtv)}});
+}
+
+Sweep
+fig12Sweep()
+{
+    const auto mk = [](sim::SchedulerPolicy pol, sim::RfKind kind,
+                       regfile::Profiling prof) {
+        sim::SimConfig c;
+        c.policy = pol;
+        c.rfKind = kind;
+        c.prf.profiling = prof;
+        return c;
+    };
+    using sim::RfKind;
+    using sim::SchedulerPolicy;
+    return Sweep::overSuite(
+        "fig12",
+        {{"gto_mrf_stv", mk(SchedulerPolicy::Gto, RfKind::MrfStv,
+                            regfile::Profiling::Hybrid)},
+         {"tl_mrf_stv", mk(SchedulerPolicy::TwoLevel, RfKind::MrfStv,
+                           regfile::Profiling::Hybrid)},
+         {"gto_hybrid", mk(SchedulerPolicy::Gto, RfKind::Partitioned,
+                           regfile::Profiling::Hybrid)},
+         {"tl_hybrid", mk(SchedulerPolicy::TwoLevel, RfKind::Partitioned,
+                          regfile::Profiling::Hybrid)},
+         {"gto_compiler", mk(SchedulerPolicy::Gto, RfKind::Partitioned,
+                             regfile::Profiling::Compiler)},
+         {"mrf_ntv", mk(SchedulerPolicy::Gto, RfKind::MrfNtv,
+                        regfile::Profiling::Hybrid)}});
+}
+
+Sweep
+fig13Sweep()
+{
+    // Four GPU scale points x {MRF@STV baseline, RFC+TL, partitioned}.
+    struct Point
+    {
+        const char *tag;
+        unsigned sched, banks, warps;
+        bool stv;
+    };
+    const Point points[] = {{"1x2x8_ntv", 1, 2, 8, false},
+                            {"2x4x16_ntv", 2, 4, 16, false},
+                            {"4x8x32_ntv", 4, 8, 32, false},
+                            {"4x8x32_stv", 4, 8, 32, true}};
+    std::vector<ConfigVariant> configs;
+    for (const auto &p : points) {
+        sim::SimConfig base = withKind(sim::RfKind::MrfStv);
+        base.schedulers = p.sched;
+        sim::SimConfig rfc = base;
+        rfc.rfKind = sim::RfKind::Rfc;
+        rfc.policy = sim::SchedulerPolicy::TwoLevel;
+        rfc.tlActiveWarps = p.warps;
+        rfc.rfc.rfcBanks = p.banks;
+        rfc.rfc.mrfMode = p.stv ? rfmodel::RfMode::MrfStv
+                                : rfmodel::RfMode::MrfNtv;
+        sim::SimConfig part = base;
+        part.rfKind = sim::RfKind::Partitioned;
+        const std::string tag = p.tag;
+        configs.push_back({tag + ".mrf_stv", base});
+        configs.push_back({tag + ".rfc", rfc});
+        configs.push_back({tag + ".part", part});
+    }
+    return Sweep::overSuite("fig13", std::move(configs));
+}
+
+Sweep
+ablationBaselinesSweep()
+{
+    sim::SimConfig rfc = withKind(sim::RfKind::Rfc);
+    rfc.policy = sim::SchedulerPolicy::TwoLevel;
+    rfc.tlActiveWarps = 32; // generous pool: isolate the RFC itself
+    return Sweep::overSuite(
+        "ablation_baselines",
+        {{"mrf_stv", withKind(sim::RfKind::MrfStv)},
+         {"mrf_ntv", withKind(sim::RfKind::MrfNtv)},
+         {"drowsy", withKind(sim::RfKind::Drowsy)},
+         {"rfc_tl32", rfc},
+         {"partitioned", withKind(sim::RfKind::Partitioned)}});
+}
+
+Sweep
+ablationPipelineSweep()
+{
+    // Write-forwarding and L1 toggles on three RF kinds.
+    std::vector<ConfigVariant> configs;
+    for (const bool l1 : {false, true}) {
+        for (const bool fwd : {true, false}) {
+            char tag[32];
+            std::snprintf(tag, sizeof(tag), "l1%s_fwd%s", l1 ? "on" : "off",
+                          fwd ? "on" : "off");
+            const std::pair<const char *, sim::RfKind> kinds[] = {
+                {"mrf_stv", sim::RfKind::MrfStv},
+                {"partitioned", sim::RfKind::Partitioned},
+                {"mrf_ntv", sim::RfKind::MrfNtv}};
+            for (const auto &[kname, kind] : kinds) {
+                sim::SimConfig c = withKind(kind);
+                c.l1Enable = l1;
+                c.writeForwarding = fwd;
+                configs.push_back({std::string(tag) + "." + kname, c});
+            }
+        }
+    }
+    return Sweep::overSuite("ablation_pipeline", std::move(configs));
+}
+
+struct Entry
+{
+    Sweep (*make)();
+    const char *description;
+};
+
+const std::vector<std::pair<std::string, Entry>> &
+registry()
+{
+    static const std::vector<std::pair<std::string, Entry>> r = {
+        {"smoke",
+         {smokeSweep, "3 fastest workloads x {MRF@STV, partitioned}"}},
+        {"fig10",
+         {fig10Sweep, "suite x partitioned RF (access distribution)"}},
+        {"fig11",
+         {fig11Sweep,
+          "suite x {MRF@STV, partitioned, +adaptive, MRF@NTV} (energy)"}},
+        {"fig12",
+         {fig12Sweep, "suite x 6 scheduler/profiling configs (exec time)"}},
+        {"fig13",
+         {fig13Sweep, "suite x 4 scale points x {MRF, RFC, partitioned}"}},
+        {"ablation_baselines",
+         {ablationBaselinesSweep,
+          "suite x 5 RF organizations (related-work ablation)"}},
+        {"ablation_pipeline",
+         {ablationPipelineSweep,
+          "suite x {L1, forwarding} toggles x 3 RF kinds"}},
+    };
+    return r;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+sweepNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const auto &[name, entry] : registry())
+            n.push_back(name);
+        return n;
+    }();
+    return names;
+}
+
+Sweep
+namedSweep(const std::string &name)
+{
+    for (const auto &[n, entry] : registry())
+        if (n == name)
+            return entry.make();
+    std::string known;
+    for (const auto &n : sweepNames())
+        known += (known.empty() ? "" : ", ") + n;
+    fatal("unknown sweep '%s' (known: %s)", name.c_str(), known.c_str());
+}
+
+std::string
+sweepDescription(const std::string &name)
+{
+    for (const auto &[n, entry] : registry())
+        if (n == name)
+            return entry.description;
+    return "";
+}
+
+} // namespace pilotrf::exp

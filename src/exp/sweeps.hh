@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Named sweep registry: the paper's figure/ablation experiments as
+ * declarative `exp::Sweep`s, shared by the bench binaries and the
+ * `pilotrf_run` CLI so "fig11" means exactly the same runs everywhere.
+ */
+
+#ifndef PILOTRF_EXP_SWEEPS_HH
+#define PILOTRF_EXP_SWEEPS_HH
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+
+namespace pilotrf::exp
+{
+
+/** The registered sweep names, registration order. */
+const std::vector<std::string> &sweepNames();
+
+/** Lookup by name; fatal() on unknown names (lists the known ones). */
+Sweep namedSweep(const std::string &name);
+
+/** One-line description of a named sweep (for --list). */
+std::string sweepDescription(const std::string &name);
+
+} // namespace pilotrf::exp
+
+#endif // PILOTRF_EXP_SWEEPS_HH

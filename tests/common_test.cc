@@ -168,3 +168,60 @@ TEST(StatSet, DumpSorted)
     const auto text = os.str();
     EXPECT_LT(text.find("a"), text.find("b"));
 }
+
+TEST(StatSet, WithPrefix)
+{
+    StatSet s;
+    s.add("access.read", 3);
+    s.add("access.write", 4);
+    const StatSet p = s.withPrefix("rf.");
+    EXPECT_DOUBLE_EQ(p.get("rf.access.read"), 3.0);
+    EXPECT_DOUBLE_EQ(p.get("rf.access.write"), 4.0);
+    EXPECT_FALSE(p.has("access.read"));
+    // The original is untouched.
+    EXPECT_TRUE(s.has("access.read"));
+
+    StatSet merged;
+    merged.merge(s.withPrefix("rf."));
+    merged.merge(s.withPrefix("rf."));
+    EXPECT_DOUBLE_EQ(merged.get("rf.access.read"), 6.0);
+}
+
+TEST(StatSet, ToJson)
+{
+    StatSet s;
+    s.add("b.count", 2);
+    s.add("a.frac", 0.5);
+    std::ostringstream os;
+    s.toJson(os);
+    EXPECT_EQ(os.str(), "{\n  \"a.frac\": 0.5,\n  \"b.count\": 2\n}");
+
+    std::ostringstream empty;
+    StatSet().toJson(empty);
+    EXPECT_EQ(empty.str(), "{}");
+}
+
+TEST(Json, NumberFormatting)
+{
+    const auto str = [](double v) {
+        std::ostringstream os;
+        jsonNumber(os, v);
+        return os.str();
+    };
+    EXPECT_EQ(str(0), "0");
+    EXPECT_EQ(str(42), "42");
+    EXPECT_EQ(str(-7), "-7");
+    EXPECT_EQ(str(1e15), "1000000000000000");
+    EXPECT_EQ(str(0.5), "0.5");
+    EXPECT_EQ(str(std::nan("")), "null");
+    // Round-trips exactly.
+    const double v = 0.1 + 0.2;
+    EXPECT_EQ(std::stod(str(v)), v);
+}
+
+TEST(Json, StringEscaping)
+{
+    std::ostringstream os;
+    jsonString(os, "a\"b\\c\nd");
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\"");
+}
