@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmark for the typed-counter stat plumbing.
+ *
+ * Runs three representative Table-I workloads (compute-heavy sgemm,
+ * control/memory-heavy BFS, stencil hotspot) under {MRF@STV, partitioned,
+ * RFC} and reports simulated warp-cycles per wall-clock second, so the
+ * effect of hot-path changes is measured rather than asserted. Unlike the
+ * figure benches this one deliberately drives `sim::Gpu` directly on the
+ * calling thread: the object under test is the per-event cycle loop, not
+ * the experiment runner around it.
+ *
+ * Warp-cycles are active SM-cycles (SM-cycles with at least one live
+ * warp, summed over SMs) times the configured warps per SM — a
+ * config-independent measure of simulated work.
+ *
+ * Output: a human-readable table on stdout and a machine-readable
+ * `BENCH_hotpath.json` (path overridable as argv[1]) for CI artifacts.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace pilotrf;
+
+namespace
+{
+
+struct Config
+{
+    const char *label;
+    sim::SimConfig cfg;
+};
+
+std::vector<Config>
+configs()
+{
+    const auto withKind = [](sim::RfKind k) {
+        sim::SimConfig c;
+        c.rfKind = k;
+        return c;
+    };
+    sim::SimConfig rfc = withKind(sim::RfKind::Rfc);
+    rfc.policy = sim::SchedulerPolicy::TwoLevel;
+    return {{"mrf_stv", withKind(sim::RfKind::MrfStv)},
+            {"partitioned", withKind(sim::RfKind::Partitioned)},
+            {"rfc_tl", rfc}};
+}
+
+struct Row
+{
+    std::string workload;
+    std::string config;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t warpCycles = 0;
+    double wallSeconds = 0.0;
+    double warpCyclesPerSec = 0.0;
+    double instructionsPerSec = 0.0;
+};
+
+Row
+measure(const char *wlName, const Config &c)
+{
+    const auto &wl = workloads::workload(wlName);
+
+    // Warm-up run: touch every lazily-built structure (kernels validate,
+    // static profiles, allocator warm-up) outside the timed region.
+    {
+        sim::Gpu gpu(c.cfg);
+        gpu.run(wl.kernels);
+    }
+
+    Row row;
+    row.workload = wlName;
+    row.config = c.label;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    // Repeat until the timed region is long enough to swamp clock jitter.
+    unsigned reps = 0;
+    double elapsed = 0.0;
+    do {
+        sim::Gpu gpu(c.cfg);
+        const sim::RunResult run = gpu.run(wl.kernels);
+        ++reps;
+        if (reps == 1) {
+            row.cycles = run.totalCycles;
+            row.instructions = run.totalInstructions;
+            row.warpCycles =
+                std::uint64_t(run.simStats.get("cycles.active")) *
+                c.cfg.warpsPerSm;
+        }
+        elapsed = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    } while (elapsed < 0.5);
+
+    row.wallSeconds = elapsed / reps;
+    row.warpCyclesPerSec = double(row.warpCycles) / row.wallSeconds;
+    row.instructionsPerSec = double(row.instructions) / row.wallSeconds;
+    return row;
+}
+
+void
+writeJson(const std::vector<Row> &rows, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os.good())
+        fatal("cannot write %s", path.c_str());
+    os << "{\n  ";
+    jsonString(os, "bench");
+    os << ": ";
+    jsonString(os, "hotpath");
+    os << ",\n  ";
+    jsonString(os, "rows");
+    os << ": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        os << (i ? "," : "") << "\n    {";
+        const auto str = [&](const char *k, const std::string &v,
+                             bool first = false) {
+            os << (first ? "" : ", ");
+            jsonString(os, k);
+            os << ": ";
+            jsonString(os, v);
+        };
+        const auto num = [&](const char *k, double v) {
+            os << ", ";
+            jsonString(os, k);
+            os << ": ";
+            jsonNumber(os, v);
+        };
+        str("workload", r.workload, true);
+        str("config", r.config);
+        num("cycles", double(r.cycles));
+        num("instructions", double(r.instructions));
+        num("warpCycles", double(r.warpCycles));
+        num("wallSeconds", r.wallSeconds);
+        num("warpCyclesPerSec", r.warpCyclesPerSec);
+        num("instructionsPerSec", r.instructionsPerSec);
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    const std::string out = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+    const char *workloadNames[] = {"sgemm", "BFS", "hotspot"};
+
+    bench::header("BENCH hotpath",
+                  "simulator throughput (warp-cycles/s) by RF backend");
+    std::printf("%-10s %-12s %14s %12s %14s\n", "workload", "config",
+                "warp-cycles", "wall s", "warp-cyc/s");
+
+    std::vector<Row> rows;
+    for (const char *wl : workloadNames) {
+        for (const auto &c : configs()) {
+            rows.push_back(measure(wl, c));
+            const Row &r = rows.back();
+            std::printf("%-10s %-12s %14llu %12.4f %14.3e\n",
+                        r.workload.c_str(), r.config.c_str(),
+                        (unsigned long long)r.warpCycles, r.wallSeconds,
+                        r.warpCyclesPerSec);
+        }
+    }
+
+    writeJson(rows, out);
+    std::printf("\nreport: %s\n", out.c_str());
+    return 0;
+}

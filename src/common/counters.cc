@@ -1,0 +1,35 @@
+#include "common/counters.hh"
+
+#include <algorithm>
+
+namespace pilotrf
+{
+
+CounterBlock::Handle
+CounterBlock::add(const std::string &name)
+{
+    const auto it = std::find(names.begin(), names.end(), name);
+    if (it != names.end())
+        return Handle(it - names.begin());
+    names.push_back(name);
+    vals.push_back(0);
+    seen.push_back(0);
+    return Handle(names.size() - 1);
+}
+
+void
+CounterBlock::snapshotInto(StatSet &out) const
+{
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        if (seen[i])
+            out.set(names[i], double(vals[i]));
+}
+
+void
+CounterBlock::reset()
+{
+    std::fill(vals.begin(), vals.end(), 0);
+    std::fill(seen.begin(), seen.end(), 0);
+}
+
+} // namespace pilotrf

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Typed event counters for the simulator hot path.
+ *
+ * The seed implementation counted every register access, bank grant and
+ * issued instruction by building a `std::string` key and mutating a
+ * `std::map<std::string, double>` (StatSet) — a heap allocation plus an
+ * O(log n) string-compare walk per simulated event. A CounterBlock keeps
+ * the naming but splits registration from counting: a component registers
+ * each named counter once (at construction or kernel launch) and receives
+ * a small integer Handle; the hot path increments through the handle — a
+ * bounds-free indexed add on a contiguous `std::uint64_t` array — and the
+ * names are only consulted again when a snapshot renders the counters into
+ * a StatSet at kernel/run boundaries.
+ *
+ * Snapshot semantics mirror the seed byte-for-byte: a counter appears in
+ * the StatSet if and only if it was ever incremented or set, even with a
+ * zero delta (`add(name, 0)` created the key in the seed), so report JSON
+ * and `has()` queries are unchanged.
+ */
+
+#ifndef PILOTRF_COMMON_COUNTERS_HH
+#define PILOTRF_COMMON_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace pilotrf
+{
+
+/**
+ * A registry of named 64-bit event counters with O(1) handle increments.
+ */
+class CounterBlock
+{
+  public:
+    /** Index of one registered counter within its block. */
+    using Handle = std::uint32_t;
+
+    /**
+     * Register a named counter and return its handle. Registering the
+     * same name again returns the existing handle (registration is
+     * idempotent, so base and derived classes may share names).
+     */
+    Handle add(const std::string &name);
+
+    /** Hot path: add n to the counter. Marks the counter as touched even
+     *  for n == 0, matching the seed's `StatSet::add(name, 0)`. */
+    void inc(Handle h, std::uint64_t n = 1)
+    {
+        vals[h] += n;
+        seen[h] = 1;
+    }
+
+    /** Hot path: overwrite the counter with an absolute value. */
+    void set(Handle h, std::uint64_t v)
+    {
+        vals[h] = v;
+        seen[h] = 1;
+    }
+
+    std::uint64_t value(Handle h) const { return vals[h]; }
+
+    /** True once the counter was ever incremented or set. */
+    bool touched(Handle h) const { return seen[h] != 0; }
+
+    const std::string &name(Handle h) const { return names[h]; }
+
+    std::size_t size() const { return vals.size(); }
+
+    /**
+     * Boundary snapshot: render every touched counter into the StatSet
+     * under its registered name (absolute values; untouched counters are
+     * skipped so the key set matches the seed's lazily-created keys).
+     */
+    void snapshotInto(StatSet &out) const;
+
+    /** Zero all values and touched flags; registrations survive. */
+    void reset();
+
+  private:
+    std::vector<std::string> names;
+    std::vector<std::uint64_t> vals;
+    std::vector<std::uint8_t> seen;
+};
+
+} // namespace pilotrf
+
+#endif // PILOTRF_COMMON_COUNTERS_HH

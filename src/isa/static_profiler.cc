@@ -17,7 +17,7 @@ StaticProfile::StaticProfile(const Kernel &kernel)
     }
 }
 
-unsigned
+std::uint64_t
 StaticProfile::count(RegId r) const
 {
     return r < occurrences.size() ? occurrences[r] : 0;
@@ -30,7 +30,7 @@ StaticProfile::topRegisters(unsigned n) const
 }
 
 std::vector<RegId>
-rankRegisters(const std::vector<unsigned> &counts, unsigned n)
+rankRegisters(const std::vector<std::uint64_t> &counts, unsigned n)
 {
     std::vector<RegId> regs(counts.size());
     std::iota(regs.begin(), regs.end(), RegId(0));

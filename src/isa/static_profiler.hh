@@ -9,6 +9,7 @@
 #ifndef PILOTRF_ISA_STATIC_PROFILER_HH
 #define PILOTRF_ISA_STATIC_PROFILER_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "isa/kernel.hh"
@@ -25,21 +26,22 @@ class StaticProfile
     explicit StaticProfile(const Kernel &kernel);
 
     /** Occurrences of register r in the kernel text. */
-    unsigned count(RegId r) const;
+    std::uint64_t count(RegId r) const;
 
     /** The n most frequent registers, most frequent first; ties broken by
      *  lower register id (deterministic). */
     std::vector<RegId> topRegisters(unsigned n) const;
 
     /** All per-register counts, indexed by register id. */
-    const std::vector<unsigned> &counts() const { return occurrences; }
+    const std::vector<std::uint64_t> &counts() const { return occurrences; }
 
   private:
-    std::vector<unsigned> occurrences;
+    std::vector<std::uint64_t> occurrences;
 };
 
-/** Rank registers by a count vector, descending, ties to lower id. */
-std::vector<RegId> rankRegisters(const std::vector<unsigned> &counts,
+/** Rank registers by a count vector, descending, ties to lower id.
+ *  Counts are 64-bit so dynamic access tallies rank unsaturated. */
+std::vector<RegId> rankRegisters(const std::vector<std::uint64_t> &counts,
                                  unsigned n);
 
 } // namespace pilotrf::isa

@@ -13,6 +13,9 @@ DrowsyRf::DrowsyRf(unsigned numBanks, const DrowsyRfConfig &cfg_,
             "drowsy leak factor out of range");
     lastAccess.assign(warpsPerSm, 0);
     live.assign(warpsPerSm, false);
+    hWakeups = ctrs.add("drowsy.wakeups");
+    hAwakeWarpCycles = ctrs.add("drowsy.awakeWarpCycles");
+    hLiveWarpCycles = ctrs.add("drowsy.liveWarpCycles");
 }
 
 void
@@ -36,7 +39,7 @@ DrowsyRf::access(WarpId w, RegId r, bool write)
     unsigned extra = 0;
     if (isDrowsy(w)) {
         extra = cfg.wakeLatency;
-        _stats.add("drowsy.wakeups", 1);
+        ctrs.inc(hWakeups);
     }
     lastAccess[w] = lastCycle;
     return {1 + extra, 1};
@@ -53,8 +56,8 @@ DrowsyRf::cycleHook(Cycle now, unsigned issued)
         if (!isDrowsy(w))
             ++awakeWarpCycles;
     }
-    _stats.set("drowsy.awakeWarpCycles", double(awakeWarpCycles));
-    _stats.set("drowsy.liveWarpCycles", double(liveWarpCycles));
+    ctrs.set(hAwakeWarpCycles, awakeWarpCycles);
+    ctrs.set(hLiveWarpCycles, liveWarpCycles);
 }
 
 void

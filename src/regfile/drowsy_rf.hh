@@ -55,6 +55,8 @@ class DrowsyRf : public RegisterFile
     std::vector<bool> live;
     std::uint64_t awakeWarpCycles = 0;
     std::uint64_t liveWarpCycles = 0;
+
+    CounterBlock::Handle hWakeups, hAwakeWarpCycles, hLiveWarpCycles;
 };
 
 } // namespace pilotrf::regfile

@@ -25,6 +25,9 @@ PartitionedRf::PartitionedRf(unsigned numBanks,
       frfController(cfg_.epochLength, cfg_.issueThreshold)
 {
     panicIf(cfg.frfRegs == 0, "partitioned RF with empty FRF");
+    hSwapLookup = ctrs.add("swap.lookup");
+    hRemapMoves = ctrs.add("swap.remapMoves");
+    hPilotFinish = ctrs.add("pilot.finishCycle");
 }
 
 void
@@ -73,7 +76,7 @@ PartitionedRf::access(WarpId w, RegId r, bool write)
 {
     pilot.noteAccess(w, r);
     noteReg(r);
-    _stats.add("swap.lookup", 1);
+    ctrs.inc(hSwapLookup);
 
     const unsigned extra = cfg.swapTableExtraCycle ? 1 : 0;
     const RegId phys = table.lookup(r);
@@ -116,17 +119,18 @@ PartitionedRf::warpFinished(WarpId w)
     // (Fig. 6c: reset to the original mapping, then apply the new one).
     pilotHot = pilot.topRegisters(cfg.frfRegs);
     table.program(pilotHot);
-    _stats.set("pilot.finishCycle", double(lastCycle));
+    ctrs.set(hPilotFinish, lastCycle);
 
     if (cfg.countRemapTraffic) {
         // Physically relocating the swapped registers costs one read and
         // one write per moved register per live warp; count them as one
         // FRF and one SRF access each way.
         const unsigned movedPairs = table.validEntries() / 2;
-        const double moves = double(movedPairs) * (liveWarps + 1);
-        _stats.add("access.FRF_high", 2 * moves);
-        _stats.add("access.SRF", 2 * moves);
-        _stats.add("swap.remapMoves", 2 * moves);
+        const std::uint64_t moves =
+            std::uint64_t(movedPairs) * (liveWarps + 1);
+        noteMode(rfmodel::RfMode::FrfHigh, 2 * moves);
+        noteMode(rfmodel::RfMode::Srf, 2 * moves);
+        ctrs.inc(hRemapMoves, 2 * moves);
     }
 }
 

@@ -73,8 +73,6 @@ class PartitionedRf : public RegisterFile
     const std::vector<RegId> &pilotHotRegisters() const { return pilotHot; }
 
   private:
-    void finalizeStats();
-
     PartitionedRfConfig cfg;
     SwapTable table;
     PilotProfiler pilot;
@@ -82,6 +80,8 @@ class PartitionedRf : public RegisterFile
     std::vector<RegId> oracleHot;
     std::vector<RegId> pilotHot;
     unsigned liveWarps = 0;
+
+    CounterBlock::Handle hSwapLookup, hRemapMoves, hPilotFinish;
 };
 
 } // namespace pilotrf::regfile

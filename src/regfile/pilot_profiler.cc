@@ -48,7 +48,7 @@ PilotProfiler::warpFinished(WarpId w)
 std::vector<RegId>
 PilotProfiler::topRegisters(unsigned n) const
 {
-    std::vector<unsigned> v(counts.begin(), counts.end());
+    std::vector<std::uint64_t> v(counts.begin(), counts.end());
     auto ranked = isa::rankRegisters(v, n);
     // Drop registers that were never accessed: they are not "highly
     // accessed" no matter their rank.

@@ -8,6 +8,12 @@ namespace pilotrf::regfile
 RegisterFile::RegisterFile(unsigned numBanks) : banks(numBanks)
 {
     regCounts.assign(maxRegsPerThread, 0);
+    for (unsigned m = 0; m < rfmodel::numRfModes; ++m) {
+        hAccessMode[m] = ctrs.add(
+            std::string("access.") + rfmodel::toString(rfmodel::RfMode(m)));
+    }
+    hReads = ctrs.add("access.reads");
+    hWrites = ctrs.add("access.writes");
 }
 
 void
@@ -52,13 +58,6 @@ RegisterFile::warpActivated(WarpId)
 void
 RegisterFile::warpDeactivated(WarpId)
 {
-}
-
-void
-RegisterFile::note(rfmodel::RfMode m, bool write)
-{
-    _stats.add(std::string("access.") + rfmodel::toString(m), 1);
-    _stats.add(write ? "access.writes" : "access.reads", 1);
 }
 
 void

@@ -12,9 +12,11 @@
 #ifndef PILOTRF_REGFILE_REGISTER_FILE_HH
 #define PILOTRF_REGFILE_REGISTER_FILE_HH
 
+#include <array>
 #include <memory>
 #include <vector>
 
+#include "common/counters.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "isa/kernel.hh"
@@ -78,22 +80,60 @@ class RegisterFile
         return regCounts;
     }
 
-    StatSet &stats() { return _stats; }
-    const StatSet &stats() const { return _stats; }
+    /**
+     * Reporting view of the backend's statistics. Reading synchronizes
+     * the typed counters into the StatSet, so call it at kernel/run
+     * boundaries, never per simulated event.
+     */
+    StatSet &stats()
+    {
+        ctrs.snapshotInto(_stats);
+        return _stats;
+    }
+    const StatSet &stats() const
+    {
+        ctrs.snapshotInto(_stats);
+        return _stats;
+    }
+
+    /** The typed counters behind stats() (registration + raw values). */
+    const CounterBlock &counters() const { return ctrs; }
 
     unsigned numBanks() const { return banks; }
 
   protected:
     /** Count one access in the given structure/power mode. */
-    void note(rfmodel::RfMode m, bool write);
+    void note(rfmodel::RfMode m, bool write)
+    {
+        ctrs.inc(hAccessMode[unsigned(m)]);
+        ctrs.inc(write ? hWrites : hReads);
+    }
+
+    /** Count n accesses against one structure/power mode (bulk traffic,
+     *  e.g. the partitioned RF's one-off remap movement). */
+    void noteMode(rfmodel::RfMode m, std::uint64_t n)
+    {
+        ctrs.inc(hAccessMode[unsigned(m)], n);
+    }
+
+    /** Count an architected read/write served without a mode access
+     *  (e.g. an RFC hit: the operand never touches a main-RF array). */
+    void noteRead() { ctrs.inc(hReads); }
+    void noteWrite() { ctrs.inc(hWrites); }
 
     /** Count the access against the architected register distribution. */
     void noteReg(RegId r);
 
     unsigned banks;
     Cycle lastCycle = 0;
-    StatSet _stats;
+    CounterBlock ctrs; ///< typed counters; backends add their own
+    mutable StatSet _stats; ///< reporting snapshot, rebuilt by stats()
     std::vector<std::uint64_t> regCounts;
+
+  private:
+    /** access.<mode> counter per RfMode, registered at construction. */
+    std::array<CounterBlock::Handle, rfmodel::numRfModes> hAccessMode;
+    CounterBlock::Handle hReads, hWrites;
 };
 
 } // namespace pilotrf::regfile

@@ -1,7 +1,5 @@
 #include "regfile/rfc.hh"
 
-#include <string>
-
 #include "common/logging.hh"
 
 namespace pilotrf::regfile
@@ -12,6 +10,13 @@ RfCacheRf::RfCacheRf(unsigned numBanks, const RfcRfConfig &cfg_,
     : RegisterFile(numBanks), cfg(cfg_)
 {
     panicIf(cfg.regsPerWarp == 0, "RFC with no entries per warp");
+    hTag = ctrs.add("rfc.tag");
+    hWrite = ctrs.add("rfc.write");
+    hReadHit = ctrs.add("rfc.readHit");
+    hReadMiss = ctrs.add("rfc.readMiss");
+    hEvictWb = ctrs.add("rfc.evictWb");
+    hFill = ctrs.add("rfc.fill");
+    hFlushWb = ctrs.add("rfc.flushWb");
     if (cfg.mrfLatency) {
         mrfLat = cfg.mrfLatency;
     } else {
@@ -33,7 +38,7 @@ RfCacheRf::kernelLaunch(const isa::Kernel &kernel)
 void
 RfCacheRf::noteInternalMrfWrite()
 {
-    _stats.add(std::string("access.") + rfmodel::toString(cfg.mrfMode), 1);
+    noteMode(cfg.mrfMode, 1);
 }
 
 RfCacheRf::Entry *
@@ -76,7 +81,7 @@ RfAccess
 RfCacheRf::access(WarpId w, RegId r, bool write)
 {
     noteReg(r);
-    _stats.add("rfc.tag", 1);
+    ctrs.inc(hTag);
 
     if (write) {
         Entry *e = find(w, r);
@@ -87,35 +92,35 @@ RfCacheRf::access(WarpId w, RegId r, bool write)
                 // is energy-relevant but not an architected operand
                 // access, so only the mode counter advances.
                 noteInternalMrfWrite();
-                _stats.add("rfc.evictWb", 1);
+                ctrs.inc(hEvictWb);
             }
             v = Entry{r, true, false, 0};
             e = &v;
         }
         e->dirty = true;
         e->lastUse = ++useClock;
-        _stats.add("rfc.write", 1);
-        _stats.add("access.writes", 1);
+        ctrs.inc(hWrite);
+        noteWrite();
         return {cfg.rfcLatency, 1};
     }
 
     if (Entry *e = find(w, r)) {
         e->lastUse = ++useClock;
-        _stats.add("rfc.readHit", 1);
-        _stats.add("access.reads", 1);
+        ctrs.inc(hReadHit);
+        noteRead();
         return {cfg.rfcLatency, 1};
     }
     // Read miss: fetch from the MRF; optionally fill the RFC.
-    _stats.add("rfc.readMiss", 1);
+    ctrs.inc(hReadMiss);
     note(cfg.mrfMode, false);
     if (cfg.allocOnReadMiss) {
         Entry &v = victim(w);
         if (v.valid && v.dirty) {
             noteInternalMrfWrite();
-            _stats.add("rfc.evictWb", 1);
+            ctrs.inc(hEvictWb);
         }
         v = Entry{r, true, false, ++useClock};
-        _stats.add("rfc.fill", 1);
+        ctrs.inc(hFill);
     }
     return {mrfLat, 1};
 }
@@ -126,7 +131,7 @@ RfCacheRf::flush(WarpId w)
     for (auto &e : sets[w]) {
         if (e.valid && e.dirty) {
             noteInternalMrfWrite();
-            _stats.add("rfc.flushWb", 1);
+            ctrs.inc(hFlushWb);
         }
         e = Entry{};
     }
@@ -147,8 +152,8 @@ RfCacheRf::warpFinished(WarpId w)
 double
 RfCacheRf::readHitRate() const
 {
-    const double hits = _stats.get("rfc.readHit");
-    const double misses = _stats.get("rfc.readMiss");
+    const double hits = double(ctrs.value(hReadHit));
+    const double misses = double(ctrs.value(hReadMiss));
     return hits + misses > 0 ? hits / (hits + misses) : 0.0;
 }
 

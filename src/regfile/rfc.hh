@@ -73,6 +73,9 @@ class RfCacheRf : public RegisterFile
     unsigned mrfLat;
     std::vector<std::vector<Entry>> sets; // [warp][entry]
     std::uint64_t useClock = 0;
+
+    CounterBlock::Handle hTag, hWrite, hReadHit, hReadMiss, hEvictWb,
+        hFill, hFlushWb;
 };
 
 } // namespace pilotrf::regfile

@@ -30,6 +30,9 @@ enum class RfMode
 
 const char *toString(RfMode m);
 
+/** Number of RfMode enumerators (sizes per-mode counter arrays). */
+inline constexpr unsigned numRfModes = 5;
+
 /** One row of Table IV. */
 struct RfSpec
 {

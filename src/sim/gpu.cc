@@ -15,10 +15,15 @@ namespace pilotrf::sim
 double
 KernelResult::accessFraction(const std::vector<RegId> &regs) const
 {
+    // Membership bitmap once, not an O(hot-set) find per register.
+    std::vector<bool> inSet(regAccess.size(), false);
+    for (const RegId r : regs)
+        if (r < inSet.size())
+            inSet[r] = true;
     double total = 0.0, hit = 0.0;
     for (std::size_t r = 0; r < regAccess.size(); ++r) {
         total += double(regAccess[r]);
-        if (std::find(regs.begin(), regs.end(), RegId(r)) != regs.end())
+        if (inSet[r])
             hit += double(regAccess[r]);
     }
     return total > 0.0 ? hit / total : 0.0;
@@ -27,11 +32,7 @@ KernelResult::accessFraction(const std::vector<RegId> &regs) const
 std::vector<RegId>
 KernelResult::topRegisters(unsigned n) const
 {
-    std::vector<unsigned> counts(regAccess.size());
-    for (std::size_t i = 0; i < regAccess.size(); ++i)
-        counts[i] = unsigned(std::min<std::uint64_t>(regAccess[i],
-                                                     0xffffffffu));
-    return isa::rankRegisters(counts, n);
+    return isa::rankRegisters(regAccess, n);
 }
 
 double

@@ -20,6 +20,23 @@ Sm::Sm(const SimConfig &cfg_, SmId id,
                         backend->warpDeactivated(w);
                 })
 {
+    h.ctasLaunched = ctrs.add("ctas.launched");
+    h.ctasCompleted = ctrs.add("ctas.completed");
+    h.barriersReleased = ctrs.add("barriers.released");
+    h.l1Hits = ctrs.add("l1.hits");
+    h.l1Misses = ctrs.add("l1.misses");
+    h.l2Hits = ctrs.add("l2.hits");
+    h.l2Misses = ctrs.add("l2.misses");
+    h.memTransactions = ctrs.add("mem.transactions");
+    h.banksWriteGrants = ctrs.add("banks.writeGrants");
+    h.banksReadGrants = ctrs.add("banks.readGrants");
+    h.banksReadConflicts = ctrs.add("banks.readConflicts");
+    h.instrCtrl = ctrs.add("instructions.ctrl");
+    h.instrMem = ctrs.add("instructions.mem");
+    h.instrAlu = ctrs.add("instructions.alu");
+    h.instrIssued = ctrs.add("instructions.issued");
+    h.issueSlotsTotal = ctrs.add("issueSlots.total");
+    h.cyclesActive = ctrs.add("cycles.active");
     warps.resize(cfg.warpsPerSm);
     ctaSlots.resize(cfg.maxCtasPerSm);
     collectors.resize(cfg.collectors);
@@ -117,7 +134,7 @@ Sm::tryLaunchCtas()
             backend->warpStarted(w, cta);
         }
         ++liveCtas;
-        _stats.add("ctas.launched", 1);
+        ctrs.inc(h.ctasLaunched);
     }
 }
 
@@ -271,16 +288,16 @@ Sm::dispatchCollectors(Cycle now)
                         warpIdx * c.in->transactions + t;
                     const std::uint64_t addr = region + line * 128;
                     if (l1->access(addr)) {
-                        _stats.add("l1.hits", 1);
+                        ctrs.inc(h.l1Hits);
                         continue;
                     }
-                    _stats.add("l1.misses", 1);
+                    ctrs.inc(h.l1Misses);
                     ++missing;
                     if (l2) {
                         if (l2->access(addr))
-                            _stats.add("l2.hits", 1);
+                            ctrs.inc(h.l2Hits);
                         else {
-                            _stats.add("l2.misses", 1);
+                            ctrs.inc(h.l2Misses);
                             l2Missed = true;
                         }
                     } else {
@@ -293,7 +310,7 @@ Sm::dispatchCollectors(Cycle now)
                     memNextFree = start + missing;
                     finishAt = start + cfg.l2HitLatency + missing;
                     ++outstandingMem;
-                    _stats.add("mem.transactions", c.in->transactions);
+                    ctrs.inc(h.memTransactions, c.in->transactions);
                     exec.push_back({finishAt, c.warp, c.in});
                     c.busy = false;
                     ++freeCollectors;
@@ -317,7 +334,7 @@ Sm::dispatchCollectors(Cycle now)
                           isa::toString(c.in->op),
                           unsigned(c.in->transactions),
                           (unsigned long long)finishAt);
-            _stats.add("mem.transactions", c.in->transactions);
+            ctrs.inc(h.memTransactions, c.in->transactions);
             break;
           }
           case isa::ExecClass::Ctrl:
@@ -359,7 +376,7 @@ Sm::arbitrateBanks(Cycle now)
              req.reg});
         wbQueue[i] = wbQueue.back();
         wbQueue.pop_back();
-        _stats.add("banks.writeGrants", 1);
+        ctrs.inc(h.banksWriteGrants);
     }
 
     // Operand reads: rotate the scan start each cycle so no collector is
@@ -375,7 +392,7 @@ Sm::arbitrateBanks(Cycle now)
             if (op.state != OpState::NeedBank)
                 continue;
             if (!bankAvailable(op.bank)) {
-                _stats.add("banks.readConflicts", 1);
+                ctrs.inc(h.banksReadConflicts);
                 continue;
             }
             const regfile::RfAccess acc =
@@ -383,7 +400,7 @@ Sm::arbitrateBanks(Cycle now)
             occupy(op.bank, acc.busy);
             op.state = OpState::InFlight;
             op.readyAt = now + acc.latency;
-            _stats.add("banks.readGrants", 1);
+            ctrs.inc(h.banksReadGrants);
         }
     }
 }
@@ -419,7 +436,7 @@ Sm::finishWarp(WarpId wid)
     panicIf(slot.liveWarps == 0, "CTA live warp underflow");
     if (--slot.liveWarps == 0) {
         slot.valid = false;
-        _stats.add("ctas.completed", 1);
+        ctrs.inc(h.ctasCompleted);
         return;
     }
     // If the retiring warp was the last one the barrier was waiting for,
@@ -434,7 +451,7 @@ Sm::finishWarp(WarpId wid)
                 scheduler.onWarpWakeup(other);
             }
         }
-        _stats.add("barriers.released", 1);
+        ctrs.inc(h.barriersReleased);
     }
 }
 
@@ -457,7 +474,7 @@ Sm::arriveBarrier(WarpId wid)
             scheduler.onWarpWakeup(other);
         }
     }
-    _stats.add("barriers.released", 1);
+    ctrs.inc(h.barriersReleased);
 }
 
 bool
@@ -478,7 +495,7 @@ Sm::issueOne(WarpId wid, Cycle now)
         } else {
             w.executeControl(in); // branch: SIMT stack update
         }
-        _stats.add("instructions.ctrl", 1);
+        ctrs.inc(h.instrCtrl);
         return true;
     }
 
@@ -527,7 +544,7 @@ Sm::issueOne(WarpId wid, Cycle now)
     if (in.isGlobal() && in.isMem())
         scheduler.onWarpBlocked(wid, true); // TL long-latency demotion
 
-    _stats.add(in.isMem() ? "instructions.mem" : "instructions.alu", 1);
+    ctrs.inc(in.isMem() ? h.instrMem : h.instrAlu);
     return true;
 }
 
@@ -572,10 +589,11 @@ Sm::cycle(Cycle now)
     const unsigned issued = issueStage(now);
     backend->cycleHook(now, issued);
 
-    _stats.add("instructions.issued", issued);
-    _stats.add("issueSlots.total", cfg.schedulers * cfg.issuePerScheduler);
+    ctrs.inc(h.instrIssued, issued);
+    ctrs.inc(h.issueSlotsTotal,
+              std::uint64_t(cfg.schedulers) * cfg.issuePerScheduler);
     if (liveWarpCount)
-        _stats.add("cycles.active", 1);
+        ctrs.inc(h.cyclesActive);
 
     tryLaunchCtas();
 }

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/counters.hh"
 #include "common/stats.hh"
 #include "regfile/register_file.hh"
 #include "sim/scheduler.hh"
@@ -57,8 +58,24 @@ class Sm
     regfile::RegisterFile &rf() { return *backend; }
     const regfile::RegisterFile &rf() const { return *backend; }
 
-    StatSet &stats() { return _stats; }
-    const StatSet &stats() const { return _stats; }
+    /**
+     * Reporting view of the pipeline statistics. Reading synchronizes
+     * the typed counters into the StatSet — boundary use only (the Gpu
+     * snapshots at kernel/run edges), never per cycle.
+     */
+    StatSet &stats()
+    {
+        ctrs.snapshotInto(_stats);
+        return _stats;
+    }
+    const StatSet &stats() const
+    {
+        ctrs.snapshotInto(_stats);
+        return _stats;
+    }
+
+    /** The typed counters behind stats(). */
+    const CounterBlock &counters() const { return ctrs; }
 
     const SimConfig &config() const { return cfg; }
 
@@ -170,7 +187,23 @@ class Sm
 
     std::vector<WarpId> candBuf; // scratch
 
-    StatSet _stats;
+    /** Typed pipeline-event counters; see stats() for the reporting
+     *  snapshot. Handles are registered once in the constructor. */
+    struct Handles
+    {
+        CounterBlock::Handle ctasLaunched, ctasCompleted;
+        CounterBlock::Handle barriersReleased;
+        CounterBlock::Handle l1Hits, l1Misses, l2Hits, l2Misses;
+        CounterBlock::Handle memTransactions;
+        CounterBlock::Handle banksWriteGrants, banksReadGrants;
+        CounterBlock::Handle banksReadConflicts;
+        CounterBlock::Handle instrCtrl, instrMem, instrAlu, instrIssued;
+        CounterBlock::Handle issueSlotsTotal, cyclesActive;
+    };
+
+    CounterBlock ctrs;
+    Handles h;
+    mutable StatSet _stats; ///< reporting snapshot, rebuilt by stats()
 };
 
 } // namespace pilotrf::sim

@@ -1,15 +1,17 @@
 /**
  * @file
  * Unit tests for the common library: deterministic hashing, the xoshiro
- * RNG, and the stats registry.
+ * RNG, the stats registry, and the typed counter blocks.
  */
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "common/counters.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 
@@ -213,10 +215,25 @@ TEST(Json, NumberFormatting)
     EXPECT_EQ(str(-7), "-7");
     EXPECT_EQ(str(1e15), "1000000000000000");
     EXPECT_EQ(str(0.5), "0.5");
+    // JSON has no inf/nan: a bad divide (e.g. zero-cycle energy rate)
+    // must never produce an unparseable report.
     EXPECT_EQ(str(std::nan("")), "null");
+    EXPECT_EQ(str(std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(str(-std::numeric_limits<double>::infinity()), "null");
+    EXPECT_EQ(str(0.0 / 0.0), "null");
     // Round-trips exactly.
     const double v = 0.1 + 0.2;
     EXPECT_EQ(std::stod(str(v)), v);
+}
+
+TEST(Json, NonFiniteStatsStayValidJson)
+{
+    StatSet s;
+    s.set("good", 2.0);
+    s.set("bad", std::numeric_limits<double>::infinity());
+    std::ostringstream os;
+    s.toJson(os);
+    EXPECT_EQ(os.str(), "{\n  \"bad\": null,\n  \"good\": 2\n}");
 }
 
 TEST(Json, StringEscaping)
@@ -224,4 +241,84 @@ TEST(Json, StringEscaping)
     std::ostringstream os;
     jsonString(os, "a\"b\\c\nd");
     EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(CounterBlock, RegisterIncrementValue)
+{
+    CounterBlock b;
+    const auto h1 = b.add("events.a");
+    const auto h2 = b.add("events.b");
+    EXPECT_NE(h1, h2);
+    EXPECT_EQ(b.size(), 2u);
+    b.inc(h1);
+    b.inc(h1, 4);
+    EXPECT_EQ(b.value(h1), 5u);
+    EXPECT_EQ(b.value(h2), 0u);
+    EXPECT_EQ(b.name(h1), "events.a");
+}
+
+TEST(CounterBlock, AddIsIdempotentPerName)
+{
+    CounterBlock b;
+    const auto h1 = b.add("events.a");
+    const auto h2 = b.add("events.a");
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(b.size(), 1u);
+    b.inc(h1, 2);
+    b.inc(h2, 3);
+    EXPECT_EQ(b.value(h1), 5u);
+}
+
+TEST(CounterBlock, SnapshotOnlyTouchedCounters)
+{
+    CounterBlock b;
+    const auto hot = b.add("hot");
+    const auto zero = b.add("zeroDelta");
+    b.add("untouched");
+    b.inc(hot, 7);
+    b.inc(zero, 0); // the seed's add(name, 0) created the key: so do we
+
+    StatSet s;
+    b.snapshotInto(s);
+    EXPECT_TRUE(s.has("hot"));
+    EXPECT_DOUBLE_EQ(s.get("hot"), 7.0);
+    EXPECT_TRUE(s.has("zeroDelta"));
+    EXPECT_DOUBLE_EQ(s.get("zeroDelta"), 0.0);
+    EXPECT_FALSE(s.has("untouched"));
+}
+
+TEST(CounterBlock, SnapshotWritesAbsoluteValues)
+{
+    CounterBlock b;
+    const auto hc = b.add("c");
+    b.inc(hc, 2);
+    StatSet s;
+    b.snapshotInto(s);
+    b.inc(hc, 3);
+    b.snapshotInto(s); // re-snapshot must not double count
+    EXPECT_DOUBLE_EQ(s.get("c"), 5.0);
+}
+
+TEST(CounterBlock, SetIsAbsolute)
+{
+    CounterBlock b;
+    const auto hc = b.add("c");
+    b.inc(hc, 9);
+    b.set(hc, 4);
+    EXPECT_EQ(b.value(hc), 4u);
+    EXPECT_TRUE(b.touched(hc));
+}
+
+TEST(CounterBlock, ResetKeepsRegistrations)
+{
+    CounterBlock b;
+    const auto hc = b.add("c");
+    b.inc(hc, 6);
+    b.reset();
+    EXPECT_EQ(b.size(), 1u);
+    EXPECT_EQ(b.value(hc), 0u);
+    EXPECT_FALSE(b.touched(hc));
+    StatSet s;
+    b.snapshotInto(s);
+    EXPECT_FALSE(s.has("c"));
 }

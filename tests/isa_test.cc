@@ -203,7 +203,7 @@ TEST(StaticProfiler, CountsOccurrences)
 
 TEST(StaticProfiler, TopRegistersOrderAndTies)
 {
-    std::vector<unsigned> counts = {5, 9, 9, 1};
+    std::vector<std::uint64_t> counts = {5, 9, 9, 1};
     const auto top = rankRegisters(counts, 3);
     ASSERT_EQ(top.size(), 3u);
     EXPECT_EQ(top[0], 1); // tie broken toward the lower id
@@ -213,7 +213,7 @@ TEST(StaticProfiler, TopRegistersOrderAndTies)
 
 TEST(StaticProfiler, TopTruncates)
 {
-    std::vector<unsigned> counts = {1, 2};
+    std::vector<std::uint64_t> counts = {1, 2};
     EXPECT_EQ(rankRegisters(counts, 8).size(), 2u);
 }
 

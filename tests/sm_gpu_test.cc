@@ -219,6 +219,28 @@ TEST_F(SmGpuTest, PartitionedModeCountsSumToAccesses)
     EXPECT_DOUBLE_EQ(modes, r.rfAccesses() + remap);
 }
 
+TEST_F(SmGpuTest, TopRegistersUnsaturatedAt64Bits)
+{
+    // The seed clamped counts to 0xffffffff before ranking, so two
+    // registers beyond 4G accesses tied and ranked by id. The ranking is
+    // 64-bit now.
+    KernelResult kr;
+    kr.regAccess = {5, 0x1'0000'0000ull, 0x2'0000'0000ull, 7};
+    const auto top = kr.topRegisters(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 2u);
+    EXPECT_EQ(top[1], 1u);
+}
+
+TEST_F(SmGpuTest, AccessFractionIgnoresOutOfRangeRegs)
+{
+    KernelResult kr;
+    kr.regAccess = {1, 3, 0, 4};
+    EXPECT_DOUBLE_EQ(kr.accessFraction({1, 3}), 7.0 / 8.0);
+    EXPECT_DOUBLE_EQ(kr.accessFraction({RegId(200)}), 0.0);
+    EXPECT_DOUBLE_EQ(kr.accessFraction({}), 0.0);
+}
+
 TEST_F(SmGpuTest, WatchdogFires)
 {
     SimConfig c = smallCfg();

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Stat-parity differential test: the typed-counter statistics plumbing
+ * must be observationally identical to the seed's string-keyed StatSet
+ * mutation. For every workload x RF organization we render every stat the
+ * simulator produces — per-run deltas and the raw per-SM sets — to a
+ * canonical text form and compare it byte-for-byte against golden files
+ * captured from the seed implementation.
+ *
+ * Regenerate the goldens (e.g. when intentionally adding a new stat) with
+ *   PILOTRF_REGEN_GOLDEN=1 ./stat_parity_test
+ * and commit the diff under tests/golden/stat_parity/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/gpu.hh"
+#include "workloads/workloads.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+
+namespace
+{
+
+struct Variant
+{
+    const char *label;
+    SimConfig cfg;
+};
+
+/** The RF organizations under test: all five RfKinds plus a cache-enabled
+ *  pipeline variant, shrunk to two SMs to keep the runtime modest. */
+std::vector<Variant>
+variants()
+{
+    const auto withKind = [](RfKind k) {
+        SimConfig c;
+        c.numSms = 2;
+        c.rfKind = k;
+        return c;
+    };
+    SimConfig rfc = withKind(RfKind::Rfc);
+    rfc.policy = SchedulerPolicy::TwoLevel; // exercise deactivation flushes
+    SimConfig l1l2 = withKind(RfKind::MrfStv);
+    l1l2.l1Enable = true;
+    l1l2.l2Enable = true; // exercise the SM's l1.*/l2.* counters
+    return {{"mrf_stv", withKind(RfKind::MrfStv)},
+            {"mrf_ntv", withKind(RfKind::MrfNtv)},
+            {"partitioned", withKind(RfKind::Partitioned)},
+            {"rfc_tl", rfc},
+            {"drowsy", withKind(RfKind::Drowsy)},
+            {"mrf_stv_l1l2", l1l2}};
+}
+
+/** Full-precision rendering: differences far below StatSet::dump's
+ *  six-digit default must still fail the comparison. */
+void
+renderStats(std::ostream &os, const char *title, const StatSet &s)
+{
+    os << "--- " << title << " ---\n";
+    for (const auto &[k, v] : s.raw()) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << k << " = " << buf << "\n";
+    }
+}
+
+std::string
+renderWorkload(const std::string &name)
+{
+    const auto &wl = workloads::workload(name);
+    std::ostringstream os;
+    for (const auto &v : variants()) {
+        Gpu gpu(v.cfg);
+        const RunResult run = gpu.run(wl.kernels);
+
+        os << "=== " << name << " / " << v.label << " ===\n";
+        renderStats(os, "run.rfStats", run.rfStats);
+        renderStats(os, "run.simStats", run.simStats);
+        // Raw (non-delta) sets as the reporting layer reads them, merged
+        // over SMs: zero-valued keys that exist in the seed must keep
+        // existing, so key sets are compared too, not only values.
+        StatSet rawRf, rawSim;
+        for (unsigned i = 0; i < gpu.numSms(); ++i) {
+            rawRf.merge(gpu.sm(i).rf().stats());
+            rawSim.merge(gpu.sm(i).stats());
+        }
+        renderStats(os, "raw.rf", rawRf);
+        renderStats(os, "raw.sim", rawSim);
+    }
+    return os.str();
+}
+
+std::string
+goldenPath(std::string name)
+{
+    for (auto &c : name)
+        if (c == '-')
+            c = '_';
+    return std::string(PILOTRF_SOURCE_DIR) + "/tests/golden/stat_parity/" +
+           name + ".txt";
+}
+
+} // namespace
+
+class StatParity : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_P(StatParity, MatchesSeedStats)
+{
+    const std::string path = goldenPath(GetParam());
+    const std::string actual = renderWorkload(GetParam());
+
+    if (std::getenv("PILOTRF_REGEN_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with PILOTRF_REGEN_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    if (actual == golden.str()) {
+        SUCCEED();
+        return;
+    }
+    // Report the first differing line, not the whole multi-KB blob.
+    std::istringstream a(actual), g(golden.str());
+    std::string la, lg;
+    unsigned line = 0;
+    while (true) {
+        const bool ha = bool(std::getline(a, la));
+        const bool hg = bool(std::getline(g, lg));
+        ++line;
+        if (!ha && !hg)
+            break;
+        ASSERT_EQ(lg, la) << "first difference at line " << line;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, StatParity,
+                         ::testing::Values("BFS", "btree", "hotspot", "nw",
+                                           "stencil", "backprop", "sad",
+                                           "srad", "MUM", "kmeans",
+                                           "lavaMD", "mri-q", "NN",
+                                           "sgemm", "CP", "LIB", "WP"),
+                         [](const auto &info) {
+                             std::string s = info.param;
+                             for (auto &c : s)
+                                 if (c == '-')
+                                     c = '_';
+                             return s;
+                         });
