@@ -10,6 +10,15 @@
  *   pilotrf_run --list
  *   pilotrf_run --sweep fig11 --threads 4 --out fig11.json
  *   pilotrf_run --sweep smoke --seeds 3 --no-timing   # deterministic bytes
+ *
+ * Long campaigns survive failures and interruptions: with --checkpoint,
+ * completed jobs stream to a JSONL manifest as they finish, and a rerun
+ * with --resume serves them from the manifest instead of recomputing —
+ * the merged report is byte-identical to an uninterrupted run. --timeout
+ * and --retries bound wedged and transiently-failing jobs; one bad job
+ * never loses its siblings' results.
+ *
+ * Exit code: 0 when every job is ok, 3 when any failed or timed out.
  */
 
 #include <cstdio>
@@ -19,6 +28,7 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "exp/checkpoint.hh"
 #include "exp/report.hh"
 #include "exp/sweeps.hh"
 
@@ -38,8 +48,15 @@ usage(const char *argv0, int code)
         "  --seeds N       replicate each job under N deterministic seeds\n"
         "  --base-seed S   base seed mixed into every derived job seed\n"
         "  --out FILE      write the JSON report to FILE (default: stdout)\n"
-        "  --no-timing     omit wall-clock/thread fields (stable bytes)\n"
+        "  --no-timing     omit wall-clock/thread/provenance fields\n"
+        "                  (stable bytes)\n"
         "  --no-kernels    omit the per-kernel arrays\n"
+        "  --checkpoint F  stream completed jobs to JSONL manifest F\n"
+        "  --resume        skip jobs already ok in the manifest and merge\n"
+        "                  their cached results (requires --checkpoint)\n"
+        "  --timeout SECS  per-job wall-clock timeout (0 = none)\n"
+        "  --retries N     retry a throwing job up to N times\n"
+        "  --backoff MS    first retry delay, doubling (default 100)\n"
         "  --list          list the named sweeps and exit\n",
         argv0);
     return code;
@@ -58,6 +75,7 @@ main(int argc, char **argv)
     unsigned seeds = 1;
     std::uint64_t baseSeed = 0;
     exp::ReportOptions opts;
+    exp::RunnerOptions ropts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -80,6 +98,17 @@ main(int argc, char **argv)
             opts.includeTiming = false;
         else if (arg == "--no-kernels")
             opts.includeKernels = false;
+        else if (arg == "--checkpoint")
+            ropts.checkpointPath = value();
+        else if (arg == "--resume")
+            ropts.resume = true;
+        else if (arg == "--timeout")
+            ropts.timeoutSeconds = std::strtod(value(), nullptr);
+        else if (arg == "--retries")
+            ropts.maxRetries = unsigned(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--backoff")
+            ropts.retryBackoffMs =
+                unsigned(std::strtoul(value(), nullptr, 10));
         else if (arg == "--list") {
             for (const auto &n : exp::sweepNames())
                 std::printf("%-20s %s\n", n.c_str(),
@@ -94,6 +123,8 @@ main(int argc, char **argv)
     }
     if (seeds == 0)
         fatal("--seeds must be >= 1");
+    if (ropts.resume && ropts.checkpointPath.empty())
+        fatal("--resume requires --checkpoint");
 
     exp::Sweep sweep = exp::namedSweep(sweepName);
     sweep.baseSeed = baseSeed;
@@ -101,7 +132,7 @@ main(int argc, char **argv)
     for (unsigned s = 0; s < seeds; ++s)
         sweep.seeds.push_back(s);
 
-    const exp::ExperimentRunner runner(threads);
+    const exp::ExperimentRunner runner(threads, ropts);
     std::fprintf(stderr,
                  "pilotrf_run: sweep '%s', %zu jobs (%zu workloads x %zu "
                  "configs x %u seeds), %u threads\n",
@@ -119,8 +150,17 @@ main(int argc, char **argv)
             fatal("cannot open '%s' for writing", outPath.c_str());
         exp::writeJson(res, os, opts);
     }
-    std::fprintf(stderr, "pilotrf_run: %zu jobs in %.2f s (report: %s)\n",
-                 res.jobs.size(), res.wallSeconds,
+    const exp::SweepSummary sum = res.summary();
+    std::fprintf(stderr,
+                 "pilotrf_run: %zu jobs in %.2f s: %zu ok (%zu resumed), "
+                 "%zu failed, %zu timeout (report: %s)\n",
+                 res.jobs.size(), res.wallSeconds, sum.ok, sum.resumed,
+                 sum.failed, sum.timeout,
                  outPath.empty() ? "<stdout>" : outPath.c_str());
-    return 0;
+    for (const auto &j : res.jobs)
+        if (j.status != exp::JobStatus::Ok)
+            std::fprintf(stderr, "pilotrf_run:   %s: %s\n",
+                         exp::checkpointKey(j.job).c_str(),
+                         j.statusString().c_str());
+    return sum.allOk(res.jobs.size()) ? 0 : 3;
 }

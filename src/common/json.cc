@@ -1,0 +1,246 @@
+#include "common/json.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pilotrf
+{
+
+namespace
+{
+
+/** Cursor over the input with one-shot error reporting. */
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const char *what)
+    {
+        if (error.empty()) {
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "byte %zu: %s", pos, what);
+            error = buf;
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    bool consume(char c)
+    {
+        if (atEnd() || text[pos] != c)
+            return false;
+        ++pos;
+        return true;
+    }
+
+    bool literal(const char *word, std::size_t n)
+    {
+        if (text.size() - pos < n ||
+            text.compare(pos, n, std::string_view(word, n)) != 0)
+            return fail("invalid literal");
+        pos += n;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected '\"'");
+        out.clear();
+        while (!atEnd()) {
+            const char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                break;
+            const char esc = text[pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (text.size() - pos < 4)
+                    return fail("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP codepoint (surrogate pairs are
+                // not produced by our writers; pass them through raw).
+                if (cp < 0x80) {
+                    out += char(cp);
+                } else if (cp < 0x800) {
+                    out += char(0xc0 | (cp >> 6));
+                    out += char(0x80 | (cp & 0x3f));
+                } else {
+                    out += char(0xe0 | (cp >> 12));
+                    out += char(0x80 | ((cp >> 6) & 0x3f));
+                    out += char(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(double &out)
+    {
+        const char *start = text.data() + pos;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start)
+            return fail("expected number");
+        pos += std::size_t(end - start);
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, unsigned depth)
+    {
+        if (depth > 64)
+            return fail("nesting too deep");
+        skipWs();
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':'");
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.object.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (consume('}'))
+                    return true;
+                if (!consume(','))
+                    return fail("expected ',' or '}'");
+            }
+          }
+          case '[': {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            for (;;) {
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.array.push_back(std::move(v));
+                skipWs();
+                if (consume(']'))
+                    return true;
+                if (!consume(','))
+                    return fail("expected ',' or ']'");
+            }
+          }
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default:
+            out.kind = JsonValue::Kind::Number;
+            return parseNumber(out.number);
+        }
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(std::string_view key, double dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::Number ? v->number : dflt;
+}
+
+std::string
+JsonValue::stringOr(std::string_view key, const std::string &dflt) const
+{
+    const JsonValue *v = find(key);
+    return v && v->kind == Kind::String ? v->str : dflt;
+}
+
+bool
+jsonParse(std::string_view text, JsonValue &out, std::string *error)
+{
+    Parser p{text};
+    out = JsonValue();
+    bool ok = p.parseValue(out, 0);
+    if (ok) {
+        p.skipWs();
+        if (!p.atEnd())
+            ok = p.fail("trailing garbage after document");
+    }
+    if (!ok && error)
+        *error = p.error;
+    return ok;
+}
+
+} // namespace pilotrf

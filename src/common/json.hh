@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A minimal JSON value and recursive-descent parser — just enough to read
+ * back the documents this repository writes (reports, checkpoint manifest
+ * lines): objects, arrays, strings, numbers, booleans, null.
+ *
+ * Numbers parse via strtod, so anything `jsonNumber()` printed (17
+ * significant digits) round-trips bit-exactly; the resumable experiment
+ * runner depends on that to rebuild byte-identical reports from
+ * checkpoints.
+ */
+
+#ifndef PILOTRF_COMMON_JSON_HH
+#define PILOTRF_COMMON_JSON_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pilotrf
+{
+
+/** One parsed JSON value (tagged union; unused members stay empty). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Key/value pairs in document order (duplicate keys kept as-is). */
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    /** Object member lookup; nullptr if absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Member as number/string/bool, with a default when absent or
+     *  mistyped — the tolerant accessors checkpoint loading wants. */
+    double numberOr(std::string_view key, double dflt) const;
+    std::string stringOr(std::string_view key,
+                         const std::string &dflt) const;
+};
+
+/**
+ * Parse one complete JSON document. Returns false (and sets *error to a
+ * "byte N: what" message when given) on malformed input, including
+ * trailing garbage after the document.
+ */
+bool jsonParse(std::string_view text, JsonValue &out,
+               std::string *error = nullptr);
+
+} // namespace pilotrf
+
+#endif // PILOTRF_COMMON_JSON_HH

@@ -1,0 +1,207 @@
+#include "exp/checkpoint.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace pilotrf::exp
+{
+
+namespace
+{
+
+void
+field(std::ostream &os, const char *key, bool &first)
+{
+    os << (first ? "" : ",");
+    first = false;
+    jsonString(os, key);
+    os << ":";
+}
+
+/** StatSet as a compact (single-line) JSON object, keys sorted. */
+void
+statsJson(std::ostream &os, const StatSet &s)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[k, v] : s.raw()) {
+        field(os, k.c_str(), first);
+        jsonNumber(os, v);
+    }
+    os << "}";
+}
+
+bool
+parseStats(const JsonValue &v, StatSet &out)
+{
+    if (!v.isObject())
+        return false;
+    for (const auto &[k, val] : v.object) {
+        if (val.kind != JsonValue::Kind::Number)
+            return false;
+        out.set(k, val.number);
+    }
+    return true;
+}
+
+bool
+parseStatus(const std::string &s, JobStatus &out)
+{
+    if (s == "ok")
+        out = JobStatus::Ok;
+    else if (s == "failed")
+        out = JobStatus::Failed;
+    else if (s == "timeout")
+        out = JobStatus::Timeout;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+checkpointKey(const Job &job)
+{
+    return job.workload + "|" + job.configLabel + "|" +
+           std::to_string(job.seed);
+}
+
+std::string
+checkpointLine(const std::string &sweep, const JobResult &r)
+{
+    std::ostringstream os;
+    bool first = true;
+    os << "{";
+    field(os, "v", first);
+    os << 1;
+    field(os, "sweep", first);
+    jsonString(os, sweep);
+    field(os, "key", first);
+    jsonString(os, checkpointKey(r.job));
+    field(os, "status", first);
+    jsonString(os, toString(r.status));
+    if (!r.error.empty()) {
+        field(os, "error", first);
+        jsonString(os, r.error);
+    }
+    field(os, "attempts", first);
+    os << r.attempts;
+    field(os, "wallSeconds", first);
+    jsonNumber(os, r.wallSeconds);
+    if (r.status == JobStatus::Ok) {
+        field(os, "cycles", first);
+        jsonNumber(os, double(r.run.totalCycles));
+        field(os, "instructions", first);
+        jsonNumber(os, double(r.run.totalInstructions));
+        field(os, "rfStats", first);
+        statsJson(os, r.run.rfStats);
+        field(os, "simStats", first);
+        statsJson(os, r.run.simStats);
+        field(os, "kernels", first);
+        os << "[";
+        for (std::size_t i = 0; i < r.run.kernels.size(); ++i) {
+            const auto &k = r.run.kernels[i];
+            os << (i ? "," : "") << "{\"name\":";
+            jsonString(os, k.name);
+            os << ",\"cycles\":" << k.cycles
+               << ",\"instructions\":" << k.instructions << "}";
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::map<std::string, CheckpointEntry>
+loadCheckpoint(const std::string &path, bool mustExist)
+{
+    std::map<std::string, CheckpointEntry> entries;
+    std::ifstream in(path);
+    if (!in) {
+        if (mustExist)
+            fatal("cannot open checkpoint manifest '%s'", path.c_str());
+        return entries;
+    }
+
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        JsonValue v;
+        std::string err;
+        const auto malformed = [&](const char *what) {
+            warn("checkpoint %s:%zu: skipping malformed line (%s)",
+                 path.c_str(), lineNo, what);
+        };
+        if (!jsonParse(line, v, &err) || !v.isObject()) {
+            malformed(err.empty() ? "not a JSON object" : err.c_str());
+            continue;
+        }
+
+        CheckpointEntry e;
+        e.key = v.stringOr("key", "");
+        e.sweep = v.stringOr("sweep", "");
+        if (e.key.empty() || !parseStatus(v.stringOr("status", ""),
+                                          e.status)) {
+            malformed("missing key or status");
+            continue;
+        }
+        e.error = v.stringOr("error", "");
+        e.attempts = unsigned(v.numberOr("attempts", 1));
+        e.wallSeconds = v.numberOr("wallSeconds", 0.0);
+        if (e.status == JobStatus::Ok) {
+            e.cycles = std::uint64_t(v.numberOr("cycles", 0));
+            e.instructions = std::uint64_t(v.numberOr("instructions", 0));
+            const JsonValue *rf = v.find("rfStats");
+            const JsonValue *sm = v.find("simStats");
+            const JsonValue *ks = v.find("kernels");
+            if (!rf || !parseStats(*rf, e.rfStats) || !sm ||
+                !parseStats(*sm, e.simStats) || !ks || !ks->isArray()) {
+                malformed("ok entry missing stats/kernels");
+                continue;
+            }
+            bool kernelsOk = true;
+            for (const auto &kv : ks->array) {
+                if (!kv.isObject()) {
+                    kernelsOk = false;
+                    break;
+                }
+                CheckpointEntry::Kernel k;
+                k.name = kv.stringOr("name", "");
+                k.cycles = std::uint64_t(kv.numberOr("cycles", 0));
+                k.instructions =
+                    std::uint64_t(kv.numberOr("instructions", 0));
+                e.kernels.push_back(std::move(k));
+            }
+            if (!kernelsOk) {
+                malformed("bad kernel entry");
+                continue;
+            }
+        }
+        entries[e.key] = std::move(e); // last line per key wins
+    }
+    return entries;
+}
+
+CheckpointWriter::CheckpointWriter(const std::string &sweep,
+                                   const std::string &path, bool append)
+    : sweepName(sweep),
+      os(path, append ? std::ios::app : std::ios::trunc)
+{
+}
+
+void
+CheckpointWriter::append(const JobResult &r)
+{
+    const std::string line = checkpointLine(sweepName, r);
+    std::lock_guard<std::mutex> lock(mu);
+    os << line << "\n";
+    os.flush();
+}
+
+} // namespace pilotrf::exp

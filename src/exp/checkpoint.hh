@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The on-disk checkpoint manifest of a sweep: one JSONL line per
+ * completed job, streamed as jobs finish, so an interrupted multi-hour
+ * campaign keeps everything it already computed.
+ *
+ * A line carries exactly what the report layer prints for a job —
+ * cycles, instructions, the raw rf/sim stat sets and the per-kernel
+ * (name, cycles, instructions) triples — so a `--resume` run that
+ * merges checkpointed entries rebuilds a report byte-identical to an
+ * uninterrupted run (energy is recomputed from the stats, which is
+ * deterministic). Jobs are keyed by names ("workload|config|seed"),
+ * like job seeds, so a manifest survives axis reordering; when the
+ * same key appears on several lines (a rerun appended after a failed
+ * entry) the last line wins.
+ */
+
+#ifndef PILOTRF_EXP_CHECKPOINT_HH
+#define PILOTRF_EXP_CHECKPOINT_HH
+
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace pilotrf::exp
+{
+
+/** One parsed manifest line. */
+struct CheckpointEntry
+{
+    std::string key;
+    std::string sweep; ///< sweep the line was recorded under
+    JobStatus status = JobStatus::Failed;
+    std::string error;
+    unsigned attempts = 1;
+    double wallSeconds = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    StatSet rfStats;
+    StatSet simStats;
+
+    struct Kernel
+    {
+        std::string name;
+        std::uint64_t cycles = 0;
+        std::uint64_t instructions = 0;
+    };
+    std::vector<Kernel> kernels;
+};
+
+/** The manifest key of a job: "workload|config|seed". */
+std::string checkpointKey(const Job &job);
+
+/** Serialize one finished job as a single manifest line (no newline). */
+std::string checkpointLine(const std::string &sweep, const JobResult &r);
+
+/**
+ * Parse a manifest. Malformed lines are skipped with a warning; for
+ * duplicate keys the last line wins. A missing file is an error only
+ * when mustExist (resume from nothing is a configuration mistake).
+ */
+std::map<std::string, CheckpointEntry>
+loadCheckpoint(const std::string &path, bool mustExist);
+
+/**
+ * Thread-safe appender: each append() writes one line and flushes, so
+ * a kill between jobs loses at most the in-flight job.
+ */
+class CheckpointWriter
+{
+  public:
+    /** @param append keep existing lines (resume) or truncate (fresh). */
+    CheckpointWriter(const std::string &sweep, const std::string &path,
+                     bool append);
+
+    bool ok() const { return static_cast<bool>(os); }
+
+    void append(const JobResult &r);
+
+  private:
+    std::string sweepName;
+    std::mutex mu;
+    std::ofstream os;
+};
+
+} // namespace pilotrf::exp
+
+#endif // PILOTRF_EXP_CHECKPOINT_HH

@@ -2,13 +2,35 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <thread>
 
 #include "common/logging.hh"
+#include "exp/checkpoint.hh"
 #include "workloads/workloads.hh"
 
 namespace pilotrf::exp
 {
+
+/**
+ * Shared state of one watchdog-supervised job attempt. Heap-allocated
+ * and shared between the worker (waiting) and the attempt thread
+ * (running), so an abandoned attempt can finish — or not — without
+ * touching anything the worker still owns.
+ */
+struct AttemptState
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::string error;
+    JobResult result;
+    /** Set by the watchdog on timeout; injection hooks poll it so a
+     *  "hung" job can unwind once nobody wants its result. */
+    std::atomic<bool> abandoned{false};
+};
 
 namespace
 {
@@ -29,7 +51,50 @@ reseed(const isa::Kernel &k, std::uint64_t seed)
                        k.numCtas(), k.code(), seed);
 }
 
+JobHook &
+jobHook()
+{
+    static JobHook hook;
+    return hook;
+}
+
+const std::atomic<bool> neverAbandoned{false};
+
 } // namespace
+
+void
+setJobHook(JobHook hook)
+{
+    jobHook() = std::move(hook);
+}
+
+void
+clearJobHook()
+{
+    jobHook() = nullptr;
+}
+
+const char *
+toString(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed";
+      case JobStatus::Timeout: return "timeout";
+    }
+    return "?";
+}
+
+std::string
+JobResult::statusString() const
+{
+    switch (status) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Failed: return "failed:" + error;
+      case JobStatus::Timeout: return "timeout";
+    }
+    return "?";
+}
 
 Sweep
 Sweep::overSuite(std::string name, std::vector<ConfigVariant> configs)
@@ -91,10 +156,29 @@ SweepResult::mergedStats() const
     return merged;
 }
 
-ExperimentRunner::ExperimentRunner(unsigned threads) : nThreads(threads)
+SweepSummary
+SweepResult::summary() const
+{
+    SweepSummary s;
+    for (const auto &j : jobs) {
+        switch (j.status) {
+          case JobStatus::Ok: ++s.ok; break;
+          case JobStatus::Failed: ++s.failed; break;
+          case JobStatus::Timeout: ++s.timeout; break;
+        }
+        if (j.resumed)
+            ++s.resumed;
+    }
+    return s;
+}
+
+ExperimentRunner::ExperimentRunner(unsigned threads, RunnerOptions options)
+    : nThreads(threads), opts(std::move(options))
 {
     if (nThreads == 0)
         nThreads = std::max(1u, std::thread::hardware_concurrency());
+    if (opts.resume && opts.checkpointPath.empty())
+        fatal("RunnerOptions::resume requires a checkpointPath");
 }
 
 std::vector<Job>
@@ -131,9 +215,12 @@ ExperimentRunner::expand(const Sweep &sweep)
 }
 
 JobResult
-ExperimentRunner::runJob(const Job &job) const
+ExperimentRunner::execute(const Job &job, unsigned attempt,
+                          const std::atomic<bool> &abandoned) const
 {
     const auto t0 = std::chrono::steady_clock::now();
+    if (const JobHook &hook = jobHook())
+        hook(job, attempt, abandoned);
     const auto &w = workloads::workload(job.workload);
 
     JobResult res;
@@ -156,6 +243,166 @@ ExperimentRunner::runJob(const Job &job) const
     return res;
 }
 
+JobResult
+ExperimentRunner::runJob(const Job &job) const
+{
+    return execute(job, 1, neverAbandoned);
+}
+
+bool
+ExperimentRunner::attemptWithWatchdog(const Job &job, unsigned attempt,
+                                      JobResult &result,
+                                      std::string &error,
+                                      bool &timedOut) const
+{
+    auto state = std::make_shared<AttemptState>();
+    std::thread worker([this, state, job, attempt] {
+        JobResult r;
+        bool failed = false;
+        std::string err;
+        try {
+            r = execute(job, attempt, state->abandoned);
+        } catch (const std::exception &e) {
+            failed = true;
+            err = e.what();
+        } catch (...) {
+            failed = true;
+            err = "unknown exception";
+        }
+        {
+            std::lock_guard<std::mutex> lock(state->mu);
+            state->result = std::move(r);
+            state->failed = failed;
+            state->error = std::move(err);
+            state->done = true;
+        }
+        state->cv.notify_all();
+    });
+
+    std::unique_lock<std::mutex> lock(state->mu);
+    const bool finished = state->cv.wait_for(
+        lock, std::chrono::duration<double>(opts.timeoutSeconds),
+        [&] { return state->done; });
+    if (!finished) {
+        state->abandoned.store(true, std::memory_order_relaxed);
+        lock.unlock();
+        {
+            std::lock_guard<std::mutex> slock(strayMu);
+            strays.push_back({std::move(worker), state});
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf),
+                      "exceeded %gs wall-clock timeout",
+                      opts.timeoutSeconds);
+        error = buf;
+        timedOut = true;
+        return false;
+    }
+    lock.unlock();
+    worker.join();
+    if (state->failed) {
+        error = std::move(state->error);
+        return false;
+    }
+    result = std::move(state->result);
+    return true;
+}
+
+JobResult
+ExperimentRunner::runGuarded(const Job &job) const
+{
+    for (unsigned attempt = 1;; ++attempt) {
+        JobResult res;
+        std::string error;
+        bool timedOut = false;
+        bool ok = false;
+        if (opts.timeoutSeconds > 0.0) {
+            ok = attemptWithWatchdog(job, attempt, res, error, timedOut);
+        } else {
+            try {
+                res = execute(job, attempt, neverAbandoned);
+                ok = true;
+            } catch (const std::exception &e) {
+                error = e.what();
+            } catch (...) {
+                error = "unknown exception";
+            }
+        }
+        if (ok) {
+            res.attempts = attempt;
+            return res;
+        }
+        if (!timedOut && attempt <= opts.maxRetries) {
+            // Transient failure: back off (doubling) and try again.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::uint64_t(opts.retryBackoffMs) << (attempt - 1)));
+            continue;
+        }
+        // Terminal: a timeout would recur (the simulator is
+        // deterministic) and failures have exhausted their retries.
+        JobResult fail;
+        fail.job = job;
+        fail.status = timedOut ? JobStatus::Timeout : JobStatus::Failed;
+        fail.error = std::move(error);
+        fail.attempts = attempt;
+        return fail;
+    }
+}
+
+JobResult
+ExperimentRunner::fromCheckpoint(const CheckpointEntry &entry,
+                                 const Job &job) const
+{
+    JobResult res;
+    res.job = job;
+    res.status = JobStatus::Ok;
+    res.attempts = entry.attempts;
+    res.resumed = true;
+    res.wallSeconds = entry.wallSeconds;
+    res.run.totalCycles = entry.cycles;
+    res.run.totalInstructions = entry.instructions;
+    res.run.rfStats = entry.rfStats;
+    res.run.simStats = entry.simStats;
+    for (const auto &k : entry.kernels) {
+        sim::KernelResult kr;
+        kr.name = k.name;
+        kr.cycles = k.cycles;
+        kr.instructions = k.instructions;
+        res.run.kernels.push_back(std::move(kr));
+    }
+    res.energy =
+        accountant.account(job.cfg, res.run.rfStats, res.run.totalCycles);
+    return res;
+}
+
+void
+ExperimentRunner::reapStrays() const
+{
+    std::vector<Stray> local;
+    {
+        std::lock_guard<std::mutex> lock(strayMu);
+        local.swap(strays);
+    }
+    // Give abandoned attempts a short grace period to unwind (injected
+    // hangs poll `abandoned` and exit promptly); truly wedged threads
+    // are detached — their shared AttemptState keeps them memory-safe.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    for (auto &s : local) {
+        std::unique_lock<std::mutex> lock(s.state->mu);
+        const bool finished =
+            s.state->cv.wait_until(lock, deadline,
+                                   [&] { return s.state->done; });
+        lock.unlock();
+        if (finished) {
+            s.thread.join();
+        } else {
+            warn("abandoning a wedged job thread past the grace period");
+            s.thread.detach();
+        }
+    }
+}
+
 SweepResult
 ExperimentRunner::run(const Sweep &sweep) const
 {
@@ -170,11 +417,50 @@ ExperimentRunner::run(const Sweep &sweep) const
     out.seedCount = sweep.seeds.size();
     out.jobs.resize(jobs.size());
 
-    const unsigned workers =
-        unsigned(std::min<std::size_t>(nThreads, jobs.size()));
-    if (workers <= 1) {
+    // Resume: serve every job already `ok` in the manifest from its
+    // checkpoint entry; anything else (absent, failed, timed out) runs.
+    std::vector<std::size_t> pending;
+    pending.reserve(jobs.size());
+    if (opts.resume) {
+        const auto entries =
+            loadCheckpoint(opts.checkpointPath, /*mustExist=*/true);
+        for (const auto &job : jobs) {
+            const auto it = entries.find(checkpointKey(job));
+            if (it != entries.end() &&
+                it->second.status == JobStatus::Ok &&
+                it->second.sweep == sweep.name) {
+                out.jobs[job.index] = fromCheckpoint(it->second, job);
+            } else {
+                pending.push_back(job.index);
+            }
+        }
+    } else {
         for (const auto &job : jobs)
-            out.jobs[job.index] = runJob(job);
+            pending.push_back(job.index);
+    }
+
+    std::unique_ptr<CheckpointWriter> writer;
+    if (!opts.checkpointPath.empty()) {
+        writer = std::make_unique<CheckpointWriter>(
+            sweep.name, opts.checkpointPath, /*append=*/opts.resume);
+        if (!writer->ok())
+            fatal("cannot open checkpoint manifest '%s' for writing",
+                  opts.checkpointPath.c_str());
+    }
+
+    // Fresh results stream to the manifest as they finish, so a killed
+    // sweep keeps everything completed so far.
+    const auto runOne = [&](std::size_t i) {
+        out.jobs[i] = runGuarded(jobs[i]);
+        if (writer)
+            writer->append(out.jobs[i]);
+    };
+
+    const unsigned workers =
+        unsigned(std::min<std::size_t>(nThreads, pending.size()));
+    if (workers <= 1) {
+        for (const std::size_t i : pending)
+            runOne(i);
     } else {
         // Each worker claims the next unstarted job; each result lands in
         // its own pre-sized slot, so completion order is irrelevant.
@@ -184,16 +470,17 @@ ExperimentRunner::run(const Sweep &sweep) const
         for (unsigned t = 0; t < workers; ++t) {
             pool.emplace_back([&] {
                 for (;;) {
-                    const std::size_t i =
+                    const std::size_t n =
                         next.fetch_add(1, std::memory_order_relaxed);
-                    if (i >= jobs.size())
+                    if (n >= pending.size())
                         return;
-                    out.jobs[i] = runJob(jobs[i]);
+                    runOne(pending[n]);
                 }
             });
         }
         pool.clear(); // join
     }
+    reapStrays();
 
     out.wallSeconds = secondsSince(t0);
     return out;

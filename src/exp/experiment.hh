@@ -16,9 +16,14 @@
 #ifndef PILOTRF_EXP_EXPERIMENT_HH
 #define PILOTRF_EXP_EXPERIMENT_HH
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/random.hh"
@@ -75,6 +80,16 @@ struct Job
     std::uint64_t jobSeed = 0; ///< derived; see deriveJobSeed()
 };
 
+/** Terminal state of one job after exception capture / watchdog / retry. */
+enum class JobStatus
+{
+    Ok,      ///< produced a result (possibly after retries)
+    Failed,  ///< every attempt threw; `error` holds the last what()
+    Timeout, ///< exceeded the per-job wall-clock timeout
+};
+
+const char *toString(JobStatus s);
+
 /** Everything one job produced. */
 struct JobResult
 {
@@ -82,6 +97,28 @@ struct JobResult
     sim::RunResult run;
     power::EnergyReport energy;
     double wallSeconds = 0.0;
+
+    JobStatus status = JobStatus::Ok;
+    std::string error;     ///< what() of the last failure (Failed/Timeout)
+    unsigned attempts = 1; ///< attempts consumed (1 = first try succeeded)
+    /** Result came from the checkpoint manifest, not a fresh run.
+     *  Execution provenance: reports emit it only with includeTiming. */
+    bool resumed = false;
+
+    /** The report-facing status string: "ok", "failed:<error>",
+     *  "timeout". Deterministic — never mentions resumption. */
+    std::string statusString() const;
+};
+
+/** Sweep-level outcome counts for the report summary / CLI exit code. */
+struct SweepSummary
+{
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timeout = 0;
+    std::size_t resumed = 0; ///< subset of ok served from the checkpoint
+
+    bool allOk(std::size_t total) const { return ok == total; }
 };
 
 /**
@@ -110,8 +147,12 @@ struct SweepResult
     /**
      * Union of every job's stats under hierarchical prefixes:
      * `rf.access.FRF_high`, `sim.issue.total`, ... (summed across jobs).
+     * Failed/timed-out jobs contribute nothing.
      */
     StatSet mergedStats() const;
+
+    /** Outcome counts across all jobs. */
+    SweepSummary summary() const;
 };
 
 /**
@@ -129,19 +170,71 @@ std::uint64_t deriveJobSeed(std::uint64_t baseSeed,
 std::uint64_t hashString(std::string_view s);
 
 /**
+ * Fault-tolerance and checkpointing knobs of a runner.
+ *
+ * Failure semantics: a job attempt that throws is retried up to
+ * `maxRetries` more times with exponential backoff; a job whose attempt
+ * exceeds `timeoutSeconds` of wall clock is classified Timeout and NOT
+ * retried (the simulator is deterministic — a timed-out job would time
+ * out again). Either way the job's slot records the failure and every
+ * sibling job still completes normally.
+ */
+struct RunnerOptions
+{
+    /** Per-job-attempt wall-clock timeout in seconds; 0 disables the
+     *  watchdog (jobs run inline on the worker, no extra thread). */
+    double timeoutSeconds = 0.0;
+
+    /** Extra attempts after a thrown failure (0 = fail on first throw). */
+    unsigned maxRetries = 0;
+
+    /** First retry delay; doubles per subsequent retry. */
+    unsigned retryBackoffMs = 100;
+
+    /** JSONL checkpoint manifest path; empty disables checkpointing.
+     *  Completed jobs stream to it as they finish (append + flush). */
+    std::string checkpointPath;
+
+    /** Serve jobs already `ok` in the manifest from their checkpoint
+     *  entry instead of re-running them; failed/timed-out entries rerun.
+     *  Requires checkpointPath. */
+    bool resume = false;
+};
+
+/**
+ * Test-only failure injection: a hook invoked at the start of every job
+ * attempt, before the simulation runs. Throwing makes the attempt fail;
+ * spinning until `abandoned` becomes true (then throwing) models a
+ * wedged job for the timeout watchdog; returning normally lets the job
+ * proceed. Set before run() and clear after — the registry is not
+ * synchronized against concurrent mutation.
+ */
+using JobHook = std::function<void(const Job &job, unsigned attempt,
+                                   const std::atomic<bool> &abandoned)>;
+void setJobHook(JobHook hook);
+void clearJobHook();
+
+/**
  * Expands sweeps into jobs and executes them on a `std::jthread` pool.
  *
  * Results land in a pre-sized slot per job, so no ordering (and no lock)
  * is involved in result collection; merged outputs are bit-identical for
  * any thread count, including 1.
  */
+class CheckpointWriter;
+struct CheckpointEntry;
+struct AttemptState;
+
 class ExperimentRunner
 {
   public:
-    /** @param threads worker count; 0 = std::thread::hardware_concurrency. */
-    explicit ExperimentRunner(unsigned threads = 0);
+    /** @param threads worker count; 0 = std::thread::hardware_concurrency.
+     *  @param options fault-tolerance / checkpoint / resume behaviour. */
+    explicit ExperimentRunner(unsigned threads = 0,
+                              RunnerOptions options = {});
 
     unsigned threads() const { return nThreads; }
+    const RunnerOptions &options() const { return opts; }
 
     /** The jobs a sweep denotes, in submission order. fatal()s on an
      *  unknown workload name or an empty axis. */
@@ -150,12 +243,46 @@ class ExperimentRunner
     /** Run every job of the sweep and collect results in order. */
     SweepResult run(const Sweep &sweep) const;
 
-    /** Run a single job inline (no pool); the serial reference path. */
+    /** Run a single job inline (no pool, no capture, no timeout); the
+     *  serial reference path. Exceptions propagate. */
     JobResult runJob(const Job &job) const;
 
   private:
+    /** One attempt, hook included; throws on injected/real failure. */
+    JobResult execute(const Job &job, unsigned attempt,
+                      const std::atomic<bool> &abandoned) const;
+
+    /** Exception capture + watchdog + retry around execute(). Never
+     *  throws; failures land in the returned JobResult's status. */
+    JobResult runGuarded(const Job &job) const;
+
+    /** One attempt under the wall-clock watchdog. Returns false on
+     *  timeout (the attempt thread is parked for reapStrays()). */
+    bool attemptWithWatchdog(const Job &job, unsigned attempt,
+                             JobResult &result, std::string &error,
+                             bool &timedOut) const;
+
+    /** Rebuild a JobResult from its checkpoint entry (energy is
+     *  recomputed — account() is deterministic, so bytes match). */
+    JobResult fromCheckpoint(const CheckpointEntry &entry,
+                             const Job &job) const;
+
+    /** Join watchdog-abandoned attempt threads that finished in the
+     *  grace period; detach (with a warning) any still wedged. */
+    void reapStrays() const;
+
+    /** A watchdog-abandoned attempt thread awaiting reaping. */
+    struct Stray
+    {
+        std::thread thread;
+        std::shared_ptr<AttemptState> state;
+    };
+
     unsigned nThreads;
+    RunnerOptions opts;
     power::EnergyAccountant accountant;
+    mutable std::mutex strayMu;
+    mutable std::vector<Stray> strays;
 };
 
 } // namespace pilotrf::exp

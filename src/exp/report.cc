@@ -69,6 +69,8 @@ writeJob(std::ostream &os, const JobResult &j, const ReportOptions &opts,
     field(os, depth + 1, "jobSeed", first);
     // 64-bit seeds do not always fit a double; emit as a string.
     jsonString(os, std::to_string(j.job.jobSeed));
+    field(os, depth + 1, "status", first);
+    jsonString(os, j.statusString());
     field(os, depth + 1, "cycles", first);
     jsonNumber(os, double(j.run.totalCycles));
     field(os, depth + 1, "instructions", first);
@@ -90,6 +92,13 @@ writeJob(std::ostream &os, const JobResult &j, const ReportOptions &opts,
         os << "\n" << std::string(2 * (depth + 1), ' ') << "]";
     }
     if (opts.includeTiming) {
+        // Execution provenance: how this run obtained the result, not a
+        // property of the sweep — a resumed run stays byte-identical to
+        // an uninterrupted one once these fields are omitted.
+        field(os, depth + 1, "attempts", first);
+        jsonNumber(os, j.attempts);
+        field(os, depth + 1, "resumed", first);
+        os << (j.resumed ? "true" : "false");
         field(os, depth + 1, "wallSeconds", first);
         jsonNumber(os, j.wallSeconds);
     }
@@ -121,6 +130,22 @@ writeJson(const SweepResult &result, std::ostream &os,
     os << "\n  ]";
     field(os, 1, "merged", first);
     result.mergedStats().toJson(os, 1);
+    const SweepSummary sum = result.summary();
+    field(os, 1, "summary", first);
+    {
+        bool sfirst = true;
+        os << "{";
+        const auto count = [&](const char *k, std::size_t v) {
+            field(os, 2, k, sfirst);
+            jsonNumber(os, double(v));
+        };
+        count("ok", sum.ok);
+        count("failed", sum.failed);
+        count("timeout", sum.timeout);
+        if (opts.includeTiming)
+            count("resumed", sum.resumed); // provenance, like wallSeconds
+        os << "\n  }";
+    }
     if (opts.includeTiming) {
         field(os, 1, "threads", first);
         jsonNumber(os, result.threads);

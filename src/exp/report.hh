@@ -20,10 +20,12 @@ namespace pilotrf::exp
 struct ReportOptions
 {
     /**
-     * Emit wall-clock fields (per-job and sweep-wide) and the thread
-     * count. Off, the report is a pure function of the sweep definition —
-     * byte-identical across runs and thread counts; the determinism tests
-     * rely on that.
+     * Emit wall-clock fields (per-job and sweep-wide), the thread count
+     * and the execution-provenance fields (per-job `attempts`/`resumed`,
+     * the summary's `resumed` count). Off, the report is a pure function
+     * of the sweep definition and the job outcomes — byte-identical
+     * across runs, thread counts, and checkpoint resumption; the
+     * determinism tests rely on that.
      */
     bool includeTiming = true;
 

@@ -4,7 +4,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
+
+#include "common/logging.hh"
 
 namespace pilotrf::sim
 {
@@ -52,10 +55,25 @@ Trace::enableFromList(const char *list)
     std::string item;
     const char *p = list;
     auto flush = [&] {
+        bool matched = item.empty();
         for (unsigned c = 0; c < unsigned(TraceCat::NumCats); ++c) {
             if (item == toString(TraceCat(c))) {
                 enable(TraceCat(c));
+                matched = true;
                 ++count;
+            }
+        }
+        if (!matched) {
+            // A misspelled PILOTRF_TRACE category used to be silently
+            // ignored; warn, but only once per distinct name.
+            static std::set<std::string> warned;
+            if (warned.insert(item).second) {
+                std::string known;
+                for (unsigned c = 0; c < unsigned(TraceCat::NumCats); ++c)
+                    known += std::string(c ? ", " : "") +
+                             toString(TraceCat(c));
+                warn("unknown trace category '%s' (known: %s)",
+                     item.c_str(), known.c_str());
             }
         }
         item.clear();

@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the common library: deterministic hashing, the xoshiro
- * RNG, the stats registry, and the typed counter blocks.
+ * RNG, the stats registry, the typed counter blocks, and the JSON
+ * parser.
  */
 
 #include <cmath>
@@ -12,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/counters.hh"
+#include "common/json.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
 
@@ -321,4 +323,95 @@ TEST(CounterBlock, ResetKeepsRegistrations)
     StatSet s;
     b.snapshotInto(s);
     EXPECT_FALSE(s.has("c"));
+}
+
+// ---------------------------------------------------------------------
+// The JSON parser (common/json.hh) — used to read checkpoint manifests
+// back; must round-trip everything our writers emit, bit-exactly.
+// ---------------------------------------------------------------------
+
+TEST(Json, ParsesScalarsAndStructure)
+{
+    JsonValue v;
+    ASSERT_TRUE(jsonParse(
+        R"({"a": 1, "b": [true, false, null], "c": {"d": "x"}})", v));
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.numberOr("a", -1), 1.0);
+    const JsonValue *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_TRUE(b->isArray());
+    ASSERT_EQ(b->array.size(), 3u);
+    EXPECT_EQ(b->array[0].kind, JsonValue::Kind::Bool);
+    EXPECT_TRUE(b->array[0].boolean);
+    EXPECT_FALSE(b->array[1].boolean);
+    EXPECT_EQ(b->array[2].kind, JsonValue::Kind::Null);
+    const JsonValue *c = v.find("c");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->stringOr("d", ""), "x");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_DOUBLE_EQ(v.numberOr("missing", 7.0), 7.0);
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    // Everything jsonString() can emit must parse back to the original.
+    const std::string original = "a\"b\\c\nd\te\rf\x01g";
+    std::ostringstream os;
+    jsonString(os, original);
+    JsonValue v;
+    ASSERT_TRUE(jsonParse(os.str(), v));
+    EXPECT_EQ(v.kind, JsonValue::Kind::String);
+    EXPECT_EQ(v.str, original);
+
+    JsonValue u;
+    ASSERT_TRUE(jsonParse(R"("Aé\/")", u));
+    EXPECT_EQ(u.str, "A\xc3\xa9/");
+}
+
+TEST(Json, NumbersRoundTripBitExactly)
+{
+    // jsonNumber prints max_digits10 significant digits; strtod must
+    // recover the exact double — resume byte-identity depends on it.
+    const double values[] = {0.0,    1.0,   -17.0,       0.1,
+                             1.0 / 3.0,     6.02214076e23,
+                             2966.0, 5e-324, 1.7976931348623157e308};
+    for (const double d : values) {
+        std::ostringstream os;
+        jsonNumber(os, d);
+        JsonValue v;
+        ASSERT_TRUE(jsonParse(os.str(), v)) << os.str();
+        EXPECT_EQ(v.kind, JsonValue::Kind::Number);
+        EXPECT_EQ(v.number, d) << os.str();
+    }
+}
+
+TEST(Json, StatSetToJsonRoundTrips)
+{
+    StatSet s;
+    s.set("access.FRF_high", 12345);
+    s.set("rfc.readHit", 0.25);
+    s.set("weird \"key\"", -1.5e-7);
+    std::ostringstream os;
+    s.toJson(os, 2);
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(jsonParse(os.str(), v, &err)) << err;
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.object.size(), s.raw().size());
+    for (const auto &[k, val] : s.raw())
+        EXPECT_EQ(v.numberOr(k, std::nan("")), val) << k;
+}
+
+TEST(Json, RejectsMalformedInput)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(jsonParse("", v, &err));
+    EXPECT_FALSE(jsonParse("{", v, &err));
+    EXPECT_FALSE(jsonParse("{\"a\" 1}", v, &err));
+    EXPECT_FALSE(jsonParse("[1, 2,]", v, &err));
+    EXPECT_FALSE(jsonParse("\"unterminated", v, &err));
+    EXPECT_FALSE(jsonParse("tru", v, &err));
+    EXPECT_FALSE(jsonParse("{} garbage", v, &err));
+    EXPECT_FALSE(err.empty());
 }

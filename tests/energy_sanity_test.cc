@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Energy sanity across the whole matrix: for every Table-I workload x RF
+ * backend, the `power::EnergyAccountant` report must be finite and
+ * non-negative in every component, the component energies must sum to
+ * the reported dynamic total, and leakage energy must equal leakage
+ * power x runtime. Runs through the experiment runner on all cores.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "exp/experiment.hh"
+#include "power/energy_accountant.hh"
+
+using namespace pilotrf;
+
+namespace
+{
+
+exp::Sweep
+allBackendsSweep()
+{
+    std::vector<exp::ConfigVariant> configs;
+    for (auto kind :
+         {sim::RfKind::MrfStv, sim::RfKind::MrfNtv, sim::RfKind::Partitioned,
+          sim::RfKind::Rfc, sim::RfKind::Drowsy}) {
+        sim::SimConfig cfg;
+        cfg.rfKind = kind;
+        configs.push_back({sim::toString(kind), cfg});
+    }
+    return exp::Sweep::overSuite("energy_sanity", std::move(configs));
+}
+
+} // namespace
+
+TEST(EnergySanity, EveryWorkloadEveryBackend)
+{
+    setQuiet(true);
+    const exp::Sweep sweep = allBackendsSweep();
+    const auto res = exp::ExperimentRunner(0).run(sweep);
+    ASSERT_EQ(res.summary().ok, res.jobs.size());
+
+    for (const auto &j : res.jobs) {
+        SCOPED_TRACE(j.job.workload + " x " + j.job.configLabel);
+        const power::EnergyReport &e = j.energy;
+
+        const double components[] = {
+            e.dynamicPj,      e.frfPj,     e.srfPj,
+            e.mrfPj,          e.rfcPj,     e.overheadPj,
+            e.leakagePowerMw, e.leakageUj, e.runSeconds,
+        };
+        for (const double v : components) {
+            EXPECT_TRUE(std::isfinite(v));
+            EXPECT_GE(v, 0.0);
+        }
+
+        // The components partition the dynamic total.
+        const double sum =
+            e.frfPj + e.srfPj + e.mrfPj + e.rfcPj + e.overheadPj;
+        EXPECT_NEAR(e.dynamicPj, sum, 1e-9 * std::max(1.0, e.dynamicPj));
+
+        // Leakage energy is leakage power x runtime (mW*s in uJ), and a
+        // non-empty run must burn some dynamic energy and some leakage.
+        EXPECT_NEAR(e.leakageUj, e.leakagePowerMw * e.runSeconds * 1e3,
+                    1e-9 * std::max(1.0, e.leakageUj));
+        EXPECT_GT(j.run.totalInstructions, 0u);
+        EXPECT_GT(e.dynamicPj, 0.0);
+        EXPECT_GT(e.leakageUj, 0.0);
+
+        // The backend's share lands where the organization says it must.
+        if (j.job.configLabel == "Partitioned") {
+            EXPECT_GT(e.frfPj + e.srfPj, 0.0);
+            EXPECT_EQ(e.rfcPj, 0.0);
+        } else if (j.job.configLabel == "RFC") {
+            EXPECT_GT(e.rfcPj, 0.0);
+        } else {
+            // MRF@STV, MRF@NTV, Drowsy: monolithic array only.
+            EXPECT_GT(e.mrfPj, 0.0);
+            EXPECT_EQ(e.frfPj + e.srfPj + e.rfcPj, 0.0);
+        }
+    }
+}

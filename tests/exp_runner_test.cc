@@ -5,9 +5,19 @@
  * job's names, and the JSON report layer is deterministic.
  */
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "common/json.hh"
 #include "common/logging.hh"
+#include "exp/checkpoint.hh"
 #include "exp/report.hh"
 #include "exp/sweeps.hh"
 #include "sim/gpu.hh"
@@ -18,10 +28,55 @@ using namespace pilotrf;
 namespace
 {
 
+/** RAII failure-injection hook registration. */
+class ScopedJobHook
+{
+  public:
+    explicit ScopedJobHook(exp::JobHook hook)
+    {
+        exp::setJobHook(std::move(hook));
+    }
+    ~ScopedJobHook() { exp::clearJobHook(); }
+};
+
+/** A fresh manifest path under the gtest temp dir. */
+std::string
+manifestPath(const char *tag)
+{
+    const std::string path = ::testing::TempDir() + "pilotrf_ck_" + tag +
+                             ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+/** Keep the first n lines of the manifest — a simulated mid-sweep kill
+ *  (CheckpointWriter flushes per line, so a real kill truncates too). */
+void
+truncateManifest(const std::string &path, std::size_t n)
+{
+    std::ifstream in(path);
+    ASSERT_TRUE(in);
+    std::vector<std::string> lines;
+    for (std::string l; std::getline(in, l);)
+        lines.push_back(l);
+    ASSERT_GT(lines.size(), n);
+    in.close();
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < n; ++i)
+        out << lines[i] << "\n";
+}
+
+bool
+isJob(const exp::Job &job, const char *workload, const char *config)
+{
+    return job.workload == workload && job.configLabel == config;
+}
+
 class ExpRunnerTest : public ::testing::Test
 {
   protected:
     void SetUp() override { setQuiet(true); }
+    void TearDown() override { exp::clearJobHook(); }
 
     /** 3 workloads x 2 RfKinds, the fastest Table-I entries. */
     static exp::Sweep smoke() { return exp::namedSweep("smoke"); }
@@ -201,6 +256,250 @@ TEST_F(ExpRunnerTest, ReportJsonShape)
     const std::string bare = exp::toJsonString(res, noTiming);
     EXPECT_EQ(bare.find("wallSeconds"), std::string::npos);
     EXPECT_EQ(bare.find("\"threads\""), std::string::npos);
+    EXPECT_EQ(bare.find("\"resumed\""), std::string::npos);
+    EXPECT_EQ(bare.find("\"attempts\""), std::string::npos);
+    // Status and the outcome summary are part of the deterministic report.
+    EXPECT_NE(bare.find("\"status\": \"ok\""), std::string::npos);
+    EXPECT_NE(bare.find("\"summary\""), std::string::npos);
+    EXPECT_NE(bare.find("\"ok\": 6"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Fault tolerance: exception capture, retry accounting, the timeout
+// watchdog, checkpoint streaming and --resume byte-identity.
+// ---------------------------------------------------------------------
+
+TEST_F(ExpRunnerTest, ThrowingJobLosesOnlyItsOwnResults)
+{
+    const auto clean = exp::ExperimentRunner(1).run(smoke());
+
+    ScopedJobHook hook([](const exp::Job &job, unsigned,
+                          const std::atomic<bool> &) {
+        if (isJob(job, "WP", "partitioned"))
+            throw std::runtime_error("injected fault");
+    });
+    const auto res = exp::ExperimentRunner(4).run(smoke());
+
+    ASSERT_EQ(res.jobs.size(), clean.jobs.size());
+    const auto sum = res.summary();
+    EXPECT_EQ(sum.ok, 5u);
+    EXPECT_EQ(sum.failed, 1u);
+    EXPECT_EQ(sum.timeout, 0u);
+    for (std::size_t i = 0; i < res.jobs.size(); ++i) {
+        const auto &j = res.jobs[i];
+        if (isJob(j.job, "WP", "partitioned")) {
+            EXPECT_EQ(j.status, exp::JobStatus::Failed);
+            EXPECT_EQ(j.error, "injected fault");
+            EXPECT_EQ(j.statusString(), "failed:injected fault");
+            EXPECT_EQ(j.attempts, 1u);
+            EXPECT_EQ(j.run.totalCycles, 0u);
+        } else {
+            // Siblings are bit-identical to an uninjected run.
+            EXPECT_EQ(j.status, exp::JobStatus::Ok);
+            EXPECT_EQ(j.run.totalCycles, clean.jobs[i].run.totalCycles);
+            EXPECT_EQ(j.run.rfStats.raw(), clean.jobs[i].run.rfStats.raw());
+        }
+    }
+    const std::string json = exp::toJsonString(res);
+    EXPECT_NE(json.find("\"status\": \"failed:injected fault\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"failed\": 1"), std::string::npos);
+}
+
+TEST_F(ExpRunnerTest, RetryWithBackoffCountsAttempts)
+{
+    const auto clean = exp::ExperimentRunner(1).run(smoke());
+
+    // One job fails twice, then succeeds; everything else is clean.
+    std::atomic<unsigned> calls{0};
+    ScopedJobHook hook([&](const exp::Job &job, unsigned attempt,
+                           const std::atomic<bool> &) {
+        if (!isJob(job, "CP", "mrf_stv"))
+            return;
+        ++calls;
+        if (attempt <= 2)
+            throw std::runtime_error("transient");
+    });
+
+    exp::RunnerOptions opts;
+    opts.maxRetries = 3;
+    opts.retryBackoffMs = 1;
+    const auto res = exp::ExperimentRunner(2, opts).run(smoke());
+
+    const auto *j = res.find("CP", "mrf_stv");
+    ASSERT_NE(j, nullptr);
+    EXPECT_EQ(j->status, exp::JobStatus::Ok);
+    EXPECT_EQ(j->attempts, 3u);
+    EXPECT_EQ(calls.load(), 3u);
+    EXPECT_EQ(res.summary().ok, res.jobs.size());
+
+    // The flaky job's eventual result matches a clean run exactly.
+    const auto *c = clean.find("CP", "mrf_stv");
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(j->run.totalCycles, c->run.totalCycles);
+    EXPECT_EQ(j->run.rfStats.raw(), c->run.rfStats.raw());
+}
+
+TEST_F(ExpRunnerTest, RetriesExhaustedClassifiesFailed)
+{
+    std::atomic<unsigned> calls{0};
+    ScopedJobHook hook([&](const exp::Job &job, unsigned,
+                           const std::atomic<bool> &) {
+        if (isJob(job, "CP", "mrf_stv")) {
+            ++calls;
+            throw std::runtime_error("always fails");
+        }
+    });
+
+    exp::RunnerOptions opts;
+    opts.maxRetries = 2;
+    opts.retryBackoffMs = 1;
+    const auto res = exp::ExperimentRunner(2, opts).run(smoke());
+
+    const auto *j = res.find("CP", "mrf_stv");
+    ASSERT_NE(j, nullptr);
+    EXPECT_EQ(j->status, exp::JobStatus::Failed);
+    EXPECT_EQ(j->attempts, 3u); // 1 try + 2 retries
+    EXPECT_EQ(calls.load(), 3u);
+    EXPECT_EQ(res.summary().failed, 1u);
+}
+
+TEST_F(ExpRunnerTest, HangingJobTimesOutSiblingsComplete)
+{
+    const auto clean = exp::ExperimentRunner(1).run(smoke());
+
+    ScopedJobHook hook([](const exp::Job &job, unsigned,
+                          const std::atomic<bool> &abandoned) {
+        if (!isJob(job, "LIB", "mrf_stv"))
+            return;
+        // Wedge until the watchdog abandons the attempt, then unwind.
+        while (!abandoned.load(std::memory_order_relaxed))
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw std::runtime_error("unwound after abandonment");
+    });
+
+    exp::RunnerOptions opts;
+    opts.timeoutSeconds = 0.25;
+    const auto res = exp::ExperimentRunner(3, opts).run(smoke());
+
+    const auto sum = res.summary();
+    EXPECT_EQ(sum.ok, 5u);
+    EXPECT_EQ(sum.timeout, 1u);
+    for (std::size_t i = 0; i < res.jobs.size(); ++i) {
+        const auto &j = res.jobs[i];
+        if (isJob(j.job, "LIB", "mrf_stv")) {
+            EXPECT_EQ(j.status, exp::JobStatus::Timeout);
+            EXPECT_EQ(j.statusString(), "timeout");
+            EXPECT_NE(j.error.find("wall-clock timeout"),
+                      std::string::npos);
+            EXPECT_EQ(j.attempts, 1u); // timeouts are not retried
+        } else {
+            EXPECT_EQ(j.status, exp::JobStatus::Ok);
+            EXPECT_EQ(j.run.totalCycles, clean.jobs[i].run.totalCycles);
+        }
+    }
+}
+
+TEST_F(ExpRunnerTest, CheckpointStreamsOneValidLinePerJob)
+{
+    const std::string path = manifestPath("stream");
+    exp::RunnerOptions opts;
+    opts.checkpointPath = path;
+    const auto res = exp::ExperimentRunner(4, opts).run(smoke());
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in);
+    std::size_t lines = 0;
+    for (std::string line; std::getline(in, line); ++lines) {
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(jsonParse(line, v, &err)) << err;
+        EXPECT_TRUE(v.isObject());
+        EXPECT_EQ(v.stringOr("sweep", ""), "smoke");
+        EXPECT_EQ(v.stringOr("status", ""), "ok");
+        EXPECT_FALSE(v.stringOr("key", "").empty());
+    }
+    EXPECT_EQ(lines, res.jobs.size());
+
+    // Reload: every job present, stats round-trip bit-exactly.
+    const auto entries = exp::loadCheckpoint(path, /*mustExist=*/true);
+    ASSERT_EQ(entries.size(), res.jobs.size());
+    for (const auto &j : res.jobs) {
+        const auto it = entries.find(exp::checkpointKey(j.job));
+        ASSERT_NE(it, entries.end());
+        EXPECT_EQ(it->second.cycles, j.run.totalCycles);
+        EXPECT_EQ(it->second.rfStats.raw(), j.run.rfStats.raw());
+        EXPECT_EQ(it->second.simStats.raw(), j.run.simStats.raw());
+    }
+    std::remove(path.c_str());
+}
+
+TEST_F(ExpRunnerTest, KillMidSweepThenResumeIsByteIdenticalToCleanRun)
+{
+    exp::ReportOptions noTiming;
+    noTiming.includeTiming = false;
+    const std::string reference =
+        exp::toJsonString(exp::ExperimentRunner(1).run(smoke()), noTiming);
+
+    // Full checkpointed run, then keep only the first 3 lines — exactly
+    // what a kill after three completed jobs leaves behind.
+    const std::string path = manifestPath("resume");
+    exp::RunnerOptions opts;
+    opts.checkpointPath = path;
+    exp::ExperimentRunner(2, opts).run(smoke());
+    truncateManifest(path, 3);
+
+    exp::RunnerOptions ropts;
+    ropts.checkpointPath = path;
+    ropts.resume = true;
+    const auto resumed = exp::ExperimentRunner(4, ropts).run(smoke());
+
+    EXPECT_EQ(resumed.summary().ok, 6u);
+    EXPECT_EQ(resumed.summary().resumed, 3u);
+    EXPECT_EQ(exp::toJsonString(resumed, noTiming), reference);
+
+    // The resumed run backfilled the manifest: all 6 jobs are ok now,
+    // so a second resume recomputes nothing.
+    const auto again = exp::ExperimentRunner(4, ropts).run(smoke());
+    EXPECT_EQ(again.summary().resumed, 6u);
+    EXPECT_EQ(exp::toJsonString(again, noTiming), reference);
+    std::remove(path.c_str());
+}
+
+TEST_F(ExpRunnerTest, ResumeRerunsFailedEntries)
+{
+    exp::ReportOptions noTiming;
+    noTiming.includeTiming = false;
+    const std::string reference =
+        exp::toJsonString(exp::ExperimentRunner(1).run(smoke()), noTiming);
+
+    // First pass: one job fails and is recorded as failed.
+    const std::string path = manifestPath("refail");
+    {
+        ScopedJobHook hook([](const exp::Job &job, unsigned,
+                              const std::atomic<bool> &) {
+            if (isJob(job, "WP", "mrf_stv"))
+                throw std::runtime_error("flaky environment");
+        });
+        exp::RunnerOptions opts;
+        opts.checkpointPath = path;
+        const auto res = exp::ExperimentRunner(2, opts).run(smoke());
+        EXPECT_EQ(res.summary().failed, 1u);
+    }
+
+    // Resume without the fault: only the failed job reruns, and the
+    // merged report matches an uninterrupted clean run byte-for-byte.
+    exp::RunnerOptions ropts;
+    ropts.checkpointPath = path;
+    ropts.resume = true;
+    const auto res = exp::ExperimentRunner(2, ropts).run(smoke());
+    EXPECT_EQ(res.summary().ok, 6u);
+    EXPECT_EQ(res.summary().resumed, 5u);
+    const auto *rerun = res.find("WP", "mrf_stv");
+    ASSERT_NE(rerun, nullptr);
+    EXPECT_FALSE(rerun->resumed);
+    EXPECT_EQ(exp::toJsonString(res, noTiming), reference);
+    std::remove(path.c_str());
 }
 
 } // namespace

@@ -6,7 +6,8 @@
  *   (a) the full pipelined GPU executes exactly the dynamic instruction
  *       stream of the purely functional reference, and
  *   (b) the run is deterministic,
- * for every generated program and several RF backends.
+ * for every generated program and every RF backend (all five RfKinds,
+ * plus the partitioned RF with the adaptive back-gate FRF disabled).
  */
 
 #include <gtest/gtest.h>
@@ -127,35 +128,60 @@ class FuzzDifferential : public ::testing::TestWithParam<std::uint64_t>
     void SetUp() override { setQuiet(true); }
 };
 
-TEST_P(FuzzDifferential, PipelineMatchesFunctional)
+/** Every RF organization under test, including the Drowsy baseline and
+ *  both FRF flavours (the adaptive back-gate FRF and fixed-high). */
+std::vector<std::pair<std::string, SimConfig>>
+allBackends()
+{
+    std::vector<std::pair<std::string, SimConfig>> backends;
+    for (auto kind : {RfKind::MrfStv, RfKind::MrfNtv, RfKind::Partitioned,
+                      RfKind::Rfc, RfKind::Drowsy}) {
+        SimConfig cfg;
+        cfg.numSms = 2;
+        cfg.rfKind = kind;
+        backends.emplace_back(toString(kind), cfg);
+    }
+    SimConfig fixedHigh;
+    fixedHigh.numSms = 2;
+    fixedHigh.rfKind = RfKind::Partitioned;
+    fixedHigh.prf.adaptiveFrf = false; // default partitioned is adaptive
+    backends.emplace_back("partitioned_fixed_high", fixedHigh);
+    return backends;
+}
+
+TEST_P(FuzzDifferential, PipelineMatchesFunctionalOnEveryBackend)
 {
     const auto k = randomKernel(GetParam());
     k.validate();
     const auto [instrs, reg] = functionalRun(k);
 
-    for (auto kind : {RfKind::MrfStv, RfKind::Partitioned, RfKind::Rfc}) {
-        SimConfig cfg;
-        cfg.numSms = 2;
-        cfg.rfKind = kind;
+    for (const auto &[name, cfg] : allBackends()) {
         Gpu gpu(cfg);
         const auto r = gpu.run(k);
         EXPECT_EQ(r.totalInstructions, instrs)
-            << "seed " << GetParam() << " kind " << toString(kind);
+            << "seed " << GetParam() << " backend " << name;
+        // Access-count conservation: whatever banking, caching, swapping
+        // or drowsy wakeup the backend does, each architected register is
+        // accessed exactly as often as the functional reference says.
         std::vector<std::uint64_t> piped(maxRegsPerThread, 0);
         for (std::size_t i = 0; i < r.kernels[0].regAccess.size(); ++i)
             piped[i] = r.kernels[0].regAccess[i];
-        EXPECT_EQ(piped, reg) << "seed " << GetParam();
+        EXPECT_EQ(piped, reg)
+            << "seed " << GetParam() << " backend " << name;
     }
 }
 
 TEST_P(FuzzDifferential, DeterministicRepeat)
 {
     const auto k = randomKernel(GetParam());
-    SimConfig cfg;
-    cfg.numSms = 2;
-    cfg.rfKind = RfKind::Partitioned;
-    Gpu a(cfg), b(cfg);
-    EXPECT_EQ(a.run(k).totalCycles, b.run(k).totalCycles);
+    for (auto kind : {RfKind::Partitioned, RfKind::Drowsy}) {
+        SimConfig cfg;
+        cfg.numSms = 2;
+        cfg.rfKind = kind;
+        Gpu a(cfg), b(cfg);
+        EXPECT_EQ(a.run(k).totalCycles, b.run(k).totalCycles)
+            << toString(kind);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,

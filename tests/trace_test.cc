@@ -46,9 +46,26 @@ TEST_F(TraceTest, EnableFromList)
     EXPECT_FALSE(Trace::enabled(TraceCat::Bank));
 }
 
-TEST_F(TraceTest, UnknownNamesIgnored)
+TEST_F(TraceTest, UnknownNamesWarnOnceAndEnableNothing)
 {
-    EXPECT_EQ(Trace::enableFromList("bogus,also-bogus"), 0u);
+    setQuiet(false);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(Trace::enableFromList("bogus,also-bogus,issue"), 1u);
+    const std::string err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find("unknown trace category 'bogus'"),
+              std::string::npos);
+    EXPECT_NE(err.find("unknown trace category 'also-bogus'"),
+              std::string::npos);
+    EXPECT_NE(err.find("known: issue, exec, mem, bank, warp, cta"),
+              std::string::npos);
+    EXPECT_TRUE(Trace::enabled(TraceCat::Issue));
+    EXPECT_FALSE(Trace::enabled(TraceCat::Mem));
+
+    // Warn-once: repeating the same misspelling stays silent.
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(Trace::enableFromList("bogus"), 0u);
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+    setQuiet(true);
 }
 
 TEST_F(TraceTest, LogFormat)
