@@ -14,6 +14,12 @@
  * warp, summed over SMs) times the configured warps per SM — a
  * config-independent measure of simulated work.
  *
+ * The partitioned config additionally runs under each observability mode
+ * (`+ts`: 100-cycle time-series sampling; `+trace`: a Chrome trace sink
+ * on the GPU's hub), so the cost of *enabled* observability is measured
+ * and the obs-off rows double as the regression reference for the
+ * off-path (a null hub pointer and a null sampler check per cycle).
+ *
  * Output: a human-readable table on stdout and a machine-readable
  * `BENCH_hotpath.json` (path overridable as argv[1]) for CI artifacts.
  */
@@ -21,12 +27,15 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "obs/trace.hh"
 #include "sim/gpu.hh"
 #include "workloads/workloads.hh"
 
@@ -56,10 +65,30 @@ configs()
             {"rfc_tl", rfc}};
 }
 
+/** Observability attached to the measured Gpu. */
+enum class ObsMode
+{
+    Off,     ///< no hub, no sampler: the default off path
+    Sampled, ///< 100-cycle time-series sampling on every SM
+    Traced,  ///< Chrome trace sink on the GPU's hub
+};
+
+const char *
+toString(ObsMode m)
+{
+    switch (m) {
+    case ObsMode::Off: return "off";
+    case ObsMode::Sampled: return "ts";
+    case ObsMode::Traced: return "trace";
+    }
+    return "?";
+}
+
 struct Row
 {
     std::string workload;
     std::string config;
+    std::string obs;
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t warpCycles = 0;
@@ -69,7 +98,7 @@ struct Row
 };
 
 Row
-measure(const char *wlName, const Config &c)
+measure(const char *wlName, const Config &c, ObsMode mode = ObsMode::Off)
 {
     const auto &wl = workloads::workload(wlName);
 
@@ -83,13 +112,20 @@ measure(const char *wlName, const Config &c)
     Row row;
     row.workload = wlName;
     row.config = c.label;
+    row.obs = toString(mode);
 
     const auto t0 = std::chrono::steady_clock::now();
     // Repeat until the timed region is long enough to swamp clock jitter.
     unsigned reps = 0;
     double elapsed = 0.0;
     do {
+        std::ostringstream traceOut; // discarded; outlives the Gpu
         sim::Gpu gpu(c.cfg);
+        if (mode == ObsMode::Sampled)
+            gpu.enableTimeSeries(100);
+        else if (mode == ObsMode::Traced)
+            gpu.traceHub().addSink(
+                std::make_unique<obs::ChromeTraceSink>(traceOut));
         const sim::RunResult run = gpu.run(wl.kernels);
         ++reps;
         if (reps == 1) {
@@ -141,6 +177,7 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
         };
         str("workload", r.workload, true);
         str("config", r.config);
+        str("obs", r.obs);
         num("cycles", double(r.cycles));
         num("instructions", double(r.instructions));
         num("warpCycles", double(r.warpCycles));
@@ -163,18 +200,28 @@ main(int argc, char **argv)
 
     bench::header("BENCH hotpath",
                   "simulator throughput (warp-cycles/s) by RF backend");
-    std::printf("%-10s %-12s %14s %12s %14s\n", "workload", "config",
-                "warp-cycles", "wall s", "warp-cyc/s");
+    std::printf("%-10s %-12s %-6s %14s %12s %14s\n", "workload", "config",
+                "obs", "warp-cycles", "wall s", "warp-cyc/s");
+
+    const auto report = [](const Row &r) {
+        std::printf("%-10s %-12s %-6s %14llu %12.4f %14.3e\n",
+                    r.workload.c_str(), r.config.c_str(), r.obs.c_str(),
+                    (unsigned long long)r.warpCycles, r.wallSeconds,
+                    r.warpCyclesPerSec);
+    };
 
     std::vector<Row> rows;
     for (const char *wl : workloadNames) {
         for (const auto &c : configs()) {
             rows.push_back(measure(wl, c));
-            const Row &r = rows.back();
-            std::printf("%-10s %-12s %14llu %12.4f %14.3e\n",
-                        r.workload.c_str(), r.config.c_str(),
-                        (unsigned long long)r.warpCycles, r.wallSeconds,
-                        r.warpCyclesPerSec);
+            report(rows.back());
+            // Observability cost, measured on the paper's design point.
+            if (std::string(c.label) == "partitioned") {
+                for (const auto m : {ObsMode::Sampled, ObsMode::Traced}) {
+                    rows.push_back(measure(wl, c, m));
+                    report(rows.back());
+                }
+            }
         }
     }
 

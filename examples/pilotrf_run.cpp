@@ -11,6 +11,18 @@
  *   pilotrf_run --sweep fig11 --threads 4 --out fig11.json
  *   pilotrf_run --sweep smoke --seeds 3 --no-timing   # deterministic bytes
  *
+ * Observability (all outputs are per-job files; the job key is inserted
+ * before the extension so concurrent jobs never share a stream):
+ *
+ *   pilotrf_run --sweep smoke --timeseries 100          # sampled counters
+ *   pilotrf_run --sweep smoke --chrome-trace trace.json # chrome://tracing
+ *   pilotrf_run --sweep smoke --trace-jsonl ev.jsonl --trace-cats warp,cta
+ *
+ * Configuration as data: --dump-config prints the full SimConfig as JSON;
+ * --config runs a sweep's workloads under a config loaded from a JSON
+ * file (replacing the sweep's config axis, labelled by file basename).
+ * Unknown keys and mistyped values in the file are fatal, not ignored.
+ *
  * Long campaigns survive failures and interruptions: with --checkpoint,
  * completed jobs stream to a JSONL manifest as they finish, and a rerun
  * with --resume serves them from the manifest instead of recomputing —
@@ -21,21 +33,78 @@
  * Exit code: 0 when every job is ok, 3 when any failed or timed out.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
+#include <sstream>
+#include <stdexcept>
+
 #include "common/logging.hh"
 #include "exp/checkpoint.hh"
 #include "exp/report.hh"
 #include "exp/sweeps.hh"
+#include "sim/trace.hh"
 
 using namespace pilotrf;
 
 namespace
 {
+
+/** "configs/ntv_sweep.json" -> "ntv_sweep" (config-variant label). */
+std::string
+configLabelFromPath(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = base.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        base = base.substr(0, dot);
+    return base.empty() ? "config" : base;
+}
+
+sim::SimConfig
+loadConfigFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open config file '%s'", path.c_str());
+    std::ostringstream text;
+    text << is.rdbuf();
+    try {
+        return sim::SimConfig::fromJsonText(text.str());
+    } catch (const std::exception &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+}
+
+std::uint64_t
+parseTraceCatList(const std::string &list)
+{
+    std::uint64_t mask = 0;
+    std::string item;
+    const auto flush = [&] {
+        if (item.empty())
+            return;
+        const auto cat = sim::parseTraceCat(item);
+        if (!cat)
+            fatal("--trace-cats: unknown category '%s'", item.c_str());
+        mask |= std::uint64_t(1) << unsigned(*cat);
+        item.clear();
+    };
+    for (const char c : list) {
+        if (c == ',')
+            flush();
+        else
+            item += char(std::tolower(static_cast<unsigned char>(c)));
+    }
+    flush();
+    return mask;
+}
 
 int
 usage(const char *argv0, int code)
@@ -57,6 +126,18 @@ usage(const char *argv0, int code)
         "  --timeout SECS  per-job wall-clock timeout (0 = none)\n"
         "  --retries N     retry a throwing job up to N times\n"
         "  --backoff MS    first retry delay, doubling (default 100)\n"
+        "  --config FILE   run the sweep's workloads under the SimConfig\n"
+        "                  in JSON FILE (replaces the config axis)\n"
+        "  --dump-config   print the effective SimConfig as JSON and exit\n"
+        "  --timeseries N  sample per-SM counters every N cycles into\n"
+        "                  per-job time-series JSON files\n"
+        "  --timeseries-out FILE  time-series path stem\n"
+        "                  (default timeseries.json)\n"
+        "  --chrome-trace FILE    write per-job Chrome trace-event JSON\n"
+        "                  (chrome://tracing / Perfetto)\n"
+        "  --trace-jsonl FILE     write per-job JSONL event streams\n"
+        "  --trace-cats LIST      restrict the JSONL text channel to the\n"
+        "                  given categories (e.g. warp,cta)\n"
         "  --list          list the named sweeps and exit\n",
         argv0);
     return code;
@@ -71,6 +152,8 @@ main(int argc, char **argv)
 
     std::string sweepName = "smoke";
     std::string outPath;
+    std::string configPath;
+    bool dumpConfig = false;
     unsigned threads = 0;
     unsigned seeds = 1;
     std::uint64_t baseSeed = 0;
@@ -109,6 +192,21 @@ main(int argc, char **argv)
         else if (arg == "--backoff")
             ropts.retryBackoffMs =
                 unsigned(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--config")
+            configPath = value();
+        else if (arg == "--dump-config")
+            dumpConfig = true;
+        else if (arg == "--timeseries")
+            ropts.obs.timeseriesPeriod =
+                unsigned(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--timeseries-out")
+            ropts.obs.timeseriesPath = value();
+        else if (arg == "--chrome-trace")
+            ropts.obs.chromeTracePath = value();
+        else if (arg == "--trace-jsonl")
+            ropts.obs.jsonlTracePath = value();
+        else if (arg == "--trace-cats")
+            ropts.obs.traceCategoryMask = parseTraceCatList(value());
         else if (arg == "--list") {
             for (const auto &n : exp::sweepNames())
                 std::printf("%-20s %s\n", n.c_str(),
@@ -126,7 +224,19 @@ main(int argc, char **argv)
     if (ropts.resume && ropts.checkpointPath.empty())
         fatal("--resume requires --checkpoint");
 
+    if (dumpConfig) {
+        const sim::SimConfig cfg = configPath.empty()
+                                       ? sim::SimConfig{}
+                                       : loadConfigFile(configPath);
+        std::fputs(cfg.jsonText().c_str(), stdout);
+        return 0;
+    }
+
     exp::Sweep sweep = exp::namedSweep(sweepName);
+    if (!configPath.empty()) {
+        sweep.configs = {{configLabelFromPath(configPath),
+                          loadConfigFile(configPath)}};
+    }
     sweep.baseSeed = baseSeed;
     sweep.seeds.clear();
     for (unsigned s = 0; s < seeds; ++s)

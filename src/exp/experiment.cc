@@ -1,13 +1,17 @@
 #include "exp/experiment.hh"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <thread>
 
 #include "common/logging.hh"
 #include "exp/checkpoint.hh"
+#include "obs/trace.hh"
 #include "workloads/workloads.hh"
 
 namespace pilotrf::exp
@@ -61,6 +65,23 @@ jobHook()
 const std::atomic<bool> neverAbandoned{false};
 
 } // namespace
+
+std::string
+perJobOutputPath(const std::string &path, const Job &job)
+{
+    std::string key = checkpointKey(job);
+    for (char &c : key)
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.')
+            c = '-';
+
+    // Insert before the extension of the final path component.
+    const std::size_t slash = path.find_last_of('/');
+    const std::size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash))
+        return path + "." + key;
+    return path.substr(0, dot) + "." + key + path.substr(dot);
+}
 
 void
 setJobHook(JobHook hook)
@@ -226,6 +247,30 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
     JobResult res;
     res.job = job;
     sim::Gpu gpu(job.cfg);
+
+    // Observability: per-job files keyed by (workload, config, seed), so
+    // concurrent jobs on the pool never share a sink or a stream.
+    if (opts.obs.timeseriesPeriod)
+        gpu.enableTimeSeries(opts.obs.timeseriesPeriod,
+                             opts.obs.timeseriesCapacity);
+    if (!opts.obs.chromeTracePath.empty()) {
+        std::string err;
+        auto sink = obs::ChromeTraceSink::toFile(
+            perJobOutputPath(opts.obs.chromeTracePath, job), &err);
+        if (!sink)
+            throw std::runtime_error("chrome trace: " + err);
+        gpu.traceHub().addSink(std::move(sink));
+    }
+    if (!opts.obs.jsonlTracePath.empty()) {
+        std::string err;
+        auto sink = obs::JsonlTraceSink::toFile(
+            perJobOutputPath(opts.obs.jsonlTracePath, job), &err);
+        if (!sink)
+            throw std::runtime_error("jsonl trace: " + err);
+        gpu.traceHub().addSink(std::move(sink));
+        gpu.traceHub().setCategoryMask(opts.obs.traceCategoryMask);
+    }
+
     if (job.seed == 0) {
         res.run = gpu.run(w.kernels);
     } else {
@@ -239,6 +284,17 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
     }
     res.energy =
         accountant.account(job.cfg, res.run.rfStats, res.run.totalCycles);
+
+    if (opts.obs.timeseriesPeriod) {
+        const std::string path =
+            perJobOutputPath(opts.obs.timeseriesPath, job);
+        std::ofstream os(path);
+        if (!os)
+            throw std::runtime_error("cannot open time-series output '" +
+                                     path + "'");
+        gpu.writeTimeSeries(os);
+    }
+
     res.wallSeconds = secondsSince(t0);
     return res;
 }

@@ -170,6 +170,47 @@ std::uint64_t deriveJobSeed(std::uint64_t baseSeed,
 std::uint64_t hashString(std::string_view s);
 
 /**
+ * Per-job observability outputs.
+ *
+ * Jobs run concurrently on the worker pool, so every enabled output is a
+ * *per-job* file: the job's checkpoint key ("workload|config|seed",
+ * sanitized to filename-safe characters) is inserted before the path's
+ * extension — `trace.json` becomes `trace.vecAdd-base-0.json`. The suffix
+ * is applied even for single-job sweeps, so output names are predictable.
+ */
+struct ObsOptions
+{
+    /** Cycles between time-series samples; 0 disables sampling. */
+    unsigned timeseriesPeriod = 0;
+
+    /** Ring capacity per SM, in samples (oldest dropped past this). */
+    std::size_t timeseriesCapacity = std::size_t(1) << 14;
+
+    /** Time-series JSON output path (per-job suffixed). */
+    std::string timeseriesPath = "timeseries.json";
+
+    /** Chrome trace-event JSON path (per-job suffixed); empty = off. */
+    std::string chromeTracePath;
+
+    /** JSONL event-stream path (per-job suffixed); empty = off. */
+    std::string jsonlTracePath;
+
+    /** Text-trace category mask for the per-job hub (bit = TraceCat);
+     *  structured events are not masked. */
+    std::uint64_t traceCategoryMask = ~std::uint64_t(0);
+
+    bool any() const
+    {
+        return timeseriesPeriod > 0 || !chromeTracePath.empty() ||
+               !jsonlTracePath.empty();
+    }
+};
+
+/** The per-job output file for `path`: the sanitized job key inserted
+ *  before the extension ("out/ts.json" -> "out/ts.vecAdd-base-0.json"). */
+std::string perJobOutputPath(const std::string &path, const Job &job);
+
+/**
  * Fault-tolerance and checkpointing knobs of a runner.
  *
  * Failure semantics: a job attempt that throws is retried up to
@@ -199,6 +240,9 @@ struct RunnerOptions
      *  entry instead of re-running them; failed/timed-out entries rerun.
      *  Requires checkpointPath. */
     bool resume = false;
+
+    /** Per-job observability outputs (time series, trace sinks). */
+    ObsOptions obs;
 };
 
 /**

@@ -1,0 +1,165 @@
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace pilotrf::obs
+{
+
+TimeSeriesSampler::TimeSeriesSampler(unsigned periodCycles,
+                                     std::size_t capacity)
+    : period(std::max(1u, periodCycles)), cap(std::max<std::size_t>(1, capacity))
+{
+}
+
+void
+TimeSeriesSampler::addBlock(std::string prefix, const CounterBlock *block)
+{
+    panicIf(layoutLatched, "TimeSeriesSampler source added after sampling "
+                           "started");
+    sources.push_back({std::move(prefix), block, 0, 0, {}});
+}
+
+void
+TimeSeriesSampler::addGauge(std::string name,
+                            std::function<std::uint64_t()> fn)
+{
+    panicIf(layoutLatched, "TimeSeriesSampler gauge added after sampling "
+                           "started");
+    gauges.push_back({std::move(name), std::move(fn), 0});
+}
+
+void
+TimeSeriesSampler::latchLayout()
+{
+    columns = 0;
+    for (auto &src : sources) {
+        src.firstColumn = columns;
+        src.nColumns = src.block->size();
+        src.prev.assign(src.nColumns, 0);
+        columns += src.nColumns;
+    }
+    for (auto &g : gauges)
+        g.column = columns++;
+    cycles.resize(cap);
+    data.resize(cap * columns);
+    layoutLatched = true;
+}
+
+void
+TimeSeriesSampler::sample(Cycle now)
+{
+    sinceLast = 0;
+    if (!layoutLatched)
+        latchLayout();
+
+    std::size_t slot;
+    if (count < cap) {
+        slot = (head + count) % cap;
+        ++count;
+    } else {
+        slot = head;
+        head = (head + 1) % cap;
+        ++dropped;
+    }
+    cycles[slot] = now;
+    std::uint64_t *row = data.data() + slot * columns;
+
+    for (auto &src : sources) {
+        // Counters registered after the layout latched (none today) are
+        // ignored rather than shifting every older sample's columns.
+        for (std::size_t i = 0; i < src.nColumns; ++i) {
+            const std::uint64_t cur =
+                src.block->value(CounterBlock::Handle(i));
+            row[src.firstColumn + i] = cur - src.prev[i];
+            src.prev[i] = cur;
+        }
+    }
+    for (const auto &g : gauges)
+        row[g.column] = g.fn();
+}
+
+std::vector<std::string>
+TimeSeriesSampler::columnNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(columns);
+    if (!layoutLatched) {
+        // Pre-sample layout: derive from the current source shapes.
+        for (const auto &src : sources)
+            for (std::size_t i = 0; i < src.block->size(); ++i)
+                names.push_back(
+                    src.prefix + src.block->name(CounterBlock::Handle(i)));
+        for (const auto &g : gauges)
+            names.push_back(g.name);
+        return names;
+    }
+    for (const auto &src : sources)
+        for (std::size_t i = 0; i < src.nColumns; ++i)
+            names.push_back(src.prefix +
+                            src.block->name(CounterBlock::Handle(i)));
+    for (const auto &g : gauges)
+        names.push_back(g.name);
+    return names;
+}
+
+std::uint64_t
+TimeSeriesSampler::columnSum(const std::string &name) const
+{
+    const std::vector<std::string> names = columnNames();
+    const auto it = std::find(names.begin(), names.end(), name);
+    if (it == names.end() || !layoutLatched)
+        return 0;
+    const std::size_t col = std::size_t(it - names.begin());
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < count; ++i)
+        sum += data[((head + i) % cap) * columns + col];
+    return sum;
+}
+
+void
+TimeSeriesSampler::writeJson(std::ostream &os, unsigned depth) const
+{
+    const std::string pad(2 * (depth + 1), ' ');
+    os << "{\n" << pad << "\"period\": " << period << ",\n"
+       << pad << "\"samples\": " << count << ",\n"
+       << pad << "\"dropped\": " << dropped << ",\n"
+       << pad << "\"cycles\": [";
+    for (std::size_t i = 0; i < count; ++i) {
+        os << (i ? ", " : "");
+        jsonNumber(os, double(cycles[(head + i) % cap]));
+    }
+    os << "],\n" << pad << "\"series\": {";
+    const std::vector<std::string> names = columnNames();
+    for (std::size_t col = 0; col < names.size(); ++col) {
+        os << (col ? ",\n" : "\n") << pad << "  ";
+        jsonString(os, names[col]);
+        os << ": [";
+        for (std::size_t i = 0; i < count; ++i) {
+            os << (i ? ", " : "");
+            jsonNumber(os, double(data[((head + i) % cap) * columns + col]));
+        }
+        os << "]";
+    }
+    os << (names.empty() ? "" : "\n") << (names.empty() ? "" : pad.c_str())
+       << "}\n" << std::string(2 * depth, ' ') << "}";
+}
+
+void
+writeTimeSeriesJson(std::ostream &os,
+                    const std::vector<const TimeSeriesSampler *> &sms)
+{
+    os << "{\n  \"sms\": [";
+    for (std::size_t i = 0; i < sms.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ");
+        if (sms[i])
+            sms[i]->writeJson(os, 2);
+        else
+            os << "null";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace pilotrf::obs

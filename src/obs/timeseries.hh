@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cycle-resolved counter sampling: turns the end-of-run aggregate
+ * `CounterBlock`s into time series.
+ *
+ * A `TimeSeriesSampler` watches any number of counter blocks (an SM's
+ * pipeline counters, its RF backend's access counters) plus instantaneous
+ * gauges (live-warp count). Every `periodCycles` ticks it takes one
+ * sample: the *delta* of every counter since the previous sample, and the
+ * current value of every gauge. Samples land in a fixed-capacity ring
+ * buffer (oldest dropped first, with a drop count), so a sampler's memory
+ * is bounded no matter how long the run is.
+ *
+ * Because samples are deltas, the column-wise sum over all retained
+ * samples of an undropped series equals the counter's final value — the
+ * conservation property the tests assert.
+ *
+ * The off path costs one predictable branch per SM cycle (a null check in
+ * the SM's cycle loop); when sampling is on, the per-cycle cost is one
+ * increment-and-compare, and the per-sample cost is linear in the column
+ * count.
+ */
+
+#ifndef PILOTRF_OBS_TIMESERIES_HH
+#define PILOTRF_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/counters.hh"
+#include "common/types.hh"
+
+namespace pilotrf::obs
+{
+
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param periodCycles cycles between samples (>= 1)
+     * @param capacity ring capacity in samples; older samples are
+     *        discarded (and counted) once it fills
+     */
+    explicit TimeSeriesSampler(unsigned periodCycles,
+                               std::size_t capacity = std::size_t(1) << 14);
+
+    /** Watch a counter block; its columns are named `prefix + counter
+     *  name`. Register sources before the first sample is taken. */
+    void addBlock(std::string prefix, const CounterBlock *block);
+
+    /** Watch an instantaneous value (sampled, not delta'd). */
+    void addGauge(std::string name, std::function<std::uint64_t()> fn);
+
+    /** Per-cycle hook; takes a sample every periodCycles-th call. */
+    void tick(Cycle now)
+    {
+        if (++sinceLast >= period)
+            sample(now);
+    }
+
+    /** Capture the final partial interval (call once at run end so the
+     *  deltas sum to the final counter values). */
+    void finish(Cycle now)
+    {
+        if (sinceLast > 0)
+            sample(now);
+    }
+
+    unsigned periodCycles() const { return period; }
+    std::size_t capacity() const { return cap; }
+
+    /** Samples currently retained in the ring. */
+    std::size_t sampleCount() const { return count; }
+
+    /** Samples discarded because the ring was full. */
+    std::uint64_t droppedSamples() const { return dropped; }
+
+    /** Column names, layout order (latched at the first sample). */
+    std::vector<std::string> columnNames() const;
+
+    /** Sum of one column's retained samples (tests: delta conservation).
+     *  Returns 0 for unknown columns. */
+    std::uint64_t columnSum(const std::string &name) const;
+
+    /**
+     * Write the series as one JSON object:
+     * {"period": P, "samples": N, "dropped": D,
+     *  "cycles": [...], "series": {"<column>": [...], ...}}
+     * at the given indentation depth (2 spaces per level).
+     */
+    void writeJson(std::ostream &os, unsigned depth = 0) const;
+
+  private:
+    void sample(Cycle now);
+    void latchLayout();
+
+    struct Source
+    {
+        std::string prefix;
+        const CounterBlock *block;
+        std::size_t firstColumn = 0;
+        std::size_t nColumns = 0; ///< latched at the first sample
+        std::vector<std::uint64_t> prev;
+    };
+
+    struct Gauge
+    {
+        std::string name;
+        std::function<std::uint64_t()> fn;
+        std::size_t column = 0;
+    };
+
+    unsigned period;
+    unsigned sinceLast = 0;
+    std::size_t cap;
+
+    std::vector<Source> sources;
+    std::vector<Gauge> gauges;
+    bool layoutLatched = false;
+    std::size_t columns = 0;
+
+    // Ring storage: sample i lives at slot (head + i) % cap, with its
+    // cycle stamp in `cycles` and `columns` contiguous values in `data`.
+    std::vector<Cycle> cycles;
+    std::vector<std::uint64_t> data;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    std::uint64_t dropped = 0;
+};
+
+/**
+ * Write a whole GPU's samplers as one document:
+ * {"period": P, "sms": [<per-SM sampler JSON>, ...]}.
+ */
+void writeTimeSeriesJson(std::ostream &os,
+                         const std::vector<const TimeSeriesSampler *> &sms);
+
+} // namespace pilotrf::obs
+
+#endif // PILOTRF_OBS_TIMESERIES_HH

@@ -1,0 +1,214 @@
+#include "obs/trace.hh"
+
+#include "common/stats.hh"
+
+namespace pilotrf::obs
+{
+
+const char *
+toString(EventKind k)
+{
+    switch (k) {
+      case EventKind::Instant: return "i";
+      case EventKind::Begin: return "B";
+      case EventKind::End: return "E";
+      case EventKind::Counter: return "C";
+    }
+    return "?";
+}
+
+TraceSink &
+TraceHub::addSink(std::unique_ptr<TraceSink> sink)
+{
+    if (sink->wantsText())
+        ++nText;
+    if (sink->handlesStructured())
+        ++nStructured;
+    sinks.push_back(std::move(sink));
+    return *sinks.back();
+}
+
+void
+TraceHub::dispatch(const TraceEvent &ev)
+{
+    for (const auto &s : sinks)
+        if (s->wantsText())
+            s->event(ev);
+}
+
+void
+TraceHub::dispatchStructured(const TraceEvent &ev)
+{
+    for (const auto &s : sinks)
+        if (s->handlesStructured())
+            s->event(ev);
+}
+
+void
+TraceHub::flush()
+{
+    for (const auto &s : sinks)
+        s->flush();
+}
+
+void
+TextTraceSink::event(const TraceEvent &ev)
+{
+    (*os) << ev.cycle << ": sm" << ev.sm << " " << ev.categoryName << ": "
+          << ev.text << "\n";
+}
+
+std::unique_ptr<JsonlTraceSink>
+JsonlTraceSink::toFile(const std::string &path, std::string *error)
+{
+    auto sink = std::unique_ptr<JsonlTraceSink>(new JsonlTraceSink());
+    sink->owned.open(path, std::ios::binary);
+    if (!sink->owned) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return nullptr;
+    }
+    sink->os = &sink->owned;
+    return sink;
+}
+
+void
+JsonlTraceSink::event(const TraceEvent &ev)
+{
+    std::ostream &s = *os;
+    s << "{\"cycle\": ";
+    jsonNumber(s, double(ev.cycle));
+    s << ", \"sm\": " << ev.sm;
+    if (ev.warp >= 0)
+        s << ", \"warp\": " << ev.warp;
+    s << ", \"cat\": ";
+    jsonString(s, ev.categoryName);
+    s << ", \"kind\": ";
+    jsonString(s, toString(ev.kind));
+    if (!ev.name.empty()) {
+        s << ", \"name\": ";
+        jsonString(s, ev.name);
+    }
+    if (!ev.args.empty()) {
+        s << ", \"args\": {";
+        for (std::size_t i = 0; i < ev.args.size(); ++i) {
+            s << (i ? ", " : "");
+            jsonString(s, ev.args[i].key);
+            s << ": ";
+            jsonNumber(s, ev.args[i].value);
+        }
+        s << "}";
+    }
+    if (!ev.text.empty()) {
+        s << ", \"text\": ";
+        jsonString(s, ev.text);
+    }
+    s << "}\n";
+}
+
+void
+JsonlTraceSink::flush()
+{
+    if (os)
+        os->flush();
+}
+
+std::unique_ptr<ChromeTraceSink>
+ChromeTraceSink::toFile(const std::string &path, std::string *error)
+{
+    auto sink = std::unique_ptr<ChromeTraceSink>(new ChromeTraceSink());
+    sink->owned.open(path, std::ios::binary);
+    if (!sink->owned) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return nullptr;
+    }
+    sink->os = &sink->owned;
+    return sink;
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    flush();
+}
+
+void
+ChromeTraceSink::begin()
+{
+    if (started)
+        return;
+    started = true;
+    (*os) << "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+}
+
+void
+ChromeTraceSink::comma()
+{
+    (*os) << (firstEvent ? "\n" : ",\n");
+    firstEvent = false;
+}
+
+void
+ChromeTraceSink::event(const TraceEvent &ev)
+{
+    if (closed)
+        return;
+    begin();
+
+    // Name the SM's track group once (metadata events carry no
+    // timestamp, so they never disturb per-track monotonicity).
+    if (ev.sm >= smSeen.size())
+        smSeen.resize(ev.sm + 1, false);
+    if (!smSeen[ev.sm]) {
+        smSeen[ev.sm] = true;
+        comma();
+        (*os) << "{\"ph\": \"M\", \"pid\": " << ev.sm
+              << ", \"name\": \"process_name\", \"args\": {\"name\": "
+                 "\"sm"
+              << ev.sm << "\"}}";
+    }
+
+    writeEvent(ev, toString(ev.kind));
+}
+
+void
+ChromeTraceSink::writeEvent(const TraceEvent &ev, const char *ph)
+{
+    comma();
+    std::ostream &s = *os;
+    s << "{\"ph\": \"" << ph << "\", \"ts\": ";
+    jsonNumber(s, double(ev.cycle));
+    s << ", \"pid\": " << ev.sm << ", \"tid\": "
+      << (ev.warp >= 0 ? ev.warp : 0) << ", \"cat\": ";
+    jsonString(s, ev.categoryName);
+    if (!ev.name.empty() || !ev.text.empty()) {
+        s << ", \"name\": ";
+        jsonString(s, ev.name.empty() ? ev.text : ev.name);
+    }
+    if (ev.kind == EventKind::Instant)
+        s << ", \"s\": \"" << (ev.warp >= 0 ? 't' : 'p') << "\"";
+    if (!ev.args.empty()) {
+        s << ", \"args\": {";
+        for (std::size_t i = 0; i < ev.args.size(); ++i) {
+            s << (i ? ", " : "");
+            jsonString(s, ev.args[i].key);
+            s << ": ";
+            jsonNumber(s, ev.args[i].value);
+        }
+        s << "}";
+    }
+    s << "}";
+}
+
+void
+ChromeTraceSink::flush()
+{
+    if (closed || !os) // null os: the toFile() failed-open carcass
+        return;
+    closed = true;
+    begin();
+    (*os) << "\n]}\n";
+    os->flush();
+}
+
+} // namespace pilotrf::obs

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Structured trace-sink API: the pluggable backend behind the simulator's
+ * trace points.
+ *
+ * A `TraceEvent` carries the who/when/what of one simulator event in a
+ * structured form (cycle, SM, warp, category, kind, name, numeric args)
+ * plus an optional pre-formatted text message for human-readable sinks. A
+ * `TraceHub` fans events out to any number of `TraceSink`s:
+ *
+ *  - `TextTraceSink`    — the legacy one-line-per-event formatter
+ *                         ("<cycle>: sm<N> <cat>: <message>")
+ *  - `JsonlTraceSink`   — one JSON object per line, machine-readable
+ *  - `ChromeTraceSink`  — Chrome trace-event (catapult) JSON, loadable in
+ *                         chrome://tracing or Perfetto
+ *
+ * Events travel on two channels. *Text* events originate from the
+ * printf-style trace points and are delivered to sinks that
+ * `wantsText()`; they are gated by the hub's per-category mask.
+ * *Structured* events (warp lifetimes, swap-table movements, back-gate
+ * transitions, ...) are delivered only to sinks that
+ * `handlesStructured()`, so attaching a structured sink never changes the
+ * byte stream a text sink produces.
+ *
+ * A hub is not synchronized: attach one hub per simulated GPU (the
+ * experiment runner gives every job its own hub and output files, which
+ * is what makes tracing safe under the worker pool).
+ */
+
+#ifndef PILOTRF_OBS_TRACE_HH
+#define PILOTRF_OBS_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pilotrf::obs
+{
+
+/** How a structured event relates to simulated time. */
+enum class EventKind : std::uint8_t
+{
+    Instant, ///< a point event (swap, flush, one trace line)
+    Begin,   ///< opens a duration on the event's (sm, warp) track
+    End,     ///< closes the innermost duration on the track
+    Counter, ///< samples a named value (back-gate mode, ...)
+};
+
+const char *toString(EventKind k);
+
+/** One named numeric argument of a structured event. */
+struct TraceArg
+{
+    const char *key;
+    double value;
+};
+
+/** One simulator event, structured. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    SmId sm = 0;
+    std::int32_t warp = -1; ///< -1: not warp-scoped (SM-level event)
+    unsigned category = 0;  ///< sim::TraceCat enumerator value
+    const char *categoryName = "?";
+    EventKind kind = EventKind::Instant;
+    std::string name; ///< event/track name for structured sinks
+    std::string text; ///< pre-formatted message (text trace points)
+    std::vector<TraceArg> args;
+};
+
+/** Consumes events; implementations own their formatting and output. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    virtual void event(const TraceEvent &ev) = 0;
+
+    /** Receive printf-style text events (the legacy trace points). */
+    virtual bool wantsText() const { return true; }
+
+    /** Receive structured events (warp lifetimes, swaps, back-gate). */
+    virtual bool handlesStructured() const { return false; }
+
+    /** Finish the output (close JSON documents, flush streams). Safe to
+     *  call more than once. */
+    virtual void flush() {}
+};
+
+/**
+ * Fans events out to the attached sinks. Text events additionally pass a
+ * per-category enable mask (default: all categories), so a hub can carry
+ * a high-volume JSONL sink restricted to a few categories.
+ */
+class TraceHub
+{
+  public:
+    /** Attach a sink; the hub owns it. Returns it for convenience. */
+    TraceSink &addSink(std::unique_ptr<TraceSink> sink);
+
+    /** Deliver a text event to every text-wanting sink. */
+    void dispatch(const TraceEvent &ev);
+
+    /** Deliver a structured event to every structured-handling sink. */
+    void dispatchStructured(const TraceEvent &ev);
+
+    /** True when at least one sink handles structured events — the gate
+     *  the instrumentation checks before building an event. */
+    bool wantsStructured() const { return nStructured > 0; }
+
+    /** True when a text sink is attached and the category is enabled. */
+    bool textEnabled(unsigned category) const
+    {
+        return nText > 0 && ((catMask >> category) & 1u) != 0;
+    }
+
+    void setCategoryMask(std::uint64_t mask) { catMask = mask; }
+    std::uint64_t categoryMask() const { return catMask; }
+
+    std::size_t sinkCount() const { return sinks.size(); }
+
+    /** flush() every sink. */
+    void flush();
+
+  private:
+    std::vector<std::unique_ptr<TraceSink>> sinks;
+    unsigned nText = 0;
+    unsigned nStructured = 0;
+    std::uint64_t catMask = ~std::uint64_t(0);
+};
+
+/**
+ * The legacy human-readable formatter as a sink:
+ * "<cycle>: sm<N> <cat>: <message>" — byte-identical to the printf-era
+ * trace output. Text events only.
+ */
+class TextTraceSink : public TraceSink
+{
+  public:
+    /** Write to a borrowed stream (not owned). */
+    explicit TextTraceSink(std::ostream &os) : os(&os) {}
+
+    void event(const TraceEvent &ev) override;
+    bool wantsText() const override { return true; }
+    bool handlesStructured() const override { return false; }
+
+    /** Redirect the output (the static Trace::setStream path). */
+    void setStream(std::ostream &s) { os = &s; }
+
+  private:
+    std::ostream *os;
+};
+
+/**
+ * One JSON object per line, both channels:
+ * {"cycle":C,"sm":N,"warp":W,"cat":"...","kind":"...","name":"...",
+ *  "args":{...},"text":"..."} — absent fields are omitted.
+ */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    explicit JsonlTraceSink(std::ostream &os) : os(&os) {}
+
+    /** Open `path` for writing and own the stream. Returns nullptr (and
+     *  leaves *error set when given) if the file cannot be opened. */
+    static std::unique_ptr<JsonlTraceSink> toFile(const std::string &path,
+                                                  std::string *error =
+                                                      nullptr);
+
+    void event(const TraceEvent &ev) override;
+    bool wantsText() const override { return true; }
+    bool handlesStructured() const override { return true; }
+    void flush() override;
+
+  private:
+    JsonlTraceSink() = default;
+
+    std::ofstream owned;
+    std::ostream *os = nullptr;
+};
+
+/**
+ * Chrome trace-event (catapult) exporter: a `{"traceEvents":[...]}`
+ * document whose tracks are (pid = SM, tid = warp). Warp lifetimes render
+ * as duration events, swap-table movements as instants, back-gate mode as
+ * a counter track; one simulated cycle maps to one microsecond of trace
+ * time. Structured events only (the text channel would drown the
+ * viewer). Load the file in chrome://tracing or https://ui.perfetto.dev.
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os) : os(&os) {}
+
+    static std::unique_ptr<ChromeTraceSink> toFile(const std::string &path,
+                                                   std::string *error =
+                                                       nullptr);
+
+    ~ChromeTraceSink() override;
+
+    void event(const TraceEvent &ev) override;
+    bool wantsText() const override { return false; }
+    bool handlesStructured() const override { return true; }
+
+    /** Close the JSON document; further events are dropped. */
+    void flush() override;
+
+  private:
+    ChromeTraceSink() = default;
+
+    void writeEvent(const TraceEvent &ev, const char *ph);
+    void begin();
+    void comma();
+
+    std::ofstream owned;
+    std::ostream *os = nullptr;
+    bool started = false;
+    bool closed = false;
+    bool firstEvent = true;
+    std::vector<bool> smSeen; ///< process_name metadata emitted per SM
+};
+
+} // namespace pilotrf::obs
+
+#endif // PILOTRF_OBS_TRACE_HH

@@ -1,0 +1,35 @@
+#include "regfile/factory.hh"
+
+#include "common/logging.hh"
+#include "regfile/drowsy_rf.hh"
+#include "regfile/monolithic_rf.hh"
+#include "regfile/partitioned_rf.hh"
+#include "regfile/rfc.hh"
+#include "sim/sim_config.hh" // data members only; no sim-layer link dep
+
+namespace pilotrf::regfile
+{
+
+std::unique_ptr<RegisterFile>
+makeRegisterFile(const sim::SimConfig &cfg)
+{
+    switch (cfg.rfKind) {
+      case sim::RfKind::MrfStv:
+        return std::make_unique<MonolithicRf>(
+            cfg.rfBanks, rfmodel::RfMode::MrfStv, cfg.mrfLatencyOverride);
+      case sim::RfKind::MrfNtv:
+        return std::make_unique<MonolithicRf>(
+            cfg.rfBanks, rfmodel::RfMode::MrfNtv, cfg.mrfLatencyOverride);
+      case sim::RfKind::Partitioned:
+        return std::make_unique<PartitionedRf>(cfg.rfBanks, cfg.prf);
+      case sim::RfKind::Rfc:
+        return std::make_unique<RfCacheRf>(cfg.rfBanks, cfg.rfc,
+                                           cfg.warpsPerSm);
+      case sim::RfKind::Drowsy:
+        return std::make_unique<DrowsyRf>(cfg.rfBanks, cfg.drowsy,
+                                          cfg.warpsPerSm);
+    }
+    panic("unknown RfKind");
+}
+
+} // namespace pilotrf::regfile

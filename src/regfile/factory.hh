@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The one registration point for register-file backends: maps the
+ * configured `sim::RfKind` to a constructed backend. New backends plug in
+ * here and become reachable from the Gpu, the tests and the examples
+ * without touching the SM model.
+ */
+
+#ifndef PILOTRF_REGFILE_FACTORY_HH
+#define PILOTRF_REGFILE_FACTORY_HH
+
+#include <memory>
+
+namespace pilotrf::sim
+{
+struct SimConfig;
+}
+
+namespace pilotrf::regfile
+{
+
+class RegisterFile;
+
+/** Construct the RF backend selected by `cfg.rfKind`, sized and tuned
+ *  from the matching nested config (prf / rfc / drowsy). */
+std::unique_ptr<RegisterFile> makeRegisterFile(const sim::SimConfig &cfg);
+
+} // namespace pilotrf::regfile
+
+#endif // PILOTRF_REGFILE_FACTORY_HH

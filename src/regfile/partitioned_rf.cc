@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "isa/static_profiler.hh"
+#include "obs/trace.hh"
 
 namespace pilotrf::regfile
 {
@@ -17,6 +18,15 @@ toString(Profiling p)
       case Profiling::Oracle: return "oracle";
     }
     return "?";
+}
+
+std::optional<Profiling>
+parseProfiling(std::string_view name)
+{
+    for (unsigned p = 0; p < numProfilings; ++p)
+        if (name == toString(Profiling(p)))
+            return Profiling(p);
+    return std::nullopt;
 }
 
 PartitionedRf::PartitionedRf(unsigned numBanks,
@@ -57,6 +67,57 @@ PartitionedRf::kernelLaunch(const isa::Kernel &kernel)
         table.program(oracleHot);
         break;
     }
+    if (traceHub && traceHub->wantsStructured()) {
+        emitSwapEvents("launch", 0);
+        emitBackgateMode(/*force=*/true);
+    }
+}
+
+void
+PartitionedRf::emitSwapEvents(const char *reason, std::uint64_t moves)
+{
+    obs::TraceEvent ev;
+    ev.cycle = traceNow;
+    ev.sm = traceSm;
+    ev.categoryName = "swap";
+    ev.kind = obs::EventKind::Instant;
+    ev.name = std::string("swap.") + reason;
+    ev.args = {{"entries", double(table.validEntries())},
+               {"moves", double(moves)}};
+    traceHub->dispatchStructured(ev);
+
+    for (const auto &e : table.entries()) {
+        if (!e.valid)
+            continue;
+        obs::TraceEvent pair;
+        pair.cycle = traceNow;
+        pair.sm = traceSm;
+        pair.categoryName = "swap";
+        pair.kind = obs::EventKind::Instant;
+        pair.name = "swap.map";
+        pair.args = {{"arch", double(e.archReg)},
+                     {"phys", double(e.mappedReg)}};
+        traceHub->dispatchStructured(pair);
+    }
+}
+
+void
+PartitionedRf::emitBackgateMode(bool force)
+{
+    if (!traceHub->wantsStructured())
+        return;
+    const bool low = cfg.adaptiveFrf && frfController.lowPowerMode();
+    if (!force && low == lastLowMode)
+        return;
+    lastLowMode = low;
+    obs::TraceEvent ev;
+    ev.cycle = traceNow;
+    ev.sm = traceSm;
+    ev.categoryName = "backgate";
+    ev.kind = obs::EventKind::Counter;
+    ev.name = "frf.backgate";
+    ev.args = {{"low", low ? 1.0 : 0.0}};
+    traceHub->dispatchStructured(ev);
 }
 
 void
@@ -97,6 +158,8 @@ PartitionedRf::cycleHook(Cycle now, unsigned issued)
     RegisterFile::cycleHook(now, issued);
     if (cfg.adaptiveFrf)
         frfController.cycle(issued);
+    if (traceHub)
+        emitBackgateMode(/*force=*/false);
 }
 
 void
@@ -131,6 +194,10 @@ PartitionedRf::warpFinished(WarpId w)
         noteMode(rfmodel::RfMode::FrfHigh, 2 * moves);
         noteMode(rfmodel::RfMode::Srf, 2 * moves);
         ctrs.inc(hRemapMoves, 2 * moves);
+        if (traceHub && traceHub->wantsStructured())
+            emitSwapEvents("pilot", 2 * moves);
+    } else if (traceHub && traceHub->wantsStructured()) {
+        emitSwapEvents("pilot", 0);
     }
 }
 

@@ -10,6 +10,8 @@
 #define PILOTRF_REGFILE_PARTITIONED_RF_HH
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "regfile/adaptive_frf.hh"
@@ -31,6 +33,12 @@ enum class Profiling
 };
 
 const char *toString(Profiling p);
+
+/** Number of Profiling enumerators (bounds the parse/round-trip scan). */
+inline constexpr unsigned numProfilings = 5;
+
+/** Inverse of toString(); nullopt for unknown names. */
+std::optional<Profiling> parseProfiling(std::string_view name);
 
 struct PartitionedRfConfig
 {
@@ -73,6 +81,12 @@ class PartitionedRf : public RegisterFile
     const std::vector<RegId> &pilotHotRegisters() const { return pilotHot; }
 
   private:
+    /** Telemetry: one instant event per valid swap-table entry plus a
+     *  summary (hub attached only). */
+    void emitSwapEvents(const char *reason, std::uint64_t moves);
+    /** Telemetry: back-gate mode counter event when the mode changed. */
+    void emitBackgateMode(bool force);
+
     PartitionedRfConfig cfg;
     SwapTable table;
     PilotProfiler pilot;
@@ -80,6 +94,7 @@ class PartitionedRf : public RegisterFile
     std::vector<RegId> oracleHot;
     std::vector<RegId> pilotHot;
     unsigned liveWarps = 0;
+    bool lastLowMode = false; ///< last back-gate mode the hub saw
 
     CounterBlock::Handle hSwapLookup, hRemapMoves, hPilotFinish;
 };

@@ -38,6 +38,7 @@ void
 RegisterFile::cycleHook(Cycle now, unsigned)
 {
     lastCycle = now;
+    traceNow = now; // keep trace stamps sane without a driving SM
 }
 
 void

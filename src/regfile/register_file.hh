@@ -22,6 +22,11 @@
 #include "isa/kernel.hh"
 #include "rfmodel/rf_specs.hh"
 
+namespace pilotrf::obs
+{
+class TraceHub;
+}
+
 namespace pilotrf::regfile
 {
 
@@ -99,6 +104,27 @@ class RegisterFile
     /** The typed counters behind stats() (registration + raw values). */
     const CounterBlock &counters() const { return ctrs; }
 
+    /**
+     * Attach a structured trace hub (and the owning SM's id) so the
+     * backend can emit telemetry events — swap-table movements, back-gate
+     * transitions, RFC flushes. Null detaches; with no hub attached the
+     * telemetry points cost one predictable branch each.
+     */
+    void attachTrace(obs::TraceHub *hub, SmId sm)
+    {
+        traceHub = hub;
+        traceSm = sm;
+    }
+
+    /**
+     * Advance the timestamp stamped on emitted trace events. The SM calls
+     * this at the top of every cycle — before the issue stage, which can
+     * retire warps (and emit swap telemetry) ahead of cycleHook()'s
+     * lastCycle update — so backend events carry the in-progress cycle,
+     * keeping per-track timestamps monotonic in exported traces.
+     */
+    void noteCycle(Cycle now) { traceNow = now; }
+
     unsigned numBanks() const { return banks; }
 
   protected:
@@ -126,6 +152,9 @@ class RegisterFile
 
     unsigned banks;
     Cycle lastCycle = 0;
+    Cycle traceNow = 0;                ///< see noteCycle()
+    obs::TraceHub *traceHub = nullptr; ///< per-GPU hub (not owned)
+    SmId traceSm = 0;                  ///< SM id stamped on emitted events
     CounterBlock ctrs; ///< typed counters; backends add their own
     mutable StatSet _stats; ///< reporting snapshot, rebuilt by stats()
     std::vector<std::uint64_t> regCounts;

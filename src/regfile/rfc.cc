@@ -1,6 +1,7 @@
 #include "regfile/rfc.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace pilotrf::regfile
 {
@@ -128,12 +129,25 @@ RfCacheRf::access(WarpId w, RegId r, bool write)
 void
 RfCacheRf::flush(WarpId w)
 {
+    unsigned written = 0;
     for (auto &e : sets[w]) {
         if (e.valid && e.dirty) {
             noteInternalMrfWrite();
             ctrs.inc(hFlushWb);
+            ++written;
         }
         e = Entry{};
+    }
+    if (traceHub && traceHub->wantsStructured()) {
+        obs::TraceEvent ev;
+        ev.cycle = traceNow;
+        ev.sm = traceSm;
+        ev.warp = std::int32_t(w);
+        ev.categoryName = "swap";
+        ev.kind = obs::EventKind::Instant;
+        ev.name = "rfc.flush";
+        ev.args = {{"writebacks", double(written)}};
+        traceHub->dispatchStructured(ev);
     }
 }
 

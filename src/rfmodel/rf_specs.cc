@@ -18,6 +18,15 @@ toString(RfMode m)
     return "?";
 }
 
+std::optional<RfMode>
+parseRfMode(std::string_view name)
+{
+    for (unsigned m = 0; m < numRfModes; ++m)
+        if (name == toString(RfMode(m)))
+            return RfMode(m);
+    return std::nullopt;
+}
+
 RfSpecs::RfSpecs()
 {
     const double kb = 1024.0;

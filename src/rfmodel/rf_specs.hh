@@ -10,7 +10,9 @@
 #ifndef PILOTRF_RFMODEL_RF_SPECS_HH
 #define PILOTRF_RFMODEL_RF_SPECS_HH
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "rfmodel/array_model.hh"
@@ -32,6 +34,9 @@ const char *toString(RfMode m);
 
 /** Number of RfMode enumerators (sizes per-mode counter arrays). */
 inline constexpr unsigned numRfModes = 5;
+
+/** Inverse of toString(); nullopt for unknown names. */
+std::optional<RfMode> parseRfMode(std::string_view name);
 
 /** One row of Table IV. */
 struct RfSpec

@@ -4,10 +4,8 @@
 
 #include "common/logging.hh"
 #include "isa/static_profiler.hh"
-#include "regfile/drowsy_rf.hh"
-#include "regfile/monolithic_rf.hh"
+#include "regfile/factory.hh"
 #include "regfile/partitioned_rf.hh"
-#include "regfile/rfc.hh"
 
 namespace pilotrf::sim
 {
@@ -47,29 +45,6 @@ RunResult::rfAccesses() const
     return rfStats.get("access.reads") + rfStats.get("access.writes");
 }
 
-std::unique_ptr<regfile::RegisterFile>
-makeRegisterFile(const SimConfig &cfg)
-{
-    using namespace regfile;
-    switch (cfg.rfKind) {
-      case RfKind::MrfStv:
-        return std::make_unique<MonolithicRf>(
-            cfg.rfBanks, rfmodel::RfMode::MrfStv, cfg.mrfLatencyOverride);
-      case RfKind::MrfNtv:
-        return std::make_unique<MonolithicRf>(
-            cfg.rfBanks, rfmodel::RfMode::MrfNtv, cfg.mrfLatencyOverride);
-      case RfKind::Partitioned:
-        return std::make_unique<PartitionedRf>(cfg.rfBanks, cfg.prf);
-      case RfKind::Rfc:
-        return std::make_unique<RfCacheRf>(cfg.rfBanks, cfg.rfc,
-                                           cfg.warpsPerSm);
-      case RfKind::Drowsy:
-        return std::make_unique<DrowsyRf>(cfg.rfBanks, cfg.drowsy,
-                                          cfg.warpsPerSm);
-    }
-    panic("unknown RfKind");
-}
-
 void
 Gpu::Dispenser::reset(unsigned total)
 {
@@ -100,14 +75,47 @@ Gpu::Gpu(const SimConfig &cfg_) : cfg(cfg_)
     if (cfg.l2Enable)
         l2 = std::make_unique<Cache>(cfg.l2SizeKb * 1024, cfg.l2Assoc);
     for (unsigned i = 0; i < cfg.numSms; ++i) {
-        sms.push_back(std::make_unique<Sm>(cfg, SmId(i),
-                                           makeRegisterFile(cfg),
-                                           dispenser));
+        sms.push_back(std::make_unique<Sm>(
+            cfg, SmId(i), regfile::makeRegisterFile(cfg), dispenser));
         sms.back()->setL2(l2.get());
     }
 }
 
 Gpu::~Gpu() = default;
+
+obs::TraceHub &
+Gpu::traceHub()
+{
+    if (!hubAttached) {
+        for (auto &sm : sms)
+            sm->setTraceHub(&hub);
+        hubAttached = true;
+    }
+    return hub;
+}
+
+void
+Gpu::enableTimeSeries(unsigned periodCycles, std::size_t capacity)
+{
+    panicIf(periodCycles == 0, "time-series period must be nonzero");
+    for (auto &sm : sms)
+        sm->enableTimeSeries(periodCycles, capacity);
+}
+
+bool
+Gpu::timeSeriesEnabled() const
+{
+    return !sms.empty() && sms.front()->timeSeries() != nullptr;
+}
+
+void
+Gpu::writeTimeSeries(std::ostream &os) const
+{
+    std::vector<const obs::TimeSeriesSampler *> samplers;
+    for (const auto &sm : sms)
+        samplers.push_back(sm->timeSeries());
+    obs::writeTimeSeriesJson(os, samplers);
+}
 
 StatSet
 Gpu::mergedRfStats() const
@@ -234,6 +242,12 @@ Gpu::run(const std::vector<isa::Kernel> &kernels)
 
     result.rfStats = statDelta(mergedRfStats(), runRf0);
     result.simStats = statDelta(mergedSimStats(), runSim0);
+
+    for (auto &sm : sms)
+        if (auto *ts = sm->timeSeries())
+            ts->finish(now);
+    if (hubAttached)
+        hub.flush();
     return result;
 }
 

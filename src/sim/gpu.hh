@@ -71,6 +71,24 @@ class Gpu
     unsigned numSms() const { return unsigned(sms.size()); }
     const SimConfig &config() const { return cfg; }
 
+    /**
+     * This GPU's private trace hub: sinks attached here receive only this
+     * GPU's events, so concurrent experiment jobs can stream to per-job
+     * files. The first call wires the hub into every SM and RF backend;
+     * an untouched hub costs nothing on the simulated path.
+     */
+    obs::TraceHub &traceHub();
+
+    /** Delta-sample every SM's pipeline + RF counters (and an active-warp
+     *  gauge) every `periodCycles` cycles. Call before run(). */
+    void enableTimeSeries(unsigned periodCycles,
+                          std::size_t capacity = std::size_t(1) << 14);
+    bool timeSeriesEnabled() const;
+
+    /** Write the collected per-SM time series as one JSON document
+     *  ({"sms": [...]}); call after run(). */
+    void writeTimeSeries(std::ostream &os) const;
+
   private:
     class Dispenser : public CtaSource
     {
@@ -93,11 +111,9 @@ class Gpu
     std::unique_ptr<Cache> l2; ///< GPU-wide shared L2 (optional)
     std::vector<std::unique_ptr<Sm>> sms;
     Cycle now = 0;
+    obs::TraceHub hub;        ///< per-GPU sink fan-out (see traceHub())
+    bool hubAttached = false; ///< hub wired into the SMs yet?
 };
-
-/** Construct the configured RF backend (factory shared with tests). */
-std::unique_ptr<regfile::RegisterFile>
-makeRegisterFile(const SimConfig &cfg);
 
 } // namespace pilotrf::sim
 

@@ -19,6 +19,15 @@ toString(SchedulerPolicy p)
     return "?";
 }
 
+std::optional<SchedulerPolicy>
+parseSchedulerPolicy(std::string_view name)
+{
+    for (unsigned p = 0; p < numSchedulerPolicies; ++p)
+        if (name == toString(SchedulerPolicy(p)))
+            return SchedulerPolicy(p);
+    return std::nullopt;
+}
+
 const char *
 toString(RfKind k)
 {
@@ -30,6 +39,15 @@ toString(RfKind k)
       case RfKind::Drowsy: return "Drowsy";
     }
     return "?";
+}
+
+std::optional<RfKind>
+parseRfKind(std::string_view name)
+{
+    for (unsigned k = 0; k < numRfKinds; ++k)
+        if (name == toString(RfKind(k)))
+            return RfKind(k);
+    return std::nullopt;
 }
 
 unsigned

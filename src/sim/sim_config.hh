@@ -7,11 +7,19 @@
 #define PILOTRF_SIM_SIM_CONFIG_HH
 
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "regfile/drowsy_rf.hh"
 #include "regfile/partitioned_rf.hh"
 #include "regfile/rfc.hh"
+
+namespace pilotrf
+{
+struct JsonValue;
+}
 
 namespace pilotrf::sim
 {
@@ -26,6 +34,12 @@ enum class SchedulerPolicy
 
 const char *toString(SchedulerPolicy p);
 
+/** Number of SchedulerPolicy enumerators (bounds the parse scan). */
+inline constexpr unsigned numSchedulerPolicies = 3;
+
+/** Inverse of toString(); nullopt for unknown names. */
+std::optional<SchedulerPolicy> parseSchedulerPolicy(std::string_view name);
+
 /** Register-file organization under test. */
 enum class RfKind
 {
@@ -37,6 +51,12 @@ enum class RfKind
 };
 
 const char *toString(RfKind k);
+
+/** Number of RfKind enumerators (bounds the parse scan). */
+inline constexpr unsigned numRfKinds = 5;
+
+/** Inverse of toString(); nullopt for unknown names. */
+std::optional<RfKind> parseRfKind(std::string_view name);
 
 struct SimConfig
 {
@@ -98,6 +118,30 @@ struct SimConfig
 
     /** Short human-readable description for bench output. */
     std::string describe() const;
+
+    /**
+     * Write the full configuration as a JSON object, fields in
+     * declaration order, enums as their toString() names, the nested
+     * prf/rfc/drowsy configs as nested objects. `depth` is the starting
+     * indentation level (2 spaces per level).
+     */
+    void toJson(std::ostream &os, unsigned depth = 0) const;
+
+    /** toJson() as a string (the --dump-config document). */
+    std::string jsonText() const;
+
+    /**
+     * Build a SimConfig from a parsed JSON object. Starts from the
+     * defaults, so a partial document overrides only what it names.
+     * Throws std::runtime_error on an unknown key, a mistyped value or an
+     * unknown enum name — a config file typo must never silently fall
+     * back to a default.
+     */
+    static SimConfig fromJson(const JsonValue &v);
+
+    /** Parse `text` and delegate to fromJson(). Throws std::runtime_error
+     *  on malformed JSON. */
+    static SimConfig fromJsonText(std::string_view text);
 };
 
 } // namespace pilotrf::sim

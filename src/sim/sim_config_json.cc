@@ -1,0 +1,408 @@
+/**
+ * @file
+ * SimConfig <-> JSON. The writer emits every field in declaration order
+ * (enums as their toString() names, nested configs as nested objects); the
+ * reader starts from the defaults and strictly rejects unknown keys and
+ * mistyped values, so a config-file typo fails loudly instead of silently
+ * running the default.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "sim/sim_config.hh"
+
+namespace pilotrf::sim
+{
+
+namespace
+{
+
+/** Writer state: one "key": value per line at a fixed depth. */
+class Obj
+{
+  public:
+    Obj(std::ostream &os, unsigned depth) : os(os), pad(2 * (depth + 1), ' ')
+    {
+        os << "{";
+    }
+
+    void field(const char *key, double v)
+    {
+        sep();
+        jsonString(os, key);
+        os << ": ";
+        jsonNumber(os, v);
+    }
+
+    void field(const char *key, bool v)
+    {
+        sep();
+        jsonString(os, key);
+        os << ": " << (v ? "true" : "false");
+    }
+
+    void field(const char *key, const char *v)
+    {
+        sep();
+        jsonString(os, key);
+        os << ": ";
+        jsonString(os, v);
+    }
+
+    /** Open a nested object field; returns the inner writer. */
+    void nested(const char *key)
+    {
+        sep();
+        jsonString(os, key);
+        os << ": ";
+    }
+
+    void close()
+    {
+        os << "\n" << pad.substr(2) << "}";
+    }
+
+  private:
+    void sep()
+    {
+        os << (first ? "\n" : ",\n") << pad;
+        first = false;
+    }
+
+    std::ostream &os;
+    std::string pad;
+    bool first = true;
+};
+
+// --- strict readers --------------------------------------------------------
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::runtime_error("SimConfig JSON: " + what);
+}
+
+double
+asNumber(const char *key, const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        bad(std::string("field '") + key + "' must be a number");
+    return v.number;
+}
+
+unsigned
+asUnsigned(const char *key, const JsonValue &v)
+{
+    const double n = asNumber(key, v);
+    if (n < 0 || n != std::floor(n))
+        bad(std::string("field '") + key +
+            "' must be a non-negative integer");
+    return unsigned(n);
+}
+
+std::uint64_t
+asU64(const char *key, const JsonValue &v)
+{
+    const double n = asNumber(key, v);
+    if (n < 0 || n != std::floor(n))
+        bad(std::string("field '") + key +
+            "' must be a non-negative integer");
+    return std::uint64_t(n);
+}
+
+bool
+asBool(const char *key, const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Bool)
+        bad(std::string("field '") + key + "' must be a boolean");
+    return v.boolean;
+}
+
+const std::string &
+asString(const char *key, const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::String)
+        bad(std::string("field '") + key + "' must be a string");
+    return v.str;
+}
+
+template <typename Enum, typename Parse>
+Enum
+asEnum(const char *key, const JsonValue &v, Parse parse)
+{
+    const std::string &name = asString(key, v);
+    if (const auto e = parse(name))
+        return *e;
+    bad(std::string("field '") + key + "': unknown name '" + name + "'");
+}
+
+regfile::PartitionedRfConfig
+prfFromJson(const JsonValue &v)
+{
+    regfile::PartitionedRfConfig c;
+    if (!v.isObject())
+        bad("field 'prf' must be an object");
+    for (const auto &[key, val] : v.object) {
+        if (key == "frfRegs")
+            c.frfRegs = asUnsigned("prf.frfRegs", val);
+        else if (key == "profiling")
+            c.profiling =
+                asEnum<regfile::Profiling>("prf.profiling", val,
+                                           regfile::parseProfiling);
+        else if (key == "adaptiveFrf")
+            c.adaptiveFrf = asBool("prf.adaptiveFrf", val);
+        else if (key == "epochLength")
+            c.epochLength = asUnsigned("prf.epochLength", val);
+        else if (key == "issueThreshold")
+            c.issueThreshold = asUnsigned("prf.issueThreshold", val);
+        else if (key == "frfHighLatency")
+            c.frfHighLatency = asUnsigned("prf.frfHighLatency", val);
+        else if (key == "frfLowLatency")
+            c.frfLowLatency = asUnsigned("prf.frfLowLatency", val);
+        else if (key == "srfLatency")
+            c.srfLatency = asUnsigned("prf.srfLatency", val);
+        else if (key == "countRemapTraffic")
+            c.countRemapTraffic = asBool("prf.countRemapTraffic", val);
+        else if (key == "swapTableExtraCycle")
+            c.swapTableExtraCycle = asBool("prf.swapTableExtraCycle", val);
+        else
+            bad("unknown key 'prf." + key + "'");
+    }
+    return c;
+}
+
+regfile::RfcRfConfig
+rfcFromJson(const JsonValue &v)
+{
+    regfile::RfcRfConfig c;
+    if (!v.isObject())
+        bad("field 'rfc' must be an object");
+    for (const auto &[key, val] : v.object) {
+        if (key == "regsPerWarp")
+            c.regsPerWarp = asUnsigned("rfc.regsPerWarp", val);
+        else if (key == "mrfMode")
+            c.mrfMode = asEnum<rfmodel::RfMode>("rfc.mrfMode", val,
+                                                rfmodel::parseRfMode);
+        else if (key == "mrfLatency")
+            c.mrfLatency = asUnsigned("rfc.mrfLatency", val);
+        else if (key == "rfcLatency")
+            c.rfcLatency = asUnsigned("rfc.rfcLatency", val);
+        else if (key == "readPorts")
+            c.readPorts = asUnsigned("rfc.readPorts", val);
+        else if (key == "writePorts")
+            c.writePorts = asUnsigned("rfc.writePorts", val);
+        else if (key == "rfcBanks")
+            c.rfcBanks = asUnsigned("rfc.rfcBanks", val);
+        else if (key == "allocOnReadMiss")
+            c.allocOnReadMiss = asBool("rfc.allocOnReadMiss", val);
+        else
+            bad("unknown key 'rfc." + key + "'");
+    }
+    return c;
+}
+
+regfile::DrowsyRfConfig
+drowsyFromJson(const JsonValue &v)
+{
+    regfile::DrowsyRfConfig c;
+    if (!v.isObject())
+        bad("field 'drowsy' must be an object");
+    for (const auto &[key, val] : v.object) {
+        if (key == "drowsyAfter")
+            c.drowsyAfter = asUnsigned("drowsy.drowsyAfter", val);
+        else if (key == "wakeLatency")
+            c.wakeLatency = asUnsigned("drowsy.wakeLatency", val);
+        else if (key == "drowsyLeakFactor")
+            c.drowsyLeakFactor = asNumber("drowsy.drowsyLeakFactor", val);
+        else
+            bad("unknown key 'drowsy." + key + "'");
+    }
+    return c;
+}
+
+} // namespace
+
+void
+SimConfig::toJson(std::ostream &os, unsigned depth) const
+{
+    Obj o(os, depth);
+    o.field("numSms", double(numSms));
+    o.field("warpsPerSm", double(warpsPerSm));
+    o.field("schedulers", double(schedulers));
+    o.field("issuePerScheduler", double(issuePerScheduler));
+    o.field("rfBanks", double(rfBanks));
+    o.field("collectors", double(collectors));
+    o.field("maxCtasPerSm", double(maxCtasPerSm));
+    o.field("threadRegsPerSm", double(threadRegsPerSm));
+    o.field("policy", toString(policy));
+    o.field("tlActiveWarps", double(tlActiveWarps));
+    o.field("spLatency", double(spLatency));
+    o.field("sfuLatency", double(sfuLatency));
+    o.field("spWidth", double(spWidth));
+    o.field("sfuWidth", double(sfuWidth));
+    o.field("memWidth", double(memWidth));
+    o.field("maxInflightPerWarp", double(maxInflightPerWarp));
+    o.field("writeForwarding", writeForwarding);
+    o.field("sharedLatency", double(sharedLatency));
+    o.field("globalLatency", double(globalLatency));
+    o.field("maxOutstandingMem", double(maxOutstandingMem));
+    o.field("l1Enable", l1Enable);
+    o.field("l1SizeKb", double(l1SizeKb));
+    o.field("l1Assoc", double(l1Assoc));
+    o.field("l1HitLatency", double(l1HitLatency));
+    o.field("l2Enable", l2Enable);
+    o.field("l2SizeKb", double(l2SizeKb));
+    o.field("l2Assoc", double(l2Assoc));
+    o.field("l2HitLatency", double(l2HitLatency));
+    o.field("rfKind", toString(rfKind));
+
+    o.nested("prf");
+    {
+        Obj p(os, depth + 1);
+        p.field("frfRegs", double(prf.frfRegs));
+        p.field("profiling", regfile::toString(prf.profiling));
+        p.field("adaptiveFrf", prf.adaptiveFrf);
+        p.field("epochLength", double(prf.epochLength));
+        p.field("issueThreshold", double(prf.issueThreshold));
+        p.field("frfHighLatency", double(prf.frfHighLatency));
+        p.field("frfLowLatency", double(prf.frfLowLatency));
+        p.field("srfLatency", double(prf.srfLatency));
+        p.field("countRemapTraffic", prf.countRemapTraffic);
+        p.field("swapTableExtraCycle", prf.swapTableExtraCycle);
+        p.close();
+    }
+
+    o.nested("rfc");
+    {
+        Obj r(os, depth + 1);
+        r.field("regsPerWarp", double(rfc.regsPerWarp));
+        r.field("mrfMode", rfmodel::toString(rfc.mrfMode));
+        r.field("mrfLatency", double(rfc.mrfLatency));
+        r.field("rfcLatency", double(rfc.rfcLatency));
+        r.field("readPorts", double(rfc.readPorts));
+        r.field("writePorts", double(rfc.writePorts));
+        r.field("rfcBanks", double(rfc.rfcBanks));
+        r.field("allocOnReadMiss", rfc.allocOnReadMiss);
+        r.close();
+    }
+
+    o.nested("drowsy");
+    {
+        Obj d(os, depth + 1);
+        d.field("drowsyAfter", double(drowsy.drowsyAfter));
+        d.field("wakeLatency", double(drowsy.wakeLatency));
+        d.field("drowsyLeakFactor", drowsy.drowsyLeakFactor);
+        d.close();
+    }
+
+    o.field("mrfLatencyOverride", double(mrfLatencyOverride));
+    o.field("maxCycles", double(maxCycles));
+    o.close();
+}
+
+std::string
+SimConfig::jsonText() const
+{
+    std::ostringstream os;
+    toJson(os);
+    os << "\n";
+    return os.str();
+}
+
+SimConfig
+SimConfig::fromJson(const JsonValue &v)
+{
+    SimConfig c;
+    if (!v.isObject())
+        bad("document must be an object");
+    for (const auto &[key, val] : v.object) {
+        if (key == "numSms")
+            c.numSms = asUnsigned("numSms", val);
+        else if (key == "warpsPerSm")
+            c.warpsPerSm = asUnsigned("warpsPerSm", val);
+        else if (key == "schedulers")
+            c.schedulers = asUnsigned("schedulers", val);
+        else if (key == "issuePerScheduler")
+            c.issuePerScheduler = asUnsigned("issuePerScheduler", val);
+        else if (key == "rfBanks")
+            c.rfBanks = asUnsigned("rfBanks", val);
+        else if (key == "collectors")
+            c.collectors = asUnsigned("collectors", val);
+        else if (key == "maxCtasPerSm")
+            c.maxCtasPerSm = asUnsigned("maxCtasPerSm", val);
+        else if (key == "threadRegsPerSm")
+            c.threadRegsPerSm = asUnsigned("threadRegsPerSm", val);
+        else if (key == "policy")
+            c.policy = asEnum<SchedulerPolicy>("policy", val,
+                                               parseSchedulerPolicy);
+        else if (key == "tlActiveWarps")
+            c.tlActiveWarps = asUnsigned("tlActiveWarps", val);
+        else if (key == "spLatency")
+            c.spLatency = asUnsigned("spLatency", val);
+        else if (key == "sfuLatency")
+            c.sfuLatency = asUnsigned("sfuLatency", val);
+        else if (key == "spWidth")
+            c.spWidth = asUnsigned("spWidth", val);
+        else if (key == "sfuWidth")
+            c.sfuWidth = asUnsigned("sfuWidth", val);
+        else if (key == "memWidth")
+            c.memWidth = asUnsigned("memWidth", val);
+        else if (key == "maxInflightPerWarp")
+            c.maxInflightPerWarp = asUnsigned("maxInflightPerWarp", val);
+        else if (key == "writeForwarding")
+            c.writeForwarding = asBool("writeForwarding", val);
+        else if (key == "sharedLatency")
+            c.sharedLatency = asUnsigned("sharedLatency", val);
+        else if (key == "globalLatency")
+            c.globalLatency = asUnsigned("globalLatency", val);
+        else if (key == "maxOutstandingMem")
+            c.maxOutstandingMem = asUnsigned("maxOutstandingMem", val);
+        else if (key == "l1Enable")
+            c.l1Enable = asBool("l1Enable", val);
+        else if (key == "l1SizeKb")
+            c.l1SizeKb = asUnsigned("l1SizeKb", val);
+        else if (key == "l1Assoc")
+            c.l1Assoc = asUnsigned("l1Assoc", val);
+        else if (key == "l1HitLatency")
+            c.l1HitLatency = asUnsigned("l1HitLatency", val);
+        else if (key == "l2Enable")
+            c.l2Enable = asBool("l2Enable", val);
+        else if (key == "l2SizeKb")
+            c.l2SizeKb = asUnsigned("l2SizeKb", val);
+        else if (key == "l2Assoc")
+            c.l2Assoc = asUnsigned("l2Assoc", val);
+        else if (key == "l2HitLatency")
+            c.l2HitLatency = asUnsigned("l2HitLatency", val);
+        else if (key == "rfKind")
+            c.rfKind = asEnum<RfKind>("rfKind", val, parseRfKind);
+        else if (key == "prf")
+            c.prf = prfFromJson(val);
+        else if (key == "rfc")
+            c.rfc = rfcFromJson(val);
+        else if (key == "drowsy")
+            c.drowsy = drowsyFromJson(val);
+        else if (key == "mrfLatencyOverride")
+            c.mrfLatencyOverride = asUnsigned("mrfLatencyOverride", val);
+        else if (key == "maxCycles")
+            c.maxCycles = asU64("maxCycles", val);
+        else
+            bad("unknown key '" + key + "'");
+    }
+    return c;
+}
+
+SimConfig
+SimConfig::fromJsonText(std::string_view text)
+{
+    JsonValue v;
+    std::string error;
+    if (!jsonParse(text, v, &error))
+        bad("parse error: " + error);
+    return fromJson(v);
+}
+
+} // namespace pilotrf::sim

@@ -51,6 +51,17 @@ Sm::setL2(Cache *l2_)
 }
 
 void
+Sm::enableTimeSeries(unsigned periodCycles, std::size_t capacity)
+{
+    sampler =
+        std::make_unique<obs::TimeSeriesSampler>(periodCycles, capacity);
+    sampler->addBlock("sim.", &ctrs);
+    sampler->addBlock("rf.", &backend->counters());
+    sampler->addGauge("warps.active",
+                      [this] { return std::uint64_t(liveWarpCount); });
+}
+
+void
 Sm::startKernel(const isa::Kernel *k)
 {
     panicIf(!idle(), "startKernel on a busy SM");
@@ -110,8 +121,9 @@ Sm::tryLaunchCtas()
         unsigned slotIdx = 0;
         while (ctaSlots[slotIdx].valid)
             ++slotIdx;
-        PILOTRF_TRACE(TraceCat::Cta, lastCycleSeen, smId,
-                      "launch cta %u into slot %u", unsigned(cta), slotIdx);
+        PILOTRF_TRACE_AT(hub, TraceCat::Cta, lastCycleSeen, smId,
+                         "launch cta %u into slot %u", unsigned(cta),
+                         slotIdx);
         CtaSlot &slot = ctaSlots[slotIdx];
         slot.valid = true;
         slot.cta = cta;
@@ -126,9 +138,20 @@ Sm::tryLaunchCtas()
             threadsLeft -= threads;
             warps[w].launch(kernel, cta, i, slotIdx, launchCounter++,
                             threads);
-            PILOTRF_TRACE(TraceCat::Warp, lastCycleSeen, smId,
-                          "launch warp %u (cta %u.%u)", unsigned(w),
-                          unsigned(cta), i);
+            PILOTRF_TRACE_AT(hub, TraceCat::Warp, lastCycleSeen, smId,
+                             "launch warp %u (cta %u.%u)", unsigned(w),
+                             unsigned(cta), i);
+            if (hub && hub->wantsStructured()) {
+                obs::TraceEvent ev;
+                ev.cycle = lastCycleSeen;
+                ev.sm = smId;
+                ev.warp = std::int32_t(w);
+                ev.categoryName = "warp";
+                ev.kind = obs::EventKind::Begin;
+                ev.name = "warp " + std::to_string(unsigned(w));
+                ev.args = {{"cta", double(cta)}, {"lane", double(i)}};
+                hub->dispatchStructured(ev);
+            }
             ++liveWarpCount;
             scheduler.onWarpLaunched(w, warps[w].launchAge());
             backend->warpStarted(w, cta);
@@ -329,11 +352,11 @@ Sm::dispatchCollectors(Cycle now)
                 finishAt = start + cfg.globalLatency + missing;
             }
             ++outstandingMem;
-            PILOTRF_TRACE(TraceCat::Mem, now, smId,
-                          "w%u %s txn=%u finish@%llu", unsigned(c.warp),
-                          isa::toString(c.in->op),
-                          unsigned(c.in->transactions),
-                          (unsigned long long)finishAt);
+            PILOTRF_TRACE_AT(hub, TraceCat::Mem, now, smId,
+                             "w%u %s txn=%u finish@%llu", unsigned(c.warp),
+                             isa::toString(c.in->op),
+                             unsigned(c.in->transactions),
+                             (unsigned long long)finishAt);
             ctrs.inc(h.memTransactions, c.in->transactions);
             break;
           }
@@ -426,8 +449,18 @@ void
 Sm::finishWarp(WarpId wid)
 {
     WarpContext &w = warps[wid];
-    PILOTRF_TRACE(TraceCat::Warp, lastCycleSeen, smId, "retire warp %u",
-                  unsigned(wid));
+    PILOTRF_TRACE_AT(hub, TraceCat::Warp, lastCycleSeen, smId,
+                     "retire warp %u", unsigned(wid));
+    if (hub && hub->wantsStructured()) {
+        obs::TraceEvent ev;
+        ev.cycle = lastCycleSeen;
+        ev.sm = smId;
+        ev.warp = std::int32_t(wid);
+        ev.categoryName = "warp";
+        ev.kind = obs::EventKind::End;
+        ev.name = "warp " + std::to_string(unsigned(wid));
+        hub->dispatchStructured(ev);
+    }
     --liveWarpCount;
     scheduler.onWarpFinished(wid);
     backend->warpFinished(wid);
@@ -483,8 +516,8 @@ Sm::issueOne(WarpId wid, Cycle now)
     WarpContext &w = warps[wid];
     const isa::Instruction &in = w.nextInstr();
 
-    PILOTRF_TRACE(TraceCat::Issue, now, smId, "w%u pc %u: %s",
-                  unsigned(wid), w.pc(), in.toString().c_str());
+    PILOTRF_TRACE_AT(hub, TraceCat::Issue, now, smId, "w%u pc %u: %s",
+                     unsigned(wid), w.pc(), in.toString().c_str());
     if (in.execClass() == isa::ExecClass::Ctrl) {
         if (in.isBarrier()) {
             w.executeControl(in);
@@ -581,6 +614,7 @@ void
 Sm::cycle(Cycle now)
 {
     lastCycleSeen = now;
+    backend->noteCycle(now);
     processWritebackClears(now);
     processExecCompletions(now);
     latchReadyOperands(now);
@@ -594,6 +628,9 @@ Sm::cycle(Cycle now)
               std::uint64_t(cfg.schedulers) * cfg.issuePerScheduler);
     if (liveWarpCount)
         ctrs.inc(h.cyclesActive);
+
+    if (sampler)
+        sampler->tick(now);
 
     tryLaunchCtas();
 }

@@ -18,6 +18,8 @@
 
 #include "common/counters.hh"
 #include "common/stats.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
 #include "regfile/register_file.hh"
 #include "sim/scheduler.hh"
 #include "sim/sim_config.hh"
@@ -78,6 +80,31 @@ class Sm
     const CounterBlock &counters() const { return ctrs; }
 
     const SimConfig &config() const { return cfg; }
+
+    /**
+     * Attach a per-GPU trace hub (null detaches). Forwarded to the RF
+     * backend so swap/back-gate telemetry shares the same hub; warp
+     * lifecycle Begin/End events are emitted by the SM itself.
+     */
+    void setTraceHub(obs::TraceHub *hub_)
+    {
+        hub = hub_;
+        backend->attachTrace(hub_, smId);
+    }
+
+    /**
+     * Start delta-sampling this SM's pipeline and RF counters (plus an
+     * active-warp gauge) every `periodCycles` cycles into a ring of
+     * `capacity` samples. Call before the first cycle.
+     */
+    void enableTimeSeries(unsigned periodCycles, std::size_t capacity);
+
+    /** The sampler, or null when time series are disabled. */
+    obs::TimeSeriesSampler *timeSeries() { return sampler.get(); }
+    const obs::TimeSeriesSampler *timeSeries() const
+    {
+        return sampler.get();
+    }
 
   private:
     // --- sub-structures ---------------------------------------------------
@@ -184,6 +211,9 @@ class Sm
     Cache *l2 = nullptr;       ///< GPU-wide shared L2 (not owned)
 
     Cycle lastCycleSeen = 0; // for trace points outside cycle stages
+
+    obs::TraceHub *hub = nullptr; ///< per-GPU hub (not owned)
+    std::unique_ptr<obs::TimeSeriesSampler> sampler; ///< null = off
 
     std::vector<WarpId> candBuf; // scratch
 

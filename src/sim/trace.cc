@@ -13,7 +13,26 @@ namespace pilotrf::sim
 {
 
 unsigned Trace::mask = 0;
-std::ostream *Trace::stream = &std::cerr;
+
+namespace
+{
+
+/** The global hub's default text sink (so setStream can re-point it). */
+obs::TextTraceSink *globalTextSink = nullptr;
+
+} // namespace
+
+obs::TraceHub &
+Trace::hub()
+{
+    static obs::TraceHub theHub = [] {
+        obs::TraceHub h;
+        globalTextSink = static_cast<obs::TextTraceSink *>(
+            &h.addSink(std::make_unique<obs::TextTraceSink>(std::cerr)));
+        return h;
+    }();
+    return theHub;
+}
 
 const char *
 toString(TraceCat cat)
@@ -25,9 +44,20 @@ toString(TraceCat cat)
       case TraceCat::Bank: return "bank";
       case TraceCat::Warp: return "warp";
       case TraceCat::Cta: return "cta";
+      case TraceCat::Swap: return "swap";
+      case TraceCat::Backgate: return "backgate";
       case TraceCat::NumCats: break;
     }
     return "?";
+}
+
+std::optional<TraceCat>
+parseTraceCat(std::string_view name)
+{
+    for (unsigned c = 0; c < unsigned(TraceCat::NumCats); ++c)
+        if (name == toString(TraceCat(c)))
+            return TraceCat(c);
+    return std::nullopt;
 }
 
 void
@@ -56,12 +86,10 @@ Trace::enableFromList(const char *list)
     const char *p = list;
     auto flush = [&] {
         bool matched = item.empty();
-        for (unsigned c = 0; c < unsigned(TraceCat::NumCats); ++c) {
-            if (item == toString(TraceCat(c))) {
-                enable(TraceCat(c));
-                matched = true;
-                ++count;
-            }
+        if (const auto cat = parseTraceCat(item)) {
+            enable(*cat);
+            matched = true;
+            ++count;
         }
         if (!matched) {
             // A misspelled PILOTRF_TRACE category used to be silently
@@ -98,19 +126,48 @@ Trace::initFromEnvironment()
 void
 Trace::setStream(std::ostream &os)
 {
-    stream = &os;
+    hub(); // ensure the default text sink exists
+    globalTextSink->setStream(os);
+}
+
+void
+Trace::vlog(obs::TraceHub *local, TraceCat cat, Cycle cycle, SmId sm,
+            const char *fmt, va_list ap)
+{
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+
+    obs::TraceEvent ev;
+    ev.cycle = cycle;
+    ev.sm = sm;
+    ev.category = unsigned(cat);
+    ev.categoryName = toString(cat);
+    ev.kind = obs::EventKind::Instant;
+    ev.text = buf;
+
+    if (enabled(cat))
+        hub().dispatch(ev);
+    if (local && local->textEnabled(unsigned(cat)))
+        local->dispatch(ev);
 }
 
 void
 Trace::log(TraceCat cat, Cycle cycle, SmId sm, const char *fmt, ...)
 {
-    char buf[512];
     va_list ap;
     va_start(ap, fmt);
-    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    vlog(nullptr, cat, cycle, sm, fmt, ap);
     va_end(ap);
-    (*stream) << cycle << ": sm" << sm << " " << toString(cat) << ": "
-              << buf << "\n";
+}
+
+void
+Trace::logTo(obs::TraceHub *local, TraceCat cat, Cycle cycle, SmId sm,
+             const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vlog(local, cat, cycle, sm, fmt, ap);
+    va_end(ap);
 }
 
 } // namespace pilotrf::sim

@@ -1,14 +1,24 @@
 /**
  * @file
- * Lightweight category-gated event tracing for the simulator, in the
- * spirit of gem5's debug flags. Disabled categories cost one branch per
- * trace point; enabled ones print one line per event:
+ * Category-gated event tracing for the simulator, in the spirit of gem5's
+ * debug flags, layered on the pluggable `obs::TraceSink` API. Disabled
+ * categories cost one branch per trace point; enabled ones emit one
+ * structured `obs::TraceEvent` that the process-wide hub's default
+ * `obs::TextTraceSink` renders as the classic line:
  *
  *   pilotrf::sim::Trace::enable(TraceCat::Issue);
- *   pilotrf::sim::Trace::setStream(myStream);
+ *   pilotrf::sim::Trace::setStream(myStream);   // redirect the text sink
+ *   pilotrf::sim::Trace::hub().addSink(...);    // attach more sinks
  *
  * Categories can also be enabled from the PILOTRF_TRACE environment
  * variable (comma-separated: "issue,mem,warp").
+ *
+ * Components that belong to one simulated GPU (SMs, RF backends)
+ * additionally carry a per-GPU `obs::TraceHub` so concurrent experiment
+ * jobs can stream their events to per-job files; the `PILOTRF_TRACE_AT`
+ * macro delivers one formatted event to both the global hub (when the
+ * category is enabled) and the local hub (when it text-enables the
+ * category) without formatting twice.
  */
 
 #ifndef PILOTRF_SIM_TRACE_HH
@@ -16,9 +26,12 @@
 
 #include <cstdarg>
 #include <cstdint>
+#include <optional>
 #include <ostream>
+#include <string_view>
 
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace pilotrf::sim
 {
@@ -32,10 +45,15 @@ enum class TraceCat : unsigned
     Bank,      ///< register bank grants/conflicts
     Warp,      ///< warp lifecycle (launch, barrier, retire)
     Cta,       ///< CTA scheduling
+    Swap,      ///< swap-table programming / remap movement
+    Backgate,  ///< FRF back-gate power-mode transitions
     NumCats,
 };
 
 const char *toString(TraceCat cat);
+
+/** Inverse of toString(); nullopt for unknown names. */
+std::optional<TraceCat> parseTraceCat(std::string_view name);
 
 class Trace
 {
@@ -46,7 +64,7 @@ class Trace
     static void disableAll();
 
     /** Enable categories from a comma-separated list ("issue,mem").
-     *  Unknown names are ignored. Returns the number enabled. */
+     *  Unknown names warn once each. Returns the number enabled. */
     static unsigned enableFromList(const char *list);
 
     /** Read PILOTRF_TRACE once at startup (called lazily). */
@@ -57,16 +75,30 @@ class Trace
         return (mask & (1u << unsigned(cat))) != 0;
     }
 
-    /** Redirect output (default: std::cerr). Not owned. */
+    /** The process-wide hub behind the static API. Its first sink is the
+     *  legacy text formatter (stderr by default). Not synchronized —
+     *  attach sinks before running simulations. */
+    static obs::TraceHub &hub();
+
+    /** Redirect the default text sink's output (default: std::cerr).
+     *  Not owned. */
     static void setStream(std::ostream &os);
 
     /** Emit one line: "<cycle>: sm<N> <cat>: <message>". */
     static void log(TraceCat cat, Cycle cycle, SmId sm, const char *fmt,
                     ...) __attribute__((format(printf, 4, 5)));
 
+    /** As log(), but the event is also delivered to `local` when that
+     *  hub text-enables the category (the per-GPU trace path). */
+    static void logTo(obs::TraceHub *local, TraceCat cat, Cycle cycle,
+                      SmId sm, const char *fmt, ...)
+        __attribute__((format(printf, 5, 6)));
+
   private:
+    static void vlog(obs::TraceHub *local, TraceCat cat, Cycle cycle,
+                     SmId sm, const char *fmt, va_list ap);
+
     static unsigned mask;
-    static std::ostream *stream;
 };
 
 /** Trace-point macro: evaluates arguments only when the category is on. */
@@ -74,6 +106,16 @@ class Trace
     do {                                                                   \
         if (pilotrf::sim::Trace::enabled(cat))                             \
             pilotrf::sim::Trace::log(cat, cycle, sm, __VA_ARGS__);         \
+    } while (0)
+
+/** Trace point with an additional per-GPU hub (may be null). */
+#define PILOTRF_TRACE_AT(hubp, cat, cycle, sm, ...)                        \
+    do {                                                                   \
+        pilotrf::obs::TraceHub *_pilotrf_h = (hubp);                       \
+        if (pilotrf::sim::Trace::enabled(cat) ||                           \
+            (_pilotrf_h && _pilotrf_h->textEnabled(unsigned(cat))))        \
+            pilotrf::sim::Trace::logTo(_pilotrf_h, cat, cycle, sm,         \
+                                       __VA_ARGS__);                       \
     } while (0)
 
 } // namespace pilotrf::sim

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Configuration-as-data tests: every enum's parse function is the exact
+ * inverse of its toString (exhaustively, including the out-of-range
+ * sentinel), SimConfig survives a JSON round trip with every field set
+ * away from its default, partial documents override only what they name,
+ * and every malformed input — unknown key, nested unknown key, mistyped
+ * value, unknown enum name, negative integer, broken JSON — throws
+ * instead of silently falling back to a default.
+ */
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.hh"
+#include "regfile/partitioned_rf.hh"
+#include "rfmodel/rf_specs.hh"
+#include "sim/sim_config.hh"
+#include "sim/trace.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+
+// --- enum round trips -------------------------------------------------------
+
+TEST(EnumRoundTrip, RfKind)
+{
+    for (unsigned i = 0; i < numRfKinds; ++i) {
+        const auto k = RfKind(i);
+        const auto back = parseRfKind(toString(k));
+        ASSERT_TRUE(back.has_value()) << toString(k);
+        EXPECT_EQ(*back, k);
+    }
+    EXPECT_STREQ(toString(RfKind(numRfKinds)), "?");
+    EXPECT_FALSE(parseRfKind("bogus").has_value());
+    EXPECT_FALSE(parseRfKind("?").has_value());
+    EXPECT_FALSE(parseRfKind("").has_value());
+}
+
+TEST(EnumRoundTrip, SchedulerPolicy)
+{
+    for (unsigned i = 0; i < numSchedulerPolicies; ++i) {
+        const auto p = SchedulerPolicy(i);
+        const auto back = parseSchedulerPolicy(toString(p));
+        ASSERT_TRUE(back.has_value()) << toString(p);
+        EXPECT_EQ(*back, p);
+    }
+    EXPECT_STREQ(toString(SchedulerPolicy(numSchedulerPolicies)), "?");
+    EXPECT_FALSE(parseSchedulerPolicy("bogus").has_value());
+}
+
+TEST(EnumRoundTrip, Profiling)
+{
+    for (unsigned i = 0; i < regfile::numProfilings; ++i) {
+        const auto p = regfile::Profiling(i);
+        const auto back = regfile::parseProfiling(regfile::toString(p));
+        ASSERT_TRUE(back.has_value()) << regfile::toString(p);
+        EXPECT_EQ(*back, p);
+    }
+    EXPECT_STREQ(regfile::toString(regfile::Profiling(regfile::numProfilings)),
+                 "?");
+    EXPECT_FALSE(regfile::parseProfiling("bogus").has_value());
+}
+
+TEST(EnumRoundTrip, RfMode)
+{
+    for (unsigned i = 0; i < rfmodel::numRfModes; ++i) {
+        const auto m = rfmodel::RfMode(i);
+        const auto back = rfmodel::parseRfMode(rfmodel::toString(m));
+        ASSERT_TRUE(back.has_value()) << rfmodel::toString(m);
+        EXPECT_EQ(*back, m);
+    }
+    EXPECT_STREQ(rfmodel::toString(rfmodel::RfMode(rfmodel::numRfModes)),
+                 "?");
+    EXPECT_FALSE(rfmodel::parseRfMode("bogus").has_value());
+}
+
+TEST(EnumRoundTrip, TraceCat)
+{
+    for (unsigned i = 0; i < unsigned(TraceCat::NumCats); ++i) {
+        const auto c = TraceCat(i);
+        const auto back = parseTraceCat(toString(c));
+        ASSERT_TRUE(back.has_value()) << toString(c);
+        EXPECT_EQ(*back, c);
+    }
+    EXPECT_FALSE(parseTraceCat("bogus").has_value());
+}
+
+// --- SimConfig JSON ---------------------------------------------------------
+
+namespace
+{
+
+/** A config with every field moved off its default. */
+SimConfig
+everyFieldNonDefault()
+{
+    SimConfig c;
+    c.numSms = 3;
+    c.warpsPerSm = 16;
+    c.schedulers = 2;
+    c.issuePerScheduler = 1;
+    c.rfBanks = 12;
+    c.collectors = 8;
+    c.maxCtasPerSm = 4;
+    c.threadRegsPerSm = 32768;
+    c.policy = SchedulerPolicy::TwoLevel;
+    c.tlActiveWarps = 6;
+    c.spLatency = 11;
+    c.sfuLatency = 22;
+    c.spWidth = 4;
+    c.sfuWidth = 1;
+    c.memWidth = 2;
+    c.maxInflightPerWarp = 3;
+    c.writeForwarding = false;
+    c.sharedLatency = 30;
+    c.globalLatency = 300;
+    c.maxOutstandingMem = 16;
+    c.l1Enable = true;
+    c.l1SizeKb = 32;
+    c.l1Assoc = 8;
+    c.l1HitLatency = 20;
+    c.l2Enable = true;
+    c.l2SizeKb = 2048;
+    c.l2Assoc = 16;
+    c.l2HitLatency = 90;
+    c.rfKind = RfKind::Rfc;
+    c.prf.frfRegs = 6;
+    c.prf.profiling = regfile::Profiling::Oracle;
+    c.prf.adaptiveFrf = false;
+    c.prf.epochLength = 75;
+    c.prf.issueThreshold = 50;
+    c.prf.frfHighLatency = 2;
+    c.prf.frfLowLatency = 3;
+    c.prf.srfLatency = 5;
+    c.prf.countRemapTraffic = false;
+    c.prf.swapTableExtraCycle = true;
+    c.rfc.regsPerWarp = 8;
+    c.rfc.mrfMode = rfmodel::RfMode::MrfStv;
+    c.rfc.mrfLatency = 4;
+    c.rfc.rfcLatency = 2;
+    c.rfc.readPorts = 3;
+    c.rfc.writePorts = 2;
+    c.rfc.rfcBanks = 2;
+    c.rfc.allocOnReadMiss = false;
+    c.drowsy.drowsyAfter = 64;
+    c.drowsy.wakeLatency = 2;
+    c.drowsy.drowsyLeakFactor = 0.5;
+    c.mrfLatencyOverride = 7;
+    c.maxCycles = 12345678;
+    return c;
+}
+
+void
+expectEqual(const SimConfig &a, const SimConfig &b)
+{
+    // Field-by-field via the canonical serialization: declaration-order
+    // text equality is value equality for every field.
+    EXPECT_EQ(a.jsonText(), b.jsonText());
+}
+
+} // namespace
+
+TEST(SimConfigJson, DefaultsRoundTrip)
+{
+    const SimConfig def;
+    expectEqual(def, SimConfig::fromJsonText(def.jsonText()));
+}
+
+TEST(SimConfigJson, EveryFieldRoundTrips)
+{
+    const SimConfig cfg = everyFieldNonDefault();
+    const SimConfig back = SimConfig::fromJsonText(cfg.jsonText());
+    expectEqual(cfg, back);
+
+    // The serialization really moved every scalar: it must differ from
+    // the default document on every line that carries a value.
+    const SimConfig def;
+    std::istringstream a(cfg.jsonText()), b(def.jsonText());
+    std::string la, lb;
+    while (std::getline(a, la) && std::getline(b, lb)) {
+        if (la.find(':') == std::string::npos)
+            continue; // structural lines ({, }, nested headers)
+        if (la.find('{') != std::string::npos)
+            continue;
+        EXPECT_NE(la, lb) << "field not exercised by the round-trip test";
+    }
+}
+
+TEST(SimConfigJson, OutputIsValidJson)
+{
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(jsonParse(everyFieldNonDefault().jsonText(), doc, &error))
+        << error;
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.numberOr("numSms", 0), 3.0);
+    EXPECT_EQ(doc.stringOr("rfKind", ""), toString(RfKind::Rfc));
+    const JsonValue *prf = doc.find("prf");
+    ASSERT_NE(prf, nullptr);
+    ASSERT_TRUE(prf->isObject());
+    EXPECT_EQ(prf->stringOr("profiling", ""),
+              regfile::toString(regfile::Profiling::Oracle));
+}
+
+TEST(SimConfigJson, PartialDocumentKeepsDefaults)
+{
+    const SimConfig c = SimConfig::fromJsonText(
+        R"({"numSms": 1, "prf": {"frfRegs": 8}})");
+    const SimConfig def;
+    EXPECT_EQ(c.numSms, 1u);
+    EXPECT_EQ(c.prf.frfRegs, 8u);
+    // Everything unnamed stays at its default.
+    EXPECT_EQ(c.warpsPerSm, def.warpsPerSm);
+    EXPECT_EQ(c.rfKind, def.rfKind);
+    EXPECT_EQ(c.prf.epochLength, def.prf.epochLength);
+    EXPECT_EQ(c.rfc.regsPerWarp, def.rfc.regsPerWarp);
+}
+
+TEST(SimConfigJson, EmptyObjectIsTheDefaultConfig)
+{
+    expectEqual(SimConfig{}, SimConfig::fromJsonText("{}"));
+}
+
+namespace
+{
+
+/** The what() of the runtime_error fromJsonText(text) throws. */
+std::string
+errorFor(const std::string &text)
+{
+    try {
+        (void)SimConfig::fromJsonText(text);
+    } catch (const std::runtime_error &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+TEST(SimConfigJson, StrictErrors)
+{
+    // Unknown top-level key.
+    EXPECT_NE(errorFor(R"({"numSmz": 4})").find("unknown key 'numSmz'"),
+              std::string::npos);
+    // Unknown nested key names its path.
+    EXPECT_NE(
+        errorFor(R"({"prf": {"frfRegz": 4}})").find("'prf.frfRegz'"),
+        std::string::npos);
+    EXPECT_NE(errorFor(R"({"rfc": {"bogus": 1}})").find("'rfc.bogus'"),
+              std::string::npos);
+    EXPECT_NE(errorFor(R"({"drowsy": {"bogus": 1}})").find("'drowsy.bogus'"),
+              std::string::npos);
+    // Mistyped values.
+    EXPECT_NE(errorFor(R"({"numSms": "four"})").find("must be a number"),
+              std::string::npos);
+    EXPECT_NE(errorFor(R"({"l1Enable": 1})").find("must be a boolean"),
+              std::string::npos);
+    EXPECT_NE(errorFor(R"({"rfKind": 2})").find("must be a string"),
+              std::string::npos);
+    EXPECT_NE(errorFor(R"({"prf": 3})").find("'prf' must be an object"),
+              std::string::npos);
+    // Unknown enum names.
+    EXPECT_NE(errorFor(R"({"rfKind": "Bogus"})").find("unknown name 'Bogus'"),
+              std::string::npos);
+    EXPECT_NE(errorFor(R"({"policy": "fifo"})").find("unknown name 'fifo'"),
+              std::string::npos);
+    // Negative / fractional integers.
+    EXPECT_NE(errorFor(R"({"numSms": -1})").find("non-negative integer"),
+              std::string::npos);
+    EXPECT_NE(errorFor(R"({"numSms": 1.5})").find("non-negative integer"),
+              std::string::npos);
+    // Malformed JSON and non-object documents.
+    EXPECT_NE(errorFor("{").find("parse error"), std::string::npos);
+    EXPECT_NE(errorFor("[1, 2]").find("must be an object"),
+              std::string::npos);
+}
+
+TEST(SimConfigJson, ThrowsAreRuntimeErrors)
+{
+    EXPECT_THROW((void)SimConfig::fromJsonText(R"({"x": 1})"),
+                 std::runtime_error);
+    EXPECT_THROW((void)SimConfig::fromJsonText("not json"),
+                 std::runtime_error);
+}

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * Observability tests: the time-series sampler (delta conservation, ring
+ * bounds, gauges), the trace-sink channels (text vs structured, legacy
+ * byte-identity through the sink API), the Chrome trace exporter (valid
+ * JSON, monotonic per-track timestamps, expected event kinds), and the
+ * no-observer-effect guarantee (observed and unobserved runs produce
+ * identical statistics).
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/counters.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "isa/kernel_builder.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
+#include "sim/gpu.hh"
+#include "sim/trace.hh"
+
+using namespace pilotrf;
+using namespace pilotrf::sim;
+
+namespace
+{
+
+/** A small kernel with enough warps and instructions to exercise the
+ *  pipeline, the swap table and the warp lifecycle. */
+isa::Kernel
+smallKernel()
+{
+    isa::KernelBuilder b("obs", 12, 64, 4);
+    for (unsigned i = 0; i < 6; ++i)
+        b.op(isa::Opcode::IAdd, RegId(i % 4), {RegId(i % 8), RegId(4)});
+    return b.build();
+}
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.numSms = 2;
+    cfg.warpsPerSm = 8;
+    cfg.rfKind = RfKind::Partitioned;
+    return cfg;
+}
+
+} // namespace
+
+// --- TimeSeriesSampler ------------------------------------------------------
+
+TEST(TimeSeriesSampler, DeltasSumToFinalCounterValues)
+{
+    CounterBlock ctrs;
+    const auto hA = ctrs.add("a");
+    const auto hB = ctrs.add("b");
+
+    obs::TimeSeriesSampler ts(10);
+    ts.addBlock("x.", &ctrs);
+
+    for (Cycle c = 1; c <= 95; ++c) {
+        ctrs.inc(hA);
+        if (c % 3 == 0)
+            ctrs.inc(hB, 2);
+        ts.tick(c);
+    }
+    ts.finish(95);
+
+    EXPECT_EQ(ts.droppedSamples(), 0u);
+    EXPECT_EQ(ts.sampleCount(), 10u); // 9 full periods + the partial tail
+    EXPECT_EQ(ts.columnSum("x.a"), ctrs.value(hA));
+    EXPECT_EQ(ts.columnSum("x.b"), ctrs.value(hB));
+    EXPECT_EQ(ts.columnSum("x.a"), 95u);
+}
+
+TEST(TimeSeriesSampler, RingDropsOldestAndCountsThem)
+{
+    CounterBlock ctrs;
+    const auto h = ctrs.add("n");
+    obs::TimeSeriesSampler ts(1, /*capacity=*/4);
+    ts.addBlock("", &ctrs);
+    for (Cycle c = 1; c <= 10; ++c) {
+        ctrs.inc(h);
+        ts.tick(c);
+    }
+    EXPECT_EQ(ts.sampleCount(), 4u);
+    EXPECT_EQ(ts.droppedSamples(), 6u);
+    // Only the last 4 one-per-cycle deltas are retained.
+    EXPECT_EQ(ts.columnSum("n"), 4u);
+}
+
+TEST(TimeSeriesSampler, GaugesSampleInstantaneousValues)
+{
+    std::uint64_t level = 0;
+    obs::TimeSeriesSampler ts(5);
+    ts.addGauge("level", [&] { return level; });
+    for (Cycle c = 1; c <= 10; ++c) {
+        level = c;
+        ts.tick(c);
+    }
+    // Two samples, at cycles 5 and 10: gauge values 5 and 10 (not deltas).
+    EXPECT_EQ(ts.sampleCount(), 2u);
+    EXPECT_EQ(ts.columnSum("level"), 15u);
+}
+
+TEST(TimeSeriesSampler, WriteJsonIsParseable)
+{
+    CounterBlock ctrs;
+    const auto h = ctrs.add("events");
+    obs::TimeSeriesSampler ts(2);
+    ts.addBlock("sm.", &ctrs);
+    for (Cycle c = 1; c <= 7; ++c) {
+        ctrs.inc(h);
+        ts.tick(c);
+    }
+    ts.finish(7);
+
+    std::ostringstream os;
+    std::vector<const obs::TimeSeriesSampler *> sms{&ts};
+    obs::writeTimeSeriesJson(os, sms);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(jsonParse(os.str(), doc, &error)) << error;
+    const JsonValue *arr = doc.find("sms");
+    ASSERT_NE(arr, nullptr);
+    ASSERT_TRUE(arr->isArray());
+    ASSERT_EQ(arr->array.size(), 1u);
+    const JsonValue &sm0 = arr->array[0];
+    EXPECT_EQ(sm0.numberOr("period", 0), 2.0);
+    EXPECT_EQ(sm0.numberOr("samples", 0), 4.0);
+    const JsonValue *series = sm0.find("series");
+    ASSERT_NE(series, nullptr);
+    ASSERT_NE(series->find("sm.events"), nullptr);
+}
+
+// --- Trace hub channels -----------------------------------------------------
+
+TEST(TraceHub, StructuredEventsNeverReachTextSinks)
+{
+    obs::TraceHub hub;
+    std::ostringstream text;
+    hub.addSink(std::make_unique<obs::TextTraceSink>(text));
+    EXPECT_FALSE(hub.wantsStructured());
+
+    obs::TraceEvent ev;
+    ev.cycle = 7;
+    ev.sm = 1;
+    ev.categoryName = "swap";
+    ev.kind = obs::EventKind::Instant;
+    ev.name = "swap.map";
+    hub.dispatchStructured(ev);
+    EXPECT_TRUE(text.str().empty());
+
+    ev.text = "hello";
+    ev.categoryName = "bank";
+    hub.dispatch(ev);
+    EXPECT_EQ(text.str(), "7: sm1 bank: hello\n");
+}
+
+TEST(TraceHub, CategoryMaskGatesTextChannel)
+{
+    obs::TraceHub hub;
+    hub.addSink(std::make_unique<obs::TextTraceSink>(std::cerr));
+    EXPECT_TRUE(hub.textEnabled(unsigned(TraceCat::Issue)));
+    hub.setCategoryMask(1ull << unsigned(TraceCat::Warp));
+    EXPECT_TRUE(hub.textEnabled(unsigned(TraceCat::Warp)));
+    EXPECT_FALSE(hub.textEnabled(unsigned(TraceCat::Issue)));
+}
+
+TEST(TraceHub, LegacyTextOutputIsByteIdenticalThroughSinkApi)
+{
+    setQuiet(true);
+    const isa::Kernel k = smallKernel();
+    const SimConfig cfg = smallConfig();
+    const std::uint64_t mask = (1ull << unsigned(TraceCat::Issue)) |
+                               (1ull << unsigned(TraceCat::Warp)) |
+                               (1ull << unsigned(TraceCat::Cta)) |
+                               (1ull << unsigned(TraceCat::Mem));
+
+    // Reference: the legacy global-stream path.
+    std::ostringstream legacy;
+    Trace::setStream(legacy);
+    Trace::enable(TraceCat::Issue);
+    Trace::enable(TraceCat::Warp);
+    Trace::enable(TraceCat::Cta);
+    Trace::enable(TraceCat::Mem);
+    {
+        Gpu gpu(cfg);
+        gpu.run(k);
+    }
+    Trace::disableAll();
+    Trace::setStream(std::cerr);
+
+    // Same run through a per-GPU hub with a TextTraceSink.
+    std::ostringstream local;
+    {
+        Gpu gpu(cfg);
+        gpu.traceHub().addSink(std::make_unique<obs::TextTraceSink>(local));
+        gpu.traceHub().setCategoryMask(mask);
+        gpu.run(k);
+    }
+
+    EXPECT_FALSE(legacy.str().empty());
+    EXPECT_EQ(legacy.str(), local.str());
+}
+
+// --- Chrome trace exporter --------------------------------------------------
+
+namespace
+{
+
+JsonValue
+chromeTraceFor(const SimConfig &cfg, const isa::Kernel &k,
+               std::string *raw = nullptr)
+{
+    std::ostringstream os;
+    {
+        Gpu gpu(cfg);
+        gpu.traceHub().addSink(std::make_unique<obs::ChromeTraceSink>(os));
+        gpu.run(k);
+    }
+    if (raw)
+        *raw = os.str();
+    JsonValue doc;
+    std::string error;
+    EXPECT_TRUE(jsonParse(os.str(), doc, &error)) << error;
+    return doc;
+}
+
+} // namespace
+
+TEST(ChromeTrace, ProducesValidJsonWithExpectedEventKinds)
+{
+    const JsonValue doc = chromeTraceFor(smallConfig(), smallKernel());
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.stringOr("displayTimeUnit", ""), "ms");
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+
+    bool sawWarpBegin = false, sawWarpEnd = false, sawSwap = false,
+         sawBackgate = false, sawMeta = false;
+    for (const JsonValue &ev : events->array) {
+        const std::string ph = ev.stringOr("ph", "");
+        const std::string cat = ev.stringOr("cat", "");
+        if (ph == "M")
+            sawMeta = true;
+        if (ph == "B" && cat == "warp")
+            sawWarpBegin = true;
+        if (ph == "E" && cat == "warp")
+            sawWarpEnd = true;
+        if (ph == "i" && cat == "swap")
+            sawSwap = true;
+        if (ph == "C" && ev.stringOr("name", "") == "frf.backgate")
+            sawBackgate = true;
+    }
+    EXPECT_TRUE(sawMeta);
+    EXPECT_TRUE(sawWarpBegin);
+    EXPECT_TRUE(sawWarpEnd);
+    EXPECT_TRUE(sawSwap);
+    EXPECT_TRUE(sawBackgate);
+}
+
+TEST(ChromeTrace, TimestampsMonotonicPerTrack)
+{
+    const JsonValue doc = chromeTraceFor(smallConfig(), smallKernel());
+    const JsonValue *events = doc.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    // ts must never decrease within one (pid, tid) track.
+    std::vector<std::pair<std::pair<double, double>, double>> lastTs;
+    std::size_t timed = 0;
+    for (const JsonValue &ev : events->array) {
+        if (ev.stringOr("ph", "") == "M")
+            continue; // metadata carries no timestamp
+        const std::pair<double, double> track{ev.numberOr("pid", -1),
+                                              ev.numberOr("tid", -1)};
+        const double ts = ev.numberOr("ts", -1);
+        ASSERT_GE(ts, 0.0);
+        ++timed;
+        bool found = false;
+        for (auto &[key, prev] : lastTs) {
+            if (key == track) {
+                EXPECT_LE(prev, ts) << "track sm" << track.first << "/w"
+                                    << track.second;
+                prev = ts;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            lastTs.push_back({track, ts});
+    }
+    EXPECT_GT(timed, 0u);
+    EXPECT_GT(lastTs.size(), 1u); // more than one track in the trace
+}
+
+TEST(ChromeTrace, FileSinkReportsUnopenablePath)
+{
+    std::string error;
+    const auto sink =
+        obs::ChromeTraceSink::toFile("/nonexistent-dir/x.json", &error);
+    EXPECT_EQ(sink, nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+// --- No observer effect -----------------------------------------------------
+
+TEST(ObserverEffect, ObservedRunStatsMatchUnobservedRun)
+{
+    const isa::Kernel k = smallKernel();
+    const SimConfig cfg = smallConfig();
+
+    RunResult plain;
+    {
+        Gpu gpu(cfg);
+        plain = gpu.run(k);
+    }
+
+    std::ostringstream chrome, jsonl;
+    RunResult observed;
+    Gpu gpu(cfg);
+    gpu.traceHub().addSink(std::make_unique<obs::ChromeTraceSink>(chrome));
+    gpu.traceHub().addSink(std::make_unique<obs::JsonlTraceSink>(jsonl));
+    gpu.enableTimeSeries(25);
+    observed = gpu.run(k);
+
+    EXPECT_EQ(plain.totalCycles, observed.totalCycles);
+    EXPECT_EQ(plain.totalInstructions, observed.totalInstructions);
+    EXPECT_EQ(plain.rfStats.raw(), observed.rfStats.raw());
+    EXPECT_EQ(plain.simStats.raw(), observed.simStats.raw());
+    EXPECT_FALSE(chrome.str().empty());
+    EXPECT_FALSE(jsonl.str().empty());
+}
+
+TEST(ObserverEffect, SamplerColumnsSumToRunCounters)
+{
+    const isa::Kernel k = smallKernel();
+    SimConfig cfg = smallConfig();
+    cfg.numSms = 1;
+
+    Gpu gpu(cfg);
+    gpu.enableTimeSeries(10);
+    const RunResult res = gpu.run(k);
+    ASSERT_TRUE(gpu.timeSeriesEnabled());
+
+    const obs::TimeSeriesSampler *ts = gpu.sm(0).timeSeries();
+    ASSERT_NE(ts, nullptr);
+    EXPECT_EQ(ts->droppedSamples(), 0u);
+
+    // Delta conservation against the SM's and the backend's counters.
+    const CounterBlock &sim = gpu.sm(0).counters();
+    for (std::size_t i = 0; i < sim.size(); ++i)
+        EXPECT_EQ(ts->columnSum("sim." + sim.name(CounterBlock::Handle(i))),
+                  sim.value(CounterBlock::Handle(i)))
+            << sim.name(CounterBlock::Handle(i));
+    const CounterBlock &rf = gpu.sm(0).rf().counters();
+    for (std::size_t i = 0; i < rf.size(); ++i)
+        EXPECT_EQ(ts->columnSum("rf." + rf.name(CounterBlock::Handle(i))),
+                  rf.value(CounterBlock::Handle(i)))
+            << rf.name(CounterBlock::Handle(i));
+
+    EXPECT_EQ(ts->columnSum("sim.instructions.issued"),
+              std::uint64_t(res.simStats.get("instructions.issued")));
+}
