@@ -3,12 +3,20 @@
  * Simulator-throughput microbenchmark for the typed-counter stat plumbing.
  *
  * Runs three representative Table-I workloads (compute-heavy sgemm,
- * control/memory-heavy BFS, stencil hotspot) under {MRF@STV, partitioned,
- * RFC} and reports simulated warp-cycles per wall-clock second, so the
- * effect of hot-path changes is measured rather than asserted. Unlike the
- * figure benches this one deliberately drives `sim::Gpu` directly on the
- * calling thread: the object under test is the per-event cycle loop, not
- * the experiment runner around it.
+ * control/memory-heavy BFS, stencil hotspot) plus a synthetic
+ * latency-bound pointer-chase (`memlat`: one dependent global-load chain
+ * per warp at low occupancy, so whole SMs sit dead for most of each
+ * ~230-cycle memory round trip) under {MRF@STV, partitioned, RFC} and
+ * reports simulated warp-cycles per wall-clock second, so the effect of
+ * hot-path changes is measured rather than asserted. Unlike the figure
+ * benches this one deliberately drives `sim::Gpu` directly on the calling
+ * thread: the object under test is the per-event cycle loop, not the
+ * experiment runner around it.
+ *
+ * Every workload x config cell is measured with the event-horizon
+ * fast-forward on (the default) and off; rows carry the fraction of
+ * simulated SM-cycles the skip elided, so the on/off throughput ratio can
+ * be read against how memory-bound the run actually was.
  *
  * Warp-cycles are active SM-cycles (SM-cycles with at least one live
  * warp, summed over SMs) times the configured warps per SM — a
@@ -35,6 +43,7 @@
 #include "bench/bench_util.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "isa/kernel_builder.hh"
 #include "obs/trace.hh"
 #include "sim/gpu.hh"
 #include "workloads/workloads.hh"
@@ -89,30 +98,60 @@ struct Row
     std::string workload;
     std::string config;
     std::string obs;
+    std::string skip; ///< event-horizon cycle skipping: "on" / "off"
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t warpCycles = 0;
+    /** Fraction of global simulated cycles the fast-forward jumped
+     *  over instead of single-stepping. */
+    double skipFraction = 0.0;
     double wallSeconds = 0.0;
     double warpCyclesPerSec = 0.0;
     double instructionsPerSec = 0.0;
 };
 
-Row
-measure(const char *wlName, const Config &c, ObsMode mode = ObsMode::Off)
+/** The kernels behind a bench workload name: the Table-I workloads from
+ *  the registry, plus the synthetic `memlat` pointer-chase — 30 CTAs of a
+ *  single warp, each walking a 16-deep dependent global-load chain, so at
+ *  two warps per SM nearly every cycle of the ~230-cycle memory latency
+ *  is dead on every SM at once. */
+const std::vector<isa::Kernel> &
+benchKernels(const std::string &name)
 {
-    const auto &wl = workloads::workload(wlName);
+    if (name == "memlat") {
+        static const std::vector<isa::Kernel> kernels = [] {
+            isa::KernelBuilder b("memlat", 8, 32, 30);
+            b.beginLoop(16);
+            b.load(1, 1, isa::MemSpace::Global, 1);
+            b.op(isa::Opcode::IAdd, 2, {1});
+            b.endLoop();
+            return std::vector<isa::Kernel>{b.build()};
+        }();
+        return kernels;
+    }
+    return workloads::workload(name).kernels;
+}
+
+Row
+measure(const char *wlName, const Config &c, bool cycleSkip,
+        ObsMode mode = ObsMode::Off)
+{
+    const auto &kernels = benchKernels(wlName);
+    sim::SimConfig cfg = c.cfg;
+    cfg.enableCycleSkip = cycleSkip;
 
     // Warm-up run: touch every lazily-built structure (kernels validate,
     // static profiles, allocator warm-up) outside the timed region.
     {
-        sim::Gpu gpu(c.cfg);
-        gpu.run(wl.kernels);
+        sim::Gpu gpu(cfg);
+        gpu.run(kernels);
     }
 
     Row row;
     row.workload = wlName;
     row.config = c.label;
     row.obs = toString(mode);
+    row.skip = cycleSkip ? "on" : "off";
 
     const auto t0 = std::chrono::steady_clock::now();
     // Repeat until the timed region is long enough to swamp clock jitter.
@@ -120,20 +159,24 @@ measure(const char *wlName, const Config &c, ObsMode mode = ObsMode::Off)
     double elapsed = 0.0;
     do {
         std::ostringstream traceOut; // discarded; outlives the Gpu
-        sim::Gpu gpu(c.cfg);
+        sim::Gpu gpu(cfg);
         if (mode == ObsMode::Sampled)
             gpu.enableTimeSeries(100);
         else if (mode == ObsMode::Traced)
             gpu.traceHub().addSink(
                 std::make_unique<obs::ChromeTraceSink>(traceOut));
-        const sim::RunResult run = gpu.run(wl.kernels);
+        const sim::RunResult run = gpu.run(kernels);
         ++reps;
         if (reps == 1) {
             row.cycles = run.totalCycles;
             row.instructions = run.totalInstructions;
             row.warpCycles =
                 std::uint64_t(run.simStats.get("cycles.active")) *
-                c.cfg.warpsPerSm;
+                cfg.warpsPerSm;
+            row.skipFraction =
+                run.totalCycles
+                    ? double(gpu.skippedCycles()) / double(run.totalCycles)
+                    : 0.0;
         }
         elapsed = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
@@ -178,9 +221,11 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
         str("workload", r.workload, true);
         str("config", r.config);
         str("obs", r.obs);
+        str("skip", r.skip);
         num("cycles", double(r.cycles));
         num("instructions", double(r.instructions));
         num("warpCycles", double(r.warpCycles));
+        num("skipFraction", r.skipFraction);
         num("wallSeconds", r.wallSeconds);
         num("warpCyclesPerSec", r.warpCyclesPerSec);
         num("instructionsPerSec", r.instructionsPerSec);
@@ -196,29 +241,36 @@ main(int argc, char **argv)
 {
     setQuiet(true);
     const std::string out = argc > 1 ? argv[1] : "BENCH_hotpath.json";
-    const char *workloadNames[] = {"sgemm", "BFS", "hotspot"};
+    const char *workloadNames[] = {"sgemm", "BFS", "hotspot", "memlat"};
 
     bench::header("BENCH hotpath",
                   "simulator throughput (warp-cycles/s) by RF backend");
-    std::printf("%-10s %-12s %-6s %14s %12s %14s\n", "workload", "config",
-                "obs", "warp-cycles", "wall s", "warp-cyc/s");
+    std::printf("%-10s %-12s %-6s %-4s %14s %9s %12s %14s\n", "workload",
+                "config", "obs", "skip", "warp-cycles", "skip-frac",
+                "wall s", "warp-cyc/s");
 
     const auto report = [](const Row &r) {
-        std::printf("%-10s %-12s %-6s %14llu %12.4f %14.3e\n",
+        std::printf("%-10s %-12s %-6s %-4s %14llu %9.3f %12.4f %14.3e\n",
                     r.workload.c_str(), r.config.c_str(), r.obs.c_str(),
-                    (unsigned long long)r.warpCycles, r.wallSeconds,
-                    r.warpCyclesPerSec);
+                    r.skip.c_str(), (unsigned long long)r.warpCycles,
+                    r.skipFraction, r.wallSeconds, r.warpCyclesPerSec);
     };
 
     std::vector<Row> rows;
     for (const char *wl : workloadNames) {
         for (const auto &c : configs()) {
-            rows.push_back(measure(wl, c));
-            report(rows.back());
-            // Observability cost, measured on the paper's design point.
+            // Event-horizon fast-forward on (the default) vs off: the
+            // speedup and skip fraction quantify how memory-bound the
+            // workload's dead cycles are under this backend.
+            for (const bool skip : {true, false}) {
+                rows.push_back(measure(wl, c, skip));
+                report(rows.back());
+            }
+            // Observability cost, measured on the paper's design point
+            // with the fast-forward in its default (on) state.
             if (std::string(c.label) == "partitioned") {
                 for (const auto m : {ObsMode::Sampled, ObsMode::Traced}) {
-                    rows.push_back(measure(wl, c, m));
+                    rows.push_back(measure(wl, c, true, m));
                     report(rows.back());
                 }
             }

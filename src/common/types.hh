@@ -14,6 +14,10 @@ namespace pilotrf
 /** Simulation time measured in SM core clock cycles. */
 using Cycle = std::uint64_t;
 
+/** Sentinel "no event pending" cycle for event-horizon computations:
+ *  later than any reachable simulation time. */
+constexpr Cycle kNeverCycle = ~Cycle(0);
+
 /** Architected (ISA-visible) register index within a thread, 0..62. */
 using RegId = std::uint8_t;
 

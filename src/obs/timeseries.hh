@@ -61,6 +61,18 @@ class TimeSeriesSampler
             sample(now);
     }
 
+    /** Ticks until the next tick() takes a sample (1..period). The SM's
+     *  event horizon must not cross that cycle, so skipped spans never
+     *  swallow a sample point. */
+    unsigned ticksUntilSample() const { return period - sinceLast; }
+
+    /** Credit n skipped cycles without sampling. Only legal for spans the
+     *  horizon already proved sample-free: n < ticksUntilSample(). */
+    void skipTicks(std::uint64_t n)
+    {
+        sinceLast += unsigned(n);
+    }
+
     /** Capture the final partial interval (call once at run end so the
      *  deltas sum to the final counter values). */
     void finish(Cycle now)

@@ -28,6 +28,34 @@ AdaptiveFrfController::cycle(unsigned issued)
 }
 
 void
+AdaptiveFrfController::advanceIdle(std::uint64_t n)
+{
+    const std::uint64_t toBoundary = epochLen - cycleInEpoch;
+    if (n < toBoundary) {
+        cycleInEpoch += unsigned(n);
+        return;
+    }
+    // The partially-filled epoch completes with whatever was already
+    // tallied before the idle span began.
+    lowMode = issuedInEpoch < thresh;
+    ++nEpochs;
+    if (lowMode)
+        ++nLowEpochs;
+    issuedInEpoch = 0;
+    n -= toBoundary;
+
+    // Any number of whole all-idle epochs: each tallies zero issues.
+    const std::uint64_t whole = n / epochLen;
+    if (whole) {
+        lowMode = 0 < thresh;
+        nEpochs += whole;
+        if (lowMode)
+            nLowEpochs += whole;
+    }
+    cycleInEpoch = unsigned(n % epochLen);
+}
+
+void
 AdaptiveFrfController::reset()
 {
     cycleInEpoch = 0;

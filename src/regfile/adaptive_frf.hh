@@ -29,6 +29,15 @@ class AdaptiveFrfController
     /** Advance one cycle with the number of instructions issued. */
     void cycle(unsigned issued);
 
+    /** Cycles until the running epoch completes (1..epochLength): the
+     *  next cycle() call that can flip the power mode is the
+     *  cyclesToBoundary()-th from now. */
+    unsigned cyclesToBoundary() const { return epochLen - cycleInEpoch; }
+
+    /** Fast-forward n cycles with nothing issued: bit-identical to n
+     *  consecutive cycle(0) calls, in closed form. */
+    void advanceIdle(std::uint64_t n);
+
     /** Current FRF power mode (applies during the present epoch). */
     bool lowPowerMode() const { return lowMode; }
 

@@ -1,5 +1,7 @@
 #include "regfile/drowsy_rf.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pilotrf::regfile
@@ -55,6 +57,26 @@ DrowsyRf::cycleHook(Cycle now, unsigned issued)
         ++liveWarpCycles;
         if (!isDrowsy(w))
             ++awakeWarpCycles;
+    }
+    ctrs.set(hAwakeWarpCycles, awakeWarpCycles);
+    ctrs.set(hLiveWarpCycles, liveWarpCycles);
+}
+
+void
+DrowsyRf::advanceIdle(Cycle first, std::uint64_t n)
+{
+    RegisterFile::advanceIdle(first, n);
+    // Closed form of n cycleHook(t, 0) calls: a live warp is awake at
+    // cycle t while t <= lastAccess + drowsyAfter (no accesses happen
+    // inside a dead span, so lastAccess is frozen).
+    const Cycle last = first + n - 1;
+    for (WarpId w = 0; w < live.size(); ++w) {
+        if (!live[w])
+            continue;
+        liveWarpCycles += n;
+        const Cycle awakeUntil = lastAccess[w] + cfg.drowsyAfter;
+        if (awakeUntil >= first)
+            awakeWarpCycles += std::min(last, awakeUntil) - first + 1;
     }
     ctrs.set(hAwakeWarpCycles, awakeWarpCycles);
     ctrs.set(hLiveWarpCycles, liveWarpCycles);

@@ -38,6 +38,7 @@ class DrowsyRf : public RegisterFile
     void kernelLaunch(const isa::Kernel &kernel) override;
     RfAccess access(WarpId w, RegId r, bool write) override;
     void cycleHook(Cycle now, unsigned issued) override;
+    void advanceIdle(Cycle first, std::uint64_t n) override;
     void warpStarted(WarpId w, CtaId cta) override;
     void warpFinished(WarpId w) override;
 

@@ -162,6 +162,29 @@ PartitionedRf::cycleHook(Cycle now, unsigned issued)
         emitBackgateMode(/*force=*/false);
 }
 
+Cycle
+PartitionedRf::nextEventCycle(Cycle now) const
+{
+    // Epoch boundaries flip the back-gate mode, which is observable from
+    // outside only through a structured trace sink (emitBackgateMode
+    // stamps the exact flip cycle). With such a sink attached the SM must
+    // single-step through every boundary; without one the controller
+    // fast-forwards in closed form (advanceIdle) and the flips inside a
+    // dead span — invisible and irrelevant to access latencies, since no
+    // accesses happen in a dead span — impose no horizon.
+    if (cfg.adaptiveFrf && traceHub && traceHub->wantsStructured())
+        return now + frfController.cyclesToBoundary() - 1;
+    return kNeverCycle;
+}
+
+void
+PartitionedRf::advanceIdle(Cycle first, std::uint64_t n)
+{
+    RegisterFile::advanceIdle(first, n);
+    if (cfg.adaptiveFrf)
+        frfController.advanceIdle(n);
+}
+
 void
 PartitionedRf::warpStarted(WarpId w, CtaId cta)
 {

@@ -66,6 +66,8 @@ class PartitionedRf : public RegisterFile
     unsigned bank(WarpId w, RegId r) const override;
     RfAccess access(WarpId w, RegId r, bool write) override;
     void cycleHook(Cycle now, unsigned issued) override;
+    Cycle nextEventCycle(Cycle now) const override;
+    void advanceIdle(Cycle first, std::uint64_t n) override;
     void warpStarted(WarpId w, CtaId cta) override;
     void warpFinished(WarpId w) override;
 

@@ -71,6 +71,35 @@ class RegisterFile
      *  issued this cycle (drives the adaptive-FRF phase detector). */
     virtual void cycleHook(Cycle now, unsigned issued);
 
+    /**
+     * Event-horizon contract, part 1: the earliest cycle >= now at which
+     * this backend's externally observable behaviour can change *without
+     * any SM activity* — e.g. an adaptive-FRF epoch boundary that must
+     * emit a back-gate trace event at its exact cycle. kNeverCycle means
+     * the backend is closed-form under idleness (see advanceIdle()) and
+     * imposes no horizon of its own.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const
+    {
+        (void)now;
+        return kNeverCycle;
+    }
+
+    /**
+     * Event-horizon contract, part 2: the SM fast-forwarded over the dead
+     * cycles [first, first + n). Reproduce the exact cumulative effect of
+     * n consecutive cycleHook(t, 0) calls (t = first .. first + n - 1) in
+     * closed form: counters, epoch state and leakage accounting must end
+     * up bit-identical to single-stepping. Overrides must call the base,
+     * which advances the lastCycle / trace clocks to the last skipped
+     * cycle.
+     */
+    virtual void advanceIdle(Cycle first, std::uint64_t n)
+    {
+        lastCycle = first + n - 1;
+        traceNow = lastCycle;
+    }
+
     /** Warp lifecycle notifications (pilot selection / retirement). */
     virtual void warpStarted(WarpId w, CtaId cta);
     virtual void warpFinished(WarpId w);

@@ -108,6 +108,15 @@ Gpu::timeSeriesEnabled() const
     return !sms.empty() && sms.front()->timeSeries() != nullptr;
 }
 
+std::uint64_t
+Gpu::fastForwardedCycles() const
+{
+    std::uint64_t n = 0;
+    for (const auto &sm : sms)
+        n += sm->fastForwardedCycles();
+    return n;
+}
+
 void
 Gpu::writeTimeSeries(std::ostream &os) const
 {
@@ -199,15 +208,47 @@ Gpu::run(const std::vector<isa::Kernel> &kernels)
             return true;
         };
 
-        while (!allIdle()) {
-            for (auto &sm : sms)
-                if (!sm->idle() || !dispenser.exhausted())
-                    sm->cycle(now);
-            ++now;
+        const auto watchdog = [&] {
             if (now - kernelStart > cfg.maxCycles)
                 fatal("kernel %s exceeded the %llu-cycle watchdog",
                       kernel.name().c_str(),
                       (unsigned long long)cfg.maxCycles);
+        };
+
+        while (!allIdle()) {
+            unsigned activity = 0;
+            for (auto &sm : sms)
+                if (!sm->idle() || !dispenser.exhausted())
+                    activity += sm->cycle(now);
+            ++now;
+            watchdog();
+            if (!cfg.enableCycleSkip || activity)
+                continue;
+
+            // Dead cycle: every SM ran and nothing happened anywhere, so
+            // nothing can happen before the earliest event horizon. Jump
+            // the clock straight there, crediting each running SM for
+            // the elided cycles. The horizon is clamped so the watchdog
+            // still fires at exactly the cycle single-stepping would
+            // reach. (A CTA launch cannot be the first event: on a dead
+            // cycle every SM with dispenser capacity already tried and
+            // failed to launch, and launch capacity only changes at an
+            // SM's own event cycles; the shared dispenser only drains.)
+            Cycle horizon = kNeverCycle;
+            for (const auto &sm : sms)
+                if (!sm->idle() || !dispenser.exhausted())
+                    horizon = std::min(horizon, sm->nextEventCycle(now));
+            if (horizon == kNeverCycle || horizon <= now)
+                continue; // event due immediately — or none: single-step
+            horizon = std::min(horizon, kernelStart + cfg.maxCycles + 1);
+            if (horizon <= now)
+                continue;
+            for (auto &sm : sms)
+                if (!sm->idle() || !dispenser.exhausted())
+                    sm->skipCycles(now, horizon);
+            skippedGlobal += horizon - now;
+            now = horizon;
+            watchdog();
         }
 
         KernelResult kr;
@@ -222,15 +263,42 @@ Gpu::run(const std::vector<isa::Kernel> &kernels)
         for (std::size_t i = 0; i < reg1.size(); ++i)
             kr.regAccess[i] = reg1[i] - reg0[i];
 
-        // Pilot / compiler profiling metadata from SM0's backend.
-        if (auto *prf = dynamic_cast<regfile::PartitionedRf *>(
-                &sms[0]->rf())) {
-            if (prf->stats().has("pilot.finishCycle")) {
-                kr.pilotFinishCycle =
-                    prf->stats().get("pilot.finishCycle") -
-                    double(kernelStart);
+        // Pilot / compiler profiling metadata, merged across SMs: each SM
+        // runs its own pilot warp, so the kernel-level finish cycle is
+        // the last retirement and the hot set is a rank-by-rank consensus
+        // — registers are taken in rank order across the per-SM lists,
+        // first seen wins, truncated to the largest per-SM list so
+        // disagreeing SMs never inflate the set beyond the FRF size.
+        {
+            bool anyPilot = false;
+            double finish = 0.0;
+            std::size_t maxRank = 0;
+            std::vector<const std::vector<RegId> *> hotLists;
+            for (const auto &sm : sms) {
+                auto *prf =
+                    dynamic_cast<regfile::PartitionedRf *>(&sm->rf());
+                if (!prf)
+                    continue;
+                const double f = prf->stats().get("pilot.finishCycle");
+                finish = anyPilot ? std::max(finish, f) : f;
+                anyPilot = true;
+                hotLists.push_back(&prf->pilotHotRegisters());
+                maxRank = std::max(maxRank, hotLists.back()->size());
             }
-            kr.pilotHot = prf->pilotHotRegisters();
+            if (anyPilot)
+                kr.pilotFinishCycle = finish - double(kernelStart);
+            for (std::size_t rank = 0;
+                 rank < maxRank && kr.pilotHot.size() < maxRank; ++rank) {
+                for (const auto *hl : hotLists) {
+                    if (rank >= hl->size() ||
+                        kr.pilotHot.size() >= maxRank)
+                        continue;
+                    const RegId reg = (*hl)[rank];
+                    if (std::find(kr.pilotHot.begin(), kr.pilotHot.end(),
+                                  reg) == kr.pilotHot.end())
+                        kr.pilotHot.push_back(reg);
+                }
+            }
         }
         isa::StaticProfile sp(kernel);
         kr.staticHot = sp.topRegisters(4);

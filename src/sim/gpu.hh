@@ -27,9 +27,13 @@ struct KernelResult
     std::vector<std::uint64_t> regAccess;
     StatSet rfStats;  ///< RF backend stats (access.* etc.), kernel delta
     StatSet simStats; ///< SM pipeline stats, kernel delta
-    double pilotFinishCycle = -1.0; ///< SM0 pilot retirement (rel. cycles)
-    std::vector<RegId> pilotHot;    ///< SM0 pilot-identified registers
-    std::vector<RegId> staticHot;   ///< compiler-identified registers
+    /** Last pilot retirement across SMs, relative to kernel start. */
+    double pilotFinishCycle = -1.0;
+    /** Pilot-identified hot set, merged across SMs by rank (see
+     *  Gpu::run): first-seen rank order, truncated to the largest
+     *  per-SM set so multi-SM consensus never inflates the set. */
+    std::vector<RegId> pilotHot;
+    std::vector<RegId> staticHot; ///< compiler-identified registers
 
     /** Fraction of all accesses going to the given register set. */
     double accessFraction(const std::vector<RegId> &regs) const;
@@ -89,6 +93,19 @@ class Gpu
      *  ({"sms": [...]}); call after run(). */
     void writeTimeSeries(std::ostream &os) const;
 
+    /** Cycles the event-horizon fast-forward elided so far, summed over
+     *  SMs (telemetry only; zero when enableCycleSkip is off). */
+    std::uint64_t fastForwardedCycles() const;
+
+    /** Global-clock cycles the fast-forward jumped over so far: each
+     *  skip advances `now` by horizon - now and adds that span here, so
+     *  skippedCycles() / cyclesElapsed() is the fraction of simulated
+     *  time that was never single-stepped (telemetry only). */
+    std::uint64_t skippedCycles() const { return skippedGlobal; }
+
+    /** Total simulated GPU cycles so far (the global clock). */
+    Cycle cyclesElapsed() const { return now; }
+
   private:
     class Dispenser : public CtaSource
     {
@@ -111,6 +128,7 @@ class Gpu
     std::unique_ptr<Cache> l2; ///< GPU-wide shared L2 (optional)
     std::vector<std::unique_ptr<Sm>> sms;
     Cycle now = 0;
+    std::uint64_t skippedGlobal = 0; ///< see skippedCycles()
     obs::TraceHub hub;        ///< per-GPU sink fan-out (see traceHub())
     bool hubAttached = false; ///< hub wired into the SMs yet?
 };

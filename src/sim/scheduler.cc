@@ -1,7 +1,5 @@
 #include "sim/scheduler.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace pilotrf::sim
@@ -22,12 +20,47 @@ Scheduler::reset()
     rrPtr.assign(cfg.schedulers, 0);
     active.clear();
     pending.clear();
+    posInActive.assign(cfg.warpsPerSm, -1);
+    pendingGen.assign(cfg.warpsPerSm, 0);
+    inPending.assign(cfg.warpsPerSm, false);
+    gtoList.assign(cfg.schedulers, {});
+    gtoPos.assign(cfg.warpsPerSm, -1);
+    lrrSlots.assign(cfg.schedulers, {});
+    for (WarpId w = 0; w < cfg.warpsPerSm; ++w)
+        lrrSlots[w % cfg.schedulers].push_back(w);
 }
 
 void
-Scheduler::removeFrom(std::vector<WarpId> &v, WarpId w)
+Scheduler::removeActive(WarpId w)
 {
-    v.erase(std::remove(v.begin(), v.end(), w), v.end());
+    const std::int32_t p = posInActive[w];
+    panicIf(p < 0, "removeActive on a non-active warp");
+    active.erase(active.begin() + p);
+    posInActive[w] = -1;
+    for (std::size_t i = std::size_t(p); i < active.size(); ++i)
+        posInActive[active[i]] = std::int32_t(i);
+}
+
+void
+Scheduler::pushPending(WarpId w)
+{
+    if (inPending[w])
+        return;
+    pending.push_back({w, pendingGen[w]});
+    inPending[w] = true;
+}
+
+void
+Scheduler::removeGto(WarpId w)
+{
+    const std::int32_t p = gtoPos[w];
+    if (p < 0)
+        return;
+    auto &list = gtoList[w % cfg.schedulers];
+    list.erase(list.begin() + p);
+    gtoPos[w] = -1;
+    for (std::size_t i = std::size_t(p); i < list.size(); ++i)
+        gtoPos[list[i]] = std::int32_t(i);
 }
 
 void
@@ -35,8 +68,13 @@ Scheduler::onWarpLaunched(WarpId w, std::uint64_t age)
 {
     ages[w] = age;
     live[w] = true;
+    if (cfg.policy == SchedulerPolicy::Gto) {
+        auto &list = gtoList[w % cfg.schedulers];
+        gtoPos[w] = std::int32_t(list.size());
+        list.push_back(w);
+    }
     if (cfg.policy == SchedulerPolicy::TwoLevel) {
-        pending.push_back(w);
+        pushPending(w);
         fillActive();
     }
 }
@@ -48,13 +86,19 @@ Scheduler::onWarpFinished(WarpId w)
     for (auto &g : greedy)
         if (g == w)
             g = WarpId(-1);
+    if (cfg.policy == SchedulerPolicy::Gto)
+        removeGto(w);
     if (cfg.policy == SchedulerPolicy::TwoLevel) {
         if (inActive(w)) {
-            removeFrom(active, w);
+            removeActive(w);
             onActiveChange(w, false);
         }
-        pending.erase(std::remove(pending.begin(), pending.end(), w),
-                      pending.end());
+        if (inPending[w]) {
+            // Orphan the queued entry instead of scanning the deque; the
+            // bumped generation makes fillActive() drop it on pop.
+            ++pendingGen[w];
+            inPending[w] = false;
+        }
         fillActive();
     }
 }
@@ -65,12 +109,11 @@ Scheduler::onWarpBlocked(WarpId w, bool requeue)
     if (cfg.policy != SchedulerPolicy::TwoLevel)
         return;
     if (inActive(w)) {
-        removeFrom(active, w);
+        removeActive(w);
         onActiveChange(w, false);
     }
-    if (requeue &&
-        std::find(pending.begin(), pending.end(), w) == pending.end())
-        pending.push_back(w);
+    if (requeue)
+        pushPending(w);
     fillActive();
 }
 
@@ -81,8 +124,7 @@ Scheduler::onWarpWakeup(WarpId w)
         return;
     if (!live[w] || inActive(w))
         return;
-    if (std::find(pending.begin(), pending.end(), w) == pending.end())
-        pending.push_back(w);
+    pushPending(w);
     fillActive();
 }
 
@@ -90,19 +132,17 @@ void
 Scheduler::fillActive()
 {
     while (active.size() < cfg.tlActiveWarps && !pending.empty()) {
-        WarpId w = pending.front();
+        const PendingEntry e = pending.front();
         pending.pop_front();
-        if (!live[w])
+        if (e.gen != pendingGen[e.warp])
+            continue; // orphaned by onWarpFinished
+        inPending[e.warp] = false;
+        if (!live[e.warp])
             continue;
-        active.push_back(w);
-        onActiveChange(w, true);
+        posInActive[e.warp] = std::int32_t(active.size());
+        active.push_back(e.warp);
+        onActiveChange(e.warp, true);
     }
-}
-
-bool
-Scheduler::inActive(WarpId w) const
-{
-    return std::find(active.begin(), active.end(), w) != active.end();
 }
 
 bool
@@ -121,7 +161,8 @@ Scheduler::noteIssue(unsigned sched, WarpId w)
     if (cfg.policy == SchedulerPolicy::TwoLevel && inActive(w)) {
         // Rotate the issued warp to the back of the pool (round-robin
         // within the active set).
-        removeFrom(active, w);
+        removeActive(w);
+        posInActive[w] = std::int32_t(active.size());
         active.push_back(w);
     }
 }
@@ -137,29 +178,30 @@ Scheduler::candidates(unsigned sched, std::vector<WarpId> &out) const
                 out.push_back(w);
         return;
       case SchedulerPolicy::Gto: {
-        for (WarpId w = sched; w < cfg.warpsPerSm;
-             w += WarpId(cfg.schedulers))
-            if (live[w])
-                out.push_back(w);
+        // gtoList holds the scheduler's live warps oldest-first (launch
+        // order == age order); hoist the greedy warp to the front.
         const WarpId g = greedy[sched];
-        std::stable_sort(out.begin(), out.end(), [&](WarpId a, WarpId b) {
-            if ((a == g) != (b == g))
-                return a == g;
-            return ages[a] < ages[b];
-        });
+        const bool gLive = g < live.size() && live[g];
+        if (gLive)
+            out.push_back(g);
+        for (WarpId w : gtoList[sched])
+            if (!gLive || w != g)
+                out.push_back(w);
         return;
       }
       case SchedulerPolicy::Lrr: {
-        std::vector<WarpId> slot;
-        for (WarpId w = sched; w < cfg.warpsPerSm;
-             w += WarpId(cfg.schedulers))
-            slot.push_back(w);
-        // Rotate to start just after the last issued warp.
-        auto it = std::find(slot.begin(), slot.end(), rrPtr[sched]);
-        std::size_t start =
-            it == slot.end() ? 0 : (it - slot.begin() + 1) % slot.size();
+        const auto &slot = lrrSlots[sched];
+        if (slot.empty())
+            return;
+        // Rotate to start just after the last issued warp. A warp's slot
+        // index within its scheduler's list is w / schedulers.
+        const WarpId p = rrPtr[sched];
+        const std::size_t start =
+            p % cfg.schedulers == sched
+                ? (std::size_t(p) / cfg.schedulers + 1) % slot.size()
+                : 0;
         for (std::size_t i = 0; i < slot.size(); ++i) {
-            WarpId w = slot[(start + i) % slot.size()];
+            const WarpId w = slot[(start + i) % slot.size()];
             if (live[w])
                 out.push_back(w);
         }

@@ -4,6 +4,13 @@
  * the two-level (TL) active/pending-pool scheduler of Gebhart et al. used
  * by the RFC design. The two-level scheduler reports pool transitions so
  * the RFC backend can flush entries of demoted warps.
+ *
+ * Membership questions are answered from per-warp side arrays instead of
+ * linear scans: `posInActive` gives a warp's slot in the TL active pool
+ * (or -1), pending-queue entries carry a per-warp generation tag so a
+ * finished warp's queued entry is dropped lazily on pop instead of erased
+ * with an O(n) scan, and GTO keeps a per-scheduler age-ordered live list
+ * (launch order *is* age order) so candidates() never sorts.
  */
 
 #ifndef PILOTRF_SIM_SCHEDULER_HH
@@ -54,19 +61,45 @@ class Scheduler
     SchedulerPolicy policy() const { return cfg.policy; }
 
   private:
-    bool inActive(WarpId w) const;
+    /** A TL pending entry; stale once the warp's generation moves on. */
+    struct PendingEntry
+    {
+        WarpId warp;
+        std::uint64_t gen;
+    };
+
+    bool inActive(WarpId w) const { return posInActive[w] >= 0; }
     void fillActive();
-    void removeFrom(std::vector<WarpId> &v, WarpId w);
+    void removeActive(WarpId w);
+    void pushPending(WarpId w);
+    void removeGto(WarpId w);
 
     const SimConfig &cfg;
     ActiveChangeFn onActiveChange;
 
-    std::vector<std::uint64_t> ages;      // per warp slot
-    std::vector<bool> live;               // warp slot occupied & running
-    std::vector<WarpId> greedy;           // per scheduler (GTO)
-    std::vector<WarpId> rrPtr;            // per scheduler (LRR)
-    std::vector<WarpId> active;           // TL active pool (rotation order)
-    std::deque<WarpId> pending;           // TL pending queue
+    std::vector<std::uint64_t> ages; // per warp slot
+    std::vector<bool> live;          // warp slot occupied & running
+    std::vector<WarpId> greedy;      // per scheduler (GTO)
+    std::vector<WarpId> rrPtr;       // per scheduler (LRR)
+
+    // TL pools. `active` keeps rotation order; a warp's position in it is
+    // mirrored in posInActive (-1 when absent). Finished warps leave
+    // `pending` lazily: onWarpFinished bumps the warp's generation, and
+    // fillActive() drops entries whose tag no longer matches.
+    std::vector<WarpId> active;        // TL active pool (rotation order)
+    std::deque<PendingEntry> pending;  // TL pending queue
+    std::vector<std::int32_t> posInActive; // per warp; -1 = not active
+    std::vector<std::uint64_t> pendingGen; // per warp generation
+    std::vector<bool> inPending;           // has a live pending entry
+
+    // GTO: per-scheduler live warps in launch order. Ages are handed out
+    // from a monotonic counter, so launch order is exactly oldest-first.
+    std::vector<std::vector<WarpId>> gtoList; // per scheduler
+    std::vector<std::int32_t> gtoPos;         // per warp; -1 = absent
+
+    // LRR: the static warp-slot list of each scheduler, precomputed once
+    // per kernel so candidates() does no slot arithmetic loop setup.
+    std::vector<std::vector<WarpId>> lrrSlots; // per scheduler
 };
 
 } // namespace pilotrf::sim

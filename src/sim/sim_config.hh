@@ -109,6 +109,15 @@ struct SimConfig
     regfile::DrowsyRfConfig drowsy;
     unsigned mrfLatencyOverride = 0; ///< force MRF latency (0: model)
 
+    /** Event-horizon fast-forwarding: when a cycle passes with no
+     *  architectural activity on any SM, jump the clock straight to the
+     *  earliest cycle at which anything can change (memory completions,
+     *  writeback clears, operand latches, bank frees, epoch boundaries,
+     *  sampler ticks), crediting all cycle-proportional counters for the
+     *  skipped span. Architecturally invisible: merged statistics are
+     *  byte-identical with the knob on or off (docs/performance.md). */
+    bool enableCycleSkip = true;
+
     // Watchdog: abort runaway simulations.
     std::uint64_t maxCycles = 100'000'000;
 

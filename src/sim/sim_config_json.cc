@@ -300,6 +300,7 @@ SimConfig::toJson(std::ostream &os, unsigned depth) const
     }
 
     o.field("mrfLatencyOverride", double(mrfLatencyOverride));
+    o.field("enableCycleSkip", enableCycleSkip);
     o.field("maxCycles", double(maxCycles));
     o.close();
 }
@@ -387,6 +388,8 @@ SimConfig::fromJson(const JsonValue &v)
             c.drowsy = drowsyFromJson(val);
         else if (key == "mrfLatencyOverride")
             c.mrfLatencyOverride = asUnsigned("mrfLatencyOverride", val);
+        else if (key == "enableCycleSkip")
+            c.enableCycleSkip = asBool("enableCycleSkip", val);
         else if (key == "maxCycles")
             c.maxCycles = asU64("maxCycles", val);
         else

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A fixed-size bitset over hardware slot indices (operand collectors,
+ * warp slots) sized at runtime, with the two iteration orders the SM's
+ * arbitration loops need: ascending and rotated-from-a-start-index. Not
+ * capped at 64 slots — collector counts are JSON-configurable — so the
+ * storage is a word vector, not a single mask.
+ */
+
+#ifndef PILOTRF_SIM_SLOT_SET_HH
+#define PILOTRF_SIM_SLOT_SET_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pilotrf::sim
+{
+
+class SlotSet
+{
+  public:
+    /** Size the set to n slots, all clear. */
+    void resize(std::size_t n)
+    {
+        nBits = n;
+        words.assign((n + 63) / 64, 0);
+    }
+
+    void clearAll()
+    {
+        std::fill(words.begin(), words.end(), std::uint64_t(0));
+    }
+
+    void set(std::size_t i) { words[i >> 6] |= std::uint64_t(1) << (i & 63); }
+    void clear(std::size_t i)
+    {
+        words[i >> 6] &= ~(std::uint64_t(1) << (i & 63));
+    }
+    bool test(std::size_t i) const
+    {
+        return (words[i >> 6] >> (i & 63)) & 1;
+    }
+
+    std::size_t size() const { return nBits; }
+
+    /** Lowest clear slot index, or size() when every slot is set. */
+    std::size_t firstClear() const
+    {
+        for (std::size_t wi = 0; wi < words.size(); ++wi) {
+            const std::uint64_t inv = ~words[wi];
+            if (!inv)
+                continue;
+            const std::size_t i =
+                (wi << 6) + std::size_t(std::countr_zero(inv));
+            return i < nBits ? i : nBits;
+        }
+        return nBits;
+    }
+
+    /**
+     * Append the set slot indices to @p out in rotated order: start,
+     * start+1, ..., size()-1, 0, ..., start-1. @p out is cleared first.
+     * Pass start = 0 for plain ascending order.
+     */
+    void collectFrom(std::size_t start, std::vector<std::size_t> &out) const
+    {
+        out.clear();
+        appendRange(start, nBits, out);
+        appendRange(0, start, out);
+    }
+
+  private:
+    /** Append set bits in [lo, hi) in ascending order. */
+    void appendRange(std::size_t lo, std::size_t hi,
+                     std::vector<std::size_t> &out) const
+    {
+        if (lo >= hi)
+            return;
+        const std::size_t wEnd = (hi + 63) >> 6;
+        for (std::size_t wi = lo >> 6; wi < wEnd; ++wi) {
+            std::uint64_t w = words[wi];
+            const std::size_t base = wi << 6;
+            if (base < lo)
+                w &= ~std::uint64_t(0) << (lo - base);
+            if (base + 64 > hi) {
+                const unsigned keep = unsigned(hi - base);
+                if (keep < 64)
+                    w &= ~std::uint64_t(0) >> (64 - keep);
+            }
+            while (w) {
+                out.push_back(base +
+                              std::size_t(std::countr_zero(w)));
+                w &= w - 1;
+            }
+        }
+    }
+
+    std::size_t nBits = 0;
+    std::vector<std::uint64_t> words;
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_SLOT_SET_HH

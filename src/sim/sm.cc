@@ -40,6 +40,7 @@ Sm::Sm(const SimConfig &cfg_, SmId id,
     warps.resize(cfg.warpsPerSm);
     ctaSlots.resize(cfg.maxCtasPerSm);
     collectors.resize(cfg.collectors);
+    busyCols.resize(cfg.collectors);
     if (cfg.l1Enable)
         l1 = std::make_unique<Cache>(cfg.l1SizeKb * 1024, cfg.l1Assoc);
 }
@@ -72,12 +73,14 @@ Sm::startKernel(const isa::Kernel *k)
     backend->kernelLaunch(*k);
     for (auto &c : collectors)
         c = Collector{};
+    busyCols.clearAll();
     freeCollectors = cfg.collectors;
     exec.clear();
+    execNextDue = kNeverCycle;
     trackers.clear();
     freeTrackers.clear();
     wbQueue.clear();
-    clears.clear();
+    clears = {};
     memNextFree = 0;
     outstandingMem = 0;
     if (l1)
@@ -95,11 +98,12 @@ Sm::idle() const
            clears.empty();
 }
 
-void
+unsigned
 Sm::tryLaunchCtas()
 {
     if (!kernel)
-        return;
+        return 0;
+    unsigned launched = 0;
     unsigned liveCtas = 0;
     for (const auto &s : ctaSlots)
         liveCtas += s.valid;
@@ -112,11 +116,11 @@ Sm::tryLaunchCtas()
             if (!warps[w].valid() || warps[w].done())
                 slots.push_back(w);
         if (slots.size() < need)
-            return;
+            return launched;
 
         CtaId cta;
         if (!ctaSource.next(cta))
-            return;
+            return launched;
 
         unsigned slotIdx = 0;
         while (ctaSlots[slotIdx].valid)
@@ -157,8 +161,10 @@ Sm::tryLaunchCtas()
             backend->warpStarted(w, cta);
         }
         ++liveCtas;
+        ++launched;
         ctrs.inc(h.ctasLaunched);
     }
+    return launched;
 }
 
 std::uint32_t
@@ -175,16 +181,20 @@ Sm::allocTracker(WarpId warp, std::uint8_t writes)
 }
 
 void
+Sm::pushExec(const ExecEntry &e)
+{
+    exec.push_back(e);
+    execNextDue = std::min(execNextDue, e.finishAt);
+}
+
+unsigned
 Sm::processWritebackClears(Cycle now)
 {
-    for (std::size_t i = 0; i < clears.size();) {
-        if (clears[i].at > now) {
-            ++i;
-            continue;
-        }
-        const PendingClear pc = clears[i];
-        clears[i] = clears.back();
-        clears.pop_back();
+    unsigned cleared = 0;
+    while (!clears.empty() && clears.top().at <= now) {
+        const PendingClear pc = clears.top();
+        clears.pop();
+        ++cleared;
 
         WbTracker &t = trackers[pc.tracker];
         warps[t.warp].releaseWrite(pc.reg);
@@ -194,19 +204,26 @@ Sm::processWritebackClears(Cycle now)
             freeTrackers.push_back(pc.tracker);
         }
     }
+    return cleared;
 }
 
-void
+unsigned
 Sm::processExecCompletions(Cycle now)
 {
+    if (execNextDue > now)
+        return 0;
+    unsigned completed = 0;
+    Cycle nextDue = kNeverCycle;
     for (std::size_t i = 0; i < exec.size();) {
         if (exec[i].finishAt > now) {
+            nextDue = std::min(nextDue, exec[i].finishAt);
             ++i;
             continue;
         }
         const ExecEntry e = exec[i];
         exec[i] = exec.back();
         exec.pop_back();
+        ++completed;
 
         if (e.in->isMem()) {
             panicIf(outstandingMem == 0, "memory completion underflow");
@@ -230,41 +247,50 @@ Sm::processExecCompletions(Cycle now)
                 // the write in the background (energy still accounted).
                 const regfile::RfAccess acc =
                     backend->access(e.warp, r, true);
-                clears.push_back(
+                clears.push(
                     {now + (cfg.writeForwarding ? 1 : acc.latency), t, r});
             }
         }
     }
+    execNextDue = nextDue;
+    return completed;
 }
 
-void
+unsigned
 Sm::latchReadyOperands(Cycle now)
 {
-    for (auto &c : collectors) {
-        if (!c.busy)
-            continue;
+    unsigned latched = 0;
+    busyCols.collectFrom(0, colScratch);
+    for (const std::size_t idx : colScratch) {
+        Collector &c = collectors[idx];
         for (unsigned i = 0; i < c.nOps; ++i) {
             Operand &op = c.ops[i];
             if (op.state == OpState::InFlight && op.readyAt <= now) {
                 op.state = OpState::Ready;
                 warps[c.warp].releaseRead(op.reg);
+                ++latched;
             }
         }
     }
+    return latched;
 }
 
-void
+unsigned
 Sm::dispatchCollectors(Cycle now)
 {
     unsigned spLeft = cfg.spWidth;
     unsigned sfuLeft = cfg.sfuWidth;
     unsigned memLeft = cfg.memWidth;
+    unsigned dispatched = 0;
 
+    // Same rotation as the seed full-array scan — (k + now) % nCol for
+    // k = 0.. — but only over the busy indices. Freeing the collector
+    // under iteration is safe: the snapshot was taken before the loop and
+    // no collector becomes busy during dispatch.
     const std::size_t nCol = collectors.size();
-    for (std::size_t k = 0; k < nCol; ++k) {
-        Collector &c = collectors[(k + now) % nCol];
-        if (!c.busy)
-            continue;
+    busyCols.collectFrom(now % nCol, colScratch);
+    for (const std::size_t idx : colScratch) {
+        Collector &c = collectors[idx];
         bool allReady = true;
         for (unsigned i = 0; i < c.nOps; ++i)
             allReady &= c.ops[i].state == OpState::Ready;
@@ -334,9 +360,11 @@ Sm::dispatchCollectors(Cycle now)
                     finishAt = start + cfg.l2HitLatency + missing;
                     ++outstandingMem;
                     ctrs.inc(h.memTransactions, c.in->transactions);
-                    exec.push_back({finishAt, c.warp, c.in});
+                    pushExec({finishAt, c.warp, c.in});
                     c.busy = false;
+                    busyCols.clear(idx);
                     ++freeCollectors;
+                    ++dispatched;
                     continue;
                 }
             }
@@ -364,13 +392,16 @@ Sm::dispatchCollectors(Cycle now)
             panic("control instruction in a collector");
         }
 
-        exec.push_back({finishAt, c.warp, c.in});
+        pushExec({finishAt, c.warp, c.in});
         c.busy = false;
+        busyCols.clear(idx);
         ++freeCollectors;
+        ++dispatched;
     }
+    return dispatched;
 }
 
-void
+unsigned
 Sm::arbitrateBanks(Cycle now)
 {
     // A bank accepts at most one request per cycle and, for NTV-operated
@@ -379,6 +410,8 @@ Sm::arbitrateBanks(Cycle now)
     auto occupy = [&](unsigned b, unsigned busyCycles) {
         bankFree[b] = now + std::max(1u, busyCycles);
     };
+
+    unsigned activity = 0;
 
     // Writebacks have priority.
     for (std::size_t i = 0; i < wbQueue.size();) {
@@ -394,28 +427,31 @@ Sm::arbitrateBanks(Cycle now)
         const regfile::RfAccess acc =
             backend->access(t.warp, req.reg, true);
         occupy(req.bank, acc.busy);
-        clears.push_back(
+        clears.push(
             {now + (cfg.writeForwarding ? 1 : acc.latency), req.tracker,
              req.reg});
         wbQueue[i] = wbQueue.back();
         wbQueue.pop_back();
         ctrs.inc(h.banksWriteGrants);
+        ++activity;
     }
 
     // Operand reads: rotate the scan start each cycle so no collector is
     // systematically favoured (fixed-order scans beat against the warp
-    // schedulers and starve late collectors).
+    // schedulers and starve late collectors). Conflicts count as activity
+    // too — a conflicted cycle increments a counter, so it is never a
+    // skippable dead cycle.
     const std::size_t nCol = collectors.size();
-    for (std::size_t k = 0; k < nCol; ++k) {
-        Collector &c = collectors[(k + now) % nCol];
-        if (!c.busy)
-            continue;
+    busyCols.collectFrom(now % nCol, colScratch);
+    for (const std::size_t idx : colScratch) {
+        Collector &c = collectors[idx];
         for (unsigned i = 0; i < c.nOps; ++i) {
             Operand &op = c.ops[i];
             if (op.state != OpState::NeedBank)
                 continue;
             if (!bankAvailable(op.bank)) {
                 ctrs.inc(h.banksReadConflicts);
+                ++activity;
                 continue;
             }
             const regfile::RfAccess acc =
@@ -424,8 +460,10 @@ Sm::arbitrateBanks(Cycle now)
             op.state = OpState::InFlight;
             op.readyAt = now + acc.latency;
             ctrs.inc(h.banksReadGrants);
+            ++activity;
         }
     }
+    return activity;
 }
 
 bool
@@ -532,15 +570,14 @@ Sm::issueOne(WarpId wid, Cycle now)
         return true;
     }
 
-    // Allocate a collector and file operand read requests.
+    // Allocate the lowest-index free collector (same choice as the seed
+    // first-free scan, found from the busy set instead).
     panicIf(freeCollectors == 0, "issue without a free collector");
-    Collector *col = nullptr;
-    for (auto &c : collectors)
-        if (!c.busy) {
-            col = &c;
-            break;
-        }
+    const std::size_t ci = busyCols.firstClear();
+    panicIf(ci >= collectors.size(), "free-collector set out of sync");
+    Collector *col = &collectors[ci];
     col->busy = true;
+    busyCols.set(ci);
     --freeCollectors;
     col->warp = wid;
     col->in = &in;
@@ -610,17 +647,19 @@ Sm::issueStage(Cycle now)
     return issuedTotal;
 }
 
-void
+unsigned
 Sm::cycle(Cycle now)
 {
     lastCycleSeen = now;
     backend->noteCycle(now);
-    processWritebackClears(now);
-    processExecCompletions(now);
-    latchReadyOperands(now);
-    dispatchCollectors(now);
-    arbitrateBanks(now);
+    unsigned activity = 0;
+    activity += processWritebackClears(now);
+    activity += processExecCompletions(now);
+    activity += latchReadyOperands(now);
+    activity += dispatchCollectors(now);
+    activity += arbitrateBanks(now);
     const unsigned issued = issueStage(now);
+    activity += issued;
     backend->cycleHook(now, issued);
 
     ctrs.inc(h.instrIssued, issued);
@@ -632,7 +671,83 @@ Sm::cycle(Cycle now)
     if (sampler)
         sampler->tick(now);
 
-    tryLaunchCtas();
+    activity += tryLaunchCtas();
+    return activity;
+}
+
+Cycle
+Sm::nextEventCycle(Cycle now) const
+{
+    // Anything issue-eligible issues at `now`: no skipping.
+    for (WarpId w = 0; w < warps.size(); ++w)
+        if (scheduler.eligible(w) && warpReady(warps[w]))
+            return now;
+
+    Cycle horizon = execNextDue; // min over in-flight completions
+
+    if (!clears.empty())
+        horizon = std::min(horizon, clears.top().at);
+
+    // Collectors: in-flight operands latch at readyAt; a NeedBank operand
+    // contends for (or is granted) a bank port every cycle, so its mere
+    // existence pins the horizon at `now` (banksReadConflicts counts
+    // per-wait-cycle). An all-ready collector dispatches at `now` unless
+    // it is a memory op held by the outstanding-transaction cap — that
+    // unblocks at a memory completion, which execNextDue already covers.
+    for (const auto &c : collectors) {
+        if (!c.busy)
+            continue;
+        bool allReady = true;
+        for (unsigned i = 0; i < c.nOps; ++i) {
+            const Operand &op = c.ops[i];
+            if (op.state == OpState::NeedBank)
+                return now;
+            if (op.state == OpState::InFlight) {
+                horizon = std::min(horizon, op.readyAt);
+                allReady = false;
+            }
+        }
+        if (allReady &&
+            !(c.in->execClass() == isa::ExecClass::Mem &&
+              outstandingMem >= cfg.maxOutstandingMem))
+            return now;
+    }
+
+    // Pending writebacks are granted the moment their bank frees.
+    for (const auto &req : wbQueue)
+        horizon = std::min(horizon, std::max(now, bankFree[req.bank]));
+
+    // The RF backend's own horizon (epoch boundaries under tracing).
+    horizon = std::min(horizon, backend->nextEventCycle(now));
+
+    // Never skip across a time-series sample point.
+    if (sampler)
+        horizon = std::min(horizon,
+                           lastCycleSeen + sampler->ticksUntilSample());
+
+    return horizon;
+}
+
+void
+Sm::skipCycles(Cycle from, Cycle to)
+{
+    const std::uint64_t n = to - from;
+    if (!n)
+        return;
+    // Per-cycle side effects of n dead cycles, in closed form. Dead
+    // cycles issue nothing and touch no warp, so only the unconditional
+    // counters move: the issue-slot denominator, the active-cycle count
+    // (live warps were parked, not absent), the backend's idle accounting
+    // and the sampler's tick count.
+    ctrs.inc(h.issueSlotsTotal,
+             n * std::uint64_t(cfg.schedulers) * cfg.issuePerScheduler);
+    if (liveWarpCount)
+        ctrs.inc(h.cyclesActive, n);
+    backend->advanceIdle(from, n);
+    if (sampler)
+        sampler->skipTicks(n);
+    lastCycleSeen = to - 1;
+    ffCycles += n;
 }
 
 } // namespace pilotrf::sim

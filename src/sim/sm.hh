@@ -14,6 +14,7 @@
 #define PILOTRF_SIM_SM_HH
 
 #include <memory>
+#include <queue>
 #include <vector>
 
 #include "common/counters.hh"
@@ -24,6 +25,7 @@
 #include "sim/scheduler.hh"
 #include "sim/sim_config.hh"
 #include "sim/cache.hh"
+#include "sim/slot_set.hh"
 #include "sim/warp_context.hh"
 
 namespace pilotrf::sim
@@ -48,11 +50,43 @@ class Sm
     /** Begin executing a kernel (resets warp/scheduler/collector state). */
     void startKernel(const isa::Kernel *kernel);
 
-    /** Advance one cycle. */
-    void cycle(Cycle now);
+    /**
+     * Advance one cycle. Returns the cycle's activity count — pipeline
+     * events that changed architectural state (completions, clears,
+     * latches, dispatches, bank grants or conflicts, issues, CTA
+     * launches). Zero means the cycle was dead: nothing happened and,
+     * absent external input, nothing will until nextEventCycle().
+     */
+    unsigned cycle(Cycle now);
 
     /** No running warps and no in-flight work. */
     bool idle() const;
+
+    /**
+     * Event horizon: the earliest cycle >= now at which this SM's state
+     * can change. Returns `now` whenever any warp could issue or any
+     * pending operand/writeback could be granted a bank immediately;
+     * otherwise the min over in-flight completion times, pending
+     * writeback clears, bank-free times, the RF backend's own horizon
+     * (epoch boundaries under structured tracing) and the next
+     * time-series sample point. kNeverCycle when nothing is pending (a
+     * deadlocked or idle SM). Monotonic: across cycles with no activity
+     * the horizon never moves backwards.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Fast-forward over the dead cycles [from, to): credit every
+     * cycle-proportional counter (issue slots, active cycles, the RF
+     * backend's leakage/epoch accounting, sampler tick counts) exactly as
+     * if each cycle had been single-stepped with zero activity. Only
+     * legal when nextEventCycle(from) >= to.
+     */
+    void skipCycles(Cycle from, Cycle to);
+
+    /** Cycles elided by skipCycles() so far (whole-run telemetry; not a
+     *  stat counter, so golden stat sets stay byte-identical). */
+    std::uint64_t fastForwardedCycles() const { return ffCycles; }
 
     /** Attach the GPU-wide shared L2 (may be null). */
     void setL2(Cache *l2);
@@ -154,6 +188,18 @@ class Sm
         RegId reg;
     };
 
+    /** Min-heap order for the pending-clear queue (earliest `at` on
+     *  top). Same-cycle clears commute — they touch disjoint tracker
+     *  entries and per-warp scoreboard bits that are only read after the
+     *  whole batch drains — so heap pop order within a cycle is free. */
+    struct ClearLater
+    {
+        bool operator()(const PendingClear &a, const PendingClear &b) const
+        {
+            return a.at > b.at;
+        }
+    };
+
     struct CtaSlot
     {
         bool valid = false;
@@ -163,20 +209,21 @@ class Sm
         std::vector<WarpId> warps;
     };
 
-    // --- pipeline stages ---------------------------------------------------
-    void processWritebackClears(Cycle now);
-    void processExecCompletions(Cycle now);
-    void latchReadyOperands(Cycle now);
-    void dispatchCollectors(Cycle now);
-    void arbitrateBanks(Cycle now);
+    // --- pipeline stages (each returns its activity count) -----------------
+    unsigned processWritebackClears(Cycle now);
+    unsigned processExecCompletions(Cycle now);
+    unsigned latchReadyOperands(Cycle now);
+    unsigned dispatchCollectors(Cycle now);
+    unsigned arbitrateBanks(Cycle now);
     unsigned issueStage(Cycle now);
-    void tryLaunchCtas();
+    unsigned tryLaunchCtas();
 
     bool warpReady(const WarpContext &w) const;
     bool issueOne(WarpId wid, Cycle now);
     void finishWarp(WarpId wid);
     void arriveBarrier(WarpId wid);
     std::uint32_t allocTracker(WarpId warp, std::uint8_t writes);
+    void pushExec(const ExecEntry &e);
 
     // --- members ------------------------------------------------------------
     const SimConfig &cfg;
@@ -195,11 +242,22 @@ class Sm
 
     std::vector<Collector> collectors;
     unsigned freeCollectors = 0;
+    /** Busy-collector index set: iterated instead of scanning the whole
+     *  collector array, with firstClear() as the allocation free list. */
+    SlotSet busyCols;
+    std::vector<std::size_t> colScratch; // snapshot of busy indices
     std::vector<ExecEntry> exec;
+    /** Cached min over exec[].finishAt (kNeverCycle when empty): lets
+     *  processExecCompletions() early-out and nextEventCycle() answer in
+     *  O(1). The exec vector itself stays order-preserving swap-erase —
+     *  completion order feeds writeback-queue order, which is the bank
+     *  arbiter's priority order, so it is architecturally observable. */
+    Cycle execNextDue = kNeverCycle;
     std::vector<WbTracker> trackers;
     std::vector<std::uint32_t> freeTrackers;
     std::vector<WbReq> wbQueue;
-    std::vector<PendingClear> clears;
+    std::priority_queue<PendingClear, std::vector<PendingClear>, ClearLater>
+        clears;
 
     // bank occupancy: next cycle each register bank is free
     std::vector<Cycle> bankFree;
@@ -211,6 +269,7 @@ class Sm
     Cache *l2 = nullptr;       ///< GPU-wide shared L2 (not owned)
 
     Cycle lastCycleSeen = 0; // for trace points outside cycle stages
+    std::uint64_t ffCycles = 0; // cycles elided by skipCycles()
 
     obs::TraceHub *hub = nullptr; ///< per-GPU hub (not owned)
     std::unique_ptr<obs::TimeSeriesSampler> sampler; ///< null = off

@@ -150,6 +150,7 @@ everyFieldNonDefault()
     c.drowsy.wakeLatency = 2;
     c.drowsy.drowsyLeakFactor = 0.5;
     c.mrfLatencyOverride = 7;
+    c.enableCycleSkip = false;
     c.maxCycles = 12345678;
     return c;
 }

@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "isa/kernel_builder.hh"
+#include "regfile/factory.hh"
 #include "sim/gpu.hh"
 #include "workloads/workloads.hh"
 
@@ -252,6 +255,109 @@ TEST_F(SmGpuTest, WatchdogFires)
     Gpu gpu(c);
     auto k = b.build();
     EXPECT_EXIT(gpu.run(k), ::testing::ExitedWithCode(1), "watchdog");
+}
+
+namespace
+{
+
+/** Minimal CTA dispenser for driving a single Sm by hand. */
+struct StubCtaSource final : CtaSource
+{
+    explicit StubCtaSource(unsigned total_) : total(total_) {}
+    bool next(CtaId &id) override
+    {
+        if (n >= total)
+            return false;
+        id = n++;
+        return true;
+    }
+    bool exhausted() const override { return n >= total; }
+    unsigned total;
+    unsigned n = 0;
+};
+
+} // namespace
+
+TEST_F(SmGpuTest, NextEventCycleSoundAndMonotonic)
+{
+    // Memory-heavy kernel: warps spend long spans stalled on ~230-cycle
+    // global loads, so the horizon must repeatedly jump far ahead.
+    KernelBuilder b("ev", 8, 64, 3);
+    b.load(1, 0, MemSpace::Global, 4);
+    b.op(Opcode::IAdd, 2, {1});
+    b.store(0, 2, MemSpace::Global, 1);
+    const auto k = b.build();
+
+    SimConfig c;
+    c.numSms = 1;
+    StubCtaSource src(k.numCtas());
+    Sm sm(c, SmId(0), regfile::makeRegisterFile(c), src);
+    sm.startKernel(&k);
+
+    // Single-step the whole kernel, checking the horizon contract at
+    // every cycle: nextEventCycle(t) >= t always; after a dead cycle the
+    // horizon never moves backwards; and no activity may occur inside a
+    // span the horizon promised dead.
+    Cycle t = 0, noEventBefore = 0, prevHorizon = 0, maxLead = 0;
+    unsigned prevActivity = 1;
+    while (!sm.idle() || !src.exhausted()) {
+        ASSERT_LT(t, Cycle(1'000'000)) << "runaway kernel";
+        const Cycle h = sm.nextEventCycle(t);
+        ASSERT_GE(h, t);
+        if (prevActivity == 0 && h != kNeverCycle) {
+            if (prevHorizon != kNeverCycle) {
+                ASSERT_GE(h, prevHorizon)
+                    << "horizon moved backwards at cycle " << t;
+            }
+            noEventBefore = std::max(noEventBefore, h);
+            maxLead = std::max(maxLead, h - t);
+        }
+        const unsigned activity = sm.cycle(t);
+        if (activity != 0) {
+            ASSERT_GE(t, noEventBefore)
+                << "activity inside a promised-dead span at cycle " << t;
+        }
+        prevHorizon = h;
+        prevActivity = activity;
+        ++t;
+    }
+    // A fully-stalled SM must report a horizon well beyond now + 1: the
+    // global-load latency dwarfs the pipeline depth.
+    EXPECT_GT(maxLead, 50u);
+}
+
+TEST_F(SmGpuTest, CycleSkipArchitecturallyInvisible)
+{
+    const auto &w = workloads::workload("BFS");
+    SimConfig on = smallCfg(RfKind::Partitioned); // skip defaults to on
+    SimConfig off = on;
+    off.enableCycleSkip = false;
+    Gpu a(on), b(off);
+    const auto ra = a.run(w.kernels);
+    const auto rb = b.run(w.kernels);
+    EXPECT_EQ(ra.totalCycles, rb.totalCycles);
+    EXPECT_EQ(ra.totalInstructions, rb.totalInstructions);
+    EXPECT_DOUBLE_EQ(ra.rfAccesses(), rb.rfAccesses());
+    // The memory-bound workload must actually exercise the fast-forward.
+    EXPECT_GT(a.fastForwardedCycles(), 0u);
+    EXPECT_EQ(b.fastForwardedCycles(), 0u);
+}
+
+TEST_F(SmGpuTest, ManyCollectorsExerciseMultiWordFreeSet)
+{
+    // > 64 collectors: the busy-collector bitset spans multiple words,
+    // covering the wrap-around and firstClear paths beyond word 0.
+    SimConfig on = smallCfg();
+    on.collectors = 70;
+    SimConfig off = on;
+    off.enableCycleSkip = false;
+    const auto &w = workloads::workload("hotspot");
+    Gpu a(on), b(off);
+    const auto ra = a.run(w.kernels);
+    const auto rb = b.run(w.kernels);
+    EXPECT_GT(ra.totalCycles, 0u);
+    EXPECT_EQ(ra.totalCycles, rb.totalCycles);
+    EXPECT_DOUBLE_EQ(ra.rfAccesses(), rb.rfAccesses());
 }
 
 // Parameterized completion sweep: every workload completes under every

@@ -75,12 +75,14 @@ renderStats(std::ostream &os, const char *title, const StatSet &s)
 }
 
 std::string
-renderWorkload(const std::string &name)
+renderWorkload(const std::string &name, bool cycleSkip)
 {
     const auto &wl = workloads::workload(name);
     std::ostringstream os;
     for (const auto &v : variants()) {
-        Gpu gpu(v.cfg);
+        SimConfig cfg = v.cfg;
+        cfg.enableCycleSkip = cycleSkip;
+        Gpu gpu(cfg);
         const RunResult run = gpu.run(wl.kernels);
 
         os << "=== " << name << " / " << v.label << " ===\n";
@@ -118,15 +120,47 @@ class StatParity : public ::testing::TestWithParam<const char *>
     void SetUp() override { setQuiet(true); }
 };
 
+namespace
+{
+
+/** Assert `actual` equals `golden` byte-for-byte, reporting only the
+ *  first differing line rather than the whole multi-KB blob. */
+void
+expectMatchesGolden(const std::string &golden, const std::string &actual,
+                    const char *mode)
+{
+    if (actual == golden) {
+        SUCCEED();
+        return;
+    }
+    std::istringstream a(actual), g(golden);
+    std::string la, lg;
+    unsigned line = 0;
+    while (true) {
+        const bool ha = bool(std::getline(a, la));
+        const bool hg = bool(std::getline(g, lg));
+        ++line;
+        if (!ha && !hg)
+            break;
+        ASSERT_EQ(lg, la)
+            << "first difference at line " << line << " (" << mode << ")";
+    }
+}
+
+} // namespace
+
 TEST_P(StatParity, MatchesSeedStats)
 {
     const std::string path = goldenPath(GetParam());
-    const std::string actual = renderWorkload(GetParam());
+    // The event-horizon fast-forward must be architecturally invisible:
+    // both the skipping and the single-stepping simulator must reproduce
+    // the seed goldens byte-for-byte.
+    const std::string withSkip = renderWorkload(GetParam(), true);
 
     if (std::getenv("PILOTRF_REGEN_GOLDEN")) {
         std::ofstream out(path, std::ios::binary);
         ASSERT_TRUE(out.good()) << "cannot write " << path;
-        out << actual;
+        out << withSkip;
         return;
     }
 
@@ -136,22 +170,9 @@ TEST_P(StatParity, MatchesSeedStats)
         << " (regenerate with PILOTRF_REGEN_GOLDEN=1)";
     std::ostringstream golden;
     golden << in.rdbuf();
-    if (actual == golden.str()) {
-        SUCCEED();
-        return;
-    }
-    // Report the first differing line, not the whole multi-KB blob.
-    std::istringstream a(actual), g(golden.str());
-    std::string la, lg;
-    unsigned line = 0;
-    while (true) {
-        const bool ha = bool(std::getline(a, la));
-        const bool hg = bool(std::getline(g, lg));
-        ++line;
-        if (!ha && !hg)
-            break;
-        ASSERT_EQ(lg, la) << "first difference at line " << line;
-    }
+    expectMatchesGolden(golden.str(), withSkip, "cycle skip on");
+    const std::string noSkip = renderWorkload(GetParam(), false);
+    expectMatchesGolden(golden.str(), noSkip, "cycle skip off");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, StatParity,
