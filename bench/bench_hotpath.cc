@@ -18,6 +18,16 @@
  * simulated SM-cycles the skip elided, so the on/off throughput ratio can
  * be read against how memory-bound the run actually was.
  *
+ * A final section measures the sharded epoch-barrier engine
+ * (SimConfig::numWorkers > 1) against the serial lockstep engine on the
+ * latency-bound workloads, including `memskew` — a memlat variant whose
+ * loop iterations take a hashed one-or-two memory round trips, so the
+ * warps (and with them whole SMs) run out of phase. Dephased SMs are
+ * the worst case for the lockstep engine's global all-idle skip (some
+ * SM is always near an event, so the horizon collapses) and the case
+ * the per-SM fast-forward inside Sm::step exists for; rows carry
+ * per-shard skipped-cycle fractions and the 4-worker/1-worker speedup.
+ *
  * Warp-cycles are active SM-cycles (SM-cycles with at least one live
  * warp, summed over SMs) times the configured warps per SM — a
  * config-independent measure of simulated work.
@@ -98,13 +108,19 @@ struct Row
     std::string workload;
     std::string config;
     std::string obs;
-    std::string skip; ///< event-horizon cycle skipping: "on" / "off"
+    std::string skip;     ///< event-horizon cycle skipping: "on" / "off"
+    unsigned workers = 1; ///< SimConfig::numWorkers (1: lockstep engine)
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     std::uint64_t warpCycles = 0;
     /** Fraction of global simulated cycles the fast-forward jumped
-     *  over instead of single-stepping. */
+     *  over instead of single-stepping. Counts the lockstep engine's
+     *  all-idle global skip only; the sharded engine's per-SM skips
+     *  show up in shardSkipFrac instead. */
     double skipFraction = 0.0;
+    /** Per-shard fraction of the shard's simulated SM-cycles the per-SM
+     *  fast-forward elided (shard s owns SMs s, s+workers, ...). */
+    std::vector<double> shardSkipFrac;
     double wallSeconds = 0.0;
     double warpCyclesPerSec = 0.0;
     double instructionsPerSec = 0.0;
@@ -129,22 +145,54 @@ benchKernels(const std::string &name)
         }();
         return kernels;
     }
+    if (name == "memskew") {
+        // memlat dephased: a hashed-per-visit conditional second load
+        // makes each loop iteration take one or two memory round trips,
+        // so warps drift out of phase immediately (spreading only the
+        // trip *count* would keep every warp phase-locked at multiples
+        // of the fixed iteration latency). 120 CTAs pair with the
+        // sharded section's 60-SM low-occupancy config.
+        static const std::vector<isa::Kernel> kernels = [] {
+            isa::KernelBuilder b("memskew", 8, 32, 120);
+            // Long loops: the warps launch in phase and only drift
+            // apart as the hashed iteration lengths accumulate, so
+            // short loops understate the steady-state divergence.
+            b.beginLoop(48, 96);
+            b.load(1, 1, isa::MemSpace::Global, 1);
+            b.op(isa::Opcode::IAdd, 2, {1});
+            b.beginIfUniform(0.5);
+            b.load(3, 3, isa::MemSpace::Global, 1);
+            b.op(isa::Opcode::IAdd, 4, {3});
+            b.endIf();
+            b.endLoop();
+            return std::vector<isa::Kernel>{b.build()};
+        }();
+        return kernels;
+    }
     return workloads::workload(name).kernels;
 }
 
 Row
 measure(const char *wlName, const Config &c, bool cycleSkip,
-        ObsMode mode = ObsMode::Off)
+        ObsMode mode = ObsMode::Off, unsigned workers = 1)
 {
     const auto &kernels = benchKernels(wlName);
+    const sim::Workload workload{wlName, kernels};
     sim::SimConfig cfg = c.cfg;
     cfg.enableCycleSkip = cycleSkip;
+    cfg.numWorkers = workers;
+
+    sim::GpuOptions gpuOpts;
+    if (mode == ObsMode::Sampled)
+        gpuOpts.timeSeriesPeriod = 100;
+    else if (mode == ObsMode::Traced)
+        gpuOpts.enableTraceHub = true;
 
     // Warm-up run: touch every lazily-built structure (kernels validate,
     // static profiles, allocator warm-up) outside the timed region.
     {
         sim::Gpu gpu(cfg);
-        gpu.run(kernels);
+        gpu.run(workload);
     }
 
     Row row;
@@ -152,6 +200,7 @@ measure(const char *wlName, const Config &c, bool cycleSkip,
     row.config = c.label;
     row.obs = toString(mode);
     row.skip = cycleSkip ? "on" : "off";
+    row.workers = workers;
 
     const auto t0 = std::chrono::steady_clock::now();
     // Repeat until the timed region is long enough to swamp clock jitter.
@@ -159,13 +208,11 @@ measure(const char *wlName, const Config &c, bool cycleSkip,
     double elapsed = 0.0;
     do {
         std::ostringstream traceOut; // discarded; outlives the Gpu
-        sim::Gpu gpu(cfg);
-        if (mode == ObsMode::Sampled)
-            gpu.enableTimeSeries(100);
-        else if (mode == ObsMode::Traced)
+        sim::Gpu gpu(cfg, gpuOpts);
+        if (mode == ObsMode::Traced)
             gpu.traceHub().addSink(
                 std::make_unique<obs::ChromeTraceSink>(traceOut));
-        const sim::RunResult run = gpu.run(kernels);
+        const sim::RunResult run = gpu.run(workload);
         ++reps;
         if (reps == 1) {
             row.cycles = run.totalCycles;
@@ -177,6 +224,15 @@ measure(const char *wlName, const Config &c, bool cycleSkip,
                 run.totalCycles
                     ? double(gpu.skippedCycles()) / double(run.totalCycles)
                     : 0.0;
+            for (unsigned s = 0; s < workers; ++s) {
+                std::uint64_t ff = 0, smCycles = 0;
+                for (unsigned i = s; i < cfg.numSms; i += workers) {
+                    ff += gpu.smStats(i).fastForwardedCycles();
+                    smCycles += run.totalCycles;
+                }
+                row.shardSkipFrac.push_back(
+                    smCycles ? double(ff) / double(smCycles) : 0.0);
+            }
         }
         elapsed = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
@@ -222,10 +278,19 @@ writeJson(const std::vector<Row> &rows, const std::string &path)
         str("config", r.config);
         str("obs", r.obs);
         str("skip", r.skip);
+        num("workers", double(r.workers));
         num("cycles", double(r.cycles));
         num("instructions", double(r.instructions));
         num("warpCycles", double(r.warpCycles));
         num("skipFraction", r.skipFraction);
+        os << ", ";
+        jsonString(os, "shardSkipFrac");
+        os << ": [";
+        for (std::size_t s = 0; s < r.shardSkipFrac.size(); ++s) {
+            os << (s ? ", " : "");
+            jsonNumber(os, r.shardSkipFrac[s]);
+        }
+        os << "]";
         num("wallSeconds", r.wallSeconds);
         num("warpCyclesPerSec", r.warpCyclesPerSec);
         num("instructionsPerSec", r.instructionsPerSec);
@@ -245,15 +310,24 @@ main(int argc, char **argv)
 
     bench::header("BENCH hotpath",
                   "simulator throughput (warp-cycles/s) by RF backend");
-    std::printf("%-10s %-12s %-6s %-4s %14s %9s %12s %14s\n", "workload",
-                "config", "obs", "skip", "warp-cycles", "skip-frac",
-                "wall s", "warp-cyc/s");
+    std::printf("%-10s %-12s %-6s %-4s %3s %14s %9s %12s %14s  %s\n",
+                "workload", "config", "obs", "skip", "wrk", "warp-cycles",
+                "skip-frac", "wall s", "warp-cyc/s", "shard-skip");
 
     const auto report = [](const Row &r) {
-        std::printf("%-10s %-12s %-6s %-4s %14llu %9.3f %12.4f %14.3e\n",
+        std::string shards;
+        for (std::size_t s = 0; s < r.shardSkipFrac.size(); ++s) {
+            char buf[16];
+            std::snprintf(buf, sizeof buf, "%s%.2f", s ? "/" : "",
+                          r.shardSkipFrac[s]);
+            shards += buf;
+        }
+        std::printf("%-10s %-12s %-6s %-4s %3u %14llu %9.3f %12.4f "
+                    "%14.3e  %s\n",
                     r.workload.c_str(), r.config.c_str(), r.obs.c_str(),
-                    r.skip.c_str(), (unsigned long long)r.warpCycles,
-                    r.skipFraction, r.wallSeconds, r.warpCyclesPerSec);
+                    r.skip.c_str(), r.workers,
+                    (unsigned long long)r.warpCycles, r.skipFraction,
+                    r.wallSeconds, r.warpCyclesPerSec, shards.c_str());
     };
 
     std::vector<Row> rows;
@@ -276,6 +350,41 @@ main(int argc, char **argv)
             }
         }
     }
+
+    // Sharded epoch-barrier engine vs the serial lockstep engine. The
+    // lockstep all-idle skip can only jump to the *earliest* event on
+    // any SM, so once the SMs drift out of phase (memskew) it degrades
+    // toward single-stepping; the sharded engine fast-forwards each SM
+    // across its own full dead span regardless of the other shards.
+    std::printf("\nsharded stepping (skip on, obs off):\n");
+    // Wide low-occupancy variant of the partitioned config: 60 SMs,
+    // two 1-warp CTAs each. The grid drains greedily at kernel start,
+    // so without the occupancy cap the first SMs swallow the whole grid
+    // and the rest sit finished; capped, memskew's 120 CTAs spread one
+    // pair per SM. Many mostly-dead SMs are exactly where the engines
+    // diverge: the lockstep engine steps every SM at every *global*
+    // event cycle, while each shard fast-forwards straight across its
+    // own dead spans.
+    Config lowOcc{"lowocc_60sm", sim::SimConfig{}};
+    lowOcc.cfg.numSms = 60;
+    lowOcc.cfg.maxCtasPerSm = 2;
+    double lockstep = 0.0, fourWorkers = 0.0;
+    for (const char *wl : {"memlat", "memskew"}) {
+        for (const unsigned workers : {1u, 2u, 4u}) {
+            rows.push_back(
+                measure(wl, lowOcc, true, ObsMode::Off, workers));
+            report(rows.back());
+            if (std::string(wl) == "memskew" && workers == 1)
+                lockstep = rows.back().warpCyclesPerSec;
+            if (std::string(wl) == "memskew" && workers == 4)
+                fourWorkers = rows.back().warpCyclesPerSec;
+        }
+    }
+    const double speedup = lockstep > 0.0 ? fourWorkers / lockstep : 0.0;
+    std::printf("\nmemskew speedup, 4 workers vs lockstep: %.2fx %s\n",
+                speedup,
+                speedup >= 2.0 ? "(>= 2x target met)"
+                               : "(BELOW the 2x target)");
 
     writeJson(rows, out);
     std::printf("\nreport: %s\n", out.c_str());

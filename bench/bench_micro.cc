@@ -60,7 +60,7 @@ BM_SimulatedKernelCycles(benchmark::State &state)
         sim::SimConfig cfg;
         cfg.rfKind = sim::RfKind::Partitioned;
         sim::Gpu gpu(cfg);
-        const auto r = gpu.run(w.kernels);
+        const auto r = gpu.run(w.view());
         benchmark::DoNotOptimize(r.totalCycles);
         state.counters["cycles/s"] = benchmark::Counter(
             double(r.totalCycles), benchmark::Counter::kIsRate);

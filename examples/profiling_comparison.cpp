@@ -25,7 +25,7 @@ main()
     sim::SimConfig base;
     base.rfKind = sim::RfKind::MrfStv;
     sim::Gpu baseGpu(base);
-    const auto rb = baseGpu.run(wl.kernels);
+    const auto rb = baseGpu.run(wl.view());
     const double eBase =
         acct.account(base, rb.rfStats, rb.totalCycles).dynamicPj;
 
@@ -46,7 +46,7 @@ main()
         cfg.rfKind = sim::RfKind::Partitioned;
         cfg.prf.profiling = prof;
         sim::Gpu gpu(cfg);
-        const auto r = gpu.run(wl.kernels);
+        const auto r = gpu.run(wl.view());
         const double hi = r.rfStats.get("access.FRF_high");
         const double lo = r.rfStats.get("access.FRF_low");
         const double srf = r.rfStats.get("access.SRF");
@@ -63,7 +63,7 @@ main()
     rfcCfg.policy = sim::SchedulerPolicy::TwoLevel;
     rfcCfg.tlActiveWarps = 32;
     sim::Gpu rfcGpu(rfcCfg);
-    const auto rr = rfcGpu.run(wl.kernels);
+    const auto rr = rfcGpu.run(wl.view());
     const double eRfc =
         acct.account(rfcCfg, rr.rfStats, rr.totalCycles).dynamicPj;
     std::printf("%-12s %9.1f%% %10.3f %10.3f   (hit rate %.0f%%)\n",

@@ -246,13 +246,15 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
 
     JobResult res;
     res.job = job;
-    sim::Gpu gpu(job.cfg);
+    sim::GpuOptions gpuOpts;
+    gpuOpts.timeSeriesPeriod = opts.obs.timeseriesPeriod;
+    gpuOpts.timeSeriesCapacity = opts.obs.timeseriesCapacity;
+    gpuOpts.enableTraceHub = !opts.obs.chromeTracePath.empty() ||
+                             !opts.obs.jsonlTracePath.empty();
+    sim::Gpu gpu(job.cfg, gpuOpts);
 
     // Observability: per-job files keyed by (workload, config, seed), so
     // concurrent jobs on the pool never share a sink or a stream.
-    if (opts.obs.timeseriesPeriod)
-        gpu.enableTimeSeries(opts.obs.timeseriesPeriod,
-                             opts.obs.timeseriesCapacity);
     if (!opts.obs.chromeTracePath.empty()) {
         std::string err;
         auto sink = obs::ChromeTraceSink::toFile(
@@ -272,7 +274,7 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
     }
 
     if (job.seed == 0) {
-        res.run = gpu.run(w.kernels);
+        res.run = gpu.run(w.view());
     } else {
         // Replicate draws: every kernel gets a fresh deterministic seed
         // derived from its own seed and the job's.
@@ -280,7 +282,7 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
         kernels.reserve(w.kernels.size());
         for (const auto &k : w.kernels)
             kernels.push_back(reseed(k, hashCombine(k.seed(), job.jobSeed)));
-        res.run = gpu.run(kernels);
+        res.run = gpu.run({w.name, kernels});
     }
     res.energy =
         accountant.account(job.cfg, res.run.rfStats, res.run.totalCycles);

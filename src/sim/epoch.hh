@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The epoch stepping contract between the Gpu orchestrator and its SMs.
+ *
+ * A kernel executes as a sequence of epochs. Within one epoch every SM
+ * advances independently — `Sm::step` runs the per-cycle stage pipeline
+ * (and, when permitted, fast-forwards dead spans against its own event
+ * horizon) with no access to any cross-SM state. Everything shared flows
+ * through the `EpochContext` the orchestrator hands in: the kernel's
+ * start cycle, the epoch's exclusive end cycle and the watchdog bound.
+ *
+ * The one cross-SM interaction an SM cannot perform by itself is taking
+ * CTAs from the shared dispenser: grid draining is observable in serial
+ * (cycle, smId) order, so `step` *pauses* with `StepStop::NeedsCta`
+ * instead, and the orchestrator resolves pending pauses in exactly that
+ * order via `Sm::resolveLaunch` (see docs/performance.md).
+ */
+
+#ifndef PILOTRF_SIM_EPOCH_HH
+#define PILOTRF_SIM_EPOCH_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pilotrf::sim
+{
+
+class CtaSource;
+
+/** Why Sm::step returned. */
+enum class StepStop : std::uint8_t
+{
+    EpochEnd, ///< local clock reached EpochContext::epochEnd
+    NeedsCta, ///< paused: a CTA-dispenser interaction must be resolved
+    Finished, ///< idle with the dispenser known exhausted (kernel done)
+};
+
+/**
+ * Cross-SM state for one epoch, owned by the orchestrator. An SM must
+ * not consult anything global beyond this snapshot while stepping — that
+ * is what makes a shard safe to run on a worker thread.
+ */
+struct EpochContext
+{
+    Cycle kernelStart = 0; ///< global cycle the current kernel began
+    Cycle epochEnd = 0;    ///< exclusive: step() never simulates this cycle
+    /** Last legal cycle (kernelStart + maxCycles); advancing past it
+     *  trips the watchdog exactly as serial single-stepping would. */
+    Cycle watchdogLimit = 0;
+    /** Permit per-SM event-horizon fast-forward inside the epoch. The
+     *  lockstep engine keeps this off and skips globally instead, so the
+     *  seed's cycle-major trace emission order is preserved. */
+    bool allowLocalSkip = false;
+    /**
+     * Read-only view of the shared CTA dispenser, for the one query a
+     * worker may answer without a barrier: `exhausted()`. Exhaustion is
+     * monotone and the dispenser mutates only between worker rounds, so
+     * an observed-exhausted grid was already exhausted at every cycle
+     * the observing SM could legally be at — the SM can mark its own
+     * `sawExhausted` locally instead of pausing, exactly as the serial
+     * loop's failed launch attempt would. Launching (mutation) still
+     * always pauses. May be null: step() then pauses for every
+     * dispenser interaction.
+     */
+    const CtaSource *grid = nullptr;
+};
+
+/** Activity/horizon summary one Sm::step call returns. */
+struct StepResult
+{
+    StepStop stop = StepStop::EpochEnd;
+    Cycle now = 0; ///< the SM's local clock when step returned
+    std::uint64_t activity = 0; ///< pipeline events inside this step call
+    std::uint64_t skipped = 0;  ///< cycles locally fast-forwarded
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_EPOCH_HH

@@ -6,6 +6,7 @@
 #include "isa/static_profiler.hh"
 #include "regfile/factory.hh"
 #include "regfile/partitioned_rf.hh"
+#include "sim/trace.hh"
 
 namespace pilotrf::sim
 {
@@ -67,7 +68,8 @@ Gpu::Dispenser::exhausted() const
     return nextId >= totalCtas;
 }
 
-Gpu::Gpu(const SimConfig &cfg_) : cfg(cfg_)
+Gpu::Gpu(const SimConfig &cfg_, const GpuOptions &opts_)
+    : cfg(cfg_), opts(opts_)
 {
     panicIf(cfg.numSms == 0, "GPU with no SMs");
     panicIf(cfg.l2Enable && !cfg.l1Enable,
@@ -75,10 +77,16 @@ Gpu::Gpu(const SimConfig &cfg_) : cfg(cfg_)
     if (cfg.l2Enable)
         l2 = std::make_unique<Cache>(cfg.l2SizeKb * 1024, cfg.l2Assoc);
     for (unsigned i = 0; i < cfg.numSms; ++i) {
-        sms.push_back(std::make_unique<Sm>(
-            cfg, SmId(i), regfile::makeRegisterFile(cfg), dispenser));
+        sms.push_back(std::make_unique<Sm>(cfg, SmId(i),
+                                           regfile::makeRegisterFile(cfg)));
         sms.back()->setL2(l2.get());
+        if (opts.timeSeriesPeriod)
+            sms.back()->enableTimeSeries(opts.timeSeriesPeriod,
+                                         opts.timeSeriesCapacity);
+        if (opts.enableTraceHub)
+            sms.back()->setTraceHub(&hub);
     }
+    hubAttached = opts.enableTraceHub;
 }
 
 Gpu::~Gpu() = default;
@@ -86,20 +94,18 @@ Gpu::~Gpu() = default;
 obs::TraceHub &
 Gpu::traceHub()
 {
-    if (!hubAttached) {
-        for (auto &sm : sms)
-            sm->setTraceHub(&hub);
-        hubAttached = true;
-    }
+    panicIf(!hubAttached,
+            "traceHub() requires GpuOptions::enableTraceHub");
     return hub;
 }
 
-void
-Gpu::enableTimeSeries(unsigned periodCycles, std::size_t capacity)
+unsigned
+Gpu::effectiveWorkers() const
 {
-    panicIf(periodCycles == 0, "time-series period must be nonzero");
-    for (auto &sm : sms)
-        sm->enableTimeSeries(periodCycles, capacity);
+    unsigned w = opts.numWorkers ? opts.numWorkers : cfg.numWorkers;
+    if (w == 0)
+        w = 1;
+    return std::min(w, cfg.numSms);
 }
 
 bool
@@ -171,22 +177,165 @@ statDelta(const StatSet &after, const StatSet &before)
 }
 } // namespace
 
-RunResult
-Gpu::run(const isa::Kernel &kernel)
+Cycle
+Gpu::runKernelLockstep(const isa::Kernel &kernel, Cycle kernelStart)
 {
-    return run(std::vector<isa::Kernel>{kernel});
+    (void)kernel; // the watchdog (inside Sm) names it
+    EpochContext ctx;
+    ctx.kernelStart = kernelStart;
+    ctx.watchdogLimit = kernelStart + cfg.maxCycles;
+    ctx.allowLocalSkip = false; // skip globally below, as the seed did
+
+    // One-cycle epochs, SMs stepped in smId order with launch pauses
+    // resolved inline: this is exactly the seed's serial cycle-major
+    // loop, including trace emission order.
+    std::vector<bool> finished(sms.size(), false);
+    Cycle clock = kernelStart;
+    Cycle endCycle = kernelStart;
+    while (true) {
+        bool anyRunning = false;
+        unsigned activity = 0;
+        ctx.epochEnd = clock + 1;
+        for (std::size_t i = 0; i < sms.size(); ++i) {
+            if (finished[i])
+                continue;
+            Sm &sm = *sms[i];
+            const StepResult r = sm.step(ctx);
+            activity += unsigned(r.activity);
+            if (r.stop == StepStop::NeedsCta)
+                activity += sm.resolveLaunch(dispenser);
+            if (sm.finishedKernel()) {
+                // The serial loop would never step this SM again.
+                finished[i] = true;
+                endCycle = std::max(endCycle, sm.localCycle());
+                continue;
+            }
+            anyRunning = true;
+        }
+        if (!anyRunning)
+            break;
+        ++clock;
+        if (!cfg.enableCycleSkip || activity)
+            continue;
+
+        // Dead cycle: every SM ran and nothing happened anywhere, so
+        // nothing can happen before the earliest event horizon. Jump
+        // the clock straight there, crediting each running SM for
+        // the elided cycles. The horizon is clamped so the watchdog
+        // still fires at exactly the cycle single-stepping would
+        // reach. (A CTA launch cannot be the first event: on a dead
+        // cycle every SM with dispenser capacity already tried and
+        // failed to launch, and launch capacity only changes at an
+        // SM's own event cycles; the shared dispenser only drains.)
+        Cycle horizon = kNeverCycle;
+        for (std::size_t i = 0; i < sms.size(); ++i)
+            if (!finished[i])
+                horizon = std::min(horizon, sms[i]->nextEventCycle(clock));
+        if (horizon == kNeverCycle || horizon <= clock)
+            continue; // event due immediately — or none: single-step
+        horizon = std::min(horizon, kernelStart + cfg.maxCycles + 1);
+        if (horizon <= clock)
+            continue;
+        for (std::size_t i = 0; i < sms.size(); ++i)
+            if (!finished[i])
+                sms[i]->skipCycles(clock, horizon);
+        skippedGlobal += horizon - clock;
+        clock = horizon;
+    }
+    return std::max(clock, endCycle);
+}
+
+Cycle
+Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
+{
+    (void)kernel;
+    const unsigned shards = effectiveWorkers();
+    if (!pool || pool->size() != shards)
+        pool = std::make_unique<WorkerPool>(shards);
+
+    EpochContext ctx;
+    ctx.kernelStart = kernelStart;
+    ctx.watchdogLimit = kernelStart + cfg.maxCycles;
+    ctx.allowLocalSkip = true; // each shard fast-forwards its own SMs
+    ctx.grid = &dispenser;     // read-only: exhausted() checks barrier-free
+
+    // SM i belongs to shard i % shards. Workers write only their own
+    // SMs' phase/res entries; every transfer to or from the
+    // orchestrator goes through the pool's barrier.
+    enum class Phase : std::uint8_t { Runnable, Paused, AtBarrier, Done };
+    std::vector<Phase> phase(sms.size(), Phase::Runnable);
+    std::vector<StepResult> res(sms.size());
+    // Correctness puts no upper bound on the epoch: every cross-SM
+    // interaction pauses through the resolve protocol regardless, so the
+    // barrier period only trades shard rebalancing granularity against
+    // pool dispatch overhead (each barrier is a full wake/sleep round
+    // trip per worker). Keep it long; kernels needing more epochs than
+    // this are already watchdog-scale.
+    constexpr Cycle kEpochLen = Cycle(1) << 20;
+    Cycle epochStart = kernelStart;
+    Cycle endCycle = kernelStart;
+
+    unsigned live = unsigned(sms.size());
+    while (live) {
+        ctx.epochEnd = epochStart + kEpochLen;
+        for (std::size_t i = 0; i < sms.size(); ++i)
+            if (phase[i] != Phase::Done)
+                phase[i] = Phase::Runnable;
+        while (true) {
+            pool->runTasks(shards, [&](unsigned s) {
+                for (std::size_t i = s; i < sms.size(); i += shards) {
+                    if (phase[i] != Phase::Runnable)
+                        continue;
+                    const StepResult r = sms[i]->step(ctx);
+                    res[i] = r;
+                    phase[i] = r.stop == StepStop::Finished
+                                   ? Phase::Done
+                               : r.stop == StepStop::NeedsCta
+                                   ? Phase::Paused
+                                   : Phase::AtBarrier;
+                }
+            });
+            Cycle cmin = kNeverCycle;
+            for (std::size_t i = 0; i < sms.size(); ++i)
+                if (phase[i] == Phase::Paused)
+                    cmin = std::min(cmin, res[i].now);
+            if (cmin == kNeverCycle)
+                break; // no pending launches: the epoch is complete
+            // Resolve only the earliest pending dispenser interactions,
+            // in smId order. Anything a resumed SM does next happens at
+            // a strictly later cycle, so processing min-cycle batches
+            // round by round replays the serial loop's global
+            // (cycle, smId) grid-drain order exactly.
+            for (std::size_t i = 0; i < sms.size(); ++i) {
+                if (phase[i] != Phase::Paused || res[i].now != cmin)
+                    continue;
+                sms[i]->resolveLaunch(dispenser);
+                phase[i] = Phase::Runnable;
+            }
+        }
+        live = 0;
+        for (std::size_t i = 0; i < sms.size(); ++i) {
+            if (phase[i] == Phase::Done)
+                endCycle = std::max(endCycle, res[i].now);
+            else
+                ++live;
+        }
+        epochStart = ctx.epochEnd;
+    }
+    return endCycle;
 }
 
 RunResult
-Gpu::run(const std::vector<isa::Kernel> &kernels)
+Gpu::run(const Workload &workload)
 {
-    panicIf(kernels.empty(), "Gpu::run with no kernels");
+    panicIf(workload.kernels.empty(), "Gpu::run with no kernels");
     RunResult result;
+    result.label = std::string(workload.label);
 
     const StatSet runRf0 = mergedRfStats();
     const StatSet runSim0 = mergedSimStats();
 
-    for (const auto &kernel : kernels) {
+    for (const auto &kernel : workload.kernels) {
         kernel.validate();
         const Cycle kernelStart = now;
         const StatSet rf0 = mergedRfStats();
@@ -197,59 +346,16 @@ Gpu::run(const std::vector<isa::Kernel> &kernels)
         if (l2)
             l2->flush();
         for (auto &sm : sms)
-            sm->startKernel(&kernel);
+            sm->startKernel(&kernel, kernelStart, dispenser);
 
-        auto allIdle = [&] {
-            if (!dispenser.exhausted())
-                return false;
-            for (const auto &sm : sms)
-                if (!sm->idle())
-                    return false;
-            return true;
-        };
-
-        const auto watchdog = [&] {
-            if (now - kernelStart > cfg.maxCycles)
-                fatal("kernel %s exceeded the %llu-cycle watchdog",
-                      kernel.name().c_str(),
-                      (unsigned long long)cfg.maxCycles);
-        };
-
-        while (!allIdle()) {
-            unsigned activity = 0;
-            for (auto &sm : sms)
-                if (!sm->idle() || !dispenser.exhausted())
-                    activity += sm->cycle(now);
-            ++now;
-            watchdog();
-            if (!cfg.enableCycleSkip || activity)
-                continue;
-
-            // Dead cycle: every SM ran and nothing happened anywhere, so
-            // nothing can happen before the earliest event horizon. Jump
-            // the clock straight there, crediting each running SM for
-            // the elided cycles. The horizon is clamped so the watchdog
-            // still fires at exactly the cycle single-stepping would
-            // reach. (A CTA launch cannot be the first event: on a dead
-            // cycle every SM with dispenser capacity already tried and
-            // failed to launch, and launch capacity only changes at an
-            // SM's own event cycles; the shared dispenser only drains.)
-            Cycle horizon = kNeverCycle;
-            for (const auto &sm : sms)
-                if (!sm->idle() || !dispenser.exhausted())
-                    horizon = std::min(horizon, sm->nextEventCycle(now));
-            if (horizon == kNeverCycle || horizon <= now)
-                continue; // event due immediately — or none: single-step
-            horizon = std::min(horizon, kernelStart + cfg.maxCycles + 1);
-            if (horizon <= now)
-                continue;
-            for (auto &sm : sms)
-                if (!sm->idle() || !dispenser.exhausted())
-                    sm->skipCycles(now, horizon);
-            skippedGlobal += horizon - now;
-            now = horizon;
-            watchdog();
-        }
+        // Sharded stepping requires every cross-SM observer to be off:
+        // the trace hub and global trace categories impose the serial
+        // emission order, and the shared L2's hit/miss stream depends on
+        // the cycle-interleaved access order across SMs.
+        const bool sharded = effectiveWorkers() > 1 && !hubAttached &&
+                             !l2 && !Trace::anyEnabled();
+        now = sharded ? runKernelSharded(kernel, kernelStart)
+                      : runKernelLockstep(kernel, kernelStart);
 
         KernelResult kr;
         kr.name = kernel.name();

@@ -13,6 +13,8 @@
 
 #include "sim/cache.hh"
 #include "sim/sm.hh"
+#include "sim/worker_pool.hh"
+#include "sim/workload.hh"
 
 namespace pilotrf::sim
 {
@@ -48,6 +50,7 @@ struct KernelResult
 /** Results of running a whole workload (one or more kernels). */
 struct RunResult
 {
+    std::string label; ///< the workload view's label
     std::uint64_t totalCycles = 0;
     std::uint64_t totalInstructions = 0;
     std::vector<KernelResult> kernels;
@@ -59,34 +62,66 @@ struct RunResult
 };
 
 /**
+ * Construction-time Gpu setup: the observability taps and the worker
+ * pool size, fixed before the first cycle so nothing can rewire an SM
+ * mid-run (required for sharding safety).
+ */
+struct GpuOptions
+{
+    /** Delta-sample every SM's pipeline + RF counters (and an
+     *  active-warp gauge) every this many cycles; 0 disables. */
+    unsigned timeSeriesPeriod = 0;
+    std::size_t timeSeriesCapacity = std::size_t(1) << 14;
+
+    /** Wire the GPU's private trace hub into every SM and RF backend so
+     *  sinks attached via traceHub() receive this GPU's events. Forces
+     *  lockstep stepping (sinks see the serial emission order). */
+    bool enableTraceHub = false;
+
+    /** Worker threads for sharded stepping; 0 inherits
+     *  SimConfig::numWorkers. Clamped to the SM count. */
+    unsigned numWorkers = 0;
+};
+
+/**
  * The GPU: cfg-sized SM array sharing a CTA dispenser.
+ *
+ * Kernels execute as epochs (see sim/epoch.hh). With one effective
+ * worker — or whenever a cross-SM observer is attached (trace hub,
+ * global trace categories, the shared L2) — the engine runs *lockstep*:
+ * one-cycle epochs, SMs stepped in smId order, a global all-idle
+ * event-horizon skip; this is exactly the seed's serial loop. With
+ * multiple workers and no cross-SM observer it runs *sharded*: the SM
+ * array is partitioned round-robin over a persistent worker pool, each
+ * SM fast-forwards its own dead spans locally, and CTA launches are
+ * resolved at deterministic barriers in global (cycle, smId) order —
+ * merged statistics are byte-identical to lockstep either way.
  */
 class Gpu
 {
   public:
-    explicit Gpu(const SimConfig &cfg);
+    explicit Gpu(const SimConfig &cfg, const GpuOptions &opts = {});
     ~Gpu();
 
-    /** Execute the kernels in order (one workload) and collect results. */
-    RunResult run(const std::vector<isa::Kernel> &kernels);
-    RunResult run(const isa::Kernel &kernel);
+    /** Execute the workload's kernels in order and collect results. */
+    RunResult run(const Workload &workload);
 
-    Sm &sm(unsigned i) { return *sms.at(i); }
+    /** Read-only per-SM inspection (stats, counters, time series). No
+     *  mutable SM access exists: a caller mutating an SM mid-run would
+     *  break both golden parity and shard safety. */
+    const Sm &smStats(unsigned i) const { return *sms.at(i); }
     unsigned numSms() const { return unsigned(sms.size()); }
     const SimConfig &config() const { return cfg; }
+    const GpuOptions &options() const { return opts; }
 
     /**
-     * This GPU's private trace hub: sinks attached here receive only this
-     * GPU's events, so concurrent experiment jobs can stream to per-job
-     * files. The first call wires the hub into every SM and RF backend;
-     * an untouched hub costs nothing on the simulated path.
+     * This GPU's private trace hub: sinks attached here receive only
+     * this GPU's events, so concurrent experiment jobs can stream to
+     * per-job files. Requires GpuOptions::enableTraceHub — the hub is
+     * wired into the SMs at construction, never mid-run.
      */
     obs::TraceHub &traceHub();
 
-    /** Delta-sample every SM's pipeline + RF counters (and an active-warp
-     *  gauge) every `periodCycles` cycles. Call before run(). */
-    void enableTimeSeries(unsigned periodCycles,
-                          std::size_t capacity = std::size_t(1) << 14);
     bool timeSeriesEnabled() const;
 
     /** Write the collected per-SM time series as one JSON document
@@ -123,14 +158,25 @@ class Gpu
     StatSet mergedSimStats() const;
     std::vector<std::uint64_t> mergedRegAccess() const;
 
+    /** Resolved worker count: the options override, else the config
+     *  knob, clamped to [1, numSms]. */
+    unsigned effectiveWorkers() const;
+
+    /** Run one kernel to completion; returns the kernel's end cycle
+     *  (the first cycle with every SM finished). */
+    Cycle runKernelLockstep(const isa::Kernel &kernel, Cycle kernelStart);
+    Cycle runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart);
+
     SimConfig cfg;
+    GpuOptions opts;
     Dispenser dispenser;
     std::unique_ptr<Cache> l2; ///< GPU-wide shared L2 (optional)
     std::vector<std::unique_ptr<Sm>> sms;
+    std::unique_ptr<WorkerPool> pool; ///< lazy; sharded runs only
     Cycle now = 0;
     std::uint64_t skippedGlobal = 0; ///< see skippedCycles()
     obs::TraceHub hub;        ///< per-GPU sink fan-out (see traceHub())
-    bool hubAttached = false; ///< hub wired into the SMs yet?
+    bool hubAttached = false; ///< hub wired into the SMs (ctor-time)
 };
 
 } // namespace pilotrf::sim

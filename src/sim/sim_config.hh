@@ -118,6 +118,14 @@ struct SimConfig
      *  byte-identical with the knob on or off (docs/performance.md). */
     bool enableCycleSkip = true;
 
+    /** Worker threads for sharded SM stepping (1: the serial lockstep
+     *  engine). Clamped to numSms; a Gpu falls back to lockstep while a
+     *  cross-SM observer (trace hub, global trace categories, shared
+     *  L2) is attached. Results are byte-identical for any value —
+     *  shards synchronize at deterministic epoch barriers and CTA
+     *  launches resolve in the serial (cycle, smId) order. */
+    unsigned numWorkers = 1;
+
     // Watchdog: abort runaway simulations.
     std::uint64_t maxCycles = 100'000'000;
 

@@ -301,6 +301,7 @@ SimConfig::toJson(std::ostream &os, unsigned depth) const
 
     o.field("mrfLatencyOverride", double(mrfLatencyOverride));
     o.field("enableCycleSkip", enableCycleSkip);
+    o.field("numWorkers", double(numWorkers));
     o.field("maxCycles", double(maxCycles));
     o.close();
 }
@@ -390,6 +391,8 @@ SimConfig::fromJson(const JsonValue &v)
             c.mrfLatencyOverride = asUnsigned("mrfLatencyOverride", val);
         else if (key == "enableCycleSkip")
             c.enableCycleSkip = asBool("enableCycleSkip", val);
+        else if (key == "numWorkers")
+            c.numWorkers = asUnsigned("numWorkers", val);
         else if (key == "maxCycles")
             c.maxCycles = asU64("maxCycles", val);
         else

@@ -10,8 +10,8 @@ namespace pilotrf::sim
 {
 
 Sm::Sm(const SimConfig &cfg_, SmId id,
-       std::unique_ptr<regfile::RegisterFile> rf, CtaSource &ctas)
-    : cfg(cfg_), smId(id), backend(std::move(rf)), ctaSource(ctas),
+       std::unique_ptr<regfile::RegisterFile> rf)
+    : cfg(cfg_), smId(id), backend(std::move(rf)),
       scheduler(cfg_,
                 [this](WarpId w, bool nowActive) {
                     if (nowActive)
@@ -63,10 +63,14 @@ Sm::enableTimeSeries(unsigned periodCycles, std::size_t capacity)
 }
 
 void
-Sm::startKernel(const isa::Kernel *k)
+Sm::startKernel(const isa::Kernel *k, Cycle startCycle, CtaSource &ctas)
 {
     panicIf(!idle(), "startKernel on a busy SM");
     kernel = k;
+    clk = startCycle;
+    kernelStart = startCycle;
+    sawExhausted = false;
+    midCycle = false;
     ctaLimit =
         cfg.ctasPerSm(k->regsPerThread(), k->threadsPerCta(), k->warpsPerCta());
     scheduler.reset();
@@ -88,7 +92,7 @@ Sm::startKernel(const isa::Kernel *k)
     bankFree.assign(cfg.rfBanks, 0);
     for (auto &slot : ctaSlots)
         slot = CtaSlot{};
-    tryLaunchCtas();
+    tryLaunchCtas(ctas);
 }
 
 bool
@@ -98,8 +102,29 @@ Sm::idle() const
            clears.empty();
 }
 
+bool
+Sm::launchEligible() const
+{
+    // Mirrors tryLaunchCtas()'s gate exactly: true iff it would consult
+    // the dispenser. Kept in sync so a NeedsCta pause happens precisely
+    // when the serial loop would have drawn from the shared grid.
+    if (!kernel || sawExhausted)
+        return false;
+    unsigned liveCtas = 0;
+    for (const auto &s : ctaSlots)
+        liveCtas += s.valid;
+    if (liveCtas >= ctaLimit)
+        return false;
+    const unsigned need = kernel->warpsPerCta();
+    unsigned freeSlots = 0;
+    for (WarpId w = 0; w < cfg.warpsPerSm && freeSlots < need; ++w)
+        if (!warps[w].valid() || warps[w].done())
+            ++freeSlots;
+    return freeSlots >= need;
+}
+
 unsigned
-Sm::tryLaunchCtas()
+Sm::tryLaunchCtas(CtaSource &ctas)
 {
     if (!kernel)
         return 0;
@@ -119,8 +144,12 @@ Sm::tryLaunchCtas()
             return launched;
 
         CtaId cta;
-        if (!ctaSource.next(cta))
+        if (!ctas.next(cta)) {
+            // Monotonic within a kernel: the grid only drains, so this
+            // SM never needs to ask again.
+            sawExhausted = true;
             return launched;
+        }
 
         unsigned slotIdx = 0;
         while (ctaSlots[slotIdx].valid)
@@ -648,7 +677,7 @@ Sm::issueStage(Cycle now)
 }
 
 unsigned
-Sm::cycle(Cycle now)
+Sm::cyclePreLaunch(Cycle now)
 {
     lastCycleSeen = now;
     backend->noteCycle(now);
@@ -670,8 +699,110 @@ Sm::cycle(Cycle now)
 
     if (sampler)
         sampler->tick(now);
+    return activity;
+}
 
-    activity += tryLaunchCtas();
+void
+Sm::checkWatchdog() const
+{
+    if (clk - kernelStart > cfg.maxCycles)
+        fatal("kernel %s exceeded the %llu-cycle watchdog",
+              kernel->name().c_str(), (unsigned long long)cfg.maxCycles);
+}
+
+void
+Sm::advanceClock()
+{
+    ++clk;
+    checkWatchdog();
+}
+
+StepResult
+Sm::step(const EpochContext &ctx)
+{
+    panicIf(midCycle, "step on an SM with an unresolved launch pause");
+    StepResult r;
+    while (true) {
+        if (idle() && sawExhausted) {
+            // Checked before the epoch bound: the serial loop stops
+            // stepping such an SM the moment the condition holds, so it
+            // must not collect issue-slot credit for later cycles.
+            r.stop = StepStop::Finished;
+            break;
+        }
+        if (clk >= ctx.epochEnd) {
+            r.stop = StepStop::EpochEnd;
+            break;
+        }
+        if (idle()) {
+            // The serial loop consults grid exhaustion before stepping
+            // an idle SM. An already-exhausted grid can be recorded
+            // locally (see EpochContext::grid); otherwise pause so the
+            // orchestrator can consult the dispenser at this cycle's
+            // place in the global (cycle, smId) order.
+            if (ctx.grid && ctx.grid->exhausted()) {
+                sawExhausted = true;
+                continue; // Finished, next iteration
+            }
+            r.stop = StepStop::NeedsCta;
+            break;
+        }
+        const unsigned a = cyclePreLaunch(clk);
+        r.activity += a;
+        if (launchEligible()) {
+            if (ctx.grid && ctx.grid->exhausted()) {
+                // The serial loop's end-of-cycle launch attempt would
+                // find the grid drained: record that without a pause.
+                sawExhausted = true;
+            } else {
+                midCycle = true;
+                r.stop = StepStop::NeedsCta;
+                break;
+            }
+        }
+        advanceClock();
+        if (a || !ctx.allowLocalSkip || !cfg.enableCycleSkip)
+            continue;
+        // Dead cycle: fast-forward to this SM's own event horizon,
+        // clamped to the epoch barrier and the watchdog bound. This is
+        // the per-SM harvest a global all-idle skip cannot reach — a
+        // neighbour's activity no longer pins this SM to single-
+        // stepping. (A CTA launch cannot be the skipped-over event:
+        // launchEligible() was false this cycle, the grid only drains,
+        // and warp slots free only at this SM's own event cycles.)
+        Cycle horizon = nextEventCycle(clk);
+        horizon = std::min(horizon, ctx.epochEnd);
+        horizon = std::min(horizon, ctx.watchdogLimit + 1);
+        if (horizon > clk) {
+            r.skipped += horizon - clk;
+            skipCycles(clk, horizon);
+        }
+    }
+    r.now = clk;
+    return r;
+}
+
+unsigned
+Sm::resolveLaunch(CtaSource &ctas)
+{
+    if (midCycle) {
+        // The cycle's stages already ran; finish it with the launch
+        // attempt the serial loop puts last in the cycle.
+        midCycle = false;
+        const unsigned launched = tryLaunchCtas(ctas);
+        advanceClock();
+        return launched;
+    }
+    // Pre-cycle pause: an idle SM. The serial loop steps it only while
+    // the grid still has CTAs; an exhausted grid parks it for good.
+    if (ctas.exhausted()) {
+        sawExhausted = true;
+        return 0;
+    }
+    unsigned activity = cyclePreLaunch(clk);
+    if (launchEligible())
+        activity += tryLaunchCtas(ctas);
+    advanceClock();
     return activity;
 }
 
@@ -731,6 +862,7 @@ Sm::nextEventCycle(Cycle now) const
 void
 Sm::skipCycles(Cycle from, Cycle to)
 {
+    panicIf(from != clk, "skipCycles not anchored at the local clock");
     const std::uint64_t n = to - from;
     if (!n)
         return;
@@ -748,6 +880,8 @@ Sm::skipCycles(Cycle from, Cycle to)
         sampler->skipTicks(n);
     lastCycleSeen = to - 1;
     ffCycles += n;
+    clk = to;
+    checkWatchdog();
 }
 
 } // namespace pilotrf::sim

@@ -22,6 +22,7 @@
 #include "obs/timeseries.hh"
 #include "obs/trace.hh"
 #include "regfile/register_file.hh"
+#include "sim/epoch.hh"
 #include "sim/scheduler.hh"
 #include "sim/sim_config.hh"
 #include "sim/cache.hh"
@@ -45,19 +46,48 @@ class Sm
 {
   public:
     Sm(const SimConfig &cfg, SmId id,
-       std::unique_ptr<regfile::RegisterFile> rf, CtaSource &ctas);
-
-    /** Begin executing a kernel (resets warp/scheduler/collector state). */
-    void startKernel(const isa::Kernel *kernel);
+       std::unique_ptr<regfile::RegisterFile> rf);
 
     /**
-     * Advance one cycle. Returns the cycle's activity count — pipeline
-     * events that changed architectural state (completions, clears,
-     * latches, dispatches, bank grants or conflicts, issues, CTA
-     * launches). Zero means the cycle was dead: nothing happened and,
-     * absent external input, nothing will until nextEventCycle().
+     * Begin executing a kernel at `startCycle` (resets warp, scheduler
+     * and collector state, sets the local clock) and launch the initial
+     * CTA load from `ctas`. Serial: the orchestrator starts SMs in smId
+     * order, so the initial grid drain keeps the seed's order.
      */
-    unsigned cycle(Cycle now);
+    void startKernel(const isa::Kernel *kernel, Cycle startCycle,
+                     CtaSource &ctas);
+
+    /**
+     * Advance the local clock toward ctx.epochEnd, one stage-pipeline
+     * cycle at a time (fast-forwarding dead spans against the local
+     * event horizon when ctx.allowLocalSkip permits). Touches nothing
+     * outside this SM, so disjoint SMs may step concurrently.
+     *
+     * Returns when the epoch ends, the kernel is finished on this SM,
+     * or a CTA-dispenser interaction is required (StepStop::NeedsCta):
+     * either this SM is idle and must consult grid exhaustion before
+     * the cycle runs, or the cycle's stages completed and a launch
+     * attempt is due. The orchestrator answers with resolveLaunch();
+     * until then the SM must not be stepped again.
+     */
+    StepResult step(const EpochContext &ctx);
+
+    /**
+     * Resolve a NeedsCta pause against the (shared) dispenser and finish
+     * the paused cycle, advancing the local clock past it. Called by the
+     * orchestrator only, in global (cycle, smId) order — that ordering
+     * is what makes the shared grid drain byte-identical to the seed's
+     * serial cycle-major loop. Returns the activity completed (the
+     * paused cycle's stages and/or CTA launches).
+     */
+    unsigned resolveLaunch(CtaSource &ctas);
+
+    /** Kernel complete on this SM: idle with the grid known exhausted.
+     *  Such an SM would never be stepped again by the serial loop. */
+    bool finishedKernel() const { return idle() && sawExhausted; }
+
+    /** The SM's local clock: the next cycle step() would simulate. */
+    Cycle localCycle() const { return clk; }
 
     /** No running warps and no in-flight work. */
     bool idle() const;
@@ -79,8 +109,9 @@ class Sm
      * Fast-forward over the dead cycles [from, to): credit every
      * cycle-proportional counter (issue slots, active cycles, the RF
      * backend's leakage/epoch accounting, sampler tick counts) exactly as
-     * if each cycle had been single-stepped with zero activity. Only
-     * legal when nextEventCycle(from) >= to.
+     * if each cycle had been single-stepped with zero activity, and move
+     * the local clock to `to`. Only legal when nextEventCycle(from) >=
+     * to; `from` must be the current local clock.
      */
     void skipCycles(Cycle from, Cycle to);
 
@@ -216,7 +247,21 @@ class Sm
     unsigned dispatchCollectors(Cycle now);
     unsigned arbitrateBanks(Cycle now);
     unsigned issueStage(Cycle now);
-    unsigned tryLaunchCtas();
+    unsigned tryLaunchCtas(CtaSource &ctas);
+
+    /** All stages of one cycle except the trailing CTA-launch attempt
+     *  (which needs the dispenser and so belongs to resolveLaunch). */
+    unsigned cyclePreLaunch(Cycle now);
+
+    /** Would tryLaunchCtas() take a CTA from the dispenser right now?
+     *  Mirrors its gate exactly: a kernel is running, the grid was not
+     *  yet observed exhausted, a CTA slot is free under the occupancy
+     *  limit and enough warp slots are free for one CTA. */
+    bool launchEligible() const;
+
+    /** ++clk plus the watchdog check the serial loop did per advance. */
+    void advanceClock();
+    void checkWatchdog() const;
 
     bool warpReady(const WarpContext &w) const;
     bool issueOne(WarpId wid, Cycle now);
@@ -229,12 +274,23 @@ class Sm
     const SimConfig &cfg;
     SmId smId;
     std::unique_ptr<regfile::RegisterFile> backend;
-    CtaSource &ctaSource;
     Scheduler scheduler;
 
     const isa::Kernel *kernel = nullptr;
     unsigned ctaLimit = 0;
     std::uint64_t launchCounter = 0;
+
+    Cycle clk = 0;         ///< local clock: next cycle step() simulates
+    Cycle kernelStart = 0; ///< for the per-SM watchdog bound
+    /** A dispenser next() call came back empty: the grid is exhausted
+     *  for good (it only drains within a kernel), so this SM never needs
+     *  the dispenser again. The serial loop's per-(cycle, smId)
+     *  exhausted() checks are reproduced by pausing while this is
+     *  false. */
+    bool sawExhausted = false;
+    /** Paused mid-cycle (stages ran, the launch attempt is pending)
+     *  rather than pre-cycle (idle, exhaustion check pending). */
+    bool midCycle = false;
 
     std::vector<WarpContext> warps;
     std::vector<CtaSlot> ctaSlots;

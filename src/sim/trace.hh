@@ -75,6 +75,11 @@ class Trace
         return (mask & (1u << unsigned(cat))) != 0;
     }
 
+    /** Any category enabled at all? The Gpu keeps sharded stepping off
+     *  while global tracing is on, so the emission order stays the
+     *  serial loop's cycle-major order. */
+    static bool anyEnabled() { return mask != 0; }
+
     /** The process-wide hub behind the static API. Its first sink is the
      *  legacy text formatter (stderr by default). Not synchronized —
      *  attach sinks before running simulations. */

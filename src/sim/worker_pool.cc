@@ -1,0 +1,75 @@
+#include "sim/worker_pool.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::sim
+{
+
+WorkerPool::WorkerPool(unsigned numWorkers)
+{
+    panicIf(numWorkers == 0, "worker pool with no workers");
+    workers.reserve(numWorkers);
+    for (unsigned i = 0; i < numWorkers; ++i)
+        workers.emplace_back(
+            [this](std::stop_token st) { workerMain(st); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    for (auto &w : workers)
+        w.request_stop();
+    cv.notify_all();
+    // ~jthread joins.
+}
+
+void
+WorkerPool::workerMain(std::stop_token st)
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        const std::function<void(unsigned)> *fn;
+        unsigned total;
+        {
+            std::unique_lock lock(mu);
+            cv.wait(lock, st, [&] { return generation != seen; });
+            if (st.stop_requested())
+                return;
+            seen = generation;
+            fn = task;
+            total = numTasks;
+        }
+        while (true) {
+            const unsigned i =
+                nextTask.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total)
+                break;
+            (*fn)(i);
+        }
+        {
+            std::lock_guard lock(mu);
+            if (--busyWorkers == 0)
+                doneCv.notify_one();
+        }
+    }
+}
+
+void
+WorkerPool::runTasks(unsigned n, const std::function<void(unsigned)> &fn)
+{
+    if (n == 0)
+        return;
+    {
+        std::lock_guard lock(mu);
+        task = &fn;
+        numTasks = n;
+        nextTask.store(0, std::memory_order_relaxed);
+        busyWorkers = unsigned(workers.size());
+        ++generation;
+    }
+    cv.notify_all();
+    std::unique_lock lock(mu);
+    doneCv.wait(lock, [&] { return busyWorkers == 0; });
+    task = nullptr;
+}
+
+} // namespace pilotrf::sim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Persistent worker pool for sharded SM stepping: N std::jthread workers
+ * parked on a condition variable between passes. One pass runs a task
+ * function over a task index range; runTasks() blocks until every index
+ * completed, so the pool's mutex doubles as the epoch barrier — all
+ * worker writes to shard state happen-before the orchestrator's reads,
+ * and the orchestrator's resolution writes happen-before the next pass.
+ */
+
+#ifndef PILOTRF_SIM_WORKER_POOL_HH
+#define PILOTRF_SIM_WORKER_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pilotrf::sim
+{
+
+class WorkerPool
+{
+  public:
+    /** Spawn `numWorkers` (>= 1) parked worker threads. */
+    explicit WorkerPool(unsigned numWorkers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /**
+     * Run fn(i) for every i in [0, numTasks), distributed over the
+     * workers (an idle claim counter, so uneven tasks load-balance).
+     * Blocks until all indices completed. Not reentrant.
+     */
+    void runTasks(unsigned numTasks,
+                  const std::function<void(unsigned)> &fn);
+
+    unsigned size() const { return unsigned(workers.size()); }
+
+  private:
+    void workerMain(std::stop_token st);
+
+    std::mutex mu;
+    std::condition_variable_any cv; ///< workers wait for a new pass
+    std::condition_variable doneCv; ///< runTasks waits for completion
+    const std::function<void(unsigned)> *task = nullptr; // guarded by mu
+    unsigned numTasks = 0;                               // guarded by mu
+    std::uint64_t generation = 0;                        // guarded by mu
+    unsigned busyWorkers = 0;                            // guarded by mu
+    std::atomic<unsigned> nextTask{0};
+    std::vector<std::jthread> workers;
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_WORKER_POOL_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The named workload view Gpu::run executes: a label plus a borrowed
+ * span of kernels. Non-owning by design — benches and tests hand in
+ * kernels they already hold, and the 17-suite registry exposes
+ * `workloads::Workload::view()` returning one of these.
+ */
+
+#ifndef PILOTRF_SIM_WORKLOAD_HH
+#define PILOTRF_SIM_WORKLOAD_HH
+
+#include <span>
+#include <string_view>
+
+#include "isa/kernel.hh"
+
+namespace pilotrf::sim
+{
+
+/** What one Gpu::run call executes. Both members borrow: the kernels
+ *  (and the label's backing storage) must outlive the run call. */
+struct Workload
+{
+    std::string_view label;
+    std::span<const isa::Kernel> kernels;
+
+    Workload(std::string_view label_, std::span<const isa::Kernel> ks)
+        : label(label_), kernels(ks)
+    {
+    }
+
+    /** A single kernel runs as a workload labelled with its own name. */
+    Workload(const isa::Kernel &k) : label(k.name()), kernels(&k, 1) {}
+};
+
+} // namespace pilotrf::sim
+
+#endif // PILOTRF_SIM_WORKLOAD_HH

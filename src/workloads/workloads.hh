@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "isa/kernel.hh"
+#include "sim/workload.hh"
 
 namespace pilotrf::workloads
 {
@@ -30,6 +31,9 @@ struct Workload
     std::string name;
     unsigned category; ///< 1..3, per Table I
     std::vector<isa::Kernel> kernels;
+
+    /** The named, non-owning view Gpu::run takes. */
+    sim::Workload view() const { return {name, kernels}; }
 };
 
 /** All 17 workloads, Table I order. */

@@ -111,7 +111,7 @@ TEST(L1Integration, SuiteCompletesWithL1)
     c.l1Enable = true;
     c.rfKind = RfKind::Partitioned;
     Gpu gpu(c);
-    const auto r = gpu.run(workloads::workload("BFS").kernels);
+    const auto r = gpu.run(workloads::workload("BFS").view());
     EXPECT_GT(r.totalCycles, 0u);
     EXPECT_GT(r.simStats.get("l1.hits") + r.simStats.get("l1.misses"),
               0.0);
@@ -166,8 +166,8 @@ TEST(DrowsyRf, EndToEndSavesLeakageNotDynamic)
     SimConfig drowsy = base;
     drowsy.rfKind = RfKind::Drowsy;
     Gpu gb(base), gd(drowsy);
-    const auto rb = gb.run(wl.kernels);
-    const auto rd = gd.run(wl.kernels);
+    const auto rb = gb.run(wl.view());
+    const auto rd = gd.run(wl.view());
     const auto eb = acct.account(base, rb.rfStats, rb.totalCycles);
     const auto ed = acct.account(drowsy, rd.rfStats, rd.totalCycles);
     // Leakage drops...
@@ -236,7 +236,7 @@ TEST(L2Integration, SuiteCompletesWithFullHierarchy)
     c.l2Enable = true;
     c.rfKind = RfKind::Partitioned;
     Gpu gpu(c);
-    const auto r = gpu.run(workloads::workload("btree").kernels);
+    const auto r = gpu.run(workloads::workload("btree").view());
     EXPECT_GT(r.totalCycles, 0u);
     EXPECT_GT(r.simStats.get("l2.hits") + r.simStats.get("l2.misses"),
               0.0);

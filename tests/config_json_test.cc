@@ -151,6 +151,7 @@ everyFieldNonDefault()
     c.drowsy.drowsyLeakFactor = 0.5;
     c.mrfLatencyOverride = 7;
     c.enableCycleSkip = false;
+    c.numWorkers = 4;
     c.maxCycles = 12345678;
     return c;
 }

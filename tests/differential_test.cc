@@ -77,7 +77,7 @@ TEST_P(Differential, PipelineMatchesFunctionalReference)
     cfg.numSms = 3; // odd SM count: different CTA placement than default
     cfg.rfKind = RfKind::MrfStv;
     Gpu gpu(cfg);
-    const auto piped = gpu.run(wl.kernels);
+    const auto piped = gpu.run(wl.view());
 
     FunctionalResult func;
     for (const auto &k : wl.kernels) {

@@ -171,7 +171,7 @@ TEST_F(ExpRunnerTest, RunnerMatchesDirectGpuAtSeedZero)
     cfg.rfKind = sim::RfKind::Partitioned;
 
     sim::Gpu gpu(cfg);
-    const auto direct = gpu.run(w.kernels);
+    const auto direct = gpu.run(w.view());
 
     exp::Sweep s;
     s.name = "one";

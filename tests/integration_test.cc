@@ -46,7 +46,7 @@ runSuite(const sim::SimConfig &cfg)
     SuiteResult out;
     for (const auto &name : subset) {
         sim::Gpu gpu(cfg);
-        const auto r = gpu.run(workloads::workload(name).kernels);
+        const auto r = gpu.run(workloads::workload(name).view());
         out.cycles += double(r.totalCycles);
         out.dynamicPj +=
             acct.account(cfg, r.rfStats, r.totalCycles).dynamicPj;

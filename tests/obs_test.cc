@@ -201,7 +201,7 @@ TEST(TraceHub, LegacyTextOutputIsByteIdenticalThroughSinkApi)
     // Same run through a per-GPU hub with a TextTraceSink.
     std::ostringstream local;
     {
-        Gpu gpu(cfg);
+        Gpu gpu(cfg, {.enableTraceHub = true});
         gpu.traceHub().addSink(std::make_unique<obs::TextTraceSink>(local));
         gpu.traceHub().setCategoryMask(mask);
         gpu.run(k);
@@ -222,7 +222,7 @@ chromeTraceFor(const SimConfig &cfg, const isa::Kernel &k,
 {
     std::ostringstream os;
     {
-        Gpu gpu(cfg);
+        Gpu gpu(cfg, {.enableTraceHub = true});
         gpu.traceHub().addSink(std::make_unique<obs::ChromeTraceSink>(os));
         gpu.run(k);
     }
@@ -326,10 +326,9 @@ TEST(ObserverEffect, ObservedRunStatsMatchUnobservedRun)
 
     std::ostringstream chrome, jsonl;
     RunResult observed;
-    Gpu gpu(cfg);
+    Gpu gpu(cfg, {.timeSeriesPeriod = 25, .enableTraceHub = true});
     gpu.traceHub().addSink(std::make_unique<obs::ChromeTraceSink>(chrome));
     gpu.traceHub().addSink(std::make_unique<obs::JsonlTraceSink>(jsonl));
-    gpu.enableTimeSeries(25);
     observed = gpu.run(k);
 
     EXPECT_EQ(plain.totalCycles, observed.totalCycles);
@@ -346,22 +345,21 @@ TEST(ObserverEffect, SamplerColumnsSumToRunCounters)
     SimConfig cfg = smallConfig();
     cfg.numSms = 1;
 
-    Gpu gpu(cfg);
-    gpu.enableTimeSeries(10);
+    Gpu gpu(cfg, {.timeSeriesPeriod = 10});
     const RunResult res = gpu.run(k);
     ASSERT_TRUE(gpu.timeSeriesEnabled());
 
-    const obs::TimeSeriesSampler *ts = gpu.sm(0).timeSeries();
+    const obs::TimeSeriesSampler *ts = gpu.smStats(0).timeSeries();
     ASSERT_NE(ts, nullptr);
     EXPECT_EQ(ts->droppedSamples(), 0u);
 
     // Delta conservation against the SM's and the backend's counters.
-    const CounterBlock &sim = gpu.sm(0).counters();
+    const CounterBlock &sim = gpu.smStats(0).counters();
     for (std::size_t i = 0; i < sim.size(); ++i)
         EXPECT_EQ(ts->columnSum("sim." + sim.name(CounterBlock::Handle(i))),
                   sim.value(CounterBlock::Handle(i)))
             << sim.name(CounterBlock::Handle(i));
-    const CounterBlock &rf = gpu.sm(0).rf().counters();
+    const CounterBlock &rf = gpu.smStats(0).rf().counters();
     for (std::size_t i = 0; i < rf.size(); ++i)
         EXPECT_EQ(ts->columnSum("rf." + rf.name(CounterBlock::Handle(i))),
                   rf.value(CounterBlock::Handle(i)))

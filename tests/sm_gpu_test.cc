@@ -12,7 +12,9 @@
 #include "common/logging.hh"
 #include "isa/kernel_builder.hh"
 #include "regfile/factory.hh"
+#include "sim/epoch.hh"
 #include "sim/gpu.hh"
+#include "sim/sm.hh"
 #include "workloads/workloads.hh"
 
 using namespace pilotrf;
@@ -172,14 +174,14 @@ TEST_F(SmGpuTest, DeterministicAcrossRuns)
     const auto &w = workloads::workload("srad");
     Gpu a(smallCfg(RfKind::Partitioned));
     Gpu b(smallCfg(RfKind::Partitioned));
-    EXPECT_EQ(a.run(w.kernels).totalCycles, b.run(w.kernels).totalCycles);
+    EXPECT_EQ(a.run(w.view()).totalCycles, b.run(w.view()).totalCycles);
 }
 
 TEST_F(SmGpuTest, MultiKernelSequencing)
 {
     const auto &w = workloads::workload("backprop");
     Gpu gpu(smallCfg(RfKind::Partitioned));
-    const auto r = gpu.run(w.kernels);
+    const auto r = gpu.run(w.view());
     ASSERT_EQ(r.kernels.size(), 2u);
     EXPECT_GT(r.kernels[0].cycles, 0u);
     EXPECT_GT(r.kernels[1].cycles, 0u);
@@ -212,7 +214,7 @@ TEST_F(SmGpuTest, PartitionedModeCountsSumToAccesses)
 {
     const auto &w = workloads::workload("kmeans");
     Gpu gpu(smallCfg(RfKind::Partitioned));
-    const auto r = gpu.run(w.kernels);
+    const auto r = gpu.run(w.view());
     const double modes = r.rfStats.get("access.FRF_high") +
                          r.rfStats.get("access.FRF_low") +
                          r.rfStats.get("access.SRF");
@@ -291,17 +293,19 @@ TEST_F(SmGpuTest, NextEventCycleSoundAndMonotonic)
     SimConfig c;
     c.numSms = 1;
     StubCtaSource src(k.numCtas());
-    Sm sm(c, SmId(0), regfile::makeRegisterFile(c), src);
-    sm.startKernel(&k);
+    Sm sm(c, SmId(0), regfile::makeRegisterFile(c));
+    sm.startKernel(&k, 0, src);
 
-    // Single-step the whole kernel, checking the horizon contract at
-    // every cycle: nextEventCycle(t) >= t always; after a dead cycle the
-    // horizon never moves backwards; and no activity may occur inside a
-    // span the horizon promised dead.
+    // Single-step the whole kernel through the sealed stepping API
+    // (one-cycle epochs, local skip off), checking the horizon contract
+    // at every cycle: nextEventCycle(t) >= t always; after a dead cycle
+    // the horizon never moves backwards; and no activity may occur
+    // inside a span the horizon promised dead.
     Cycle t = 0, noEventBefore = 0, prevHorizon = 0, maxLead = 0;
     unsigned prevActivity = 1;
-    while (!sm.idle() || !src.exhausted()) {
+    while (!sm.finishedKernel()) {
         ASSERT_LT(t, Cycle(1'000'000)) << "runaway kernel";
+        ASSERT_EQ(sm.localCycle(), t);
         const Cycle h = sm.nextEventCycle(t);
         ASSERT_GE(h, t);
         if (prevActivity == 0 && h != kNeverCycle) {
@@ -312,7 +316,18 @@ TEST_F(SmGpuTest, NextEventCycleSoundAndMonotonic)
             noEventBefore = std::max(noEventBefore, h);
             maxLead = std::max(maxLead, h - t);
         }
-        const unsigned activity = sm.cycle(t);
+        EpochContext ctx;
+        ctx.epochEnd = t + 1;
+        ctx.watchdogLimit = c.maxCycles;
+        StepResult r = sm.step(ctx);
+        unsigned activity = unsigned(r.activity);
+        while (r.stop == StepStop::NeedsCta) {
+            activity += sm.resolveLaunch(src);
+            r = sm.step(ctx);
+            activity += unsigned(r.activity);
+        }
+        if (r.stop == StepStop::Finished)
+            break;
         if (activity != 0) {
             ASSERT_GE(t, noEventBefore)
                 << "activity inside a promised-dead span at cycle " << t;
@@ -333,8 +348,8 @@ TEST_F(SmGpuTest, CycleSkipArchitecturallyInvisible)
     SimConfig off = on;
     off.enableCycleSkip = false;
     Gpu a(on), b(off);
-    const auto ra = a.run(w.kernels);
-    const auto rb = b.run(w.kernels);
+    const auto ra = a.run(w.view());
+    const auto rb = b.run(w.view());
     EXPECT_EQ(ra.totalCycles, rb.totalCycles);
     EXPECT_EQ(ra.totalInstructions, rb.totalInstructions);
     EXPECT_DOUBLE_EQ(ra.rfAccesses(), rb.rfAccesses());
@@ -353,8 +368,8 @@ TEST_F(SmGpuTest, ManyCollectorsExerciseMultiWordFreeSet)
     off.enableCycleSkip = false;
     const auto &w = workloads::workload("hotspot");
     Gpu a(on), b(off);
-    const auto ra = a.run(w.kernels);
-    const auto rb = b.run(w.kernels);
+    const auto ra = a.run(w.view());
+    const auto rb = b.run(w.view());
     EXPECT_GT(ra.totalCycles, 0u);
     EXPECT_EQ(ra.totalCycles, rb.totalCycles);
     EXPECT_DOUBLE_EQ(ra.rfAccesses(), rb.rfAccesses());
@@ -378,7 +393,7 @@ TEST_P(SuiteSweep, CompletesWithConsistentStats)
     c.rfKind = kind;
     c.policy = policy;
     Gpu gpu(c);
-    const auto r = gpu.run(workloads::workload(name).kernels);
+    const auto r = gpu.run(workloads::workload(name).view());
     EXPECT_GT(r.totalCycles, 0u);
     EXPECT_GT(r.totalInstructions, 0u);
     EXPECT_GT(r.rfAccesses(), 0.0);

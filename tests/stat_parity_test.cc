@@ -75,15 +75,17 @@ renderStats(std::ostream &os, const char *title, const StatSet &s)
 }
 
 std::string
-renderWorkload(const std::string &name, bool cycleSkip)
+renderWorkload(const std::string &name, bool cycleSkip,
+               unsigned numWorkers = 1)
 {
     const auto &wl = workloads::workload(name);
     std::ostringstream os;
     for (const auto &v : variants()) {
         SimConfig cfg = v.cfg;
         cfg.enableCycleSkip = cycleSkip;
+        cfg.numWorkers = numWorkers;
         Gpu gpu(cfg);
-        const RunResult run = gpu.run(wl.kernels);
+        const RunResult run = gpu.run(wl.view());
 
         os << "=== " << name << " / " << v.label << " ===\n";
         renderStats(os, "run.rfStats", run.rfStats);
@@ -93,8 +95,8 @@ renderWorkload(const std::string &name, bool cycleSkip)
         // existing, so key sets are compared too, not only values.
         StatSet rawRf, rawSim;
         for (unsigned i = 0; i < gpu.numSms(); ++i) {
-            rawRf.merge(gpu.sm(i).rf().stats());
-            rawSim.merge(gpu.sm(i).stats());
+            rawRf.merge(gpu.smStats(i).rf().stats());
+            rawSim.merge(gpu.smStats(i).stats());
         }
         renderStats(os, "raw.rf", rawRf);
         renderStats(os, "raw.sim", rawSim);
@@ -173,6 +175,11 @@ TEST_P(StatParity, MatchesSeedStats)
     expectMatchesGolden(golden.str(), withSkip, "cycle skip on");
     const std::string noSkip = renderWorkload(GetParam(), false);
     expectMatchesGolden(golden.str(), noSkip, "cycle skip off");
+    // The sharded epoch-barrier engine must reproduce the serial seed
+    // goldens byte-for-byte too (variants run 2 SMs, so 2 workers puts
+    // one SM on each shard; the l1l2 variant falls back to lockstep).
+    const std::string sharded = renderWorkload(GetParam(), true, 2);
+    expectMatchesGolden(golden.str(), sharded, "sharded, 2 workers");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, StatParity,

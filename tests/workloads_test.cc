@@ -25,7 +25,7 @@ runOn(const Workload &w, sim::RfKind kind = sim::RfKind::Partitioned)
     c.numSms = 4;
     c.rfKind = kind;
     sim::Gpu gpu(c);
-    return gpu.run(w.kernels);
+    return gpu.run(w.view());
 }
 } // namespace
 
@@ -205,8 +205,8 @@ TEST(Workloads, AccessRankStableAcrossCtas)
         b.numSms = 5;
         a.rfKind = b.rfKind = sim::RfKind::MrfStv;
         sim::Gpu ga(a), gb(b);
-        const auto ra = ga.run(workload(name).kernels);
-        const auto rb = gb.run(workload(name).kernels);
+        const auto ra = ga.run(workload(name).view());
+        const auto rb = gb.run(workload(name).view());
         EXPECT_EQ(ra.kernels[0].topRegisters(4),
                   rb.kernels[0].topRegisters(4))
             << name;
