@@ -114,6 +114,8 @@ usage(const char *argv0, int code)
         "usage: %s [options]\n"
         "  --sweep NAME    named sweep to run (default: smoke)\n"
         "  --threads N     worker threads (default: all cores; 1 = serial)\n"
+        "  --workers N     per-job Gpu engine workers (0 = config knob;\n"
+        "                  >1 shards SMs; outputs identical at any N)\n"
         "  --seeds N       replicate each job under N deterministic seeds\n"
         "  --base-seed S   base seed mixed into every derived job seed\n"
         "  --out FILE      write the JSON report to FILE (default: stdout)\n"
@@ -171,6 +173,8 @@ main(int argc, char **argv)
             sweepName = value();
         else if (arg == "--threads")
             threads = unsigned(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--workers")
+            ropts.numWorkers = unsigned(std::strtoul(value(), nullptr, 10));
         else if (arg == "--seeds")
             seeds = unsigned(std::strtoul(value(), nullptr, 10));
         else if (arg == "--base-seed")

@@ -91,6 +91,10 @@ checkpointLine(const std::string &sweep, const JobResult &r)
     os << r.attempts;
     field(os, "wallSeconds", first);
     jsonNumber(os, r.wallSeconds);
+    field(os, "engine", first);
+    jsonString(os, r.engine);
+    field(os, "workers", first);
+    os << r.workers;
     if (r.status == JobStatus::Ok) {
         field(os, "cycles", first);
         jsonNumber(os, double(r.run.totalCycles));
@@ -154,6 +158,8 @@ loadCheckpoint(const std::string &path, bool mustExist)
         e.error = v.stringOr("error", "");
         e.attempts = unsigned(v.numberOr("attempts", 1));
         e.wallSeconds = v.numberOr("wallSeconds", 0.0);
+        e.engine = v.stringOr("engine", "lockstep");
+        e.workers = unsigned(v.numberOr("workers", 1));
         if (e.status == JobStatus::Ok) {
             e.cycles = std::uint64_t(v.numberOr("cycles", 0));
             e.instructions = std::uint64_t(v.numberOr("instructions", 0));

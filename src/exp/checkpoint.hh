@@ -37,6 +37,10 @@ struct CheckpointEntry
     std::string error;
     unsigned attempts = 1;
     double wallSeconds = 0.0;
+    /** Engine provenance (see JobResult): absent in manifests written
+     *  before the fields existed, so the defaults mirror a serial run. */
+    std::string engine = "lockstep";
+    unsigned workers = 1;
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     StatSet rfStats;

@@ -251,6 +251,7 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
     gpuOpts.timeSeriesCapacity = opts.obs.timeseriesCapacity;
     gpuOpts.enableTraceHub = !opts.obs.chromeTracePath.empty() ||
                              !opts.obs.jsonlTracePath.empty();
+    gpuOpts.numWorkers = opts.numWorkers;
     sim::Gpu gpu(job.cfg, gpuOpts);
 
     // Observability: per-job files keyed by (workload, config, seed), so
@@ -297,6 +298,8 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
         gpu.writeTimeSeries(os);
     }
 
+    res.engine = sim::toString(gpu.engineUsed());
+    res.workers = gpu.workersUsed();
     res.wallSeconds = secondsSince(t0);
     return res;
 }
@@ -417,6 +420,8 @@ ExperimentRunner::fromCheckpoint(const CheckpointEntry &entry,
     res.attempts = entry.attempts;
     res.resumed = true;
     res.wallSeconds = entry.wallSeconds;
+    res.engine = entry.engine;
+    res.workers = entry.workers;
     res.run.totalCycles = entry.cycles;
     res.run.totalInstructions = entry.instructions;
     res.run.rfStats = entry.rfStats;

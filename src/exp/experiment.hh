@@ -104,6 +104,12 @@ struct JobResult
     /** Result came from the checkpoint manifest, not a fresh run.
      *  Execution provenance: reports emit it only with includeTiming. */
     bool resumed = false;
+    /** Stepping engine the Gpu selected ("lockstep"/"sharded") and the
+     *  worker count it resolved. Execution provenance like `resumed`:
+     *  reports emit them only with includeTiming, and resumed jobs
+     *  restore them from the checkpoint entry. */
+    std::string engine = "lockstep";
+    unsigned workers = 1;
 
     /** The report-facing status string: "ok", "failed:<error>",
      *  "timeout". Deterministic — never mentions resumption. */
@@ -243,6 +249,12 @@ struct RunnerOptions
 
     /** Per-job observability outputs (time series, trace sinks). */
     ObsOptions obs;
+
+    /** Worker threads for each job's sharded Gpu engine; 0 inherits the
+     *  config's numWorkers knob. Observability outputs are byte-identical
+     *  at any value (per-shard buffered emission), so this is purely a
+     *  wall-clock knob. */
+    unsigned numWorkers = 0;
 };
 
 /**

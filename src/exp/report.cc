@@ -99,6 +99,10 @@ writeJob(std::ostream &os, const JobResult &j, const ReportOptions &opts,
         jsonNumber(os, j.attempts);
         field(os, depth + 1, "resumed", first);
         os << (j.resumed ? "true" : "false");
+        field(os, depth + 1, "engine", first);
+        jsonString(os, j.engine);
+        field(os, depth + 1, "workers", first);
+        jsonNumber(os, double(j.workers));
         field(os, depth + 1, "wallSeconds", first);
         jsonNumber(os, j.wallSeconds);
     }

@@ -1,9 +1,48 @@
 #include "obs/trace.hh"
 
+#include <queue>
+
 #include "common/stats.hh"
 
 namespace pilotrf::obs
 {
+
+void
+drainTraceBuffers(const std::vector<TraceBuffer *> &buffers)
+{
+    // Min-heap over the buffer fronts, keyed (cycle, buffer position);
+    // the buffer vector is in smId order, so the position is the smId
+    // tiebreak. Ties pop the lowest smId first and a popped buffer
+    // re-enters with its next entry, so a run of same-cycle events from
+    // one SM drains contiguously before the next SM's — the lockstep
+    // engine's within-cycle order.
+    struct Head
+    {
+        Cycle cycle;
+        std::size_t buf;
+    };
+    const auto later = [](const Head &a, const Head &b) {
+        return a.cycle != b.cycle ? a.cycle > b.cycle : a.buf > b.buf;
+    };
+    std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(
+        later);
+    std::vector<std::size_t> pos(buffers.size(), 0);
+    for (std::size_t b = 0; b < buffers.size(); ++b)
+        if (buffers[b] && !buffers[b]->entries.empty())
+            heap.push({buffers[b]->entries.front().ev.cycle, b});
+    while (!heap.empty()) {
+        const Head h = heap.top();
+        heap.pop();
+        TraceBuffer &tb = *buffers[h.buf];
+        const TraceBuffer::Entry &e = tb.entries[pos[h.buf]];
+        tb.deliver(e.ev, e.dest);
+        if (++pos[h.buf] < tb.entries.size())
+            heap.push({tb.entries[pos[h.buf]].ev.cycle, h.buf});
+    }
+    for (TraceBuffer *tb : buffers)
+        if (tb)
+            tb->entries.clear();
+}
 
 const char *
 toString(EventKind k)

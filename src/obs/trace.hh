@@ -25,6 +25,16 @@
  * A hub is not synchronized: attach one hub per simulated GPU (the
  * experiment runner gives every job its own hub and output files, which
  * is what makes tracing safe under the worker pool).
+ *
+ * Emission itself goes through one more layer: every SM owns a
+ * `TraceBuffer`, the shard-safe front door to its hubs. In *immediate*
+ * mode (the serial engine) the buffer forwards each event straight to
+ * its destination hubs; in *buffered* mode (the sharded engine) it
+ * appends events — lock-free, the buffer belongs to exactly one SM and
+ * one worker — and `drainTraceBuffers()` merge-replays all buffers at an
+ * epoch barrier in the exact (cycle, smId, per-SM program order) the
+ * serial engine would have emitted, so every sink's byte stream is
+ * independent of the worker count.
  */
 
 #ifndef PILOTRF_OBS_TRACE_HH
@@ -134,6 +144,127 @@ class TraceHub
     unsigned nStructured = 0;
     std::uint64_t catMask = ~std::uint64_t(0);
 };
+
+/**
+ * Per-SM emission front end: the one object trace producers talk to.
+ *
+ * A buffer knows two destinations — the *local* (per-GPU) hub and the
+ * *global* (process-wide) hub behind the static `sim::Trace` API — and
+ * carries each event to a subset of three channels, encoded as `Dest`
+ * bits computed at the emission site (where the category gates are
+ * checked). Two modes:
+ *
+ *  - **immediate** (default; the lockstep engine, kernel setup): every
+ *    emit() dispatches to the destination hubs on the spot, preserving
+ *    the serial engine's emission order with zero added cost.
+ *  - **buffered** (the sharded engine): emit() appends the event and its
+ *    destination bits to a private vector. No locks: a buffer is written
+ *    by exactly one SM, which the engine steps on exactly one worker,
+ *    and read only between worker rounds (the pool barrier publishes
+ *    it). The vector index is the event's sequence stamp — per-SM
+ *    program order — and entries are cycle-monotone because every
+ *    producer stamps a monotone per-SM clock.
+ *
+ * `drainTraceBuffers()` k-way merges buffered entries across SMs on
+ * (cycle, smId, seq) and replays them into the hubs; see the trace docs
+ * for why that reproduces the serial byte stream exactly.
+ *
+ * The gate helpers (wantsStructured(), localTextEnabled()) read
+ * run-constant hub state (sink counts and the category mask are fixed
+ * before run()), so concurrent shard workers may call them freely.
+ */
+class TraceBuffer
+{
+  public:
+    /** Destination channels of one event (bitmask). */
+    enum Dest : std::uint8_t
+    {
+        GlobalText = 1,      ///< global hub, text channel
+        LocalText = 2,       ///< local hub, text channel
+        LocalStructured = 4, ///< local hub, structured channel
+    };
+
+    /** Wire the destination hubs (either may be null). */
+    void wire(TraceHub *localHub, TraceHub *globalHub)
+    {
+        local = localHub;
+        global = globalHub;
+    }
+
+    /** Re-point just the local (per-GPU) hub; null detaches. */
+    void setLocal(TraceHub *localHub) { local = localHub; }
+    TraceHub *localHub() const { return local; }
+
+    /** Local-hub gates, null-safe (the gates producers check before
+     *  building an event). */
+    bool wantsStructured() const
+    {
+        return local && local->wantsStructured();
+    }
+    bool localTextEnabled(unsigned category) const
+    {
+        return local && local->textEnabled(category);
+    }
+
+    /** Deliver (immediate mode) or append (buffered mode) one event to
+     *  the `dest` channels. */
+    void emit(const TraceEvent &ev, std::uint8_t dest)
+    {
+        if (buffered)
+            entries.push_back({ev, dest});
+        else
+            deliver(ev, dest);
+    }
+
+    /** Convenience for the structured telemetry points. */
+    void emitStructured(const TraceEvent &ev) { emit(ev, LocalStructured); }
+
+    /** Switch emission modes. Turning buffering off does not drain;
+     *  callers drain at a barrier first (see drainTraceBuffers()). */
+    void setBuffered(bool on) { buffered = on; }
+    bool isBuffered() const { return buffered; }
+
+    std::size_t pendingEvents() const { return entries.size(); }
+
+  private:
+    friend void drainTraceBuffers(
+        const std::vector<TraceBuffer *> &buffers);
+
+    struct Entry
+    {
+        TraceEvent ev;
+        std::uint8_t dest;
+    };
+
+    void deliver(const TraceEvent &ev, std::uint8_t dest)
+    {
+        if ((dest & GlobalText) && global)
+            global->dispatch(ev);
+        if ((dest & LocalText) && local)
+            local->dispatch(ev);
+        if ((dest & LocalStructured) && local)
+            local->dispatchStructured(ev);
+    }
+
+    TraceHub *local = nullptr;  ///< per-GPU hub (not owned)
+    TraceHub *global = nullptr; ///< process-wide hub (not owned)
+    bool buffered = false;
+    std::vector<Entry> entries;
+};
+
+/**
+ * Barrier-time merge: replay every buffered event of `buffers` (which
+ * must be ordered by smId) into its destination hubs in ascending
+ * (cycle, smId, seq) order, then clear the buffers.
+ *
+ * Each buffer is cycle-monotone and appended in per-SM program order, so
+ * a k-way merge that pops the smallest (front cycle, smId) reproduces
+ * the serial lockstep engine's emission order exactly: that engine runs
+ * cycle-major, SMs in smId order within a cycle, each SM's cycle in
+ * program order. Call only when every live SM has reached the barrier
+ * (all future events then carry cycles past everything drained here).
+ */
+void drainTraceBuffers(const std::vector<TraceBuffer *> &buffers);
 
 /**
  * The legacy human-readable formatter as a sink:

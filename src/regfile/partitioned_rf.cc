@@ -67,7 +67,7 @@ PartitionedRf::kernelLaunch(const isa::Kernel &kernel)
         table.program(oracleHot);
         break;
     }
-    if (traceHub && traceHub->wantsStructured()) {
+    if (traceBuf && traceBuf->wantsStructured()) {
         emitSwapEvents("launch", 0);
         emitBackgateMode(/*force=*/true);
     }
@@ -84,7 +84,7 @@ PartitionedRf::emitSwapEvents(const char *reason, std::uint64_t moves)
     ev.name = std::string("swap.") + reason;
     ev.args = {{"entries", double(table.validEntries())},
                {"moves", double(moves)}};
-    traceHub->dispatchStructured(ev);
+    traceBuf->emitStructured(ev);
 
     for (const auto &e : table.entries()) {
         if (!e.valid)
@@ -97,14 +97,14 @@ PartitionedRf::emitSwapEvents(const char *reason, std::uint64_t moves)
         pair.name = "swap.map";
         pair.args = {{"arch", double(e.archReg)},
                      {"phys", double(e.mappedReg)}};
-        traceHub->dispatchStructured(pair);
+        traceBuf->emitStructured(pair);
     }
 }
 
 void
 PartitionedRf::emitBackgateMode(bool force)
 {
-    if (!traceHub->wantsStructured())
+    if (!traceBuf || !traceBuf->wantsStructured())
         return;
     const bool low = cfg.adaptiveFrf && frfController.lowPowerMode();
     if (!force && low == lastLowMode)
@@ -117,7 +117,7 @@ PartitionedRf::emitBackgateMode(bool force)
     ev.kind = obs::EventKind::Counter;
     ev.name = "frf.backgate";
     ev.args = {{"low", low ? 1.0 : 0.0}};
-    traceHub->dispatchStructured(ev);
+    traceBuf->emitStructured(ev);
 }
 
 void
@@ -158,7 +158,7 @@ PartitionedRf::cycleHook(Cycle now, unsigned issued)
     RegisterFile::cycleHook(now, issued);
     if (cfg.adaptiveFrf)
         frfController.cycle(issued);
-    if (traceHub)
+    if (traceBuf)
         emitBackgateMode(/*force=*/false);
 }
 
@@ -167,12 +167,15 @@ PartitionedRf::nextEventCycle(Cycle now) const
 {
     // Epoch boundaries flip the back-gate mode, which is observable from
     // outside only through a structured trace sink (emitBackgateMode
-    // stamps the exact flip cycle). With such a sink attached the SM must
-    // single-step through every boundary; without one the controller
-    // fast-forwards in closed form (advanceIdle) and the flips inside a
-    // dead span — invisible and irrelevant to access latencies, since no
-    // accesses happen in a dead span — impose no horizon.
-    if (cfg.adaptiveFrf && traceHub && traceHub->wantsStructured())
+    // stamps the exact flip cycle). With such a sink attached, the only
+    // boundary that can emit during an idle span is the high->low flip:
+    // an idle epoch's tally is zero, so once the mode is low it stays
+    // low through any amount of idleness and boundaries emit nothing.
+    // Clamp the horizon to the next boundary only while the mode is
+    // still high; in low mode (and without a sink) the controller
+    // fast-forwards in closed form (advanceIdle) with no horizon.
+    if (cfg.adaptiveFrf && traceBuf && traceBuf->wantsStructured() &&
+        !frfController.lowPowerMode())
         return now + frfController.cyclesToBoundary() - 1;
     return kNeverCycle;
 }
@@ -217,9 +220,9 @@ PartitionedRf::warpFinished(WarpId w)
         noteMode(rfmodel::RfMode::FrfHigh, 2 * moves);
         noteMode(rfmodel::RfMode::Srf, 2 * moves);
         ctrs.inc(hRemapMoves, 2 * moves);
-        if (traceHub && traceHub->wantsStructured())
+        if (traceBuf && traceBuf->wantsStructured())
             emitSwapEvents("pilot", 2 * moves);
-    } else if (traceHub && traceHub->wantsStructured()) {
+    } else if (traceBuf && traceBuf->wantsStructured()) {
         emitSwapEvents("pilot", 0);
     }
 }

@@ -24,7 +24,7 @@
 
 namespace pilotrf::obs
 {
-class TraceHub;
+class TraceBuffer;
 }
 
 namespace pilotrf::regfile
@@ -134,14 +134,16 @@ class RegisterFile
     const CounterBlock &counters() const { return ctrs; }
 
     /**
-     * Attach a structured trace hub (and the owning SM's id) so the
-     * backend can emit telemetry events — swap-table movements, back-gate
-     * transitions, RFC flushes. Null detaches; with no hub attached the
-     * telemetry points cost one predictable branch each.
+     * Attach the owning SM's trace buffer (and id) so the backend can
+     * emit telemetry events — swap-table movements, back-gate
+     * transitions, RFC flushes — through the same shard-safe emission
+     * path as the SM's own trace points. Null detaches; with no buffer
+     * (or no structured sink behind it) the telemetry points cost one
+     * predictable branch each.
      */
-    void attachTrace(obs::TraceHub *hub, SmId sm)
+    void attachTrace(obs::TraceBuffer *buf, SmId sm)
     {
-        traceHub = hub;
+        traceBuf = buf;
         traceSm = sm;
     }
 
@@ -181,9 +183,9 @@ class RegisterFile
 
     unsigned banks;
     Cycle lastCycle = 0;
-    Cycle traceNow = 0;                ///< see noteCycle()
-    obs::TraceHub *traceHub = nullptr; ///< per-GPU hub (not owned)
-    SmId traceSm = 0;                  ///< SM id stamped on emitted events
+    Cycle traceNow = 0; ///< see noteCycle()
+    obs::TraceBuffer *traceBuf = nullptr; ///< the SM's buffer (not owned)
+    SmId traceSm = 0; ///< SM id stamped on emitted events
     CounterBlock ctrs; ///< typed counters; backends add their own
     mutable StatSet _stats; ///< reporting snapshot, rebuilt by stats()
     std::vector<std::uint64_t> regCounts;

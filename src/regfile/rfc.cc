@@ -138,7 +138,7 @@ RfCacheRf::flush(WarpId w)
         }
         e = Entry{};
     }
-    if (traceHub && traceHub->wantsStructured()) {
+    if (traceBuf && traceBuf->wantsStructured()) {
         obs::TraceEvent ev;
         ev.cycle = traceNow;
         ev.sm = traceSm;
@@ -147,7 +147,7 @@ RfCacheRf::flush(WarpId w)
         ev.kind = obs::EventKind::Instant;
         ev.name = "rfc.flush";
         ev.args = {{"writebacks", double(written)}};
-        traceHub->dispatchStructured(ev);
+        traceBuf->emitStructured(ev);
     }
 }
 

@@ -46,6 +46,16 @@ RunResult::rfAccesses() const
     return rfStats.get("access.reads") + rfStats.get("access.writes");
 }
 
+const char *
+toString(Engine e)
+{
+    switch (e) {
+      case Engine::Lockstep: return "lockstep";
+      case Engine::Sharded: return "sharded";
+    }
+    return "?";
+}
+
 void
 Gpu::Dispenser::reset(unsigned total)
 {
@@ -87,6 +97,12 @@ Gpu::Gpu(const SimConfig &cfg_, const GpuOptions &opts_)
             sms.back()->setTraceHub(&hub);
     }
     hubAttached = opts.enableTraceHub;
+    // The engine is a pure function of construction-time state: only the
+    // shared L2 still needs the lockstep engine's cycle-interleaved
+    // cross-SM access order. Observability (trace hubs, PILOTRF_TRACE,
+    // the sampler) is shard-safe via per-SM buffered emission.
+    engine = effectiveWorkers() > 1 && !l2 ? Engine::Sharded
+                                           : Engine::Lockstep;
 }
 
 Gpu::~Gpu() = default;
@@ -270,10 +286,27 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
     // barrier period only trades shard rebalancing granularity against
     // pool dispatch overhead (each barrier is a full wake/sleep round
     // trip per worker). Keep it long; kernels needing more epochs than
-    // this are already watchdog-scale.
-    constexpr Cycle kEpochLen = Cycle(1) << 20;
+    // this are already watchdog-scale. When trace events can flow,
+    // however, they buffer per SM until the next barrier — an epoch is
+    // then also the emission memory bound, so use a much shorter one.
+    // Epoch length is observationally invisible either way.
+    const bool mayEmit = hubAttached || Trace::anyEnabled();
+    const Cycle kEpochLen = Cycle(1) << (mayEmit ? 14 : 20);
     Cycle epochStart = kernelStart;
     Cycle endCycle = kernelStart;
+
+    // Shard-safe emission: each SM appends events to its own buffer
+    // while its worker steps it; at every epoch barrier the orchestrator
+    // merge-replays all buffers into the sinks in the serial
+    // (cycle, smId, seq) order (see obs::drainTraceBuffers). Buffering
+    // starts here — startKernel()'s launch events were already emitted
+    // immediately, in smId order, exactly as the serial loop does.
+    std::vector<obs::TraceBuffer *> bufs;
+    bufs.reserve(sms.size());
+    for (auto &sm : sms) {
+        bufs.push_back(&sm->traceBuffer());
+        bufs.back()->setBuffered(true);
+    }
 
     unsigned live = unsigned(sms.size());
     while (live) {
@@ -313,6 +346,10 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
                 phase[i] = Phase::Runnable;
             }
         }
+        // Epoch barrier: every live SM sits at epochEnd and the pool's
+        // barrier ordered all buffered appends before this point, so the
+        // merge-replay below is race-free and complete up to epochEnd.
+        obs::drainTraceBuffers(bufs);
         live = 0;
         for (std::size_t i = 0; i < sms.size(); ++i) {
             if (phase[i] == Phase::Done)
@@ -322,6 +359,11 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
         }
         epochStart = ctx.epochEnd;
     }
+    // The last epoch's drain already flushed everything through kernel
+    // end; drop back to immediate mode for the serial stretches between
+    // kernels (startKernel launch traces).
+    for (obs::TraceBuffer *tb : bufs)
+        tb->setBuffered(false);
     return endCycle;
 }
 
@@ -334,6 +376,17 @@ Gpu::run(const Workload &workload)
 
     const StatSet runRf0 = mergedRfStats();
     const StatSet runSim0 = mergedSimStats();
+
+    // Surface the engine decision once per run, but only when workers
+    // were actually requested — the default single-worker configuration
+    // has nothing to report and would drown every test log otherwise.
+    if (std::max(opts.numWorkers, cfg.numWorkers) > 1) {
+        if (engine == Engine::Sharded)
+            inform("engine=sharded workers=%u", effectiveWorkers());
+        else
+            inform("engine=lockstep reason=%s",
+                   l2 ? "l2" : "single-worker");
+    }
 
     for (const auto &kernel : workload.kernels) {
         kernel.validate();
@@ -348,14 +401,9 @@ Gpu::run(const Workload &workload)
         for (auto &sm : sms)
             sm->startKernel(&kernel, kernelStart, dispenser);
 
-        // Sharded stepping requires every cross-SM observer to be off:
-        // the trace hub and global trace categories impose the serial
-        // emission order, and the shared L2's hit/miss stream depends on
-        // the cycle-interleaved access order across SMs.
-        const bool sharded = effectiveWorkers() > 1 && !hubAttached &&
-                             !l2 && !Trace::anyEnabled();
-        now = sharded ? runKernelSharded(kernel, kernelStart)
-                      : runKernelLockstep(kernel, kernelStart);
+        now = engine == Engine::Sharded
+                  ? runKernelSharded(kernel, kernelStart)
+                  : runKernelLockstep(kernel, kernelStart);
 
         KernelResult kr;
         kr.name = kernel.name();

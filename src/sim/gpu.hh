@@ -74,8 +74,10 @@ struct GpuOptions
     std::size_t timeSeriesCapacity = std::size_t(1) << 14;
 
     /** Wire the GPU's private trace hub into every SM and RF backend so
-     *  sinks attached via traceHub() receive this GPU's events. Forces
-     *  lockstep stepping (sinks see the serial emission order). */
+     *  sinks attached via traceHub() receive this GPU's events. Works
+     *  under either engine: the sharded engine buffers per-SM and
+     *  merge-replays at epoch barriers, so sinks see the serial
+     *  emission order byte-for-byte at any worker count. */
     bool enableTraceHub = false;
 
     /** Worker threads for sharded stepping; 0 inherits
@@ -83,19 +85,34 @@ struct GpuOptions
     unsigned numWorkers = 0;
 };
 
+/** Which stepping engine Gpu::run() drives (see engineUsed()). */
+enum class Engine : std::uint8_t
+{
+    Lockstep, ///< serial cycle-major loop (seed-exact)
+    Sharded,  ///< SM shards on a worker pool with epoch barriers
+};
+
+const char *toString(Engine e);
+
 /**
  * The GPU: cfg-sized SM array sharing a CTA dispenser.
  *
  * Kernels execute as epochs (see sim/epoch.hh). With one effective
- * worker — or whenever a cross-SM observer is attached (trace hub,
- * global trace categories, the shared L2) — the engine runs *lockstep*:
- * one-cycle epochs, SMs stepped in smId order, a global all-idle
- * event-horizon skip; this is exactly the seed's serial loop. With
- * multiple workers and no cross-SM observer it runs *sharded*: the SM
- * array is partitioned round-robin over a persistent worker pool, each
- * SM fast-forwards its own dead spans locally, and CTA launches are
- * resolved at deterministic barriers in global (cycle, smId) order —
- * merged statistics are byte-identical to lockstep either way.
+ * worker — or when the shared L2 is modeled (its hit/miss stream
+ * depends on the cycle-interleaved cross-SM access order) — the engine
+ * runs *lockstep*: one-cycle epochs, SMs stepped in smId order, a
+ * global all-idle event-horizon skip; this is exactly the seed's serial
+ * loop. With multiple workers and no L2 it runs *sharded*: the SM array
+ * is partitioned round-robin over a persistent worker pool, each SM
+ * fast-forwards its own dead spans locally, and CTA launches are
+ * resolved at deterministic barriers in global (cycle, smId) order.
+ * Observers ride along under either engine — trace events buffer per SM
+ * and merge-replay into the sinks at epoch barriers in serial order,
+ * and the time-series sampler is shard-local — so merged statistics,
+ * trace bytes and time-series output are byte-identical to lockstep for
+ * any worker count. The engine choice is fixed at construction
+ * (engineUsed()) and logged once per run() when workers were requested,
+ * so a forced downgrade is never silent.
  */
 class Gpu
 {
@@ -121,6 +138,15 @@ class Gpu
      * wired into the SMs at construction, never mid-run.
      */
     obs::TraceHub &traceHub();
+
+    /** The stepping engine run() drives, decided at construction:
+     *  Sharded iff more than one effective worker and no shared L2.
+     *  Observability never downgrades the engine. */
+    Engine engineUsed() const { return engine; }
+
+    /** Resolved worker count run() uses: the options override, else the
+     *  config knob, clamped to [1, numSms]. Provenance for reports. */
+    unsigned workersUsed() const { return effectiveWorkers(); }
 
     bool timeSeriesEnabled() const;
 
@@ -177,6 +203,7 @@ class Gpu
     std::uint64_t skippedGlobal = 0; ///< see skippedCycles()
     obs::TraceHub hub;        ///< per-GPU sink fan-out (see traceHub())
     bool hubAttached = false; ///< hub wired into the SMs (ctor-time)
+    Engine engine = Engine::Lockstep; ///< fixed at construction
 };
 
 } // namespace pilotrf::sim

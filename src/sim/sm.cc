@@ -37,6 +37,12 @@ Sm::Sm(const SimConfig &cfg_, SmId id,
     h.instrIssued = ctrs.add("instructions.issued");
     h.issueSlotsTotal = ctrs.add("issueSlots.total");
     h.cyclesActive = ctrs.add("cycles.active");
+    // Every trace point talks to the buffer; wire its global destination
+    // now and let the backend share it, so PILOTRF_TRACE-only runs and
+    // per-GPU-hub runs use one emission path (the local destination is
+    // added by setTraceHub()).
+    traceBuf.wire(nullptr, &Trace::hub());
+    backend->attachTrace(&traceBuf, smId);
     warps.resize(cfg.warpsPerSm);
     ctaSlots.resize(cfg.maxCtasPerSm);
     collectors.resize(cfg.collectors);
@@ -154,7 +160,7 @@ Sm::tryLaunchCtas(CtaSource &ctas)
         unsigned slotIdx = 0;
         while (ctaSlots[slotIdx].valid)
             ++slotIdx;
-        PILOTRF_TRACE_AT(hub, TraceCat::Cta, lastCycleSeen, smId,
+        PILOTRF_TRACE_AT(&traceBuf, TraceCat::Cta, lastCycleSeen, smId,
                          "launch cta %u into slot %u", unsigned(cta),
                          slotIdx);
         CtaSlot &slot = ctaSlots[slotIdx];
@@ -171,10 +177,10 @@ Sm::tryLaunchCtas(CtaSource &ctas)
             threadsLeft -= threads;
             warps[w].launch(kernel, cta, i, slotIdx, launchCounter++,
                             threads);
-            PILOTRF_TRACE_AT(hub, TraceCat::Warp, lastCycleSeen, smId,
+            PILOTRF_TRACE_AT(&traceBuf, TraceCat::Warp, lastCycleSeen, smId,
                              "launch warp %u (cta %u.%u)", unsigned(w),
                              unsigned(cta), i);
-            if (hub && hub->wantsStructured()) {
+            if (traceBuf.wantsStructured()) {
                 obs::TraceEvent ev;
                 ev.cycle = lastCycleSeen;
                 ev.sm = smId;
@@ -183,7 +189,7 @@ Sm::tryLaunchCtas(CtaSource &ctas)
                 ev.kind = obs::EventKind::Begin;
                 ev.name = "warp " + std::to_string(unsigned(w));
                 ev.args = {{"cta", double(cta)}, {"lane", double(i)}};
-                hub->dispatchStructured(ev);
+                traceBuf.emitStructured(ev);
             }
             ++liveWarpCount;
             scheduler.onWarpLaunched(w, warps[w].launchAge());
@@ -409,7 +415,7 @@ Sm::dispatchCollectors(Cycle now)
                 finishAt = start + cfg.globalLatency + missing;
             }
             ++outstandingMem;
-            PILOTRF_TRACE_AT(hub, TraceCat::Mem, now, smId,
+            PILOTRF_TRACE_AT(&traceBuf, TraceCat::Mem, now, smId,
                              "w%u %s txn=%u finish@%llu", unsigned(c.warp),
                              isa::toString(c.in->op),
                              unsigned(c.in->transactions),
@@ -516,9 +522,9 @@ void
 Sm::finishWarp(WarpId wid)
 {
     WarpContext &w = warps[wid];
-    PILOTRF_TRACE_AT(hub, TraceCat::Warp, lastCycleSeen, smId,
+    PILOTRF_TRACE_AT(&traceBuf, TraceCat::Warp, lastCycleSeen, smId,
                      "retire warp %u", unsigned(wid));
-    if (hub && hub->wantsStructured()) {
+    if (traceBuf.wantsStructured()) {
         obs::TraceEvent ev;
         ev.cycle = lastCycleSeen;
         ev.sm = smId;
@@ -526,7 +532,7 @@ Sm::finishWarp(WarpId wid)
         ev.categoryName = "warp";
         ev.kind = obs::EventKind::End;
         ev.name = "warp " + std::to_string(unsigned(wid));
-        hub->dispatchStructured(ev);
+        traceBuf.emitStructured(ev);
     }
     --liveWarpCount;
     scheduler.onWarpFinished(wid);
@@ -583,7 +589,7 @@ Sm::issueOne(WarpId wid, Cycle now)
     WarpContext &w = warps[wid];
     const isa::Instruction &in = w.nextInstr();
 
-    PILOTRF_TRACE_AT(hub, TraceCat::Issue, now, smId, "w%u pc %u: %s",
+    PILOTRF_TRACE_AT(&traceBuf, TraceCat::Issue, now, smId, "w%u pc %u: %s",
                      unsigned(wid), w.pc(), in.toString().c_str());
     if (in.execClass() == isa::ExecClass::Ctrl) {
         if (in.isBarrier()) {

@@ -147,15 +147,21 @@ class Sm
     const SimConfig &config() const { return cfg; }
 
     /**
-     * Attach a per-GPU trace hub (null detaches). Forwarded to the RF
-     * backend so swap/back-gate telemetry shares the same hub; warp
-     * lifecycle Begin/End events are emitted by the SM itself.
+     * Attach a per-GPU trace hub (null detaches) as this SM's trace
+     * buffer's local destination. The RF backend shares the buffer, so
+     * swap/back-gate telemetry rides the same shard-safe emission path;
+     * warp lifecycle Begin/End events are emitted by the SM itself.
      */
-    void setTraceHub(obs::TraceHub *hub_)
-    {
-        hub = hub_;
-        backend->attachTrace(hub_, smId);
-    }
+    void setTraceHub(obs::TraceHub *hub_) { traceBuf.setLocal(hub_); }
+
+    /**
+     * This SM's emission front end: the engine flips it between
+     * immediate and buffered mode and drains it at epoch barriers
+     * (obs::drainTraceBuffers). Mutable access is engine-only by
+     * convention — the buffer carries no architectural state.
+     */
+    obs::TraceBuffer &traceBuffer() { return traceBuf; }
+    const obs::TraceBuffer &traceBuffer() const { return traceBuf; }
 
     /**
      * Start delta-sampling this SM's pipeline and RF counters (plus an
@@ -327,7 +333,10 @@ class Sm
     Cycle lastCycleSeen = 0; // for trace points outside cycle stages
     std::uint64_t ffCycles = 0; // cycles elided by skipCycles()
 
-    obs::TraceHub *hub = nullptr; ///< per-GPU hub (not owned)
+    /** Shard-safe emission front end for every trace point of this SM
+     *  and its RF backend (see obs::TraceBuffer). Wired to the global
+     *  hub at construction; setTraceHub() adds the per-GPU hub. */
+    obs::TraceBuffer traceBuf;
     std::unique_ptr<obs::TimeSeriesSampler> sampler; ///< null = off
 
     std::vector<WarpId> candBuf; // scratch

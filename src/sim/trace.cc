@@ -131,11 +131,11 @@ Trace::setStream(std::ostream &os)
 }
 
 void
-Trace::vlog(obs::TraceHub *local, TraceCat cat, Cycle cycle, SmId sm,
+Trace::vlog(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle, SmId sm,
             const char *fmt, va_list ap)
 {
-    char buf[512];
-    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    char msg[512];
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
 
     obs::TraceEvent ev;
     ev.cycle = cycle;
@@ -143,12 +143,22 @@ Trace::vlog(obs::TraceHub *local, TraceCat cat, Cycle cycle, SmId sm,
     ev.category = unsigned(cat);
     ev.categoryName = toString(cat);
     ev.kind = obs::EventKind::Instant;
-    ev.text = buf;
+    ev.text = msg;
 
+    // Destination channels are resolved here, at the emission site, from
+    // run-constant gates; the buffer then delivers now or at the next
+    // barrier without re-deciding.
+    std::uint8_t dest = 0;
     if (enabled(cat))
-        hub().dispatch(ev);
-    if (local && local->textEnabled(unsigned(cat)))
-        local->dispatch(ev);
+        dest |= obs::TraceBuffer::GlobalText;
+    if (buf && buf->localTextEnabled(unsigned(cat)))
+        dest |= obs::TraceBuffer::LocalText;
+    if (!dest)
+        return;
+    if (buf)
+        buf->emit(ev, dest);
+    else
+        hub().dispatch(ev); // dest can only be GlobalText here
 }
 
 void
@@ -161,12 +171,12 @@ Trace::log(TraceCat cat, Cycle cycle, SmId sm, const char *fmt, ...)
 }
 
 void
-Trace::logTo(obs::TraceHub *local, TraceCat cat, Cycle cycle, SmId sm,
+Trace::logTo(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle, SmId sm,
              const char *fmt, ...)
 {
     va_list ap;
     va_start(ap, fmt);
-    vlog(local, cat, cycle, sm, fmt, ap);
+    vlog(buf, cat, cycle, sm, fmt, ap);
     va_end(ap);
 }
 

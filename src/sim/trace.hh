@@ -14,11 +14,14 @@
  * variable (comma-separated: "issue,mem,warp").
  *
  * Components that belong to one simulated GPU (SMs, RF backends)
- * additionally carry a per-GPU `obs::TraceHub` so concurrent experiment
- * jobs can stream their events to per-job files; the `PILOTRF_TRACE_AT`
- * macro delivers one formatted event to both the global hub (when the
- * category is enabled) and the local hub (when it text-enables the
- * category) without formatting twice.
+ * additionally carry a per-SM `obs::TraceBuffer` wired to the per-GPU
+ * hub, so concurrent experiment jobs can stream their events to per-job
+ * files; the `PILOTRF_TRACE_AT` macro delivers one formatted event
+ * through the buffer to both the global hub (when the category is
+ * enabled) and the local hub (when it text-enables the category)
+ * without formatting twice. Under the sharded engine the buffer defers
+ * delivery to the epoch barrier (see obs::drainTraceBuffers), which is
+ * what keeps traced runs shard-safe.
  */
 
 #ifndef PILOTRF_SIM_TRACE_HH
@@ -75,9 +78,10 @@ class Trace
         return (mask & (1u << unsigned(cat))) != 0;
     }
 
-    /** Any category enabled at all? The Gpu keeps sharded stepping off
-     *  while global tracing is on, so the emission order stays the
-     *  serial loop's cycle-major order. */
+    /** Any category enabled at all? The Gpu uses this to size epochs
+     *  conservatively when trace events can flow (buffered events are
+     *  held until the next barrier, so barriers must come often enough
+     *  to bound memory). */
     static bool anyEnabled() { return mask != 0; }
 
     /** The process-wide hub behind the static API. Its first sink is the
@@ -93,14 +97,16 @@ class Trace
     static void log(TraceCat cat, Cycle cycle, SmId sm, const char *fmt,
                     ...) __attribute__((format(printf, 4, 5)));
 
-    /** As log(), but the event is also delivered to `local` when that
-     *  hub text-enables the category (the per-GPU trace path). */
-    static void logTo(obs::TraceHub *local, TraceCat cat, Cycle cycle,
+    /** As log(), but emission goes through the SM's trace buffer: the
+     *  event reaches the global hub (category enabled) and/or the
+     *  buffer's local hub (category text-enabled there), immediately or
+     *  deferred to the next barrier per the buffer's mode. */
+    static void logTo(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle,
                       SmId sm, const char *fmt, ...)
         __attribute__((format(printf, 5, 6)));
 
   private:
-    static void vlog(obs::TraceHub *local, TraceCat cat, Cycle cycle,
+    static void vlog(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle,
                      SmId sm, const char *fmt, va_list ap);
 
     static unsigned mask;
@@ -113,13 +119,13 @@ class Trace
             pilotrf::sim::Trace::log(cat, cycle, sm, __VA_ARGS__);         \
     } while (0)
 
-/** Trace point with an additional per-GPU hub (may be null). */
-#define PILOTRF_TRACE_AT(hubp, cat, cycle, sm, ...)                        \
+/** Trace point routed through a per-SM trace buffer (may be null). */
+#define PILOTRF_TRACE_AT(bufp, cat, cycle, sm, ...)                        \
     do {                                                                   \
-        pilotrf::obs::TraceHub *_pilotrf_h = (hubp);                       \
+        pilotrf::obs::TraceBuffer *_pilotrf_b = (bufp);                    \
         if (pilotrf::sim::Trace::enabled(cat) ||                           \
-            (_pilotrf_h && _pilotrf_h->textEnabled(unsigned(cat))))        \
-            pilotrf::sim::Trace::logTo(_pilotrf_h, cat, cycle, sm,         \
+            (_pilotrf_b && _pilotrf_b->localTextEnabled(unsigned(cat))))   \
+            pilotrf::sim::Trace::logTo(_pilotrf_b, cat, cycle, sm,         \
                                        __VA_ARGS__);                       \
     } while (0)
 

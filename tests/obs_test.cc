@@ -311,6 +311,100 @@ TEST(ChromeTrace, FileSinkReportsUnopenablePath)
     EXPECT_FALSE(error.empty());
 }
 
+// --- Shard-safe emission ----------------------------------------------------
+
+namespace
+{
+
+/** Every observable byte stream one traced run produces. */
+struct TracedOutputs
+{
+    std::string legacy; ///< global Trace text stream (PILOTRF_TRACE path)
+    std::string text;   ///< per-GPU hub TextTraceSink
+    std::string jsonl;  ///< per-GPU hub JsonlTraceSink (both channels)
+    std::string chrome; ///< per-GPU hub ChromeTraceSink (structured)
+    std::string timeseries; ///< per-SM time-series JSON document
+};
+
+/** Run the kernel with everything observable attached at the given
+ *  worker count and collect the raw output bytes. */
+TracedOutputs
+tracedRun(const SimConfig &base, const isa::Kernel &k, unsigned workers)
+{
+    setQuiet(true);
+    SimConfig cfg = base;
+    cfg.numWorkers = workers;
+
+    std::ostringstream legacy, text, jsonl, chrome, ts;
+    Trace::setStream(legacy);
+    Trace::enable(TraceCat::Warp);
+    Trace::enable(TraceCat::Cta);
+    {
+        Gpu gpu(cfg, {.timeSeriesPeriod = 16, .enableTraceHub = true});
+        gpu.traceHub().addSink(std::make_unique<obs::TextTraceSink>(text));
+        gpu.traceHub().addSink(std::make_unique<obs::JsonlTraceSink>(jsonl));
+        gpu.traceHub().addSink(
+            std::make_unique<obs::ChromeTraceSink>(chrome));
+        if (workers > 1)
+            EXPECT_EQ(gpu.engineUsed(), Engine::Sharded) << workers;
+        gpu.run(k);
+        gpu.writeTimeSeries(ts);
+    }
+    Trace::disableAll();
+    Trace::setStream(std::cerr);
+    return {legacy.str(), text.str(), jsonl.str(), chrome.str(), ts.str()};
+}
+
+} // namespace
+
+TEST(ShardSafeEmission, TraceBytesIdenticalAcrossWorkerCounts)
+{
+    // Enough SMs that 2 workers genuinely shard the array; 7 clamps to
+    // the SM count and exercises a one-SM-per-shard split.
+    SimConfig cfg = smallConfig();
+    cfg.numSms = 5;
+    isa::KernelBuilder b("shardtrace", 12, 64, 10);
+    for (unsigned i = 0; i < 8; ++i)
+        b.op(isa::Opcode::IAdd, RegId(i % 5), {RegId(i % 7), RegId(3)});
+    b.op(isa::Opcode::Ldg, RegId(5), {RegId(0)});
+    const isa::Kernel k = b.build();
+
+    const TracedOutputs ref = tracedRun(cfg, k, 1);
+    EXPECT_FALSE(ref.legacy.empty());
+    EXPECT_FALSE(ref.text.empty());
+    EXPECT_FALSE(ref.jsonl.empty());
+    EXPECT_FALSE(ref.chrome.empty());
+
+    for (const unsigned workers : {2u, 7u}) {
+        const TracedOutputs got = tracedRun(cfg, k, workers);
+        EXPECT_EQ(ref.legacy, got.legacy) << "workers=" << workers;
+        EXPECT_EQ(ref.text, got.text) << "workers=" << workers;
+        EXPECT_EQ(ref.jsonl, got.jsonl) << "workers=" << workers;
+        EXPECT_EQ(ref.chrome, got.chrome) << "workers=" << workers;
+        EXPECT_EQ(ref.timeseries, got.timeseries)
+            << "workers=" << workers;
+    }
+}
+
+TEST(ShardSafeEmission, BufferedModeDrainsEverythingByRunEnd)
+{
+    SimConfig cfg = smallConfig();
+    cfg.numSms = 4;
+    cfg.numWorkers = 4;
+    std::ostringstream jsonl;
+    Gpu gpu(cfg, {.enableTraceHub = true});
+    ASSERT_EQ(gpu.engineUsed(), Engine::Sharded);
+    gpu.traceHub().addSink(std::make_unique<obs::JsonlTraceSink>(jsonl));
+    gpu.run(smallKernel());
+    EXPECT_FALSE(jsonl.str().empty());
+    // After run() every SM buffer must be drained and back in immediate
+    // mode — a leftover entry would leak into the next kernel's output.
+    for (unsigned i = 0; i < gpu.numSms(); ++i) {
+        EXPECT_EQ(gpu.smStats(i).traceBuffer().pendingEvents(), 0u) << i;
+        EXPECT_FALSE(gpu.smStats(i).traceBuffer().isBuffered()) << i;
+    }
+}
+
 // --- No observer effect -----------------------------------------------------
 
 TEST(ObserverEffect, ObservedRunStatsMatchUnobservedRun)

@@ -20,12 +20,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
 #include "isa/kernel_builder.hh"
+#include "obs/trace.hh"
 #include "sim/gpu.hh"
 
 using namespace pilotrf;
@@ -100,8 +102,9 @@ randomKernels(std::uint64_t seed)
     }
     // Epoch-spanning latency-bound tail: a dependent global-load chain
     // with per-CTA trip spread runs tens of thousands of cycles — well
-    // past the sharded engine's 8192-cycle epoch — with the SMs fully
-    // dephased, so epoch boundaries land mid-flight on every shard.
+    // past the sharded engine's traced-run epoch (2^14 cycles) — with
+    // the SMs fully dephased, so epoch boundaries land mid-flight on
+    // every shard.
     isa::KernelBuilder tail("rand" + std::to_string(seed) + "_tail", 8, 32,
                             rng.range(6, 12), seed);
     tail.beginLoop(64, 48);
@@ -114,13 +117,24 @@ randomKernels(std::uint64_t seed)
 
 /** Everything observable about a run, rendered canonically: run totals,
  *  merged stat sets, per-kernel results and every per-SM raw stat set
- *  (so a divergence localized to one SM cannot cancel in the merge). */
+ *  (so a divergence localized to one SM cannot cancel in the merge).
+ *  With traced=true a full complement of trace sinks rides along and
+ *  their bytes join the dump, so the comparison also covers the sharded
+ *  engine's buffered emission path end to end. */
 std::string
 render(SimConfig cfg, const std::vector<isa::Kernel> &kernels,
-       unsigned workers)
+       unsigned workers, bool traced = false)
 {
     cfg.numWorkers = workers;
-    Gpu gpu(cfg);
+    Gpu gpu(cfg, {.enableTraceHub = traced});
+    std::ostringstream text, jsonl, chrome;
+    if (traced) {
+        gpu.traceHub().addSink(std::make_unique<obs::TextTraceSink>(text));
+        gpu.traceHub().addSink(
+            std::make_unique<obs::JsonlTraceSink>(jsonl));
+        gpu.traceHub().addSink(
+            std::make_unique<obs::ChromeTraceSink>(chrome));
+    }
     const RunResult run = gpu.run({"determinism", kernels});
     std::ostringstream os;
     os << "label " << run.label << "\n";
@@ -150,6 +164,11 @@ render(SimConfig cfg, const std::vector<isa::Kernel> &kernels,
         gpu.smStats(i).stats().toJson(os);
         os << "\n";
     }
+    if (traced)
+        os << "text\n"
+           << text.str() << "jsonl\n"
+           << jsonl.str() << "chrome\n"
+           << chrome.str() << "\n";
     return os.str();
 }
 
@@ -169,6 +188,23 @@ TEST_P(ShardDeterminism, WorkerCountIsObservationallyInvisible)
     const std::string serial = render(cfg, kernels, 1);
     EXPECT_EQ(serial, render(cfg, kernels, 2)) << "seed " << GetParam();
     EXPECT_EQ(serial, render(cfg, kernels, 7)) << "seed " << GetParam();
+}
+
+TEST_P(ShardDeterminism, TracedRunBytesAreWorkerCountInvariant)
+{
+    // Same invariance with every trace sink attached: the sharded
+    // engine must buffer per SM and merge-replay at barriers such that
+    // the text, JSONL and Chrome byte streams match the serial engine
+    // exactly (the traced render() appends them to the dump).
+    const std::vector<isa::Kernel> kernels = randomKernels(GetParam());
+    SimConfig cfg;
+    cfg.numSms = 4;
+    const std::string serial = render(cfg, kernels, 1, /*traced=*/true);
+    EXPECT_NE(serial.find("\"ph\""), std::string::npos); // chrome events
+    EXPECT_EQ(serial, render(cfg, kernels, 2, true)) << "seed "
+                                                     << GetParam();
+    EXPECT_EQ(serial, render(cfg, kernels, 7, true)) << "seed "
+                                                     << GetParam();
 }
 
 TEST_P(ShardDeterminism, TornEpochsWithMoreWorkersThanSms)

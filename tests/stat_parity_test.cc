@@ -17,11 +17,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "sim/gpu.hh"
 #include "workloads/workloads.hh"
 
@@ -76,7 +78,7 @@ renderStats(std::ostream &os, const char *title, const StatSet &s)
 
 std::string
 renderWorkload(const std::string &name, bool cycleSkip,
-               unsigned numWorkers = 1)
+               unsigned numWorkers = 1, bool traced = false)
 {
     const auto &wl = workloads::workload(name);
     std::ostringstream os;
@@ -84,7 +86,15 @@ renderWorkload(const std::string &name, bool cycleSkip,
         SimConfig cfg = v.cfg;
         cfg.enableCycleSkip = cycleSkip;
         cfg.numWorkers = numWorkers;
-        Gpu gpu(cfg);
+        Gpu gpu(cfg, {.enableTraceHub = traced});
+        // The sink's output is discarded: tracing must not perturb the
+        // statistics (observer effect), even under the sharded engine's
+        // buffered emission, so the traced render must still match the
+        // untraced goldens byte-for-byte.
+        std::ostringstream discard;
+        if (traced)
+            gpu.traceHub().addSink(
+                std::make_unique<obs::JsonlTraceSink>(discard));
         const RunResult run = gpu.run(wl.view());
 
         os << "=== " << name << " / " << v.label << " ===\n";
@@ -180,6 +190,10 @@ TEST_P(StatParity, MatchesSeedStats)
     // one SM on each shard; the l1l2 variant falls back to lockstep).
     const std::string sharded = renderWorkload(GetParam(), true, 2);
     expectMatchesGolden(golden.str(), sharded, "sharded, 2 workers");
+    // And once more with a trace sink attached: buffered per-SM emission
+    // and the barrier-time merge must leave every statistic untouched.
+    const std::string traced = renderWorkload(GetParam(), true, 2, true);
+    expectMatchesGolden(golden.str(), traced, "sharded, 2 workers, traced");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, StatParity,
