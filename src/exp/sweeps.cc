@@ -158,6 +158,34 @@ ablationPipelineSweep()
     return Sweep::overSuite("ablation_pipeline", std::move(configs));
 }
 
+Sweep
+l2OccupancySweep()
+{
+    // Memory-latency-realistic occupancy sweep (the Fig. 12 regime with
+    // the full hierarchy live): L1 + shared L2 + DRAM stage on, over
+    // four occupancy points. Runs the cache-reuse workloads so the L2
+    // hit rate actually moves with occupancy — more resident CTAs widen
+    // the footprint racing through the small L1 and deepen the DRAM
+    // partition queues. The shared L2 rides the sharded engine's
+    // deferred-request barrier replay, so this sweep shards like any
+    // other (outputs identical at any --workers N).
+    Sweep s;
+    s.name = "l2_occupancy";
+    s.workloads = {"BFS", "MUM", "stencil", "sad"};
+    for (const unsigned ctas : {2u, 4u, 8u, 16u}) {
+        sim::SimConfig c = withKind(sim::RfKind::Partitioned);
+        c.maxCtasPerSm = ctas;
+        c.l1Enable = true;
+        c.l1SizeKb = 1;
+        c.l2Enable = true;
+        c.dramEnable = true;
+        char tag[24];
+        std::snprintf(tag, sizeof(tag), "occ%u", ctas);
+        s.configs.push_back({tag, c});
+    }
+    return s;
+}
+
 struct Entry
 {
     Sweep (*make)();
@@ -185,6 +213,9 @@ registry()
         {"ablation_pipeline",
          {ablationPipelineSweep,
           "suite x {L1, forwarding} toggles x 3 RF kinds"}},
+        {"l2_occupancy",
+         {l2OccupancySweep,
+          "cache-reuse workloads x 4 occupancy points, L1+L2+DRAM on"}},
     };
     return r;
 }

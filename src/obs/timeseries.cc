@@ -63,6 +63,7 @@ TimeSeriesSampler::sample(Cycle now)
         slot = head;
         head = (head + 1) % cap;
         ++dropped;
+        lastDroppedCycle = cycles[slot];
     }
     cycles[slot] = now;
     std::uint64_t *row = data.data() + slot * columns;
@@ -79,6 +80,41 @@ TimeSeriesSampler::sample(Cycle now)
     }
     for (const auto &g : gauges)
         row[g.column] = g.fn();
+}
+
+void
+TimeSeriesSampler::retroCredit(Cycle cycle, const CounterBlock *block,
+                               CounterBlock::Handle h, std::uint64_t delta)
+{
+    if (delta == 0 || !layoutLatched || count == 0)
+        return;
+    Source *src = nullptr;
+    for (auto &s : sources)
+        if (s.block == block) {
+            src = &s;
+            break;
+        }
+    if (!src || std::size_t(h) >= src->nColumns)
+        return;
+    // No sample at or after `cycle` yet: the increment sits in the
+    // upcoming interval, which is where it belongs.
+    if (cycles[(head + count - 1) % cap] < cycle)
+        return;
+    // Some sample should have carried the delta; either way the next
+    // delta (cur - prev) must not double-count it.
+    src->prev[h] += delta;
+    // Dropped samples are the oldest; if the newest dropped one is at or
+    // after `cycle`, the owning sample is gone and the delta goes with
+    // it (the serial engine would have dropped it identically).
+    if (dropped > 0 && lastDroppedCycle >= cycle)
+        return;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t slot = (head + i) % cap;
+        if (cycles[slot] >= cycle) {
+            data[slot * columns + src->firstColumn + h] += delta;
+            return;
+        }
+    }
 }
 
 std::vector<std::string>

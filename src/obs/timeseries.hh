@@ -81,6 +81,23 @@ class TimeSeriesSampler
             sample(now);
     }
 
+    /**
+     * Re-attribute a counter increment that was applied late. The
+     * sharded engine defers shared-L2 hit/miss increments to the epoch
+     * barrier, but architecturally they belong at the request `cycle`;
+     * any sample already taken at or after that cycle was written
+     * without the delta. This moves the delta where the serial engine
+     * would have recorded it: into the earliest retained sample stamped
+     * >= `cycle` (and out of the upcoming interval), leaving column
+     * sums — and the serial/sharded byte identity — intact. If the
+     * owning sample was already dropped from the ring, the delta is
+     * dropped with it, exactly as if it had been recorded on time. A
+     * no-op when no sample at or after `cycle` exists yet (the next
+     * sample will capture the increment naturally).
+     */
+    void retroCredit(Cycle cycle, const CounterBlock *block,
+                     CounterBlock::Handle h, std::uint64_t delta);
+
     unsigned periodCycles() const { return period; }
     std::size_t capacity() const { return cap; }
 
@@ -141,6 +158,7 @@ class TimeSeriesSampler
     std::size_t head = 0;
     std::size_t count = 0;
     std::uint64_t dropped = 0;
+    Cycle lastDroppedCycle = 0; ///< stamp of the newest dropped sample
 };
 
 /**

@@ -219,6 +219,29 @@ class TraceBuffer
     /** Convenience for the structured telemetry points. */
     void emitStructured(const TraceEvent &ev) { emit(ev, LocalStructured); }
 
+    /**
+     * Buffered mode only: append a void placeholder entry stamped at
+     * `cycle` and return its index. A producer whose event content is
+     * not known until an epoch barrier (the deferred shared-L2 replies)
+     * reserves its program-order slot at emission time and fills it —
+     * or leaves it void — with fillSlot() before the barrier drain. A
+     * void entry (dest == 0) delivers nothing but keeps the buffer's
+     * cycle-monotone merge order intact.
+     */
+    std::size_t reserveSlot(Cycle cycle)
+    {
+        TraceEvent ev;
+        ev.cycle = cycle;
+        entries.push_back({std::move(ev), 0});
+        return entries.size() - 1;
+    }
+
+    /** Fill a reserved slot. `ev.cycle` must equal the reserved cycle. */
+    void fillSlot(std::size_t idx, TraceEvent ev, std::uint8_t dest)
+    {
+        entries[idx] = {std::move(ev), dest};
+    }
+
     /** Switch emission modes. Turning buffering off does not drain;
      *  callers drain at a barrier first (see drainTraceBuffers()). */
     void setBuffered(bool on) { buffered = on; }

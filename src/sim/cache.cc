@@ -1,6 +1,8 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
 #include <bit>
+#include <cstddef>
 
 #include "common/logging.hh"
 
@@ -60,6 +62,69 @@ Cache::hitRate() const
 {
     const std::uint64_t total = nHits + nMisses;
     return total ? double(nHits) / double(total) : 0.0;
+}
+
+MemSystem::MemSystem(unsigned l2SizeBytes, unsigned l2Assoc,
+                     unsigned l2HitLatency, unsigned missLatency_,
+                     bool dramEnable, unsigned dramLatency,
+                     unsigned dramPartitions, unsigned dramServiceCycles)
+    : cache(l2SizeBytes, l2Assoc), hitLatency(l2HitLatency),
+      missLatency(missLatency_), dram(dramEnable), dramLat(dramLatency),
+      serviceCycles(dramServiceCycles)
+{
+    panicIf(dram && dramPartitions == 0, "DRAM stage with zero partitions");
+    if (dram)
+        partFree.assign(dramPartitions, Cycle(0));
+}
+
+MemSystem::Result
+MemSystem::access(Cycle start, const std::uint64_t *lineAddrs, unsigned n)
+{
+    Result r;
+    Cycle worstReady = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint64_t addr = lineAddrs[i];
+        if (cache.access(addr)) {
+            ++r.hits;
+            continue;
+        }
+        ++r.misses;
+        if (!dram)
+            continue;
+        // Address-interleave 128 B lines across the memory partitions
+        // and serialize on the owning partition's service queue.
+        const std::size_t p = std::size_t(addr >> 7) % partFree.size();
+        const Cycle issue = start + hitLatency;
+        const Cycle svc = std::max(issue, partFree[p]);
+        queueCycles += svc - issue;
+        partFree[p] = svc + serviceCycles;
+        worstReady = std::max(worstReady, svc + dramLat);
+        ++nDramReqs;
+    }
+    if (r.misses == 0)
+        r.latency = hitLatency;
+    else if (!dram)
+        r.latency = missLatency;
+    else
+        r.latency = std::max<Cycle>(hitLatency, worstReady - start);
+    return r;
+}
+
+void
+MemSystem::flush()
+{
+    cache.flush();
+    for (auto &f : partFree)
+        f = 0;
+}
+
+Cycle
+MemSystem::minResponseLatency() const
+{
+    // All-hit requests cost hitLatency; with the flat miss model a
+    // pathological config could make missLatency even cheaper.
+    return dram ? Cycle(hitLatency)
+                : Cycle(std::min(hitLatency, missLatency));
 }
 
 } // namespace pilotrf::sim

@@ -6,6 +6,14 @@
  * paper's fixed-latency one; the L1 is an extension toggled by
  * SimConfig::l1Enable, and the ablation bench quantifies how the
  * partitioned-RF conclusions hold with caches present.
+ *
+ * `MemSystem` wraps the GPU-wide shared L2 built from the same cache
+ * model plus an optional DRAM stage behind it: a missed line pays a
+ * fixed DRAM round trip on top of the L2 lookup plus queueing at its
+ * address-interleaved memory partition, instead of the flat
+ * `globalLatency`. The partition topology follows the GPGPU-Sim
+ * QuadroFX5600 blueprint (6 memory partitions, FR-FCFS-style service
+ * approximated by a per-partition service interval).
  */
 
 #ifndef PILOTRF_SIM_CACHE_HH
@@ -56,6 +64,80 @@ class Cache
     std::uint64_t useClock = 0;
     std::uint64_t nHits = 0;
     std::uint64_t nMisses = 0;
+};
+
+/**
+ * The GPU-wide shared memory system behind the per-SM L1s: one L2
+ * `Cache` plus an optional DRAM stage. A single `access()` serves all
+ * L1-missed lines of one coalesced request and returns the hit/miss
+ * split plus the latency the requesting SM should charge on top of its
+ * transaction serialization.
+ *
+ * With the DRAM stage off, the latency is the flat model the Sm always
+ * used: `l2HitLatency` when every line hits, `missLatency` (the
+ * config's `globalLatency`) when any line misses. With it on, each
+ * missed line is issued to its address-interleaved partition
+ * (`lineAddr % partitions`) after the L2 lookup, waits for the
+ * partition to come free (each service occupies it for
+ * `serviceCycles`), then pays the fixed `dramLatency` round trip; the
+ * request completes when its slowest line returns.
+ *
+ * Because the L2 and the partition free-times are shared mutable state,
+ * every access must happen in the serial cycle-major order — the
+ * lockstep engine calls `access()` inline, the sharded engine defers
+ * per-SM request records and replays them through this class at epoch
+ * barriers in (cycle, smId) order (see docs/performance.md).
+ */
+class MemSystem
+{
+  public:
+    struct Result
+    {
+        unsigned hits = 0;   ///< lines that hit in the L2
+        unsigned misses = 0; ///< lines that missed (went to DRAM)
+        Cycle latency = 0;   ///< request latency before serialization
+    };
+
+    MemSystem(unsigned l2SizeBytes, unsigned l2Assoc, unsigned l2HitLatency,
+              unsigned missLatency, bool dramEnable, unsigned dramLatency,
+              unsigned dramPartitions, unsigned dramServiceCycles);
+
+    /**
+     * Serve one request's L1-missed lines, in order, at cycle `start`
+     * (the SM-side issue cycle, after its mem-unit serialization
+     * queue). Updates L2 contents and DRAM partition queues.
+     */
+    Result access(Cycle start, const std::uint64_t *lineAddrs, unsigned n);
+
+    /** Drop all L2 lines and idle the DRAM partitions (kernel reset). */
+    void flush();
+
+    /**
+     * The smallest latency any request can return. The sharded engine
+     * sets `EpochContext::memLookahead` to `minResponseLatency() + 1`:
+     * an SM may simulate up to (but not at) its oldest unreplayed
+     * request's issue cycle plus this latency plus its line burst
+     * before the reply could become visible — deferring requests below
+     * that bound is then architecturally invisible.
+     */
+    Cycle minResponseLatency() const;
+
+    const Cache &l2() const { return cache; }
+
+    /// DRAM telemetry (not part of the architectural stats).
+    std::uint64_t dramRequests() const { return nDramReqs; }
+    std::uint64_t dramQueueCycles() const { return queueCycles; }
+
+  private:
+    Cache cache;
+    unsigned hitLatency;
+    unsigned missLatency;
+    bool dram;
+    unsigned dramLat;
+    unsigned serviceCycles;
+    std::vector<Cycle> partFree; // per-partition next-free cycle
+    std::uint64_t nDramReqs = 0;
+    std::uint64_t queueCycles = 0;
 };
 
 } // namespace pilotrf::sim

@@ -9,11 +9,20 @@
  * through the `EpochContext` the orchestrator hands in: the kernel's
  * start cycle, the epoch's exclusive end cycle and the watchdog bound.
  *
- * The one cross-SM interaction an SM cannot perform by itself is taking
- * CTAs from the shared dispenser: grid draining is observable in serial
- * (cycle, smId) order, so `step` *pauses* with `StepStop::NeedsCta`
- * instead, and the orchestrator resolves pending pauses in exactly that
- * order via `Sm::resolveLaunch` (see docs/performance.md).
+ * Two cross-SM interactions cannot happen from inside a shard. Taking
+ * CTAs from the shared dispenser is observable in serial (cycle, smId)
+ * order, so `step` *pauses* with `StepStop::NeedsCta` and the
+ * orchestrator resolves pending pauses in exactly that order via
+ * `Sm::resolveLaunch`. Accessing the shared L2 is also order-sensitive:
+ * the SM records the request in its per-SM FIFO (`Sm::setL2Deferred`)
+ * and keeps stepping — a reply cannot matter before the request cycle
+ * plus `EpochContext::memLookahead`, so the SM only pauses with
+ * `StepStop::NeedsMem` once its clock reaches that bound with the
+ * request still unreplayed. The orchestrator merge-replays all FIFOs
+ * against the single MemSystem in the same (cycle, smId) order, both
+ * between worker rounds (everything below the global minimum stop
+ * cycle) and exhaustively at the epoch barrier (see
+ * docs/performance.md).
  */
 
 #ifndef PILOTRF_SIM_EPOCH_HH
@@ -33,6 +42,7 @@ enum class StepStop : std::uint8_t
 {
     EpochEnd, ///< local clock reached EpochContext::epochEnd
     NeedsCta, ///< paused: a CTA-dispenser interaction must be resolved
+    NeedsMem, ///< paused: an unreplayed shared-L2 request bounds progress
     Finished, ///< idle with the dispenser known exhausted (kernel done)
 };
 
@@ -52,6 +62,20 @@ struct EpochContext
      *  lockstep engine keeps this off and skips globally instead, so the
      *  seed's cycle-major trace emission order is preserved. */
     bool allowLocalSkip = false;
+    /**
+     * Minimum cycles between a shared-L2 request's dispatch and the
+     * first cycle its reply could become architecturally visible:
+     * `MemSystem::minResponseLatency() + 1` (the +1 is the per-request
+     * line-burst floor), or 0 when no shared L2 is live. While a
+     * deferred request sits unreplayed, step() treats
+     * `Sm::deferredL2Bound(memLookahead)` — the request's port-issue
+     * cycle plus the minimum response latency plus its line burst — as
+     * an extra exclusive bound and pauses with `StepStop::NeedsMem` on
+     * reaching it; below the bound the placeholder finish (kNeverCycle)
+     * is indistinguishable from the real one, so stepping and local
+     * skip stay byte-exact.
+     */
+    Cycle memLookahead = 0;
     /**
      * Read-only view of the shared CTA dispenser, for the one query a
      * worker may answer without a barrier: `exhausted()`. Exhaustion is

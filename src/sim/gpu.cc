@@ -84,12 +84,17 @@ Gpu::Gpu(const SimConfig &cfg_, const GpuOptions &opts_)
     panicIf(cfg.numSms == 0, "GPU with no SMs");
     panicIf(cfg.l2Enable && !cfg.l1Enable,
             "the shared L2 requires the L1 to be enabled");
+    panicIf(cfg.dramEnable && !cfg.l2Enable,
+            "the DRAM stage requires the shared L2 to be enabled");
     if (cfg.l2Enable)
-        l2 = std::make_unique<Cache>(cfg.l2SizeKb * 1024, cfg.l2Assoc);
+        memSys = std::make_unique<MemSystem>(
+            cfg.l2SizeKb * 1024, cfg.l2Assoc, cfg.l2HitLatency,
+            cfg.globalLatency, cfg.dramEnable, cfg.dramLatency,
+            cfg.dramPartitions, cfg.dramServiceCycles);
     for (unsigned i = 0; i < cfg.numSms; ++i) {
         sms.push_back(std::make_unique<Sm>(cfg, SmId(i),
                                            regfile::makeRegisterFile(cfg)));
-        sms.back()->setL2(l2.get());
+        sms.back()->setMemSystem(memSys.get());
         if (opts.timeSeriesPeriod)
             sms.back()->enableTimeSeries(opts.timeSeriesPeriod,
                                          opts.timeSeriesCapacity);
@@ -97,12 +102,13 @@ Gpu::Gpu(const SimConfig &cfg_, const GpuOptions &opts_)
             sms.back()->setTraceHub(&hub);
     }
     hubAttached = opts.enableTraceHub;
-    // The engine is a pure function of construction-time state: only the
-    // shared L2 still needs the lockstep engine's cycle-interleaved
-    // cross-SM access order. Observability (trace hubs, PILOTRF_TRACE,
-    // the sampler) is shard-safe via per-SM buffered emission.
-    engine = effectiveWorkers() > 1 && !l2 ? Engine::Sharded
-                                           : Engine::Lockstep;
+    // The engine is a pure function of construction-time state: nothing
+    // forces the lockstep engine any more. Observability (trace hubs,
+    // PILOTRF_TRACE, the sampler) is shard-safe via per-SM buffered
+    // emission, and the shared L2 is shard-safe via per-SM deferred
+    // request FIFOs replayed at epoch barriers.
+    engine =
+        effectiveWorkers() > 1 ? Engine::Sharded : Engine::Lockstep;
 }
 
 Gpu::~Gpu() = default;
@@ -274,11 +280,16 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
     ctx.watchdogLimit = kernelStart + cfg.maxCycles;
     ctx.allowLocalSkip = true; // each shard fast-forwards its own SMs
     ctx.grid = &dispenser;     // read-only: exhausted() checks barrier-free
+    // With the shared L2 live, an SM may step at most this far past its
+    // oldest unreplayed request before the reply could matter; it then
+    // pauses with NeedsMem and the round loop below replays and wakes it.
+    ctx.memLookahead = memSys ? memSys->minResponseLatency() + 1 : 0;
 
     // SM i belongs to shard i % shards. Workers write only their own
     // SMs' phase/res entries; every transfer to or from the
     // orchestrator goes through the pool's barrier.
-    enum class Phase : std::uint8_t { Runnable, Paused, AtBarrier, Done };
+    enum class Phase : std::uint8_t
+    { Runnable, Paused, MemWait, AtBarrier, Done };
     std::vector<Phase> phase(sms.size(), Phase::Runnable);
     std::vector<StepResult> res(sms.size());
     // Correctness puts no upper bound on the epoch: every cross-SM
@@ -306,6 +317,7 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
     for (auto &sm : sms) {
         bufs.push_back(&sm->traceBuffer());
         bufs.back()->setBuffered(true);
+        sm->setL2Deferred(memSys != nullptr);
     }
 
     unsigned live = unsigned(sms.size());
@@ -325,30 +337,56 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
                                    ? Phase::Done
                                : r.stop == StepStop::NeedsCta
                                    ? Phase::Paused
+                               : r.stop == StepStop::NeedsMem
+                                   ? Phase::MemWait
                                    : Phase::AtBarrier;
                 }
             });
             Cycle cmin = kNeverCycle;
             for (std::size_t i = 0; i < sms.size(); ++i)
-                if (phase[i] == Phase::Paused)
+                if (phase[i] == Phase::Paused || phase[i] == Phase::MemWait)
                     cmin = std::min(cmin, res[i].now);
             if (cmin == kNeverCycle)
-                break; // no pending launches: the epoch is complete
+                break; // no pending launches or replies: epoch complete
+            // Every live SM's clock is >= cmin and the FIFOs fill
+            // cycle-monotonically, so every deferred L2 request below
+            // cmin is already recorded — replaying them now (strict <,
+            // so cycle-cmin requests an SM resumed below may still
+            // append keep their smId-minor slot) reproduces the serial
+            // loop's inline (cycle, smId) L2 order exactly. Done SMs'
+            // FIFOs are complete and merge in as well.
+            if (memSys)
+                replayDeferredL2(cmin);
             // Resolve only the earliest pending dispenser interactions,
             // in smId order. Anything a resumed SM does next happens at
             // a strictly later cycle, so processing min-cycle batches
             // round by round replays the serial loop's global
             // (cycle, smId) grid-drain order exactly.
             for (std::size_t i = 0; i < sms.size(); ++i) {
-                if (phase[i] != Phase::Paused || res[i].now != cmin)
-                    continue;
-                sms[i]->resolveLaunch(dispenser);
-                phase[i] = Phase::Runnable;
+                if (phase[i] == Phase::Paused) {
+                    if (res[i].now != cmin)
+                        continue;
+                    sms[i]->resolveLaunch(dispenser);
+                    phase[i] = Phase::Runnable;
+                } else if (phase[i] == Phase::MemWait) {
+                    // Wake iff the replay moved this SM's mem bound past
+                    // its stop cycle. The minimum MemWait SM always
+                    // qualifies: its old front dispatched before cmin,
+                    // and after the replay every front is >= cmin, so
+                    // the new bound clears cmin + memLookahead.
+                    if (sms[i]->deferredL2Bound(ctx.memLookahead) >
+                        res[i].now)
+                        phase[i] = Phase::Runnable;
+                }
             }
         }
         // Epoch barrier: every live SM sits at epochEnd and the pool's
         // barrier ordered all buffered appends before this point, so the
-        // merge-replay below is race-free and complete up to epochEnd.
+        // replays below are race-free and complete up to epochEnd.
+        // Deferred L2 requests replay first so the Mem trace slots they
+        // fill are delivered by the same barrier's merge.
+        if (memSys)
+            replayDeferredL2();
         obs::drainTraceBuffers(bufs);
         live = 0;
         for (std::size_t i = 0; i < sms.size(); ++i) {
@@ -361,10 +399,38 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
     }
     // The last epoch's drain already flushed everything through kernel
     // end; drop back to immediate mode for the serial stretches between
-    // kernels (startKernel launch traces).
-    for (obs::TraceBuffer *tb : bufs)
-        tb->setBuffered(false);
+    // kernels (startKernel launch traces and inline L2 accesses).
+    for (std::size_t i = 0; i < sms.size(); ++i) {
+        bufs[i]->setBuffered(false);
+        sms[i]->setL2Deferred(false);
+    }
     return endCycle;
+}
+
+void
+Gpu::replayDeferredL2(Cycle bound)
+{
+    // Scan-min k-way merge: repeatedly replay the globally earliest
+    // pending request with cycle < bound. Strict < on the front cycle
+    // makes ties resolve to the lowest smId, which is exactly the
+    // lockstep engine's cycle-major, smId-minor interleaving of inline
+    // L2 accesses. The default bound (kNeverCycle) drains everything —
+    // the epoch barrier's exhaustive pass; the round loop passes the
+    // global minimum stop cycle for the mid-epoch partial replays.
+    while (true) {
+        Cycle best = kNeverCycle;
+        std::size_t bi = 0;
+        for (std::size_t i = 0; i < sms.size(); ++i) {
+            const Cycle c = sms[i]->deferredL2FrontCycle();
+            if (c < best) {
+                best = c;
+                bi = i;
+            }
+        }
+        if (best >= bound)
+            return;
+        sms[bi]->replayL2Front();
+    }
 }
 
 RunResult
@@ -384,8 +450,7 @@ Gpu::run(const Workload &workload)
         if (engine == Engine::Sharded)
             inform("engine=sharded workers=%u", effectiveWorkers());
         else
-            inform("engine=lockstep reason=%s",
-                   l2 ? "l2" : "single-worker");
+            inform("engine=lockstep reason=single-worker");
     }
 
     for (const auto &kernel : workload.kernels) {
@@ -396,8 +461,8 @@ Gpu::run(const Workload &workload)
         const auto reg0 = mergedRegAccess();
 
         dispenser.reset(kernel.numCtas());
-        if (l2)
-            l2->flush();
+        if (memSys)
+            memSys->flush();
         for (auto &sm : sms)
             sm->startKernel(&kernel, kernelStart, dispenser);
 

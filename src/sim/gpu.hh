@@ -95,24 +95,29 @@ enum class Engine : std::uint8_t
 const char *toString(Engine e);
 
 /**
- * The GPU: cfg-sized SM array sharing a CTA dispenser.
+ * The GPU: cfg-sized SM array sharing a CTA dispenser and (optionally)
+ * a shared L2 + DRAM memory system.
  *
  * Kernels execute as epochs (see sim/epoch.hh). With one effective
- * worker — or when the shared L2 is modeled (its hit/miss stream
- * depends on the cycle-interleaved cross-SM access order) — the engine
- * runs *lockstep*: one-cycle epochs, SMs stepped in smId order, a
- * global all-idle event-horizon skip; this is exactly the seed's serial
- * loop. With multiple workers and no L2 it runs *sharded*: the SM array
- * is partitioned round-robin over a persistent worker pool, each SM
- * fast-forwards its own dead spans locally, and CTA launches are
+ * worker the engine runs *lockstep*: one-cycle epochs, SMs stepped in
+ * smId order, a global all-idle event-horizon skip; this is exactly the
+ * seed's serial loop. With multiple workers it runs *sharded*: the SM
+ * array is partitioned round-robin over a persistent worker pool, each
+ * SM fast-forwards its own dead spans locally, and CTA launches are
  * resolved at deterministic barriers in global (cycle, smId) order.
  * Observers ride along under either engine — trace events buffer per SM
  * and merge-replay into the sinks at epoch barriers in serial order,
  * and the time-series sampler is shard-local — so merged statistics,
  * trace bytes and time-series output are byte-identical to lockstep for
- * any worker count. The engine choice is fixed at construction
- * (engineUsed()) and logged once per run() when workers were requested,
- * so a forced downgrade is never silent.
+ * any worker count. The shared L2 shards too: its hit/miss stream
+ * depends on the cycle-interleaved cross-SM access order, so SMs record
+ * requests into per-SM FIFOs while shards step and the barrier replays
+ * them against the single MemSystem in (cycle, smId) order, with epochs
+ * bounded to the minimum L2 response latency so every reply lands at or
+ * after the barrier that computes it (docs/performance.md). The engine
+ * choice is fixed at construction (engineUsed()) and logged once per
+ * run() when workers were requested, so a forced downgrade is never
+ * silent.
  */
 class Gpu
 {
@@ -140,8 +145,9 @@ class Gpu
     obs::TraceHub &traceHub();
 
     /** The stepping engine run() drives, decided at construction:
-     *  Sharded iff more than one effective worker and no shared L2.
-     *  Observability never downgrades the engine. */
+     *  Sharded iff more than one effective worker. No feature forces a
+     *  downgrade — observability and the shared L2 both ride the
+     *  sharded engine (buffered, barrier-merged). */
     Engine engineUsed() const { return engine; }
 
     /** Resolved worker count run() uses: the options override, else the
@@ -193,10 +199,19 @@ class Gpu
     Cycle runKernelLockstep(const isa::Kernel &kernel, Cycle kernelStart);
     Cycle runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart);
 
+    /** Replay every SM's deferred shared-L2 requests with cycle < bound
+     *  against the MemSystem in ascending (request cycle, smId) order —
+     *  the exact order the lockstep engine's inline accesses interleave
+     *  in. Called only with all shards parked at the pool barrier: the
+     *  round loop passes the global minimum stop cycle (all FIFOs are
+     *  complete below it), and the epoch barrier drains exhaustively
+     *  with the default bound. */
+    void replayDeferredL2(Cycle bound = kNeverCycle);
+
     SimConfig cfg;
     GpuOptions opts;
     Dispenser dispenser;
-    std::unique_ptr<Cache> l2; ///< GPU-wide shared L2 (optional)
+    std::unique_ptr<MemSystem> memSys; ///< shared L2 + DRAM (optional)
     std::vector<std::unique_ptr<Sm>> sms;
     std::unique_ptr<WorkerPool> pool; ///< lazy; sharded runs only
     Cycle now = 0;

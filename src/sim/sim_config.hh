@@ -101,6 +101,16 @@ struct SimConfig
     unsigned l2SizeKb = 1024;
     unsigned l2Assoc = 8;
     unsigned l2HitLatency = 120;
+    /** Optional DRAM stage behind the shared L2 (requires l2Enable): an
+     *  L2-missed line pays dramLatency on top of the L2 lookup plus
+     *  queueing at its address-interleaved memory partition (each
+     *  service holds the partition for dramServiceCycles), replacing
+     *  the flat globalLatency miss model. Topology follows the
+     *  GPGPU-Sim QuadroFX5600 blueprint: 6 memory partitions. */
+    bool dramEnable = false;
+    unsigned dramLatency = 110;     ///< fixed round trip beyond the L2
+    unsigned dramPartitions = 6;    ///< address-interleaved partitions
+    unsigned dramServiceCycles = 8; ///< per-partition service interval
 
     // Register file under test.
     RfKind rfKind = RfKind::Partitioned;
@@ -119,11 +129,10 @@ struct SimConfig
     bool enableCycleSkip = true;
 
     /** Worker threads for sharded SM stepping (1: the serial lockstep
-     *  engine). Clamped to numSms; a Gpu falls back to lockstep while a
-     *  cross-SM observer (trace hub, global trace categories, shared
-     *  L2) is attached. Results are byte-identical for any value —
-     *  shards synchronize at deterministic epoch barriers and CTA
-     *  launches resolve in the serial (cycle, smId) order. */
+     *  engine). Clamped to numSms. Results are byte-identical for any
+     *  value — shards synchronize at deterministic epoch barriers where
+     *  CTA launches, buffered trace events and deferred shared-L2
+     *  requests all resolve in the serial (cycle, smId) order. */
     unsigned numWorkers = 1;
 
     // Watchdog: abort runaway simulations.

@@ -258,6 +258,10 @@ SimConfig::toJson(std::ostream &os, unsigned depth) const
     o.field("l2SizeKb", double(l2SizeKb));
     o.field("l2Assoc", double(l2Assoc));
     o.field("l2HitLatency", double(l2HitLatency));
+    o.field("dramEnable", dramEnable);
+    o.field("dramLatency", double(dramLatency));
+    o.field("dramPartitions", double(dramPartitions));
+    o.field("dramServiceCycles", double(dramServiceCycles));
     o.field("rfKind", toString(rfKind));
 
     o.nested("prf");
@@ -379,6 +383,14 @@ SimConfig::fromJson(const JsonValue &v)
             c.l2Assoc = asUnsigned("l2Assoc", val);
         else if (key == "l2HitLatency")
             c.l2HitLatency = asUnsigned("l2HitLatency", val);
+        else if (key == "dramEnable")
+            c.dramEnable = asBool("dramEnable", val);
+        else if (key == "dramLatency")
+            c.dramLatency = asUnsigned("dramLatency", val);
+        else if (key == "dramPartitions")
+            c.dramPartitions = asUnsigned("dramPartitions", val);
+        else if (key == "dramServiceCycles")
+            c.dramServiceCycles = asUnsigned("dramServiceCycles", val);
         else if (key == "rfKind")
             c.rfKind = asEnum<RfKind>("rfKind", val, parseRfKind);
         else if (key == "prf")

@@ -1,6 +1,7 @@
 #include "sim/sm.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -52,9 +53,65 @@ Sm::Sm(const SimConfig &cfg_, SmId id,
 }
 
 void
-Sm::setL2(Cache *l2_)
+Sm::setMemSystem(MemSystem *ms)
 {
-    l2 = l2_;
+    memSys = ms;
+}
+
+void
+Sm::setL2Deferred(bool on)
+{
+    panicIf(!on && l2QHead != l2Q.size(),
+            "leaving deferred-L2 mode with unreplayed requests");
+    l2Defer = on;
+}
+
+void
+Sm::replayL2Front()
+{
+    panicIf(l2QHead >= l2Q.size(), "replayL2Front on an empty queue");
+    const L2Txn t = l2Q[l2QHead++];
+    const MemSystem::Result res =
+        memSys->access(t.start, l2Lines.data() + t.lineOff, t.nLines);
+    // Zero increments must not mark the counter seen — the seed only
+    // touched l2.hits/l2.misses per event, so an all-miss run's dump has
+    // no l2.hits key at all (golden key-set parity).
+    if (res.hits)
+        ctrs.inc(h.l2Hits, res.hits);
+    if (res.misses)
+        ctrs.inc(h.l2Misses, res.misses);
+    if (sampler) {
+        // The increments belong at the request cycle; samples taken
+        // since then must carry them exactly as the serial engine's do.
+        sampler->retroCredit(t.cycle, &ctrs, h.l2Hits, res.hits);
+        sampler->retroCredit(t.cycle, &ctrs, h.l2Misses, res.misses);
+    }
+    const Cycle finishAt = t.start + res.latency + t.nLines;
+    if (t.traceSlot != SIZE_MAX) {
+        // The serial engine emits the Mem trace line only on the miss
+        // path (an all-L2-hit refill is silent); reproduce that by
+        // leaving the reserved slot void on an all-hit reply.
+        obs::TraceEvent ev;
+        std::uint8_t dest;
+        if (res.misses > 0 &&
+            Trace::makeEvent(&traceBuf, TraceCat::Mem, t.cycle, smId, ev,
+                             dest, "w%u %s txn=%u finish@%llu",
+                             unsigned(t.warp), isa::toString(t.in->op),
+                             unsigned(t.in->transactions),
+                             (unsigned long long)finishAt))
+            traceBuf.fillSlot(t.traceSlot, std::move(ev), dest);
+    }
+    for (auto &e : exec)
+        if (e.memTag == t.memTag) {
+            e.finishAt = finishAt;
+            break;
+        }
+    execNextDue = std::min(execNextDue, finishAt);
+    if (l2QHead == l2Q.size()) {
+        l2Q.clear();
+        l2QHead = 0;
+        l2Lines.clear();
+    }
 }
 
 void
@@ -93,6 +150,11 @@ Sm::startKernel(const isa::Kernel *k, Cycle startCycle, CtaSource &ctas)
     clears = {};
     memNextFree = 0;
     outstandingMem = 0;
+    panicIf(l2QHead != l2Q.size(), "kernel start with unreplayed L2 "
+                                   "requests");
+    l2Q.clear();
+    l2QHead = 0;
+    l2Lines.clear();
     if (l1)
         l1->flush();
     bankFree.assign(cfg.rfBanks, 0);
@@ -366,7 +428,7 @@ Sm::dispatchCollectors(Cycle now)
                     std::uint64_t(wc.cta()) * k->warpsPerCta() +
                     wc.warpIndexInCta();
                 missing = 0;
-                bool l2Missed = false;
+                lineScratch.clear();
                 for (unsigned t = 0; t < c.in->transactions; ++t) {
                     const std::uint64_t line =
                         warpIdx * c.in->transactions + t;
@@ -377,25 +439,54 @@ Sm::dispatchCollectors(Cycle now)
                     }
                     ctrs.inc(h.l1Misses);
                     ++missing;
-                    if (l2) {
-                        if (l2->access(addr))
-                            ctrs.inc(h.l2Hits);
-                        else {
-                            ctrs.inc(h.l2Misses);
-                            l2Missed = true;
-                        }
-                    } else {
-                        l2Missed = true;
-                    }
+                    if (memSys)
+                        lineScratch.push_back(addr);
                 }
-                if (missing && !l2Missed) {
-                    // All refills served by the shared L2.
+                if (missing && memSys) {
+                    // Refills go to the shared memory system. The SM-side
+                    // effects of the reply are confined to finishAt, the
+                    // l2 hit/miss counters and the (miss-only) Mem trace
+                    // line, so under the sharded engine the request can
+                    // be recorded now and replayed at the epoch barrier
+                    // in the global (cycle, smId) order — everything
+                    // below here is reply-independent.
                     const Cycle start = std::max(now, memNextFree);
                     memNextFree = start + missing;
-                    finishAt = start + cfg.l2HitLatency + missing;
                     ++outstandingMem;
                     ctrs.inc(h.memTransactions, c.in->transactions);
-                    pushExec({finishAt, c.warp, c.in});
+                    if (l2Defer) {
+                        std::size_t slot = SIZE_MAX;
+                        if (Trace::enabled(TraceCat::Mem) ||
+                            traceBuf.localTextEnabled(
+                                unsigned(TraceCat::Mem)))
+                            slot = traceBuf.reserveSlot(now);
+                        const std::uint32_t off =
+                            std::uint32_t(l2Lines.size());
+                        l2Lines.insert(l2Lines.end(), lineScratch.begin(),
+                                       lineScratch.end());
+                        const std::uint32_t tag = nextMemTag++;
+                        l2Q.push_back({now, start, off, missing, tag, slot,
+                                       c.warp, c.in});
+                        pushExec({kNeverCycle, c.warp, c.in, tag});
+                    } else {
+                        const MemSystem::Result res = memSys->access(
+                            start, lineScratch.data(), missing);
+                        // Guarded like replayL2Front: a zero increment
+                        // would add an l2.* = 0 key the seed never had.
+                        if (res.hits)
+                            ctrs.inc(h.l2Hits, res.hits);
+                        if (res.misses)
+                            ctrs.inc(h.l2Misses, res.misses);
+                        finishAt = start + res.latency + missing;
+                        if (res.misses > 0)
+                            PILOTRF_TRACE_AT(
+                                &traceBuf, TraceCat::Mem, now, smId,
+                                "w%u %s txn=%u finish@%llu",
+                                unsigned(c.warp), isa::toString(c.in->op),
+                                unsigned(c.in->transactions),
+                                (unsigned long long)finishAt);
+                        pushExec({finishAt, c.warp, c.in});
+                    }
                     c.busy = false;
                     busyCols.clear(idx);
                     ++freeCollectors;
@@ -736,8 +827,18 @@ Sm::step(const EpochContext &ctx)
             r.stop = StepStop::Finished;
             break;
         }
-        if (clk >= ctx.epochEnd) {
-            r.stop = StepStop::EpochEnd;
+        // Effective stepping bound: the epoch barrier, tightened while
+        // an unreplayed shared-L2 request is in flight. The oldest
+        // request's reply cannot become visible before
+        // deferredL2Bound(), so cycles below that bound step
+        // byte-exactly on the placeholder finish; at the bound, pause
+        // so the orchestrator can merge-replay the FIFOs.
+        Cycle effEnd = ctx.epochEnd;
+        if (ctx.memLookahead)
+            effEnd = std::min(effEnd, deferredL2Bound(ctx.memLookahead));
+        if (clk >= effEnd) {
+            r.stop = effEnd < ctx.epochEnd ? StepStop::NeedsMem
+                                           : StepStop::EpochEnd;
             break;
         }
         if (idle()) {
@@ -777,7 +878,7 @@ Sm::step(const EpochContext &ctx)
         // launchEligible() was false this cycle, the grid only drains,
         // and warp slots free only at this SM's own event cycles.)
         Cycle horizon = nextEventCycle(clk);
-        horizon = std::min(horizon, ctx.epochEnd);
+        horizon = std::min(horizon, effEnd);
         horizon = std::min(horizon, ctx.watchdogLimit + 1);
         if (horizon > clk) {
             r.skipped += horizon - clk;

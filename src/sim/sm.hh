@@ -119,8 +119,63 @@ class Sm
      *  stat counter, so golden stat sets stay byte-identical). */
     std::uint64_t fastForwardedCycles() const { return ffCycles; }
 
-    /** Attach the GPU-wide shared L2 (may be null). */
-    void setL2(Cache *l2);
+    /** Attach the GPU-wide shared memory system (may be null). */
+    void setMemSystem(MemSystem *ms);
+
+    /**
+     * Switch the shared-L2 access mode. Immediate (default; the
+     * lockstep engine): every L1-missed request calls the shared
+     * MemSystem inline, in the serial cycle-major order. Deferred (the
+     * sharded engine): requests are recorded into a per-SM FIFO with a
+     * kNeverCycle placeholder in the exec list, and the orchestrator
+     * replays them against the MemSystem between worker rounds and at
+     * each epoch barrier in (cycle, smId) order via replayL2Front().
+     * Deferral is invisible because step() never simulates past the
+     * oldest unreplayed request plus EpochContext::memLookahead
+     * (MemSystem::minResponseLatency() + 1 cycles), so every reply
+     * lands at or after the pause that lets the orchestrator compute
+     * it. Turning deferral off requires an empty queue (all requests
+     * replayed).
+     */
+    void setL2Deferred(bool on);
+
+    /** Dispatch cycle of the oldest unreplayed deferred L2 request;
+     *  kNeverCycle when none. Read by step() for its NeedsMem bound and
+     *  by the orchestrator with all shards parked. */
+    Cycle deferredL2FrontCycle() const
+    {
+        return l2QHead < l2Q.size() ? l2Q[l2QHead].cycle : kNeverCycle;
+    }
+
+    /**
+     * First cycle at which the oldest unreplayed request's reply could
+     * become visible; kNeverCycle when the FIFO is empty. The replay
+     * computes `finishAt = start + latency + nLines` with
+     * `latency >= minResponseLatency`, so the reply cannot matter
+     * before `start + (memLookahead - 1) + nLines` — a strictly
+     * tighter bound than dispatch cycle + memLookahead whenever the
+     * memory port was backed up (start > cycle) or the request bursts
+     * more than one line. step() pauses with NeedsMem on reaching it;
+     * the orchestrator wakes the SM once the bound moves past its stop
+     * cycle.
+     */
+    Cycle deferredL2Bound(Cycle memLookahead) const
+    {
+        if (l2QHead >= l2Q.size())
+            return kNeverCycle;
+        const L2Txn &t = l2Q[l2QHead];
+        return t.start + (memLookahead - 1) + t.nLines;
+    }
+
+    /**
+     * Replay the oldest deferred request against the shared MemSystem:
+     * charge the L2 hit/miss counters (retro-credited into any time
+     * series samples taken since the request cycle), patch the
+     * placeholder exec entry's finishAt, and fill — or void — the trace
+     * slot reserved at dispatch. Orchestrator-only, called across SMs
+     * in ascending (deferredL2FrontCycle, smId) order.
+     */
+    void replayL2Front();
 
     regfile::RegisterFile &rf() { return *backend; }
     const regfile::RegisterFile &rf() const { return *backend; }
@@ -203,6 +258,11 @@ class Sm
         Cycle finishAt;
         WarpId warp;
         const isa::Instruction *in;
+        /** Nonzero: a deferred shared-L2 request whose finishAt is a
+         *  kNeverCycle placeholder until the epoch-barrier replay
+         *  patches it (the tag pairs the entry with its L2Txn record;
+         *  indices don't survive the exec vector's swap-erase). */
+        std::uint32_t memTag = 0;
     };
 
     struct WbTracker
@@ -327,8 +387,29 @@ class Sm
     // memory unit
     Cycle memNextFree = 0;
     unsigned outstandingMem = 0;
-    std::unique_ptr<Cache> l1; ///< optional L1 data cache (global space)
-    Cache *l2 = nullptr;       ///< GPU-wide shared L2 (not owned)
+    std::unique_ptr<Cache> l1;    ///< optional L1 data cache (global)
+    MemSystem *memSys = nullptr;  ///< GPU-wide shared L2+DRAM (not owned)
+    bool l2Defer = false;         ///< record requests instead of calling
+
+    /** One deferred shared-L2 request (an L1-missed coalesced access),
+     *  recorded at dispatch and replayed by the orchestrator's next
+     *  (cycle, smId) merge pass. */
+    struct L2Txn
+    {
+        Cycle cycle;            ///< dispatch cycle (merge order key)
+        Cycle start;            ///< issue cycle after mem-unit queueing
+        std::uint32_t lineOff;  ///< offset into l2Lines
+        std::uint32_t nLines;   ///< L1-missed lines (== `missing`)
+        std::uint32_t memTag;   ///< pairs with the placeholder ExecEntry
+        std::size_t traceSlot;  ///< reserved trace slot, or SIZE_MAX
+        WarpId warp;
+        const isa::Instruction *in;
+    };
+    std::vector<L2Txn> l2Q;     ///< FIFO, drained from l2QHead
+    std::size_t l2QHead = 0;
+    std::vector<std::uint64_t> l2Lines; ///< flat missed-line addresses
+    std::uint32_t nextMemTag = 1;
+    std::vector<std::uint64_t> lineScratch; ///< immediate-mode scratch
 
     Cycle lastCycleSeen = 0; // for trace points outside cycle stages
     std::uint64_t ffCycles = 0; // cycles elided by skipCycles()

@@ -130,14 +130,14 @@ Trace::setStream(std::ostream &os)
     globalTextSink->setStream(os);
 }
 
-void
-Trace::vlog(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle, SmId sm,
-            const char *fmt, va_list ap)
+bool
+Trace::vmake(const obs::TraceBuffer *buf, TraceCat cat, Cycle cycle,
+             SmId sm, obs::TraceEvent &ev, std::uint8_t &dest,
+             const char *fmt, va_list ap)
 {
     char msg[512];
     std::vsnprintf(msg, sizeof(msg), fmt, ap);
 
-    obs::TraceEvent ev;
     ev.cycle = cycle;
     ev.sm = sm;
     ev.category = unsigned(cat);
@@ -148,17 +148,38 @@ Trace::vlog(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle, SmId sm,
     // Destination channels are resolved here, at the emission site, from
     // run-constant gates; the buffer then delivers now or at the next
     // barrier without re-deciding.
-    std::uint8_t dest = 0;
+    dest = 0;
     if (enabled(cat))
         dest |= obs::TraceBuffer::GlobalText;
     if (buf && buf->localTextEnabled(unsigned(cat)))
         dest |= obs::TraceBuffer::LocalText;
-    if (!dest)
+    return dest != 0;
+}
+
+void
+Trace::vlog(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle, SmId sm,
+            const char *fmt, va_list ap)
+{
+    obs::TraceEvent ev;
+    std::uint8_t dest;
+    if (!vmake(buf, cat, cycle, sm, ev, dest, fmt, ap))
         return;
     if (buf)
         buf->emit(ev, dest);
     else
         hub().dispatch(ev); // dest can only be GlobalText here
+}
+
+bool
+Trace::makeEvent(const obs::TraceBuffer *buf, TraceCat cat, Cycle cycle,
+                 SmId sm, obs::TraceEvent &ev, std::uint8_t &dest,
+                 const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    const bool any = vmake(buf, cat, cycle, sm, ev, dest, fmt, ap);
+    va_end(ap);
+    return any;
 }
 
 void

@@ -105,9 +105,23 @@ class Trace
                       SmId sm, const char *fmt, ...)
         __attribute__((format(printf, 5, 6)));
 
+    /** Build — without delivering — the exact event one logTo() call
+     *  would emit, and the destination bits it would resolve for `buf`.
+     *  Returns false when no channel wants the category (nothing would
+     *  be emitted). Used to fill trace slots reserved for events whose
+     *  content is only known at an epoch barrier (the deferred
+     *  shared-L2 replies; see obs::TraceBuffer::reserveSlot). */
+    static bool makeEvent(const obs::TraceBuffer *buf, TraceCat cat,
+                          Cycle cycle, SmId sm, obs::TraceEvent &ev,
+                          std::uint8_t &dest, const char *fmt, ...)
+        __attribute__((format(printf, 7, 8)));
+
   private:
     static void vlog(obs::TraceBuffer *buf, TraceCat cat, Cycle cycle,
                      SmId sm, const char *fmt, va_list ap);
+    static bool vmake(const obs::TraceBuffer *buf, TraceCat cat,
+                      Cycle cycle, SmId sm, obs::TraceEvent &ev,
+                      std::uint8_t &dest, const char *fmt, va_list ap);
 
     static unsigned mask;
 };

@@ -127,6 +127,10 @@ everyFieldNonDefault()
     c.l2SizeKb = 2048;
     c.l2Assoc = 16;
     c.l2HitLatency = 90;
+    c.dramEnable = true;
+    c.dramLatency = 77;
+    c.dramPartitions = 4;
+    c.dramServiceCycles = 3;
     c.rfKind = RfKind::Rfc;
     c.prf.frfRegs = 6;
     c.prf.profiling = regfile::Profiling::Oracle;

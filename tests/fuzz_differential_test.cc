@@ -5,12 +5,18 @@
  * generator and check that
  *   (a) the full pipelined GPU executes exactly the dynamic instruction
  *       stream of the purely functional reference, and
- *   (b) the run is deterministic,
+ *   (b) the run is deterministic, and
+ *   (c) with a randomized cache hierarchy (L1 size, L2 geometry, hit
+ *       latency, DRAM stage), the sharded engine's stats are
+ *       byte-identical to lockstep and the L1/L2 hit+miss counters
+ *       conserve (every L1 miss is exactly one L2 access),
  * for every generated program and every RF backend (all five RfKinds,
  * plus the partitioned RF with the adaptive back-gate FRF disabled).
  */
 
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 #include "common/logging.hh"
 #include "common/random.hh"
@@ -168,6 +174,85 @@ TEST_P(FuzzDifferential, PipelineMatchesFunctionalOnEveryBackend)
             piped[i] = r.kernels[0].regAccess[i];
         EXPECT_EQ(piped, reg)
             << "seed " << GetParam() << " backend " << name;
+    }
+}
+
+namespace
+{
+
+/** Canonical full-run dump: totals, merged deltas and every per-SM raw
+ *  stat set, so an engine divergence localized to one SM cannot cancel
+ *  in the merge. */
+std::string
+renderRun(Gpu &gpu, const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.totalCycles << " " << r.totalInstructions << "\n";
+    r.rfStats.toJson(os);
+    os << "\n";
+    r.simStats.toJson(os);
+    os << "\n";
+    for (unsigned i = 0; i < gpu.numSms(); ++i) {
+        gpu.smStats(i).rf().stats().toJson(os);
+        os << "\n";
+        gpu.smStats(i).stats().toJson(os);
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace
+
+TEST_P(FuzzDifferential, ShardedMatchesLockstepWithRandomizedL2)
+{
+    // Randomized cache-hierarchy fuzzing of the sharded engine: every
+    // L2 geometry — from one that swallows the working set to one that
+    // thrashes line-by-line, with and without the DRAM stage — must
+    // produce byte-identical stats whether the shared L2 is accessed
+    // inline (lockstep) or through the deferred request FIFOs replayed
+    // at epoch barriers (sharded), for every RF backend.
+    const auto k = randomKernel(GetParam());
+    Rng rng(GetParam() ^ 0x12f00d5eedull);
+    SimConfig base;
+    base.numSms = 2;
+    base.l1Enable = true;
+    base.l1SizeKb = rng.below(2) ? 1 : 16;
+    base.l2Enable = rng.below(4) != 0; // mostly on; off still must shard
+    const unsigned sizes[] = {8, 64, 256, 1024};
+    base.l2SizeKb = sizes[rng.below(4)];
+    base.l2Assoc = 1u << rng.below(4);
+    base.l2HitLatency = 20 + unsigned(rng.below(181)); // [20, 200]
+    base.dramEnable = base.l2Enable && rng.below(2) == 0;
+
+    for (auto kind : {RfKind::MrfStv, RfKind::MrfNtv, RfKind::Partitioned,
+                      RfKind::Rfc, RfKind::Drowsy}) {
+        SimConfig cfg = base;
+        cfg.rfKind = kind;
+        cfg.numWorkers = 1;
+        Gpu lockstep(cfg);
+        const RunResult lr = lockstep.run(k);
+        cfg.numWorkers = 2;
+        Gpu sharded(cfg);
+        const RunResult sr = sharded.run(k);
+        EXPECT_EQ(renderRun(lockstep, lr), renderRun(sharded, sr))
+            << "seed " << GetParam() << " backend " << toString(kind);
+
+        // Hierarchy conservation, on both engines: every L1 miss makes
+        // exactly one L2 access, so the hit/miss counters must sum.
+        for (Gpu *gpu : {&lockstep, &sharded}) {
+            StatSet sim;
+            for (unsigned i = 0; i < gpu->numSms(); ++i)
+                sim.merge(gpu->smStats(i).stats());
+            if (cfg.l2Enable)
+                EXPECT_EQ(sim.get("l1.misses"),
+                          sim.get("l2.hits") + sim.get("l2.misses"))
+                    << "seed " << GetParam() << " backend "
+                    << toString(kind);
+            else
+                EXPECT_EQ(sim.get("l2.hits") + sim.get("l2.misses"), 0.0)
+                    << "seed " << GetParam() << " backend "
+                    << toString(kind);
+        }
     }
 }
 

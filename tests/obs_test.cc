@@ -329,7 +329,8 @@ struct TracedOutputs
 /** Run the kernel with everything observable attached at the given
  *  worker count and collect the raw output bytes. */
 TracedOutputs
-tracedRun(const SimConfig &base, const isa::Kernel &k, unsigned workers)
+tracedRun(const SimConfig &base, const isa::Kernel &k, unsigned workers,
+          bool memCat = false)
 {
     setQuiet(true);
     SimConfig cfg = base;
@@ -339,6 +340,8 @@ tracedRun(const SimConfig &base, const isa::Kernel &k, unsigned workers)
     Trace::setStream(legacy);
     Trace::enable(TraceCat::Warp);
     Trace::enable(TraceCat::Cta);
+    if (memCat)
+        Trace::enable(TraceCat::Mem);
     {
         Gpu gpu(cfg, {.timeSeriesPeriod = 16, .enableTraceHub = true});
         gpu.traceHub().addSink(std::make_unique<obs::TextTraceSink>(text));
@@ -377,6 +380,50 @@ TEST(ShardSafeEmission, TraceBytesIdenticalAcrossWorkerCounts)
 
     for (const unsigned workers : {2u, 7u}) {
         const TracedOutputs got = tracedRun(cfg, k, workers);
+        EXPECT_EQ(ref.legacy, got.legacy) << "workers=" << workers;
+        EXPECT_EQ(ref.text, got.text) << "workers=" << workers;
+        EXPECT_EQ(ref.jsonl, got.jsonl) << "workers=" << workers;
+        EXPECT_EQ(ref.chrome, got.chrome) << "workers=" << workers;
+        EXPECT_EQ(ref.timeseries, got.timeseries)
+            << "workers=" << workers;
+    }
+}
+
+TEST(ShardSafeEmission, L2RunBytesIdenticalAcrossWorkerCounts)
+{
+    // The shared L2 on the sharded engine defers requests to the
+    // orchestrator's merge replay, which back-fills two things this
+    // test pins byte-for-byte against the serial engine: the `mem`
+    // trace lines (reserved as placeholder slots at dispatch, filled
+    // with the replay-computed finish cycle before the epoch barrier's
+    // trace merge) and the time-series samples the l2.hits/l2.misses
+    // increments are retro-credited into
+    // (TimeSeriesSampler::retroCredit — a 16-cycle period against the
+    // 121-cycle NeedsMem lookahead bound puts samples between a
+    // request and its replay in both orders, so mis-credited deltas
+    // cannot hide).
+    SimConfig cfg = smallConfig();
+    cfg.numSms = 5;
+    cfg.l1Enable = true;
+    cfg.l1SizeKb = 1; // thrash: loop reuse misses through to the L2
+    cfg.l2Enable = true;
+    cfg.l2SizeKb = 8;
+    cfg.l2Assoc = 2;
+    cfg.dramEnable = true;
+    isa::KernelBuilder b("shardl2", 12, 64, 10);
+    b.beginLoop(6, 4);
+    b.load(RegId(5), RegId(0), isa::MemSpace::Global, 8);
+    b.op(isa::Opcode::IAdd, RegId(1), {RegId(5)});
+    b.load(RegId(6), RegId(1), isa::MemSpace::Global, 6);
+    b.endLoop();
+    const isa::Kernel k = b.build();
+
+    const TracedOutputs ref = tracedRun(cfg, k, 1, /*memCat=*/true);
+    // The serial run must actually emit mem lines with finish cycles —
+    // otherwise the deferred-slot path is not under test.
+    EXPECT_NE(ref.legacy.find("finish@"), std::string::npos);
+    for (const unsigned workers : {2u, 7u}) {
+        const TracedOutputs got = tracedRun(cfg, k, workers, true);
         EXPECT_EQ(ref.legacy, got.legacy) << "workers=" << workers;
         EXPECT_EQ(ref.text, got.text) << "workers=" << workers;
         EXPECT_EQ(ref.jsonl, got.jsonl) << "workers=" << workers;

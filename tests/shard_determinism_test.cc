@@ -15,6 +15,13 @@
  * Also the torn-epoch regression: more workers than SMs (7 workers, 2
  * SMs) must clamp to one SM per shard and still reproduce the serial
  * results exactly, even though every kernel ends mid-epoch.
+ *
+ * The shared-L2 cases repeat the sweep with the GPU-wide L2 (and the
+ * DRAM stage) live: the L2's hit/miss stream depends on the
+ * cycle-interleaved cross-SM access order, so they lock down the
+ * deferred request FIFOs, the (cycle, smId) merge replay and the
+ * NeedsMem lookahead bound — including an engagement probe asserting
+ * the L2 no longer downgrades the engine to lockstep.
  */
 
 #include <gtest/gtest.h>
@@ -172,6 +179,29 @@ render(SimConfig cfg, const std::vector<isa::Kernel> &kernels,
     return os.str();
 }
 
+/** Cache-enabled config for the shared-L2 determinism cases: a tiny L1
+ *  pushes refill traffic through to the GPU-wide L2, whose hit/miss
+ *  stream depends on the cycle-interleaved cross-SM access order — the
+ *  exact order the sharded engine must reconstruct at epoch barriers.
+ *  `thrash` additionally shrinks the L2 below the working set and turns
+ *  on the DRAM stage, so replay order decides line evictions AND
+ *  partition-queue contention. */
+SimConfig
+l2Config(bool thrash = false)
+{
+    SimConfig cfg;
+    cfg.numSms = 4;
+    cfg.l1Enable = true;
+    cfg.l1SizeKb = 1; // small: most loads miss through to the L2
+    cfg.l2Enable = true;
+    if (thrash) {
+        cfg.l2SizeKb = 8;
+        cfg.l2Assoc = 2;
+        cfg.dramEnable = true;
+    }
+    return cfg;
+}
+
 class ShardDeterminism : public ::testing::TestWithParam<std::uint64_t>
 {
   protected:
@@ -217,6 +247,81 @@ TEST_P(ShardDeterminism, TornEpochsWithMoreWorkersThanSms)
     cfg.numSms = 2;
     EXPECT_EQ(render(cfg, kernels, 1), render(cfg, kernels, 7))
         << "seed " << GetParam();
+}
+
+TEST_P(ShardDeterminism, SharedL2IsWorkerCountInvariant)
+{
+    // Full canonical dump (run totals, merged and per-SM stat sets —
+    // including l1.*/l2.* hit and miss counters) with the shared L2
+    // live. The deferred request FIFOs and the barrier-time (cycle,
+    // smId) replay must reproduce the serial engine's interleaved L2
+    // access stream exactly at any worker count.
+    const std::vector<isa::Kernel> kernels = randomKernels(GetParam());
+    const SimConfig cfg = l2Config();
+    const std::string serial = render(cfg, kernels, 1);
+    EXPECT_NE(serial.find("l2."), std::string::npos); // L2 really live
+    EXPECT_EQ(serial, render(cfg, kernels, 2)) << "seed " << GetParam();
+    EXPECT_EQ(serial, render(cfg, kernels, 7)) << "seed " << GetParam();
+}
+
+TEST_P(ShardDeterminism, ThrashingL2WithDramIsWorkerCountInvariant)
+{
+    // Divergent random workloads against an L2 far smaller than the
+    // working set: nearly every access evicts a line some other SM will
+    // re-miss, and the DRAM partition queues serialize the refills — so
+    // any replay-order error shows up as both a hit/miss delta and a
+    // finish-cycle delta.
+    const std::vector<isa::Kernel> kernels = randomKernels(GetParam());
+    const SimConfig cfg = l2Config(/*thrash=*/true);
+    const std::string serial = render(cfg, kernels, 1);
+    EXPECT_EQ(serial, render(cfg, kernels, 2)) << "seed " << GetParam();
+    EXPECT_EQ(serial, render(cfg, kernels, 7)) << "seed " << GetParam();
+}
+
+TEST_P(ShardDeterminism, TracedL2RunBytesAreWorkerCountInvariant)
+{
+    // The Mem trace line for an L2 miss carries the computed finish
+    // cycle, which a sharded run only knows at the barrier: the SM
+    // reserves a placeholder slot at dispatch and the replay fills it,
+    // so the merged text/JSONL/Chrome streams must still match the
+    // serial bytes exactly.
+    const std::vector<isa::Kernel> kernels = randomKernels(GetParam());
+    const SimConfig cfg = l2Config(/*thrash=*/true);
+    const std::string serial = render(cfg, kernels, 1, /*traced=*/true);
+    EXPECT_EQ(serial, render(cfg, kernels, 2, true)) << "seed "
+                                                     << GetParam();
+    EXPECT_EQ(serial, render(cfg, kernels, 7, true)) << "seed "
+                                                     << GetParam();
+}
+
+TEST(ShardDeterminism, TornEpochsWithL2AndMoreWorkersThanSms)
+{
+    // The NeedsMem lookahead bound (minResponseLatency + 1 cycles past
+    // the oldest unreplayed request) with 7 workers against 2 SMs:
+    // thousands of replay rounds, every kernel ending mid-epoch, one SM
+    // per shard — the canonical dump must still match the serial engine
+    // byte for byte.
+    setQuiet(true);
+    const std::vector<isa::Kernel> kernels = randomKernels(3);
+    SimConfig cfg = l2Config(/*thrash=*/true);
+    cfg.numSms = 2;
+    EXPECT_EQ(render(cfg, kernels, 1), render(cfg, kernels, 7));
+}
+
+TEST(ShardDeterminism, ShardedEngineEngagesWithL2Enabled)
+{
+    // The shared L2 used to force a silent downgrade to lockstep; now
+    // it must ride the sharded engine (deferred FIFOs + barrier
+    // replay) with per-SM fast-forward still live.
+    setQuiet(true);
+    const std::vector<isa::Kernel> kernels = randomKernels(7);
+    SimConfig cfg = l2Config();
+    cfg.numWorkers = 2;
+    Gpu gpu(cfg);
+    EXPECT_EQ(gpu.engineUsed(), Engine::Sharded);
+    gpu.run({"engage_l2", kernels});
+    EXPECT_EQ(gpu.skippedCycles(), 0u);
+    EXPECT_GT(gpu.fastForwardedCycles(), 0u);
 }
 
 TEST(ShardDeterminism, ShardedEngineActuallyEngages)

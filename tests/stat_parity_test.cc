@@ -187,7 +187,9 @@ TEST_P(StatParity, MatchesSeedStats)
     expectMatchesGolden(golden.str(), noSkip, "cycle skip off");
     // The sharded epoch-barrier engine must reproduce the serial seed
     // goldens byte-for-byte too (variants run 2 SMs, so 2 workers puts
-    // one SM on each shard; the l1l2 variant falls back to lockstep).
+    // one SM on each shard). The l1l2 variant shards as well — the
+    // shared L2 no longer forces lockstep — so this render also covers
+    // the deferred-request barrier replay against unmodified goldens.
     const std::string sharded = renderWorkload(GetParam(), true, 2);
     expectMatchesGolden(golden.str(), sharded, "sharded, 2 workers");
     // And once more with a trace sink attached: buffered per-SM emission
@@ -195,6 +197,110 @@ TEST_P(StatParity, MatchesSeedStats)
     const std::string traced = renderWorkload(GetParam(), true, 2, true);
     expectMatchesGolden(golden.str(), traced, "sharded, 2 workers, traced");
 }
+
+namespace
+{
+
+/** Configs that steer the shared-L2 hit/miss balance to its extremes.
+ *  A 1 KB L1 forces nearly every global access through to the L2;
+ *  hit-heavy then gives the L2 room for the whole working set while
+ *  miss-heavy shrinks it below one SM's footprint and adds the DRAM
+ *  stage, so both the L2 LRU state and the partition-queue contention
+ *  are golden-locked. */
+SimConfig
+l2ParityConfig(bool missHeavy)
+{
+    SimConfig cfg;
+    cfg.numSms = 2;
+    cfg.l1Enable = true;
+    cfg.l1SizeKb = 1;
+    cfg.l2Enable = true;
+    if (missHeavy) {
+        cfg.l2SizeKb = 8;
+        cfg.l2Assoc = 2;
+        cfg.dramEnable = true;
+    }
+    return cfg;
+}
+
+std::string
+renderL2Parity(bool missHeavy, bool cycleSkip, unsigned numWorkers)
+{
+    SimConfig cfg = l2ParityConfig(missHeavy);
+    cfg.enableCycleSkip = cycleSkip;
+    cfg.numWorkers = numWorkers;
+    // Workloads chosen for real reuse through the hierarchy: MUM and
+    // stencil re-walk lines evicted from the 1 KB L1 (>90% L2 hits under
+    // the hit-heavy geometry), while BFS and sad thrash the 8 KB
+    // miss-heavy L2 with scattered adjacency traffic.
+    const char *const hitWls[] = {"MUM", "stencil"};
+    const char *const missWls[] = {"BFS", "sad"};
+    std::ostringstream os;
+    for (const char *name : missHeavy ? missWls : hitWls) {
+        Gpu gpu(cfg);
+        const RunResult run = gpu.run(workloads::workload(name).view());
+        os << "=== " << name << " / "
+           << (missHeavy ? "l2_miss_heavy" : "l2_hit_heavy") << " ===\n";
+        renderStats(os, "run.rfStats", run.rfStats);
+        renderStats(os, "run.simStats", run.simStats);
+        StatSet rawRf, rawSim;
+        for (unsigned i = 0; i < gpu.numSms(); ++i) {
+            rawRf.merge(gpu.smStats(i).rf().stats());
+            rawSim.merge(gpu.smStats(i).stats());
+        }
+        renderStats(os, "raw.rf", rawRf);
+        renderStats(os, "raw.sim", rawSim);
+    }
+    return os.str();
+}
+
+} // namespace
+
+class L2StatParity : public ::testing::TestWithParam<bool>
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+};
+
+TEST_P(L2StatParity, AllEnginesMatchGolden)
+{
+    // Two L2-specific goldens (hit-heavy and miss-heavy + DRAM) rendered
+    // in four modes — lockstep and sharded, cycle skip on and off — so
+    // the shared-L2 path has byte-locked stats of its own, not only the
+    // coverage it inherits from the mrf_stv_l1l2 variant above.
+    const bool missHeavy = GetParam();
+    const std::string path =
+        std::string(PILOTRF_SOURCE_DIR) + "/tests/golden/stat_parity/" +
+        (missHeavy ? "l2_miss_heavy" : "l2_hit_heavy") + ".txt";
+    const std::string lockstepSkip = renderL2Parity(missHeavy, true, 1);
+
+    if (std::getenv("PILOTRF_REGEN_GOLDEN")) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << lockstepSkip;
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " (regenerate with PILOTRF_REGEN_GOLDEN=1)";
+    std::ostringstream golden;
+    golden << in.rdbuf();
+    expectMatchesGolden(golden.str(), lockstepSkip, "lockstep, skip on");
+    expectMatchesGolden(golden.str(), renderL2Parity(missHeavy, false, 1),
+                        "lockstep, skip off");
+    expectMatchesGolden(golden.str(), renderL2Parity(missHeavy, true, 2),
+                        "sharded, skip on");
+    expectMatchesGolden(golden.str(), renderL2Parity(missHeavy, false, 2),
+                        "sharded, skip off");
+}
+
+INSTANTIATE_TEST_SUITE_P(HitAndMissHeavy, L2StatParity,
+                         ::testing::Values(false, true),
+                         [](const auto &info) {
+                             return info.param ? "miss_heavy" : "hit_heavy";
+                         });
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, StatParity,
                          ::testing::Values("BFS", "btree", "hotspot", "nw",
