@@ -1,18 +1,31 @@
 /**
  * @file
- * pilotrf_run — the scriptable entry point to the experiment runner.
+ * pilotrf_run — the scriptable entry point to the experiment runner and
+ * the sweep service.
  *
- * Runs a named sweep (workloads x configs x seeds) on a worker pool and
- * writes a JSON report: per-job cycles, instructions, hierarchical
- * `rf.` / `sim.` stats, the `power::EnergyAccountant` breakdown, and
- * wall-clock / thread-count metadata.
+ * Everything the tool can be asked to compute is one validated
+ * `exp::SweepRequest` (sweep name, axis overrides, seeds, report
+ * shape). The flags build one, `--request FILE` loads one, and all
+ * three execution modes lower the same struct:
+ *
+ *   batch (default)   expand and run locally, write the JSON report
+ *   --serve SOCK      daemon: accept requests over a Unix socket,
+ *                     serve repeats from the content-addressed result
+ *                     cache, dedupe identical in-flight cells across
+ *                     concurrent clients (single-flight)
+ *   --connect SOCK    client: submit this request to a daemon, stream
+ *                     its status lines to stderr, write its report
  *
  *   pilotrf_run --list
  *   pilotrf_run --sweep fig11 --threads 4 --out fig11.json
  *   pilotrf_run --sweep smoke --seeds 3 --no-timing   # deterministic bytes
+ *   pilotrf_run --dump-request > req.json             # flags as a request
+ *   pilotrf_run --serve /tmp/pilotrf.sock --store cache.jsonl &
+ *   pilotrf_run --connect /tmp/pilotrf.sock --request req.json --out r.json
  *
- * Observability (all outputs are per-job files; the job key is inserted
- * before the extension so concurrent jobs never share a stream):
+ * Observability (all outputs are per-job files; the job's readable
+ * workload-config-seed key is inserted before the extension so
+ * concurrent jobs never share a stream):
  *
  *   pilotrf_run --sweep smoke --timeseries 100          # sampled counters
  *   pilotrf_run --sweep smoke --chrome-trace trace.json # chrome://tracing
@@ -21,16 +34,20 @@
  * Configuration as data: --dump-config prints the full SimConfig as JSON;
  * --config runs a sweep's workloads under a config loaded from a JSON
  * file (replacing the sweep's config axis, labelled by file basename).
- * Unknown keys and mistyped values in the file are fatal, not ignored.
+ * Unknown keys and mistyped values — in config files and request files
+ * alike — are fatal, not ignored.
  *
  * Long campaigns survive failures and interruptions: with --checkpoint,
  * completed jobs stream to a JSONL manifest as they finish, and a rerun
  * with --resume serves them from the manifest instead of recomputing —
  * the merged report is byte-identical to an uninterrupted run. --timeout
  * and --retries bound wedged and transiently-failing jobs; one bad job
- * never loses its siblings' results.
+ * never loses its siblings' results. The daemon's --store is the same
+ * idea promoted to a service: cells are keyed by content (exp::JobKey)
+ * and simulator fingerprint, so repeated sweeps cost only novel cells.
  *
- * Exit code: 0 when every job is ok, 3 when any failed or timed out.
+ * Exit code: 0 when every job is ok, 3 when any failed or timed out (or
+ * the daemon rejected the request).
  */
 
 #include <cctype>
@@ -44,10 +61,15 @@
 #include <stdexcept>
 
 #include "common/logging.hh"
+#include "common/version.hh"
 #include "exp/checkpoint.hh"
+#include "exp/job_key.hh"
 #include "exp/report.hh"
+#include "exp/sweep_request.hh"
 #include "exp/sweeps.hh"
 #include "sim/trace.hh"
+#include "svc/net.hh"
+#include "svc/sweep_service.hh"
 
 using namespace pilotrf;
 
@@ -67,16 +89,32 @@ configLabelFromPath(const std::string &path)
     return base.empty() ? "config" : base;
 }
 
-sim::SimConfig
-loadConfigFile(const std::string &path)
+std::string
+slurpFile(const std::string &path, const char *what)
 {
     std::ifstream is(path);
     if (!is)
-        fatal("cannot open config file '%s'", path.c_str());
+        fatal("cannot open %s file '%s'", what, path.c_str());
     std::ostringstream text;
     text << is.rdbuf();
+    return text.str();
+}
+
+sim::SimConfig
+loadConfigFile(const std::string &path)
+{
     try {
-        return sim::SimConfig::fromJsonText(text.str());
+        return sim::SimConfig::fromJsonText(slurpFile(path, "config"));
+    } catch (const std::exception &e) {
+        fatal("%s: %s", path.c_str(), e.what());
+    }
+}
+
+exp::SweepRequest
+loadRequestFile(const std::string &path)
+{
+    try {
+        return exp::SweepRequest::fromJsonText(slurpFile(path, "request"));
     } catch (const std::exception &e) {
         fatal("%s: %s", path.c_str(), e.what());
     }
@@ -112,25 +150,38 @@ usage(const char *argv0, int code)
     std::fprintf(
         stderr,
         "usage: %s [options]\n"
+        "request (one schema for flags, files and server mode):\n"
         "  --sweep NAME    named sweep to run (default: smoke)\n"
-        "  --threads N     worker threads (default: all cores; 1 = serial)\n"
-        "  --workers N     per-job Gpu engine workers (0 = config knob;\n"
-        "                  >1 shards SMs; outputs identical at any N)\n"
+        "  --workloads W1,W2  replace the sweep's workload axis\n"
+        "  --config FILE   run the sweep's workloads under the SimConfig\n"
+        "                  in JSON FILE (replaces the config axis)\n"
         "  --seeds N       replicate each job under N deterministic seeds\n"
         "  --base-seed S   base seed mixed into every derived job seed\n"
-        "  --out FILE      write the JSON report to FILE (default: stdout)\n"
+        "  --workers N     per-job Gpu engine workers (0 = config knob;\n"
+        "                  >1 shards SMs; outputs identical at any N)\n"
         "  --no-timing     omit wall-clock/thread/provenance fields\n"
         "                  (stable bytes)\n"
         "  --no-kernels    omit the per-kernel arrays\n"
+        "  --request FILE  load a SweepRequest JSON (flags after it\n"
+        "                  override its fields)\n"
+        "  --dump-request  print the effective request as JSON and exit\n"
+        "execution (batch mode):\n"
+        "  --threads N     worker threads (default: all cores; 1 = serial)\n"
+        "  --out FILE      write the JSON report to FILE (default: stdout)\n"
         "  --checkpoint F  stream completed jobs to JSONL manifest F\n"
         "  --resume        skip jobs already ok in the manifest and merge\n"
         "                  their cached results (requires --checkpoint)\n"
         "  --timeout SECS  per-job wall-clock timeout (0 = none)\n"
         "  --retries N     retry a throwing job up to N times\n"
         "  --backoff MS    first retry delay, doubling (default 100)\n"
-        "  --config FILE   run the sweep's workloads under the SimConfig\n"
-        "                  in JSON FILE (replaces the config axis)\n"
-        "  --dump-config   print the effective SimConfig as JSON and exit\n"
+        "sweep service:\n"
+        "  --serve SOCK    serve requests on Unix socket SOCK (daemon)\n"
+        "  --connect SOCK  submit the request to the daemon at SOCK\n"
+        "  --store FILE    daemon: content-addressed result cache JSONL\n"
+        "                  (default: in-memory only)\n"
+        "  --store-max N   daemon: evict LRU entries beyond N cells\n"
+        "  --serve-conns N daemon: exit after N connections (0 = forever)\n"
+        "observability:\n"
         "  --timeseries N  sample per-SM counters every N cycles into\n"
         "                  per-job time-series JSON files\n"
         "  --timeseries-out FILE  time-series path stem\n"
@@ -140,9 +191,32 @@ usage(const char *argv0, int code)
         "  --trace-jsonl FILE     write per-job JSONL event streams\n"
         "  --trace-cats LIST      restrict the JSONL text channel to the\n"
         "                  given categories (e.g. warp,cta)\n"
-        "  --list          list the named sweeps and exit\n",
+        "misc:\n"
+        "  --dump-config   print the effective SimConfig as JSON and exit\n"
+        "  --list          list the named sweeps and exit\n"
+        "  --version       print the simulator fingerprint and exit\n",
         argv0);
     return code;
+}
+
+/** Split "WP,LIB" -> {"WP", "LIB"}. */
+std::vector<std::string>
+splitCommaList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::string item;
+    for (const char c : list) {
+        if (c == ',') {
+            if (!item.empty())
+                out.push_back(std::move(item));
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    if (!item.empty())
+        out.push_back(std::move(item));
+    return out;
 }
 
 } // namespace
@@ -152,14 +226,16 @@ main(int argc, char **argv)
 {
     setQuiet(true);
 
-    std::string sweepName = "smoke";
+    exp::SweepRequest req;
     std::string outPath;
-    std::string configPath;
     bool dumpConfig = false;
+    bool dumpRequest = false;
     unsigned threads = 0;
-    unsigned seeds = 1;
-    std::uint64_t baseSeed = 0;
-    exp::ReportOptions opts;
+    std::string servePath;
+    std::string connectPath;
+    std::string storePath;
+    std::size_t storeMax = 0;
+    unsigned serveConns = 0;
     exp::RunnerOptions ropts;
 
     for (int i = 1; i < argc; ++i) {
@@ -170,21 +246,31 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--sweep")
-            sweepName = value();
+            req.sweep = value();
+        else if (arg == "--workloads")
+            req.workloads = splitCommaList(value());
+        else if (arg == "--config") {
+            const std::string path = value();
+            req.config = loadConfigFile(path);
+            req.configLabel = configLabelFromPath(path);
+        } else if (arg == "--seeds")
+            req.seeds = unsigned(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--base-seed")
+            req.baseSeed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--workers")
+            req.workers = unsigned(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--no-timing")
+            req.includeTiming = false;
+        else if (arg == "--no-kernels")
+            req.includeKernels = false;
+        else if (arg == "--request")
+            req = loadRequestFile(value());
+        else if (arg == "--dump-request")
+            dumpRequest = true;
         else if (arg == "--threads")
             threads = unsigned(std::strtoul(value(), nullptr, 10));
-        else if (arg == "--workers")
-            ropts.numWorkers = unsigned(std::strtoul(value(), nullptr, 10));
-        else if (arg == "--seeds")
-            seeds = unsigned(std::strtoul(value(), nullptr, 10));
-        else if (arg == "--base-seed")
-            baseSeed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--out")
             outPath = value();
-        else if (arg == "--no-timing")
-            opts.includeTiming = false;
-        else if (arg == "--no-kernels")
-            opts.includeKernels = false;
         else if (arg == "--checkpoint")
             ropts.checkpointPath = value();
         else if (arg == "--resume")
@@ -196,8 +282,16 @@ main(int argc, char **argv)
         else if (arg == "--backoff")
             ropts.retryBackoffMs =
                 unsigned(std::strtoul(value(), nullptr, 10));
-        else if (arg == "--config")
-            configPath = value();
+        else if (arg == "--serve")
+            servePath = value();
+        else if (arg == "--connect")
+            connectPath = value();
+        else if (arg == "--store")
+            storePath = value();
+        else if (arg == "--store-max")
+            storeMax = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--serve-conns")
+            serveConns = unsigned(std::strtoul(value(), nullptr, 10));
         else if (arg == "--dump-config")
             dumpConfig = true;
         else if (arg == "--timeseries")
@@ -216,6 +310,9 @@ main(int argc, char **argv)
                 std::printf("%-20s %s\n", n.c_str(),
                             exp::sweepDescription(n).c_str());
             return 0;
+        } else if (arg == "--version") {
+            std::printf("%s\n", versionString().c_str());
+            return 0;
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0], 0);
         } else {
@@ -223,39 +320,76 @@ main(int argc, char **argv)
             return usage(argv[0], 2);
         }
     }
-    if (seeds == 0)
+    if (req.seeds == 0)
         fatal("--seeds must be >= 1");
     if (ropts.resume && ropts.checkpointPath.empty())
         fatal("--resume requires --checkpoint");
+    if (!servePath.empty() && !connectPath.empty())
+        fatal("--serve and --connect are mutually exclusive");
 
     if (dumpConfig) {
-        const sim::SimConfig cfg = configPath.empty()
-                                       ? sim::SimConfig{}
-                                       : loadConfigFile(configPath);
+        const sim::SimConfig cfg =
+            req.config ? *req.config : sim::SimConfig{};
         std::fputs(cfg.jsonText().c_str(), stdout);
         return 0;
     }
-
-    exp::Sweep sweep = exp::namedSweep(sweepName);
-    if (!configPath.empty()) {
-        sweep.configs = {{configLabelFromPath(configPath),
-                          loadConfigFile(configPath)}};
+    if (dumpRequest) {
+        std::fputs(req.jsonText().c_str(), stdout);
+        return 0;
     }
-    sweep.baseSeed = baseSeed;
-    sweep.seeds.clear();
-    for (unsigned s = 0; s < seeds; ++s)
-        sweep.seeds.push_back(s);
+
+    // --- server mode: the request flags are irrelevant; clients send
+    // their own requests over the socket.
+    if (!servePath.empty()) {
+        svc::ServiceOptions sopts;
+        sopts.storePath = storePath;
+        sopts.storeMaxEntries = storeMax;
+        sopts.threads = threads;
+        sopts.runner = ropts;
+        svc::SweepService service(sopts);
+        std::fprintf(stderr,
+                     "pilotrf_run: serving on %s (%s, store: %s, %zu "
+                     "cached cells)\n",
+                     servePath.c_str(), versionString().c_str(),
+                     storePath.empty() ? "<memory>" : storePath.c_str(),
+                     service.store().size());
+        return svc::serve(servePath, service, serveConns);
+    }
+
+    // --- client mode: submit the request, relay status to stderr and
+    // the report to --out/stdout.
+    if (!connectPath.empty()) {
+        std::ostringstream report;
+        const int rc = svc::runClient(connectPath, req.jsonText(), report,
+                                      std::cerr);
+        if (rc != 0)
+            return rc == 3 ? 3 : 1;
+        if (outPath.empty()) {
+            std::fputs(report.str().c_str(), stdout);
+        } else {
+            std::ofstream os(outPath);
+            if (!os)
+                fatal("cannot open '%s' for writing", outPath.c_str());
+            os << report.str();
+        }
+        return 0;
+    }
+
+    // --- batch mode.
+    exp::Sweep sweep = req.toSweep();
+    ropts.numWorkers = req.workers;
 
     const exp::ExperimentRunner runner(threads, ropts);
     std::fprintf(stderr,
                  "pilotrf_run: sweep '%s', %zu jobs (%zu workloads x %zu "
                  "configs x %u seeds), %u threads\n",
                  sweep.name.c_str(), sweep.jobCount(),
-                 sweep.workloads.size(), sweep.configs.size(), seeds,
+                 sweep.workloads.size(), sweep.configs.size(), req.seeds,
                  runner.threads());
 
     const exp::SweepResult res = runner.run(sweep);
 
+    const exp::ReportOptions opts = req.reportOptions();
     if (outPath.empty()) {
         exp::writeJson(res, std::cout, opts);
     } else {
@@ -274,7 +408,7 @@ main(int argc, char **argv)
     for (const auto &j : res.jobs)
         if (j.status != exp::JobStatus::Ok)
             std::fprintf(stderr, "pilotrf_run:   %s: %s\n",
-                         exp::checkpointKey(j.job).c_str(),
+                         exp::legacyJobKey(j.job).c_str(),
                          j.statusString().c_str());
     return sum.allOk(res.jobs.size()) ? 0 : 3;
 }

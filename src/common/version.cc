@@ -1,0 +1,15 @@
+#include "common/version.hh"
+
+namespace pilotrf
+{
+
+const std::string &
+versionString()
+{
+    static const std::string v = "pilotrf-" + std::to_string(kVersionMajor) +
+                                 "." + std::to_string(kVersionMinor) +
+                                 "+stats" + std::to_string(kStatSchemaRev);
+    return v;
+}
+
+} // namespace pilotrf

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The simulator fingerprint: a version string that changes whenever the
+ * statistics a run produces can change.
+ *
+ * Content-addressed result reuse (the checkpoint manifest, the sweep
+ * service's ResultStore) is only sound while the simulator that wrote a
+ * cached fragment and the simulator that serves it would have computed
+ * the same bytes. The fingerprint makes that explicit: it combines the
+ * release version with a hand-bumped *stat-schema revision* that MUST be
+ * incremented by any change that alters reported statistics — new or
+ * renamed counters, timing-model fixes, energy-model constants, report
+ * field changes. Caches keyed on the fingerprint invalidate themselves
+ * across such changes instead of serving stale results.
+ */
+
+#ifndef PILOTRF_COMMON_VERSION_HH
+#define PILOTRF_COMMON_VERSION_HH
+
+#include <string>
+
+namespace pilotrf
+{
+
+/** Release version of the simulator. */
+inline constexpr unsigned kVersionMajor = 0;
+inline constexpr unsigned kVersionMinor = 9;
+
+/**
+ * Revision of everything a run's statistics depend on. Bump this by hand
+ * in the same change that alters any reported number or report field —
+ * the tests cannot catch a forgotten bump, only a code review can.
+ */
+inline constexpr unsigned kStatSchemaRev = 1;
+
+/**
+ * The full fingerprint, e.g. "pilotrf-0.9+stats1". Embedded in reports
+ * (timing-gated, like engine/workers provenance), in checkpoint manifest
+ * lines, and in every ResultStore entry; `pilotrf_run --version` prints
+ * it.
+ */
+const std::string &versionString();
+
+} // namespace pilotrf
+
+#endif // PILOTRF_COMMON_VERSION_HH

@@ -4,6 +4,8 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/version.hh"
+#include "exp/job_key.hh"
 
 namespace pilotrf::exp
 {
@@ -65,12 +67,18 @@ parseStatus(const std::string &s, JobStatus &out)
 std::string
 checkpointKey(const Job &job)
 {
-    return job.workload + "|" + job.configLabel + "|" +
-           std::to_string(job.seed);
+    return jobKey(job).str();
 }
 
 std::string
 checkpointLine(const std::string &sweep, const JobResult &r)
+{
+    return checkpointLine(sweep, r, versionString());
+}
+
+std::string
+checkpointLine(const std::string &sweep, const JobResult &r,
+               const std::string &fingerprint)
 {
     std::ostringstream os;
     bool first = true;
@@ -81,6 +89,8 @@ checkpointLine(const std::string &sweep, const JobResult &r)
     jsonString(os, sweep);
     field(os, "key", first);
     jsonString(os, checkpointKey(r.job));
+    field(os, "fingerprint", first);
+    jsonString(os, fingerprint);
     field(os, "status", first);
     jsonString(os, toString(r.status));
     if (!r.error.empty()) {
@@ -119,6 +129,54 @@ checkpointLine(const std::string &sweep, const JobResult &r)
     return os.str();
 }
 
+std::optional<CheckpointEntry>
+parseCheckpointLine(std::string_view line, std::string *error)
+{
+    const auto malformed =
+        [&](const std::string &what) -> std::optional<CheckpointEntry> {
+        if (error)
+            *error = what;
+        return std::nullopt;
+    };
+
+    JsonValue v;
+    std::string err;
+    if (!jsonParse(line, v, &err) || !v.isObject())
+        return malformed(err.empty() ? "not a JSON object" : err);
+
+    CheckpointEntry e;
+    e.key = v.stringOr("key", "");
+    e.sweep = v.stringOr("sweep", "");
+    if (e.key.empty() || !parseStatus(v.stringOr("status", ""), e.status))
+        return malformed("missing key or status");
+    e.fingerprint = v.stringOr("fingerprint", "");
+    e.error = v.stringOr("error", "");
+    e.attempts = unsigned(v.numberOr("attempts", 1));
+    e.wallSeconds = v.numberOr("wallSeconds", 0.0);
+    e.engine = v.stringOr("engine", "lockstep");
+    e.workers = unsigned(v.numberOr("workers", 1));
+    if (e.status == JobStatus::Ok) {
+        e.cycles = std::uint64_t(v.numberOr("cycles", 0));
+        e.instructions = std::uint64_t(v.numberOr("instructions", 0));
+        const JsonValue *rf = v.find("rfStats");
+        const JsonValue *sm = v.find("simStats");
+        const JsonValue *ks = v.find("kernels");
+        if (!rf || !parseStats(*rf, e.rfStats) || !sm ||
+            !parseStats(*sm, e.simStats) || !ks || !ks->isArray())
+            return malformed("ok entry missing stats/kernels");
+        for (const auto &kv : ks->array) {
+            if (!kv.isObject())
+                return malformed("bad kernel entry");
+            CheckpointEntry::Kernel k;
+            k.name = kv.stringOr("name", "");
+            k.cycles = std::uint64_t(kv.numberOr("cycles", 0));
+            k.instructions = std::uint64_t(kv.numberOr("instructions", 0));
+            e.kernels.push_back(std::move(k));
+        }
+    }
+    return e;
+}
+
 std::map<std::string, CheckpointEntry>
 loadCheckpoint(const std::string &path, bool mustExist)
 {
@@ -136,62 +194,43 @@ loadCheckpoint(const std::string &path, bool mustExist)
         ++lineNo;
         if (line.empty())
             continue;
-        JsonValue v;
         std::string err;
-        const auto malformed = [&](const char *what) {
+        if (auto e = parseCheckpointLine(line, &err)) {
+            entries[e->key] = std::move(*e); // last line per key wins
+        } else {
             warn("checkpoint %s:%zu: skipping malformed line (%s)",
-                 path.c_str(), lineNo, what);
-        };
-        if (!jsonParse(line, v, &err) || !v.isObject()) {
-            malformed(err.empty() ? "not a JSON object" : err.c_str());
-            continue;
+                 path.c_str(), lineNo, err.c_str());
         }
-
-        CheckpointEntry e;
-        e.key = v.stringOr("key", "");
-        e.sweep = v.stringOr("sweep", "");
-        if (e.key.empty() || !parseStatus(v.stringOr("status", ""),
-                                          e.status)) {
-            malformed("missing key or status");
-            continue;
-        }
-        e.error = v.stringOr("error", "");
-        e.attempts = unsigned(v.numberOr("attempts", 1));
-        e.wallSeconds = v.numberOr("wallSeconds", 0.0);
-        e.engine = v.stringOr("engine", "lockstep");
-        e.workers = unsigned(v.numberOr("workers", 1));
-        if (e.status == JobStatus::Ok) {
-            e.cycles = std::uint64_t(v.numberOr("cycles", 0));
-            e.instructions = std::uint64_t(v.numberOr("instructions", 0));
-            const JsonValue *rf = v.find("rfStats");
-            const JsonValue *sm = v.find("simStats");
-            const JsonValue *ks = v.find("kernels");
-            if (!rf || !parseStats(*rf, e.rfStats) || !sm ||
-                !parseStats(*sm, e.simStats) || !ks || !ks->isArray()) {
-                malformed("ok entry missing stats/kernels");
-                continue;
-            }
-            bool kernelsOk = true;
-            for (const auto &kv : ks->array) {
-                if (!kv.isObject()) {
-                    kernelsOk = false;
-                    break;
-                }
-                CheckpointEntry::Kernel k;
-                k.name = kv.stringOr("name", "");
-                k.cycles = std::uint64_t(kv.numberOr("cycles", 0));
-                k.instructions =
-                    std::uint64_t(kv.numberOr("instructions", 0));
-                e.kernels.push_back(std::move(k));
-            }
-            if (!kernelsOk) {
-                malformed("bad kernel entry");
-                continue;
-            }
-        }
-        entries[e.key] = std::move(e); // last line per key wins
     }
     return entries;
+}
+
+JobResult
+rebuildJobResult(const CheckpointEntry &entry, const Job &job,
+                 const power::EnergyAccountant &accountant)
+{
+    JobResult res;
+    res.job = job;
+    res.status = JobStatus::Ok;
+    res.attempts = entry.attempts;
+    res.resumed = true;
+    res.wallSeconds = entry.wallSeconds;
+    res.engine = entry.engine;
+    res.workers = entry.workers;
+    res.run.totalCycles = entry.cycles;
+    res.run.totalInstructions = entry.instructions;
+    res.run.rfStats = entry.rfStats;
+    res.run.simStats = entry.simStats;
+    for (const auto &k : entry.kernels) {
+        sim::KernelResult kr;
+        kr.name = k.name;
+        kr.cycles = k.cycles;
+        kr.instructions = k.instructions;
+        res.run.kernels.push_back(std::move(kr));
+    }
+    res.energy =
+        accountant.account(job.cfg, res.run.rfStats, res.run.totalCycles);
+    return res;
 }
 
 CheckpointWriter::CheckpointWriter(const std::string &sweep,

@@ -9,10 +9,13 @@
  * (name, cycles, instructions) triples — so a `--resume` run that
  * merges checkpointed entries rebuilds a report byte-identical to an
  * uninterrupted run (energy is recomputed from the stats, which is
- * deterministic). Jobs are keyed by names ("workload|config|seed"),
- * like job seeds, so a manifest survives axis reordering; when the
- * same key appears on several lines (a rerun appended after a failed
- * entry) the last line wins.
+ * deterministic). Jobs are keyed by the content-addressed `exp::JobKey`
+ * ("workload|cfg:<hash>|seed" — see exp/job_key.hh), so a manifest
+ * survives axis reordering *and* config relabelling; manifests written
+ * before the content-addressed keys existed ("workload|configLabel|seed")
+ * still resume — legacy keys are accepted on load, new keys on write.
+ * When the same key appears on several lines (a rerun appended after a
+ * failed entry) the last line wins.
  */
 
 #ifndef PILOTRF_EXP_CHECKPOINT_HH
@@ -21,7 +24,9 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "exp/experiment.hh"
 
@@ -33,6 +38,11 @@ struct CheckpointEntry
 {
     std::string key;
     std::string sweep; ///< sweep the line was recorded under
+    /** Simulator fingerprint (versionString()) that produced the entry;
+     *  empty in manifests written before the field existed. `--resume`
+     *  tolerates mismatches (the manifest is a same-campaign convenience);
+     *  the sweep service's ResultStore does not (it is long-lived). */
+    std::string fingerprint;
     JobStatus status = JobStatus::Failed;
     std::string error;
     unsigned attempts = 1;
@@ -55,11 +65,34 @@ struct CheckpointEntry
     std::vector<Kernel> kernels;
 };
 
-/** The manifest key of a job: "workload|config|seed". */
+/** The manifest key of a job: the content-addressed JobKey string
+ *  "workload|cfg:<hash>|seed" (jobKey(job).str(); see exp/job_key.hh). */
 std::string checkpointKey(const Job &job);
 
-/** Serialize one finished job as a single manifest line (no newline). */
+/** Serialize one finished job as a single manifest line (no newline),
+ *  stamped with the current simulator fingerprint (versionString()). */
 std::string checkpointLine(const std::string &sweep, const JobResult &r);
+
+/** As above with an explicit fingerprint stamp (the ResultStore's
+ *  injectable-fingerprint path; tests simulate version bumps with it). */
+std::string checkpointLine(const std::string &sweep, const JobResult &r,
+                           const std::string &fingerprint);
+
+/** Parse one manifest line. Returns nullopt (and sets *error when
+ *  given) on a malformed line — the shared primitive under
+ *  loadCheckpoint() and the sweep service's ResultStore. */
+std::optional<CheckpointEntry>
+parseCheckpointLine(std::string_view line, std::string *error = nullptr);
+
+/**
+ * Rebuild a JobResult from a manifest (or ResultStore) entry for `job`.
+ * Energy is recomputed from the entry's stats — account() is
+ * deterministic, so the rebuilt result is byte-identical to the one the
+ * entry was written from once timing/provenance fields are omitted.
+ * Marks the result `resumed`.
+ */
+JobResult rebuildJobResult(const CheckpointEntry &entry, const Job &job,
+                           const power::EnergyAccountant &accountant);
 
 /**
  * Parse a manifest. Malformed lines are skipped with a warning; for

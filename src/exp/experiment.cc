@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "exp/checkpoint.hh"
+#include "exp/job_key.hh"
 #include "obs/trace.hh"
 #include "workloads/workloads.hh"
 
@@ -69,7 +70,7 @@ const std::atomic<bool> neverAbandoned{false};
 std::string
 perJobOutputPath(const std::string &path, const Job &job)
 {
-    std::string key = checkpointKey(job);
+    std::string key = legacyJobKey(job);
     for (char &c : key)
         if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.')
             c = '-';
@@ -370,7 +371,7 @@ ExperimentRunner::attemptWithWatchdog(const Job &job, unsigned attempt,
 }
 
 JobResult
-ExperimentRunner::runGuarded(const Job &job) const
+ExperimentRunner::runJobGuarded(const Job &job) const
 {
     for (unsigned attempt = 1;; ++attempt) {
         JobResult res;
@@ -408,34 +409,6 @@ ExperimentRunner::runGuarded(const Job &job) const
         fail.attempts = attempt;
         return fail;
     }
-}
-
-JobResult
-ExperimentRunner::fromCheckpoint(const CheckpointEntry &entry,
-                                 const Job &job) const
-{
-    JobResult res;
-    res.job = job;
-    res.status = JobStatus::Ok;
-    res.attempts = entry.attempts;
-    res.resumed = true;
-    res.wallSeconds = entry.wallSeconds;
-    res.engine = entry.engine;
-    res.workers = entry.workers;
-    res.run.totalCycles = entry.cycles;
-    res.run.totalInstructions = entry.instructions;
-    res.run.rfStats = entry.rfStats;
-    res.run.simStats = entry.simStats;
-    for (const auto &k : entry.kernels) {
-        sim::KernelResult kr;
-        kr.name = k.name;
-        kr.cycles = k.cycles;
-        kr.instructions = k.instructions;
-        res.run.kernels.push_back(std::move(kr));
-    }
-    res.energy =
-        accountant.account(job.cfg, res.run.rfStats, res.run.totalCycles);
-    return res;
 }
 
 void
@@ -482,17 +455,22 @@ ExperimentRunner::run(const Sweep &sweep) const
 
     // Resume: serve every job already `ok` in the manifest from its
     // checkpoint entry; anything else (absent, failed, timed out) runs.
+    // Lookup tries the content-addressed JobKey first, then the legacy
+    // label-based key, so manifests written before PR 9 still resume.
     std::vector<std::size_t> pending;
     pending.reserve(jobs.size());
     if (opts.resume) {
         const auto entries =
             loadCheckpoint(opts.checkpointPath, /*mustExist=*/true);
         for (const auto &job : jobs) {
-            const auto it = entries.find(checkpointKey(job));
+            auto it = entries.find(checkpointKey(job));
+            if (it == entries.end())
+                it = entries.find(legacyJobKey(job));
             if (it != entries.end() &&
                 it->second.status == JobStatus::Ok &&
                 it->second.sweep == sweep.name) {
-                out.jobs[job.index] = fromCheckpoint(it->second, job);
+                out.jobs[job.index] =
+                    rebuildJobResult(it->second, job, accountant);
             } else {
                 pending.push_back(job.index);
             }
@@ -514,7 +492,7 @@ ExperimentRunner::run(const Sweep &sweep) const
     // Fresh results stream to the manifest as they finish, so a killed
     // sweep keeps everything completed so far.
     const auto runOne = [&](std::size_t i) {
-        out.jobs[i] = runGuarded(jobs[i]);
+        out.jobs[i] = runJobGuarded(jobs[i]);
         if (writer)
             writer->append(out.jobs[i]);
     };

@@ -179,10 +179,13 @@ std::uint64_t hashString(std::string_view s);
  * Per-job observability outputs.
  *
  * Jobs run concurrently on the worker pool, so every enabled output is a
- * *per-job* file: the job's checkpoint key ("workload|config|seed",
- * sanitized to filename-safe characters) is inserted before the path's
- * extension — `trace.json` becomes `trace.vecAdd-base-0.json`. The suffix
- * is applied even for single-job sweeps, so output names are predictable.
+ * *per-job* file: the job's human-readable legacy key
+ * ("workload|configLabel|seed", sanitized to filename-safe characters)
+ * is inserted before the path's extension — `trace.json` becomes
+ * `trace.vecAdd-base-0.json`. The suffix is applied even for single-job
+ * sweeps, so output names are predictable. (Filenames keep the label
+ * form on purpose; the content-addressed exp::JobKey is for result
+ * identity, not for humans picking a trace file out of a directory.)
  */
 struct ObsOptions
 {
@@ -303,29 +306,31 @@ class ExperimentRunner
      *  serial reference path. Exceptions propagate. */
     JobResult runJob(const Job &job) const;
 
+    /**
+     * Run a single job under the full fault-tolerance machinery:
+     * exception capture, watchdog timeout, bounded retries. Never
+     * throws; failures land in the returned JobResult's status. This is
+     * the per-job entry point the sweep service schedules cache misses
+     * on; callers owning long-lived runners should reapStrays()
+     * periodically when the watchdog is enabled.
+     */
+    JobResult runJobGuarded(const Job &job) const;
+
+    /** Join watchdog-abandoned attempt threads that finished in the
+     *  grace period; detach (with a warning) any still wedged. run()
+     *  calls this at the end of every sweep. */
+    void reapStrays() const;
+
   private:
     /** One attempt, hook included; throws on injected/real failure. */
     JobResult execute(const Job &job, unsigned attempt,
                       const std::atomic<bool> &abandoned) const;
-
-    /** Exception capture + watchdog + retry around execute(). Never
-     *  throws; failures land in the returned JobResult's status. */
-    JobResult runGuarded(const Job &job) const;
 
     /** One attempt under the wall-clock watchdog. Returns false on
      *  timeout (the attempt thread is parked for reapStrays()). */
     bool attemptWithWatchdog(const Job &job, unsigned attempt,
                              JobResult &result, std::string &error,
                              bool &timedOut) const;
-
-    /** Rebuild a JobResult from its checkpoint entry (energy is
-     *  recomputed — account() is deterministic, so bytes match). */
-    JobResult fromCheckpoint(const CheckpointEntry &entry,
-                             const Job &job) const;
-
-    /** Join watchdog-abandoned attempt threads that finished in the
-     *  grace period; detach (with a warning) any still wedged. */
-    void reapStrays() const;
 
     /** A watchdog-abandoned attempt thread awaiting reaping. */
     struct Stray

@@ -1,0 +1,71 @@
+#include "exp/job_key.hh"
+
+#include "common/random.hh"
+
+namespace pilotrf::exp
+{
+
+namespace
+{
+
+/** Fold bytes into a running splitmix64 chain seeded by `salt`. */
+std::uint64_t
+foldBytes(std::uint64_t salt, const std::string &text)
+{
+    std::uint64_t h = splitmix64(salt ^ text.size());
+    for (const char c : text)
+        h = hashCombine(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+void
+hexU64(std::string &out, std::uint64_t v)
+{
+    static const char digits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out += digits[(v >> shift) & 0xf];
+}
+
+} // namespace
+
+std::string
+ConfigHash::hex() const
+{
+    std::string out;
+    out.reserve(32);
+    hexU64(out, hi);
+    hexU64(out, lo);
+    return out;
+}
+
+ConfigHash
+canonicalConfigHash(const sim::SimConfig &cfg)
+{
+    const std::string text = cfg.jsonText();
+    // Two independent salts give 128 independent bits from one pass
+    // discipline; the constants are arbitrary odd 64-bit numbers.
+    return {foldBytes(0x9e3779b97f4a7c15ull, text),
+            foldBytes(0xc2b2ae3d27d4eb4full, text)};
+}
+
+std::string
+JobKey::str() const
+{
+    return workload + "|cfg:" + configHash.hex() + "|" +
+           std::to_string(seed);
+}
+
+JobKey
+jobKey(const Job &job)
+{
+    return {job.workload, canonicalConfigHash(job.cfg), job.seed};
+}
+
+std::string
+legacyJobKey(const Job &job)
+{
+    return job.workload + "|" + job.configLabel + "|" +
+           std::to_string(job.seed);
+}
+
+} // namespace pilotrf::exp

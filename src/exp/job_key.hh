@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Content-addressed job identity: the public replacement for the old
+ * string-spliced "workload|configLabel|seed" keys.
+ *
+ * A job's result is a pure function of (workload name, configuration
+ * *contents*, seed) — the config *label* is presentation, not identity:
+ * two sweeps that call the same `SimConfig` "base" and "baseline" denote
+ * the same simulations. `JobKey` captures exactly the function inputs by
+ * hashing the canonical `SimConfig::toJson` document, so checkpoint
+ * manifests and the sweep service's ResultStore can share results across
+ * sweeps, relabelled configs, and concurrent clients.
+ *
+ * Key strings are `workload|cfg:<32 hex digits>|seed`. The legacy
+ * label-based form is still *accepted* when loading old manifests
+ * (`legacyJobKey()`), but everything writes the content-addressed form.
+ */
+
+#ifndef PILOTRF_EXP_JOB_KEY_HH
+#define PILOTRF_EXP_JOB_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "exp/experiment.hh"
+
+namespace pilotrf::exp
+{
+
+/**
+ * A 128-bit hash of a canonical configuration document. Two halves of
+ * independent splitmix64 byte-folds: 64 bits would already make
+ * accidental collisions across a design-space sweep implausible; 128
+ * keeps them implausible across a long-lived shared result store.
+ */
+struct ConfigHash
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    /** 32 lowercase hex digits, hi half first. */
+    std::string hex() const;
+
+    friend bool operator==(const ConfigHash &a, const ConfigHash &b)
+    {
+        return a.hi == b.hi && a.lo == b.lo;
+    }
+    friend bool operator!=(const ConfigHash &a, const ConfigHash &b)
+    {
+        return !(a == b);
+    }
+};
+
+/**
+ * Hash of the canonical JSON rendering of `cfg` (`SimConfig::toJson`
+ * emits every field in declaration order, so equal configs always render
+ * to equal bytes). Stable across processes and platforms — the same
+ * guarantee job seeds make.
+ */
+ConfigHash canonicalConfigHash(const sim::SimConfig &cfg);
+
+/** The identity of one simulation: what its result depends on. */
+struct JobKey
+{
+    std::string workload;
+    ConfigHash configHash;
+    std::uint64_t seed = 0;
+
+    /** The canonical key string: "workload|cfg:<hex>|seed". */
+    std::string str() const;
+
+    friend bool operator==(const JobKey &a, const JobKey &b)
+    {
+        return a.seed == b.seed && a.configHash == b.configHash &&
+               a.workload == b.workload;
+    }
+};
+
+/** The key of a job (hashes job.cfg; cache the string if used hot). */
+JobKey jobKey(const Job &job);
+
+/** The pre-PR-9 label-based key, "workload|configLabel|seed": accepted
+ *  when loading old checkpoint manifests, and still the stem of per-job
+ *  output *filenames*, where a human-readable label beats a hash. */
+std::string legacyJobKey(const Job &job);
+
+} // namespace pilotrf::exp
+
+#endif // PILOTRF_EXP_JOB_KEY_HH

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/version.hh"
+
 namespace pilotrf::exp
 {
 
@@ -151,6 +153,12 @@ writeJson(const SweepResult &result, std::ostream &os,
         os << "\n  }";
     }
     if (opts.includeTiming) {
+        // Provenance, like engine/workers: which simulator produced the
+        // numbers. Gated so deterministic-bytes reports stay comparable
+        // across releases that do NOT change stats (a stat-affecting
+        // change bumps kStatSchemaRev and is *supposed* to diff).
+        field(os, 1, "version", first);
+        jsonString(os, versionString());
         field(os, 1, "threads", first);
         jsonNumber(os, result.threads);
         field(os, 1, "wallSeconds", first);

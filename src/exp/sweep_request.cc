@@ -1,0 +1,229 @@
+/**
+ * @file
+ * SweepRequest <-> JSON and lowering to exp::Sweep. The writer emits
+ * every field in declaration order; the reader starts from the defaults
+ * and strictly rejects unknown keys, mistyped values and unknown
+ * sweep/workload names, so a request typo fails loudly — with an
+ * exception the sweep service can turn into an error reply instead of a
+ * dead daemon.
+ */
+
+#include "exp/sweep_request.hh"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/json.hh"
+#include "common/stats.hh"
+#include "exp/sweeps.hh"
+#include "workloads/workloads.hh"
+
+namespace pilotrf::exp
+{
+
+namespace
+{
+
+[[noreturn]] void
+bad(const std::string &what)
+{
+    throw std::runtime_error("SweepRequest JSON: " + what);
+}
+
+double
+asNumber(const char *key, const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Number)
+        bad(std::string("field '") + key + "' must be a number");
+    return v.number;
+}
+
+unsigned
+asUnsigned(const char *key, const JsonValue &v)
+{
+    const double n = asNumber(key, v);
+    if (n < 0 || n != std::floor(n))
+        bad(std::string("field '") + key +
+            "' must be a non-negative integer");
+    return unsigned(n);
+}
+
+std::uint64_t
+asU64(const char *key, const JsonValue &v)
+{
+    const double n = asNumber(key, v);
+    if (n < 0 || n != std::floor(n))
+        bad(std::string("field '") + key +
+            "' must be a non-negative integer");
+    return std::uint64_t(n);
+}
+
+bool
+asBool(const char *key, const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::Bool)
+        bad(std::string("field '") + key + "' must be a boolean");
+    return v.boolean;
+}
+
+const std::string &
+asString(const char *key, const JsonValue &v)
+{
+    if (v.kind != JsonValue::Kind::String)
+        bad(std::string("field '") + key + "' must be a string");
+    return v.str;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    for (const auto &w : workloads::allWorkloads())
+        if (w.name == name)
+            return true;
+    return false;
+}
+
+bool
+knownSweep(const std::string &name)
+{
+    for (const auto &n : sweepNames())
+        if (n == name)
+            return true;
+    return false;
+}
+
+} // namespace
+
+void
+SweepRequest::toJson(std::ostream &os, unsigned depth) const
+{
+    const std::string pad(2 * (depth + 1), ' ');
+    bool first = true;
+    os << "{";
+    const auto key = [&](const char *k) {
+        os << (first ? "\n" : ",\n") << pad;
+        first = false;
+        jsonString(os, k);
+        os << ": ";
+    };
+    key("sweep");
+    jsonString(os, sweep);
+    key("workloads");
+    os << "[";
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        os << (i ? ", " : "");
+        jsonString(os, workloads[i]);
+    }
+    os << "]";
+    key("config");
+    if (config)
+        config->toJson(os, depth + 1);
+    else
+        os << "null";
+    key("configLabel");
+    jsonString(os, configLabel);
+    key("seeds");
+    jsonNumber(os, double(seeds));
+    key("baseSeed");
+    jsonNumber(os, double(baseSeed));
+    key("workers");
+    jsonNumber(os, double(workers));
+    key("includeTiming");
+    os << (includeTiming ? "true" : "false");
+    key("includeKernels");
+    os << (includeKernels ? "true" : "false");
+    os << "\n" << pad.substr(2) << "}";
+}
+
+std::string
+SweepRequest::jsonText() const
+{
+    std::ostringstream os;
+    toJson(os);
+    os << "\n";
+    return os.str();
+}
+
+SweepRequest
+SweepRequest::fromJson(const JsonValue &v)
+{
+    SweepRequest r;
+    if (!v.isObject())
+        bad("document must be an object");
+    for (const auto &[key, val] : v.object) {
+        if (key == "sweep")
+            r.sweep = asString("sweep", val);
+        else if (key == "workloads") {
+            if (!val.isArray())
+                bad("field 'workloads' must be an array of strings");
+            r.workloads.clear();
+            for (const auto &w : val.array)
+                r.workloads.push_back(asString("workloads[]", w));
+        } else if (key == "config") {
+            if (val.kind == JsonValue::Kind::Null)
+                r.config.reset();
+            else
+                r.config = sim::SimConfig::fromJson(val);
+        } else if (key == "configLabel")
+            r.configLabel = asString("configLabel", val);
+        else if (key == "seeds")
+            r.seeds = asUnsigned("seeds", val);
+        else if (key == "baseSeed")
+            r.baseSeed = asU64("baseSeed", val);
+        else if (key == "workers")
+            r.workers = asUnsigned("workers", val);
+        else if (key == "includeTiming")
+            r.includeTiming = asBool("includeTiming", val);
+        else if (key == "includeKernels")
+            r.includeKernels = asBool("includeKernels", val);
+        else
+            bad("unknown key '" + key + "'");
+    }
+    if (r.seeds == 0)
+        bad("field 'seeds' must be >= 1");
+    if (r.configLabel.empty())
+        bad("field 'configLabel' must not be empty");
+    if (!knownSweep(r.sweep))
+        bad("unknown sweep '" + r.sweep + "'");
+    for (const auto &w : r.workloads)
+        if (!knownWorkload(w))
+            bad("unknown workload '" + w + "'");
+    return r;
+}
+
+SweepRequest
+SweepRequest::fromJsonText(std::string_view text)
+{
+    JsonValue v;
+    std::string error;
+    if (!jsonParse(text, v, &error))
+        bad("parse error: " + error);
+    return fromJson(v);
+}
+
+Sweep
+SweepRequest::toSweep() const
+{
+    Sweep s = namedSweep(sweep);
+    if (!workloads.empty())
+        s.workloads = workloads;
+    if (config)
+        s.configs = {{configLabel, *config}};
+    s.baseSeed = baseSeed;
+    s.seeds.clear();
+    for (unsigned i = 0; i < seeds; ++i)
+        s.seeds.push_back(i);
+    return s;
+}
+
+ReportOptions
+SweepRequest::reportOptions() const
+{
+    ReportOptions o;
+    o.includeTiming = includeTiming;
+    o.includeKernels = includeKernels;
+    return o;
+}
+
+} // namespace pilotrf::exp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The one sweep-request schema: what a caller may ask the experiment
+ * runner to compute, as data.
+ *
+ * Before PR 9 the CLI flags of `pilotrf_run` were the only way to
+ * describe "run sweep X under config Y with N seeds", and the flag
+ * parser lowered them straight into an `exp::Sweep` inline. The sweep
+ * service needs the same description to arrive over a socket, so the
+ * description becomes a struct with strict JSON to/from (mirroring
+ * `SimConfig`: unknown keys and mistyped values throw). All three entry
+ * points — CLI flags, `--request file.json` batch runs, and server-mode
+ * requests — build a `SweepRequest` and lower it through `toSweep()`,
+ * so a request means exactly the same jobs everywhere.
+ */
+
+#ifndef PILOTRF_EXP_SWEEP_REQUEST_HH
+#define PILOTRF_EXP_SWEEP_REQUEST_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+
+namespace pilotrf::exp
+{
+
+/**
+ * A validated request for one sweep. Field semantics match the
+ * long-standing CLI flags of the same names; every field has the
+ * default that flag had, so `{}` is the classic `--sweep smoke` run.
+ */
+struct SweepRequest
+{
+    /** Named sweep (exp/sweeps.hh registry) providing the base axes. */
+    std::string sweep = "smoke";
+
+    /** Optional workload-axis override (registry names); empty keeps
+     *  the named sweep's workloads. */
+    std::vector<std::string> workloads;
+
+    /** Optional config-axis override: one SimConfig replacing the named
+     *  sweep's config variants (the `--config FILE` behaviour). */
+    std::optional<sim::SimConfig> config;
+
+    /** Label of the override config in reports and keys. */
+    std::string configLabel = "config";
+
+    /** Replicate every job under this many deterministic seeds (0..N-1
+     *  as the seed axis); must be >= 1. */
+    unsigned seeds = 1;
+
+    /** Base seed mixed into every derived job seed. */
+    std::uint64_t baseSeed = 0;
+
+    /** Per-job Gpu engine workers (0 = the config's numWorkers knob).
+     *  Purely a wall-clock knob: results are byte-identical at any
+     *  value. */
+    unsigned workers = 0;
+
+    /** Report shape: wall-clock/provenance fields and per-kernel
+     *  arrays (the --no-timing / --no-kernels flags, inverted). */
+    bool includeTiming = true;
+    bool includeKernels = true;
+
+    /**
+     * Write the request as a JSON object, fields in declaration order,
+     * omitting nothing (a dumped request is a complete, self-describing
+     * document). `depth` is the starting indentation level.
+     */
+    void toJson(std::ostream &os, unsigned depth = 0) const;
+
+    /** toJson() as a string (ends with a newline). */
+    std::string jsonText() const;
+
+    /**
+     * Build a request from a parsed JSON object. Starts from the
+     * defaults, so a partial document overrides only what it names.
+     * Throws std::runtime_error on an unknown key, a mistyped value, an
+     * invalid field (seeds == 0), or an unknown sweep/workload name —
+     * a request typo must never silently run the wrong thing.
+     */
+    static SweepRequest fromJson(const JsonValue &v);
+
+    /** Parse `text` and delegate to fromJson(). Throws
+     *  std::runtime_error on malformed JSON. */
+    static SweepRequest fromJsonText(std::string_view text);
+
+    /**
+     * Lower the request to the sweep it denotes: the named sweep with
+     * the workload/config axes overridden as requested and the seed
+     * axis expanded to 0..seeds-1. fatal()s on an unknown sweep name
+     * (like exp::namedSweep); fromJson validates names first, so
+     * requests that arrived as JSON fail softly instead.
+     */
+    Sweep toSweep() const;
+
+    /** The report options the request asks for. */
+    ReportOptions reportOptions() const;
+};
+
+} // namespace pilotrf::exp
+
+#endif // PILOTRF_EXP_SWEEP_REQUEST_HH

@@ -1,0 +1,278 @@
+#include "svc/net.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace pilotrf::svc
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "PILOTRF-SVC1";
+
+/** write() the whole buffer, retrying on EINTR/short writes. */
+bool
+writeAll(int fd, const char *data, std::size_t len)
+{
+    while (len > 0) {
+        const ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= std::size_t(n);
+    }
+    return true;
+}
+
+bool
+writeAll(int fd, const std::string &s)
+{
+    return writeAll(fd, s.data(), s.size());
+}
+
+/** Byte-at-a-time reader (the protocol is header-then-blob; the blob
+ *  read below is bulk, so this never dominates). */
+class FdReader
+{
+  public:
+    explicit FdReader(int fd) : fd(fd) {}
+
+    /** Read up to (and including) '\n'; false on EOF/error. The
+     *  newline is stripped from `line`. */
+    bool readLine(std::string &line)
+    {
+        line.clear();
+        char c;
+        for (;;) {
+            const ssize_t n = ::read(fd, &c, 1);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0)
+                return false;
+            if (c == '\n')
+                return true;
+            line += c;
+            if (line.size() > (std::size_t(1) << 20))
+                return false; // runaway header
+        }
+    }
+
+    /** Read exactly len bytes; false on EOF/error. */
+    bool readExact(std::string &out, std::size_t len)
+    {
+        out.clear();
+        out.resize(len);
+        std::size_t got = 0;
+        while (got < len) {
+            const ssize_t n = ::read(fd, out.data() + got, len - got);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (n == 0)
+                return false;
+            got += std::size_t(n);
+        }
+        return true;
+    }
+
+  private:
+    int fd;
+};
+
+/** Parse "PILOTRF-SVC1 <nbytes>" -> nbytes; false on malformed. */
+bool
+parseRequestHeader(const std::string &line, std::size_t &nbytes)
+{
+    std::istringstream is(line);
+    std::string magic;
+    if (!(is >> magic >> nbytes) || magic != kMagic)
+        return false;
+    // An outlandish length is a framing error, not a request.
+    return nbytes > 0 && nbytes <= (std::size_t(1) << 24);
+}
+
+bool
+bindTo(int fd, const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return ::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) == 0;
+}
+
+bool
+connectTo(int fd, const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)) == 0;
+}
+
+void
+sendError(int fd, const std::string &message)
+{
+    // Keep the terminator line single-line whatever the exception said.
+    std::string clean = message;
+    for (char &c : clean)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    writeAll(fd, "#error " + clean + "\n");
+}
+
+/** One connection: read the request, stream status, send the report. */
+void
+handleConnection(int fd, SweepService &service)
+{
+    FdReader reader(fd);
+    std::string header;
+    std::size_t nbytes = 0;
+    if (!reader.readLine(header) || !parseRequestHeader(header, nbytes)) {
+        sendError(fd, "malformed request header (want \"" +
+                          std::string(kMagic) + " <nbytes>\")");
+        ::close(fd);
+        return;
+    }
+    std::string body;
+    if (!reader.readExact(body, nbytes)) {
+        sendError(fd, "short request body");
+        ::close(fd);
+        return;
+    }
+
+    try {
+        const exp::SweepRequest request =
+            exp::SweepRequest::fromJsonText(body);
+        // Status lines flow as cells resolve; a dropped client just
+        // makes these writes fail silently, and the report write below
+        // fails the same way — the daemon never dies with a client.
+        const std::string report =
+            service.report(request, [fd](const std::string &line) {
+                writeAll(fd, line + "\n");
+            });
+        writeAll(fd, "#report " + std::to_string(report.size()) + "\n");
+        writeAll(fd, report);
+    } catch (const std::exception &e) {
+        sendError(fd, e.what());
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+serve(const std::string &sockPath, SweepService &service,
+      unsigned maxConns)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errno ? errno : 1;
+    ::unlink(sockPath.c_str());
+    if (!bindTo(fd, sockPath)) {
+        const int err = errno ? errno : 1;
+        warn("sweep service: cannot bind '%s': %s", sockPath.c_str(),
+             std::strerror(err));
+        ::close(fd);
+        return err;
+    }
+    if (::listen(fd, 64) != 0) {
+        const int err = errno ? errno : 1;
+        ::close(fd);
+        return err;
+    }
+    inform("sweep service: listening on %s", sockPath.c_str());
+
+    std::vector<std::jthread> handlers;
+    for (unsigned accepted = 0; maxConns == 0 || accepted < maxConns;
+         ++accepted) {
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno ? errno : 1;
+            ::close(fd);
+            return err;
+        }
+        handlers.emplace_back(
+            [conn, &service] { handleConnection(conn, service); });
+    }
+    handlers.clear(); // join: finish in-flight replies before teardown
+    ::close(fd);
+    ::unlink(sockPath.c_str());
+    return 0;
+}
+
+int
+runClient(const std::string &sockPath, const std::string &requestJson,
+          std::ostream &reportOut, std::ostream &statusOut)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errno ? errno : 1;
+    if (!connectTo(fd, sockPath)) {
+        const int err = errno ? errno : 1;
+        warn("sweep client: cannot connect to '%s': %s", sockPath.c_str(),
+             std::strerror(err));
+        ::close(fd);
+        return err;
+    }
+    if (!writeAll(fd, std::string(kMagic) + " " +
+                          std::to_string(requestJson.size()) + "\n") ||
+        !writeAll(fd, requestJson)) {
+        ::close(fd);
+        return EPIPE;
+    }
+
+    FdReader reader(fd);
+    std::string line;
+    while (reader.readLine(line)) {
+        if (line.rfind("#report ", 0) == 0) {
+            const std::size_t n =
+                std::stoull(line.substr(std::strlen("#report ")));
+            std::string report;
+            if (!reader.readExact(report, n)) {
+                ::close(fd);
+                return EPROTO;
+            }
+            reportOut << report;
+            ::close(fd);
+            return 0;
+        }
+        if (line.rfind("#error ", 0) == 0) {
+            warn("sweep client: daemon error: %s",
+                 line.substr(std::strlen("#error ")).c_str());
+            ::close(fd);
+            return 3;
+        }
+        statusOut << line << "\n";
+    }
+    ::close(fd);
+    return EPROTO; // connection ended without a terminator line
+}
+
+} // namespace pilotrf::svc

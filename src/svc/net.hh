@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The wire protocol of the sweep service: SweepRequests over a Unix
+ * domain stream socket, status lines and the report back.
+ *
+ * One connection serves one request:
+ *
+ *   client -> server:  "PILOTRF-SVC1 <nbytes>\n" + <nbytes of request JSON>
+ *   server -> client:  zero or more status lines, each a single-line
+ *                      JSON document terminated by '\n' (the
+ *                      SweepService status stream: per-job source/
+ *                      status events, then one summary line);
+ *                      then exactly one of
+ *                        "#report <nbytes>\n" + <nbytes of JSON report>
+ *                        "#error <message>\n"
+ *                      and the server closes the connection.
+ *
+ * Status lines start with '{' and the terminator lines with '#', so a
+ * client needs no lookahead. The framing is deliberately dumb — a
+ * length-prefixed request dodges "is the JSON document complete yet"
+ * parsing, and the report (a multi-line pretty document) streams as an
+ * opaque byte range, preserving the byte-identity guarantees the rest
+ * of the repository is built on.
+ */
+
+#ifndef PILOTRF_SVC_NET_HH
+#define PILOTRF_SVC_NET_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "svc/sweep_service.hh"
+
+namespace pilotrf::svc
+{
+
+/**
+ * Serve requests on a Unix socket at `sockPath` (unlinked and re-bound
+ * on entry; stale sockets from a previous daemon never block startup).
+ * Each connection is handled on its own thread, so concurrent clients
+ * exercise the service's single-flight dedup.
+ *
+ * @param maxConns return after accepting this many connections
+ *        (deterministic teardown for tests/CI); 0 = serve forever.
+ * @return 0 on clean exit; nonzero errno-style code on socket failure.
+ */
+int serve(const std::string &sockPath, SweepService &service,
+          unsigned maxConns = 0);
+
+/**
+ * Submit one request to a serving daemon and demultiplex the reply:
+ * report bytes to `reportOut`, status lines (newline-terminated) to
+ * `statusOut`.
+ *
+ * @return 0 when a report was received, 3 when the daemon replied
+ *         "#error", nonzero errno-style code on connect/protocol
+ *         failure.
+ */
+int runClient(const std::string &sockPath, const std::string &requestJson,
+              std::ostream &reportOut, std::ostream &statusOut);
+
+} // namespace pilotrf::svc
+
+#endif // PILOTRF_SVC_NET_HH

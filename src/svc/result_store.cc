@@ -1,0 +1,180 @@
+#include "svc/result_store.hh"
+
+#include "common/logging.hh"
+
+namespace pilotrf::svc
+{
+
+ResultStore::ResultStore(std::string path_, std::string fingerprint_,
+                         std::size_t maxEntries_)
+    : path(std::move(path_)), fp(std::move(fingerprint_)),
+      maxEntries(maxEntries_)
+{
+    load();
+}
+
+void
+ResultStore::load()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    bool dirty = false;
+    if (!path.empty()) {
+        std::ifstream in(path);
+        std::string line;
+        std::size_t lineNo = 0;
+        while (in && std::getline(in, line)) {
+            ++lineNo;
+            if (line.empty())
+                continue;
+            std::string err;
+            auto e = exp::parseCheckpointLine(line, &err);
+            if (!e || e->status != exp::JobStatus::Ok ||
+                e->fingerprint != fp) {
+                // Stale fingerprint, malformed, or a non-ok fragment
+                // that should never have been cached: drop it. The
+                // fingerprint case is the versioned invalidation — a
+                // simulator whose stats can differ must not serve
+                // entries an older one computed.
+                ++stats.invalidated;
+                dirty = true;
+                continue;
+            }
+            const auto it = entries.find(e->key);
+            if (it != entries.end()) {
+                // Duplicate key (append after a crash-interrupted
+                // compaction): last line wins, like the manifest.
+                lru.erase(it->second.lruPos);
+                entries.erase(it);
+                ++stats.invalidated;
+                dirty = true;
+            }
+            const std::string key = e->key;
+            const auto lruPos = lru.insert(lru.end(), key);
+            entries[key] = Slot{std::move(*e), line, lruPos};
+        }
+    }
+    if (maxEntries && entries.size() > maxEntries) {
+        dirty = true;
+        while (entries.size() > maxEntries) {
+            const std::string victim = lru.front();
+            lru.pop_front();
+            entries.erase(victim);
+            ++stats.evictions;
+        }
+    }
+    if (!path.empty()) {
+        if (dirty) {
+            // Physically remove dropped entries instead of re-skipping
+            // them on every open.
+            std::ofstream out(path, std::ios::trunc);
+            for (const auto &key : lru)
+                out << entries.at(key).line << "\n";
+        }
+        appender.open(path, std::ios::app);
+        if (!appender)
+            fatal("result store: cannot open '%s' for appending",
+                  path.c_str());
+    }
+}
+
+std::optional<exp::CheckpointEntry>
+ResultStore::get(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = entries.find(key);
+    if (it == entries.end()) {
+        ++stats.misses;
+        return std::nullopt;
+    }
+    ++stats.hits;
+    lru.splice(lru.end(), lru, it->second.lruPos); // refresh recency
+    return it->second.entry;
+}
+
+bool
+ResultStore::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.count(key) != 0;
+}
+
+void
+ResultStore::put(const std::string &key, const exp::JobResult &result)
+{
+    if (result.status != exp::JobStatus::Ok)
+        return;
+    // Serialize through the checkpoint-line format and parse it back,
+    // so what get() returns now is byte-for-byte what a restarted
+    // daemon would read from disk.
+    const std::string line = exp::checkpointLine("store", result, fp);
+    std::string err;
+    auto entry = exp::parseCheckpointLine(line, &err);
+    if (!entry)
+        panic("result store: unparseable self-written line (%s)",
+              err.c_str());
+
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = entries.find(key);
+    if (it != entries.end()) {
+        // Re-put of a cached key (two requests raced past the store
+        // check): identical content, just refresh recency.
+        lru.splice(lru.end(), lru, it->second.lruPos);
+        return;
+    }
+    const auto lruPos = lru.insert(lru.end(), key);
+    entries[key] = Slot{std::move(*entry), line, lruPos};
+    ++stats.puts;
+    if (appender.is_open()) {
+        appender << line << "\n";
+        appender.flush();
+    }
+    if (maxEntries && entries.size() > maxEntries)
+        evictLocked();
+}
+
+void
+ResultStore::evictLocked()
+{
+    while (entries.size() > maxEntries) {
+        const std::string victim = lru.front();
+        lru.pop_front();
+        entries.erase(victim);
+        ++stats.evictions;
+    }
+    if (appender.is_open()) {
+        appender.close();
+        std::ofstream out(path, std::ios::trunc);
+        for (const auto &key : lru)
+            out << entries.at(key).line << "\n";
+        appender.open(path, std::ios::app);
+    }
+}
+
+void
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (!appender.is_open())
+        return;
+    appender.close();
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto &key : lru)
+        out << entries.at(key).line << "\n";
+    appender.open(path, std::ios::app);
+}
+
+std::size_t
+ResultStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return entries.size();
+}
+
+StoreCounters
+ResultStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return stats;
+}
+
+} // namespace pilotrf::svc

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The content-addressed result cache of the sweep service.
+ *
+ * Keys are `exp::JobKey` strings (workload name + hash of the canonical
+ * `SimConfig` JSON + seed); values are the same per-job fragments the
+ * checkpoint manifest stores, so a cached cell rebuilds a JobResult
+ * byte-identical (timing fields aside) to a fresh run. The store is
+ * disk-backed as a JSONL file of checkpoint lines and survives daemon
+ * restarts.
+ *
+ * Versioned invalidation: every line records the simulator fingerprint
+ * (`versionString()`) that produced it. A store opened by a simulator
+ * with a different fingerprint drops every stale entry and compacts the
+ * file — a stat-affecting change (which bumps `kStatSchemaRev`) can
+ * never serve pre-change results.
+ *
+ * Eviction: `maxEntries` bounds the store (0 = unbounded). The store is
+ * LRU within a process lifetime — get() refreshes recency — and
+ * persists recency as file order at each compaction, so restart
+ * recency is "as of the last compaction", which is all a cache needs.
+ */
+
+#ifndef PILOTRF_SVC_RESULT_STORE_HH
+#define PILOTRF_SVC_RESULT_STORE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "exp/checkpoint.hh"
+
+namespace pilotrf::svc
+{
+
+/** Lifetime counters of one store instance (monitoring / tests). */
+struct StoreCounters
+{
+    std::uint64_t hits = 0;        ///< get() found a live entry
+    std::uint64_t misses = 0;      ///< get() found nothing
+    std::uint64_t puts = 0;        ///< entries written
+    std::uint64_t evictions = 0;   ///< entries dropped by the size bound
+    std::uint64_t invalidated = 0; ///< entries dropped on open: stale
+                                   ///< fingerprint / malformed / dup
+};
+
+class ResultStore
+{
+  public:
+    /**
+     * Open (creating if absent) the store at `path`.
+     *
+     * @param path JSONL file backing the store; "" = memory-only.
+     * @param fingerprint the simulator fingerprint entries must match;
+     *        normally pilotrf::versionString() (tests inject others).
+     * @param maxEntries size bound; 0 = unbounded.
+     */
+    explicit ResultStore(std::string path,
+                         std::string fingerprint,
+                         std::size_t maxEntries = 0);
+
+    /** Cached entry for the JobKey string, refreshing its recency;
+     *  nullopt on miss. Thread-safe. */
+    std::optional<exp::CheckpointEntry> get(const std::string &key);
+
+    /** True if the key is cached, *without* touching recency or the
+     *  hit/miss counters (single-flight planning peeks, then commits
+     *  with get()). Thread-safe. */
+    bool contains(const std::string &key) const;
+
+    /**
+     * Cache a finished ok job under its JobKey string, appending to the
+     * backing file and evicting least-recently-used entries past the
+     * size bound. Non-ok results are not cached (a failure is not a
+     * result, and a timeout may be a machine property). Thread-safe.
+     */
+    void put(const std::string &key, const exp::JobResult &result);
+
+    std::size_t size() const;
+    StoreCounters counters() const;
+    const std::string &fingerprint() const { return fp; }
+
+    /** Rewrite the backing file to exactly the live entries in recency
+     *  order (oldest first). Called automatically on open when stale
+     *  entries were dropped and on every eviction. */
+    void compact();
+
+  private:
+    void load();
+    void appendLine(const std::string &line);
+    void evictLocked();
+
+    struct Slot
+    {
+        exp::CheckpointEntry entry;
+        std::string line; ///< the serialized form, for compaction
+        std::list<std::string>::iterator lruPos;
+    };
+
+    mutable std::mutex mu;
+    std::string path;
+    std::string fp;
+    std::size_t maxEntries;
+    std::map<std::string, Slot> entries;
+    std::list<std::string> lru; ///< keys, least recently used first
+    std::ofstream appender;     ///< open only when `path` is non-empty
+    StoreCounters stats;
+};
+
+} // namespace pilotrf::svc
+
+#endif // PILOTRF_SVC_RESULT_STORE_HH

@@ -1,0 +1,205 @@
+#include "svc/sweep_service.hh"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/version.hh"
+#include "exp/job_key.hh"
+#include "exp/report.hh"
+
+namespace pilotrf::svc
+{
+
+namespace
+{
+
+/** One compact status line: {"type":"job",...} (no newline). */
+std::string
+jobStatusLine(const exp::Job &job, const std::string &key,
+              const char *source, const exp::JobResult &r)
+{
+    std::ostringstream os;
+    os << "{\"type\":\"job\",\"key\":";
+    jsonString(os, key);
+    os << ",\"workload\":";
+    jsonString(os, job.workload);
+    os << ",\"config\":";
+    jsonString(os, job.configLabel);
+    os << ",\"seed\":" << job.seed << ",\"source\":\"" << source
+       << "\",\"status\":";
+    jsonString(os, r.statusString());
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+SweepService::SweepService(ServiceOptions options)
+    : opts(std::move(options)),
+      resultStore(opts.storePath,
+                  opts.fingerprint.empty() ? versionString()
+                                           : opts.fingerprint,
+                  opts.storeMaxEntries)
+{
+    if (opts.threads == 0)
+        opts.threads = std::max(1u, std::thread::hardware_concurrency());
+    // The store is the persistence layer; a per-request checkpoint
+    // manifest would race between concurrent requests.
+    opts.runner.checkpointPath.clear();
+    opts.runner.resume = false;
+}
+
+exp::SweepResult
+SweepService::run(const exp::SweepRequest &request, const StatusFn &status,
+                  RequestStats *stats)
+{
+    const exp::Sweep sweep = request.toSweep();
+    const std::vector<exp::Job> jobs = exp::ExperimentRunner::expand(sweep);
+
+    exp::RunnerOptions ropts = opts.runner;
+    ropts.numWorkers = request.workers;
+    const exp::ExperimentRunner runner(1, ropts);
+
+    exp::SweepResult out;
+    out.sweep = sweep.name;
+    out.threads = opts.threads;
+    out.workloadCount = sweep.workloads.size();
+    out.configCount = sweep.configs.size();
+    out.seedCount = sweep.seeds.size();
+    out.jobs.resize(jobs.size());
+
+    RequestStats rs;
+    rs.jobs = jobs.size();
+    std::mutex rsMu;
+
+    const auto emit = [&](const std::string &line) {
+        if (!status)
+            return;
+        std::lock_guard<std::mutex> lock(statusMu);
+        status(line);
+    };
+
+    // One cell. Classification and execution must see a consistent
+    // (store, inflight) pair: a finishing request puts to the store
+    // *before* retiring its inflight cell, so no racer can miss both.
+    const auto serveOne = [&](const exp::Job &job) {
+        const std::string key = exp::checkpointKey(job);
+        std::shared_ptr<Cell> cell;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(inflightMu);
+            const auto it = inflight.find(key);
+            if (it != inflight.end()) {
+                cell = it->second; // join the in-flight computation
+            } else if (auto entry = resultStore.get(key)) {
+                exp::JobResult res =
+                    rebuildJobResult(*entry, job, accountant);
+                emit(jobStatusLine(job, key, "cache", res));
+                {
+                    std::lock_guard<std::mutex> slock(rsMu);
+                    ++rs.cacheHits;
+                }
+                out.jobs[job.index] = std::move(res);
+                return;
+            } else {
+                cell = std::make_shared<Cell>();
+                inflight[key] = cell;
+                owner = true;
+            }
+        }
+
+        if (owner) {
+            exp::JobResult res = runner.runJobGuarded(job);
+            resultStore.put(key, res); // before retiring the cell
+            {
+                std::lock_guard<std::mutex> lock(inflightMu);
+                inflight.erase(key);
+            }
+            {
+                std::lock_guard<std::mutex> lock(cell->mu);
+                cell->result = res;
+                cell->done = true;
+            }
+            cell->cv.notify_all();
+            emit(jobStatusLine(job, key, "run", res));
+            {
+                std::lock_guard<std::mutex> slock(rsMu);
+                ++rs.simulated;
+            }
+            out.jobs[job.index] = std::move(res);
+        } else {
+            std::unique_lock<std::mutex> lock(cell->mu);
+            cell->cv.wait(lock, [&] { return cell->done; });
+            exp::JobResult res = cell->result;
+            lock.unlock();
+            // The cell was computed for an identical JobKey, possibly
+            // under a different label/index: re-anchor presentation
+            // fields to *this* request's job.
+            res.job = job;
+            emit(jobStatusLine(job, key, "inflight", res));
+            {
+                std::lock_guard<std::mutex> slock(rsMu);
+                ++rs.joined;
+            }
+            out.jobs[job.index] = std::move(res);
+        }
+    };
+
+    const unsigned workers =
+        unsigned(std::min<std::size_t>(opts.threads, jobs.size()));
+    if (workers <= 1) {
+        for (const auto &job : jobs)
+            serveOne(job);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::jthread> pool;
+        pool.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const std::size_t n =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (n >= jobs.size())
+                        return;
+                    serveOne(jobs[n]);
+                }
+            });
+        }
+        pool.clear(); // join
+    }
+    runner.reapStrays();
+
+    const exp::SweepSummary sum = out.summary();
+    rs.ok = sum.ok;
+    rs.failed = sum.failed;
+    rs.timeout = sum.timeout;
+    if (stats)
+        *stats = rs;
+    if (status) {
+        std::ostringstream os;
+        os << "{\"type\":\"summary\",\"sweep\":";
+        jsonString(os, sweep.name);
+        os << ",\"jobs\":" << rs.jobs << ",\"cacheHits\":" << rs.cacheHits
+           << ",\"simulated\":" << rs.simulated
+           << ",\"joined\":" << rs.joined << ",\"ok\":" << rs.ok
+           << ",\"failed\":" << rs.failed << ",\"timeout\":" << rs.timeout
+           << ",\"storeSize\":" << resultStore.size() << ",\"fingerprint\":";
+        jsonString(os, resultStore.fingerprint());
+        os << "}";
+        emit(os.str());
+    }
+    return out;
+}
+
+std::string
+SweepService::report(const exp::SweepRequest &request,
+                     const StatusFn &status, RequestStats *stats)
+{
+    const exp::SweepResult res = run(request, status, stats);
+    return exp::toJsonString(res, request.reportOptions());
+}
+
+} // namespace pilotrf::svc

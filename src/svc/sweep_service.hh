@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The sweep service: design-space exploration as a long-lived,
+ * memoizing facility instead of a batch process.
+ *
+ * A `SweepService` accepts `exp::SweepRequest`s (the same validated
+ * schema the CLI lowers its flags into), expands them to jobs, and
+ * serves each cell from one of three sources:
+ *
+ *  - **cache** — the content-addressed ResultStore already holds the
+ *    cell (keyed by `exp::JobKey` + simulator fingerprint): served
+ *    instantly, byte-identical (timing aside) to a fresh run;
+ *  - **inflight** — another concurrent request is already computing the
+ *    identical cell: this request joins it (single-flight — a cell is
+ *    never simulated twice, no matter how many clients race);
+ *  - **run** — a genuine miss, executed on `ExperimentRunner`'s
+ *    fault-tolerant per-job machinery (watchdog, retries) and cached.
+ *
+ * Requests are assembled in job-submission order from per-cell results,
+ * so a request's report is byte-identical to a cold batch run of the
+ * same sweep (with timing fields off), whatever mix of sources served
+ * it — the soak test asserts exactly that from 8 hammering clients.
+ */
+
+#ifndef PILOTRF_SVC_SWEEP_SERVICE_HH
+#define PILOTRF_SVC_SWEEP_SERVICE_HH
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exp/sweep_request.hh"
+#include "power/energy_accountant.hh"
+#include "svc/result_store.hh"
+
+namespace pilotrf::svc
+{
+
+struct ServiceOptions
+{
+    /** Backing file of the ResultStore; "" = memory-only (cells still
+     *  dedupe and memoize for the daemon's lifetime). */
+    std::string storePath;
+
+    /** ResultStore size bound; 0 = unbounded. */
+    std::size_t storeMaxEntries = 0;
+
+    /** Worker threads *per request* for cache misses; 0 = all cores. */
+    unsigned threads = 0;
+
+    /** Baseline fault-tolerance knobs for miss execution (timeout,
+     *  retries, backoff, obs). checkpointPath/resume are ignored — the
+     *  ResultStore *is* the service's persistence. numWorkers is
+     *  overridden per request by SweepRequest::workers. */
+    exp::RunnerOptions runner;
+
+    /** Fingerprint the store validates against; "" = versionString().
+     *  Tests inject synthetic values to exercise invalidation. */
+    std::string fingerprint;
+};
+
+/** How one request's cells were served, plus their outcomes. */
+struct RequestStats
+{
+    std::size_t jobs = 0;
+    std::size_t cacheHits = 0; ///< served from the ResultStore
+    std::size_t simulated = 0; ///< executed by this request
+    std::size_t joined = 0;    ///< waited on another request's execution
+    std::size_t ok = 0;
+    std::size_t failed = 0;
+    std::size_t timeout = 0;
+};
+
+class SweepService
+{
+  public:
+    /** Per-event status callback: receives complete single-line JSON
+     *  documents (no newline). Invocations are serialized; relative
+     *  order of concurrent jobs' lines is nondeterministic, but the
+     *  summary line is always last. May be empty. */
+    using StatusFn = std::function<void(const std::string &line)>;
+
+    explicit SweepService(ServiceOptions options);
+
+    /** Serve one request: every cell from cache/inflight/run as
+     *  available. Thread-safe — concurrent calls dedupe against each
+     *  other. Throws std::runtime_error on an invalid request (unknown
+     *  sweep name reaching toSweep()). */
+    exp::SweepResult run(const exp::SweepRequest &request,
+                         const StatusFn &status = {},
+                         RequestStats *stats = nullptr);
+
+    /** run() rendered with the request's report options. */
+    std::string report(const exp::SweepRequest &request,
+                       const StatusFn &status = {},
+                       RequestStats *stats = nullptr);
+
+    ResultStore &store() { return resultStore; }
+
+  private:
+    /** Rendezvous of requests racing on one in-flight cell. */
+    struct Cell
+    {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        exp::JobResult result;
+    };
+
+    ServiceOptions opts;
+    ResultStore resultStore;
+    power::EnergyAccountant accountant;
+
+    std::mutex inflightMu;
+    std::map<std::string, std::shared_ptr<Cell>> inflight;
+
+    std::mutex statusMu; ///< serializes StatusFn invocations
+};
+
+} // namespace pilotrf::svc
+
+#endif // PILOTRF_SVC_SWEEP_SERVICE_HH

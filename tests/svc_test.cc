@@ -1,0 +1,590 @@
+/**
+ * @file
+ * The sweep-service contract: content-addressed job identity, the
+ * strict request schema, the ResultStore's persistence/eviction/
+ * invalidation behaviour, single-flight dedup under concurrent
+ * clients, and the wire protocol — anchored throughout on the repo's
+ * byte-identity guarantee: a cache- or daemon-served report equals a
+ * cold batch run, byte for byte, once timing fields are off.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/version.hh"
+#include "exp/checkpoint.hh"
+#include "exp/job_key.hh"
+#include "exp/report.hh"
+#include "exp/sweep_request.hh"
+#include "exp/sweeps.hh"
+#include "svc/net.hh"
+#include "svc/result_store.hh"
+#include "svc/sweep_service.hh"
+
+using namespace pilotrf;
+
+namespace
+{
+
+/** A fresh file path under the gtest temp dir. */
+std::string
+tmpPath(const char *tag)
+{
+    const std::string path =
+        ::testing::TempDir() + "pilotrf_svc_" + tag + ".jsonl";
+    std::remove(path.c_str());
+    return path;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+std::size_t
+lineCount(const std::string &path)
+{
+    std::ifstream is(path);
+    std::size_t n = 0;
+    for (std::string l; std::getline(is, l);)
+        ++n;
+    return n;
+}
+
+/** RAII execution-counting hook: how many times each cell really ran. */
+class ScopedCountingHook
+{
+  public:
+    ScopedCountingHook()
+    {
+        exp::setJobHook([this](const exp::Job &job, unsigned,
+                               const std::atomic<bool> &) {
+            std::lock_guard<std::mutex> lock(mu);
+            ++counts[exp::checkpointKey(job)];
+        });
+    }
+    ~ScopedCountingHook() { exp::clearJobHook(); }
+
+    std::map<std::string, unsigned> snapshot()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return counts;
+    }
+
+  private:
+    std::mutex mu;
+    std::map<std::string, unsigned> counts;
+};
+
+/** The two-job request most tests use: smoke's configs, one workload. */
+exp::SweepRequest
+tinyRequest()
+{
+    exp::SweepRequest req;
+    req.sweep = "smoke";
+    req.workloads = {"WP"};
+    req.includeTiming = false;
+    return req;
+}
+
+/** The batch-mode reference bytes for a request: expand and run on the
+ *  plain ExperimentRunner, render with the request's options. */
+std::string
+batchReference(const exp::SweepRequest &req)
+{
+    const exp::ExperimentRunner runner(2);
+    return exp::toJsonString(runner.run(req.toSweep()),
+                             req.reportOptions());
+}
+
+class SvcTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { exp::clearJobHook(); }
+};
+
+// ---------------------------------------------------------------------
+// JobKey: content-addressed identity.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, ConfigHashIsStableAndContentSensitive)
+{
+    const sim::SimConfig base;
+    const exp::ConfigHash h1 = exp::canonicalConfigHash(base);
+    const exp::ConfigHash h2 = exp::canonicalConfigHash(base);
+    EXPECT_EQ(h1, h2) << "equal configs must hash equal";
+    EXPECT_EQ(h1.hex().size(), 32u);
+    EXPECT_EQ(h1.hex(), h2.hex());
+
+    sim::SimConfig other = base;
+    other.numSms += 1;
+    EXPECT_NE(exp::canonicalConfigHash(other), h1)
+        << "a changed field must change the hash";
+}
+
+TEST_F(SvcTest, JobKeyIsLabelBlindButSeedAndConfigSensitive)
+{
+    exp::Job a;
+    a.workload = "WP";
+    a.configLabel = "base";
+    a.seed = 0;
+
+    exp::Job b = a;
+    b.configLabel = "baseline"; // same contents, different label
+    EXPECT_EQ(exp::jobKey(a), exp::jobKey(b));
+    EXPECT_EQ(exp::jobKey(a).str(), exp::jobKey(b).str());
+    EXPECT_NE(exp::legacyJobKey(a), exp::legacyJobKey(b));
+
+    exp::Job c = a;
+    c.seed = 1;
+    EXPECT_NE(exp::jobKey(c), exp::jobKey(a));
+
+    exp::Job d = a;
+    d.cfg.numSms += 1;
+    EXPECT_NE(exp::jobKey(d), exp::jobKey(a));
+
+    // The canonical string format everything keys on.
+    const std::string s = exp::jobKey(a).str();
+    EXPECT_EQ(s, "WP|cfg:" + exp::canonicalConfigHash(a.cfg).hex() + "|0");
+    EXPECT_EQ(exp::checkpointKey(a), s);
+    EXPECT_EQ(exp::legacyJobKey(a), "WP|base|0");
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint migration: legacy manifests still resume.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, LegacyKeyedManifestStillResumes)
+{
+    const auto req = tinyRequest();
+    const exp::Sweep sweep = req.toSweep();
+    const std::string path = tmpPath("legacy");
+
+    exp::RunnerOptions ropts;
+    ropts.checkpointPath = path;
+    const exp::ExperimentRunner writerRun(1, ropts);
+    const std::string fresh =
+        exp::toJsonString(writerRun.run(sweep), req.reportOptions());
+
+    // Rewrite the manifest as a pre-PR-9 simulator would have written
+    // it: label-based keys instead of content-addressed ones.
+    std::string text = slurp(path);
+    for (const auto &job : exp::ExperimentRunner::expand(sweep)) {
+        const std::string modern = "\"key\":\"" + exp::checkpointKey(job);
+        const std::string legacy = "\"key\":\"" + exp::legacyJobKey(job);
+        const auto pos = text.find(modern);
+        ASSERT_NE(pos, std::string::npos);
+        text.replace(pos, modern.size(), legacy);
+    }
+    std::ofstream(path, std::ios::trunc) << text;
+
+    exp::RunnerOptions r2;
+    r2.checkpointPath = path;
+    r2.resume = true;
+    const exp::ExperimentRunner resumeRun(1, r2);
+    const exp::SweepResult res = resumeRun.run(sweep);
+    EXPECT_EQ(res.summary().resumed, res.jobs.size())
+        << "every job should be served from the legacy-keyed manifest";
+    EXPECT_EQ(exp::toJsonString(res, req.reportOptions()), fresh);
+}
+
+// ---------------------------------------------------------------------
+// SweepRequest: strict schema, round trip, lowering.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, SweepRequestRoundTripsThroughJson)
+{
+    exp::SweepRequest req;
+    req.sweep = "smoke";
+    req.workloads = {"WP", "LIB"};
+    req.config = sim::SimConfig{};
+    req.config->numSms = 4;
+    req.configLabel = "tiny";
+    req.seeds = 3;
+    req.baseSeed = 42;
+    req.workers = 2;
+    req.includeTiming = false;
+    req.includeKernels = false;
+
+    const exp::SweepRequest back =
+        exp::SweepRequest::fromJsonText(req.jsonText());
+    EXPECT_EQ(back.sweep, req.sweep);
+    EXPECT_EQ(back.workloads, req.workloads);
+    ASSERT_TRUE(back.config.has_value());
+    EXPECT_EQ(back.config->numSms, 4u);
+    EXPECT_EQ(back.configLabel, "tiny");
+    EXPECT_EQ(back.seeds, 3u);
+    EXPECT_EQ(back.baseSeed, 42u);
+    EXPECT_EQ(back.workers, 2u);
+    EXPECT_FALSE(back.includeTiming);
+    EXPECT_FALSE(back.includeKernels);
+    EXPECT_EQ(back.jsonText(), req.jsonText());
+}
+
+TEST_F(SvcTest, SweepRequestRejectsBadDocuments)
+{
+    // A typo must never silently run the wrong thing.
+    EXPECT_THROW(exp::SweepRequest::fromJsonText("{\"sweeep\": \"smoke\"}"),
+                 std::runtime_error);
+    EXPECT_THROW(exp::SweepRequest::fromJsonText("{\"seeds\": \"three\"}"),
+                 std::runtime_error);
+    EXPECT_THROW(exp::SweepRequest::fromJsonText("{\"seeds\": 0}"),
+                 std::runtime_error);
+    EXPECT_THROW(exp::SweepRequest::fromJsonText("{\"sweep\": \"nope\"}"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        exp::SweepRequest::fromJsonText("{\"workloads\": [\"nope\"]}"),
+        std::runtime_error);
+    EXPECT_THROW(exp::SweepRequest::fromJsonText("not json"),
+                 std::runtime_error);
+    // And a partial document overrides only what it names.
+    const auto req = exp::SweepRequest::fromJsonText("{\"seeds\": 2}");
+    EXPECT_EQ(req.sweep, "smoke");
+    EXPECT_EQ(req.seeds, 2u);
+    EXPECT_TRUE(req.includeTiming);
+}
+
+TEST_F(SvcTest, SweepRequestLowersToTheSweepItDenotes)
+{
+    exp::SweepRequest req;
+    req.sweep = "smoke";
+    req.workloads = {"LIB"};
+    req.config = sim::SimConfig{};
+    req.configLabel = "mine";
+    req.seeds = 2;
+    req.baseSeed = 7;
+
+    const exp::Sweep sweep = req.toSweep();
+    ASSERT_EQ(sweep.workloads, std::vector<std::string>{"LIB"});
+    ASSERT_EQ(sweep.configs.size(), 1u);
+    EXPECT_EQ(sweep.configs[0].label, "mine");
+    ASSERT_EQ(sweep.seeds, (std::vector<std::uint64_t>{0, 1}));
+    EXPECT_EQ(sweep.baseSeed, 7u);
+
+    // Without overrides the named sweep comes through untouched.
+    const exp::Sweep plain = exp::SweepRequest{}.toSweep();
+    const exp::Sweep named = exp::namedSweep("smoke");
+    EXPECT_EQ(plain.workloads, named.workloads);
+    EXPECT_EQ(plain.configs.size(), named.configs.size());
+}
+
+// ---------------------------------------------------------------------
+// The fingerprint.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, FingerprintMatchesTheVersionConstants)
+{
+    // Pinned on purpose: changing the fingerprint invalidates every
+    // cache, so it must be a visible, deliberate act.
+    const std::string want = "pilotrf-" + std::to_string(kVersionMajor) +
+                             "." + std::to_string(kVersionMinor) +
+                             "+stats" + std::to_string(kStatSchemaRev);
+    EXPECT_EQ(versionString(), want);
+}
+
+TEST_F(SvcTest, ReportEmbedsFingerprintOnlyWithTiming)
+{
+    const exp::ExperimentRunner runner(1);
+    const exp::SweepResult res = runner.run(tinyRequest().toSweep());
+    exp::ReportOptions timed;
+    timed.includeTiming = true;
+    exp::ReportOptions untimed;
+    untimed.includeTiming = false;
+    const std::string marker = "\"version\": \"" + versionString() + "\"";
+    EXPECT_NE(exp::toJsonString(res, timed).find(marker),
+              std::string::npos);
+    EXPECT_EQ(exp::toJsonString(res, untimed).find(marker),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// ResultStore: persistence, eviction, invalidation.
+// ---------------------------------------------------------------------
+
+/** Real ok results to feed the store (one per smoke/WP-ish cell). */
+std::vector<exp::JobResult>
+someResults(std::size_t n)
+{
+    exp::SweepRequest req;
+    req.sweep = "smoke";
+    const auto jobs = exp::ExperimentRunner::expand(req.toSweep());
+    EXPECT_LE(n, jobs.size());
+    const exp::ExperimentRunner runner(1);
+    std::vector<exp::JobResult> out;
+    for (std::size_t i = 0; i < n && i < jobs.size(); ++i)
+        out.push_back(runner.runJobGuarded(jobs[i]));
+    return out;
+}
+
+TEST_F(SvcTest, ResultStorePersistsAcrossReopen)
+{
+    const std::string path = tmpPath("persist");
+    const auto results = someResults(2);
+    const std::string k0 = exp::checkpointKey(results[0].job);
+    const std::string k1 = exp::checkpointKey(results[1].job);
+
+    {
+        svc::ResultStore store(path, "fpA");
+        EXPECT_EQ(store.size(), 0u);
+        store.put(k0, results[0]);
+        store.put(k1, results[1]);
+        EXPECT_EQ(store.size(), 2u);
+        ASSERT_TRUE(store.get(k0).has_value());
+        EXPECT_FALSE(store.get("missing").has_value());
+        const auto c = store.counters();
+        EXPECT_EQ(c.puts, 2u);
+        EXPECT_EQ(c.hits, 1u);
+        EXPECT_EQ(c.misses, 1u);
+    }
+
+    // A restarted daemon sees the same cells.
+    svc::ResultStore store(path, "fpA");
+    EXPECT_EQ(store.size(), 2u);
+    const auto entry = store.get(k1);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->cycles, results[1].run.totalCycles);
+    EXPECT_EQ(entry->fingerprint, "fpA");
+    EXPECT_EQ(store.counters().invalidated, 0u);
+}
+
+TEST_F(SvcTest, ResultStoreInvalidatesOnFingerprintChange)
+{
+    const std::string path = tmpPath("invalidate");
+    const auto results = someResults(2);
+    {
+        svc::ResultStore store(path, "fpA");
+        for (const auto &r : results)
+            store.put(exp::checkpointKey(r.job), r);
+    }
+    // The simulator changed in a stat-affecting way: every cached cell
+    // is stale, dropped, and physically compacted away.
+    svc::ResultStore store(path, "fpB");
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.counters().invalidated, 2u);
+    EXPECT_EQ(lineCount(path), 0u);
+}
+
+TEST_F(SvcTest, ResultStoreEvictsLeastRecentlyUsed)
+{
+    const std::string path = tmpPath("evict");
+    const auto results = someResults(3);
+    std::vector<std::string> keys;
+    for (const auto &r : results)
+        keys.push_back(exp::checkpointKey(r.job));
+
+    svc::ResultStore store(path, "fpA", 2);
+    store.put(keys[0], results[0]);
+    store.put(keys[1], results[1]);
+    ASSERT_TRUE(store.get(keys[0]).has_value()); // refresh: 1 is now LRU
+    store.put(keys[2], results[2]);              // evicts 1, not 0
+    EXPECT_EQ(store.size(), 2u);
+    EXPECT_TRUE(store.contains(keys[0]));
+    EXPECT_FALSE(store.contains(keys[1]));
+    EXPECT_TRUE(store.contains(keys[2]));
+    EXPECT_EQ(store.counters().evictions, 1u);
+    EXPECT_EQ(lineCount(path), 2u) << "eviction must compact the file";
+}
+
+TEST_F(SvcTest, ResultStoreRefusesNonOkResults)
+{
+    const auto results = someResults(1);
+    exp::JobResult bad = results[0];
+    bad.status = exp::JobStatus::Failed;
+    bad.error = "injected";
+    svc::ResultStore store("", "fpA");
+    store.put(exp::checkpointKey(bad.job), bad);
+    EXPECT_EQ(store.size(), 0u);
+    EXPECT_EQ(store.counters().puts, 0u);
+}
+
+// ---------------------------------------------------------------------
+// SweepService: cache correctness and the byte-identity guarantee.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, SecondRequestIsServedEntirelyFromTheStore)
+{
+    const auto req = tinyRequest();
+    const std::string reference = batchReference(req);
+
+    svc::ServiceOptions sopts;
+    sopts.threads = 2;
+    svc::SweepService service(sopts);
+
+    svc::RequestStats s1;
+    const std::string first = service.report(req, {}, &s1);
+    EXPECT_EQ(s1.jobs, 2u);
+    EXPECT_EQ(s1.simulated, 2u);
+    EXPECT_EQ(s1.cacheHits, 0u);
+    EXPECT_EQ(s1.ok, 2u);
+    EXPECT_EQ(first, reference)
+        << "a daemon-served report must match batch mode byte-for-byte";
+
+    svc::RequestStats s2;
+    const std::string second = service.report(req, {}, &s2);
+    EXPECT_EQ(s2.cacheHits, 2u);
+    EXPECT_EQ(s2.simulated, 0u) << "an identical request must not "
+                                   "simulate anything";
+    EXPECT_EQ(second, first);
+    EXPECT_EQ(service.store().counters().puts, 2u);
+}
+
+TEST_F(SvcTest, CacheIsSharedAcrossRelabelledConfigs)
+{
+    // Same config contents under a different label: content-addressed
+    // keys serve it from cache; only presentation differs.
+    auto req = tinyRequest();
+    req.config = exp::namedSweep("smoke").configs[0].cfg;
+    req.configLabel = "first";
+
+    svc::SweepService service({});
+    svc::RequestStats s1, s2;
+    service.report(req, {}, &s1);
+    EXPECT_EQ(s1.simulated, 1u); // one workload x one config variant
+
+    req.configLabel = "renamed";
+    const std::string second = service.report(req, {}, &s2);
+    EXPECT_EQ(s2.simulated, 0u);
+    EXPECT_EQ(s2.cacheHits, 1u);
+    EXPECT_NE(second.find("\"renamed\""), std::string::npos)
+        << "the report must present this request's label";
+}
+
+TEST_F(SvcTest, StatusStreamReportsSourcesAndSummary)
+{
+    const auto req = tinyRequest();
+    svc::SweepService service({});
+    std::vector<std::string> lines;
+    service.report(req, [&](const std::string &l) { lines.push_back(l); });
+    ASSERT_EQ(lines.size(), 3u); // 2 jobs + summary
+    EXPECT_NE(lines[0].find("\"source\":\"run\""), std::string::npos);
+    EXPECT_NE(lines.back().find("\"type\":\"summary\""), std::string::npos);
+    EXPECT_NE(lines.back().find("\"simulated\":2"), std::string::npos);
+
+    lines.clear();
+    service.report(req, [&](const std::string &l) { lines.push_back(l); });
+    EXPECT_NE(lines[0].find("\"source\":\"cache\""), std::string::npos);
+    EXPECT_NE(lines.back().find("\"cacheHits\":2"), std::string::npos);
+}
+
+TEST_F(SvcTest, ConcurrentClientsSimulateEachCellExactlyOnce)
+{
+    // The soak: 8 clients hammer the same 6-cell sweep concurrently.
+    // Single-flight means every unique cell executes exactly once
+    // across ALL of them, and everyone gets byte-identical reports.
+    exp::SweepRequest req;
+    req.sweep = "smoke";
+    req.includeTiming = false;
+    const std::string reference = batchReference(req);
+
+    ScopedCountingHook hook;
+    svc::ServiceOptions sopts;
+    sopts.threads = 3;
+    svc::SweepService service(sopts);
+
+    constexpr unsigned kClients = 8;
+    std::vector<std::string> reports(kClients);
+    std::vector<svc::RequestStats> stats(kClients);
+    {
+        std::vector<std::jthread> clients;
+        for (unsigned i = 0; i < kClients; ++i) {
+            clients.emplace_back([&, i] {
+                reports[i] = service.report(req, {}, &stats[i]);
+            });
+        }
+    }
+
+    const auto counts = hook.snapshot();
+    EXPECT_EQ(counts.size(), 6u) << "every unique cell executed";
+    for (const auto &[key, n] : counts)
+        EXPECT_EQ(n, 1u) << key << " simulated more than once";
+
+    std::size_t simulated = 0, served = 0;
+    for (unsigned i = 0; i < kClients; ++i) {
+        EXPECT_EQ(stats[i].jobs, 6u);
+        EXPECT_EQ(stats[i].ok, 6u);
+        EXPECT_EQ(reports[i], reference)
+            << "client " << i << " diverged from the batch reference";
+        simulated += stats[i].simulated;
+        served += stats[i].cacheHits + stats[i].joined;
+    }
+    EXPECT_EQ(simulated, 6u);
+    EXPECT_EQ(served, kClients * 6u - 6u);
+}
+
+TEST_F(SvcTest, RestartedServiceServesFromDisk)
+{
+    const auto req = tinyRequest();
+    const std::string path = tmpPath("daemon_restart");
+    svc::ServiceOptions sopts;
+    sopts.storePath = path;
+    std::string first;
+    {
+        svc::SweepService service(sopts);
+        first = service.report(req);
+    }
+    // A new daemon process over the same store file: all hits.
+    svc::SweepService service(sopts);
+    svc::RequestStats rs;
+    EXPECT_EQ(service.report(req, {}, &rs), first);
+    EXPECT_EQ(rs.cacheHits, 2u);
+    EXPECT_EQ(rs.simulated, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The wire protocol.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, SocketRoundTripAndErrorReply)
+{
+    const std::string sock = ::testing::TempDir() + "pilotrf_svc_test.sock";
+    std::remove(sock.c_str());
+    const auto req = tinyRequest();
+    const std::string reference = batchReference(req);
+
+    svc::SweepService service({});
+    std::jthread daemon(
+        [&] { svc::serve(sock, service, /*maxConns=*/3); });
+
+    // The daemon binds asynchronously; retry until it listens.
+    std::ostringstream report, status;
+    int rc = -1;
+    for (int tries = 0; tries < 100; ++tries) {
+        report.str("");
+        status.str("");
+        rc = svc::runClient(sock, req.jsonText(), report, status);
+        if (rc != ECONNREFUSED && rc != ENOENT)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_EQ(rc, 0);
+    EXPECT_EQ(report.str(), reference);
+    EXPECT_NE(status.str().find("\"type\":\"summary\""), std::string::npos);
+
+    // A malformed request draws "#error" (rc 3), not a dead daemon.
+    std::ostringstream r2, s2;
+    EXPECT_EQ(svc::runClient(sock, "{\"sweep\": \"nope\"}", r2, s2), 3);
+
+    // The daemon survived: a third request still gets a report, served
+    // from its in-memory cache this time.
+    std::ostringstream r3, s3;
+    ASSERT_EQ(svc::runClient(sock, req.jsonText(), r3, s3), 0);
+    EXPECT_EQ(r3.str(), reference);
+    EXPECT_NE(s3.str().find("\"cacheHits\":2"), std::string::npos);
+}
+
+} // namespace
