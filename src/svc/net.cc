@@ -1,11 +1,12 @@
 #include "svc/net.hh"
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <list>
 #include <ostream>
 #include <sstream>
 #include <thread>
-#include <vector>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -21,12 +22,14 @@ namespace
 
 constexpr const char *kMagic = "PILOTRF-SVC1";
 
-/** write() the whole buffer, retrying on EINTR/short writes. */
+/** Send the whole buffer, retrying on EINTR/short writes. MSG_NOSIGNAL
+ *  turns a dropped peer into EPIPE instead of SIGPIPE — a flaky client
+ *  must never take down the long-lived daemon. */
 bool
 writeAll(int fd, const char *data, std::size_t len)
 {
     while (len > 0) {
-        const ssize_t n = ::write(fd, data, len);
+        const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -98,16 +101,34 @@ class FdReader
     int fd;
 };
 
+/** Parse a decimal byte count, rejecting non-digits and anything past
+ *  the framing bound (an outlandish length is a protocol error, not a
+ *  reason to attempt a giant allocation). */
+bool
+parseLength(const std::string &text, std::size_t &nbytes)
+{
+    if (text.empty())
+        return false;
+    nbytes = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        nbytes = nbytes * 10 + std::size_t(c - '0');
+        if (nbytes > (std::size_t(1) << 24))
+            return false;
+    }
+    return true;
+}
+
 /** Parse "PILOTRF-SVC1 <nbytes>" -> nbytes; false on malformed. */
 bool
 parseRequestHeader(const std::string &line, std::size_t &nbytes)
 {
     std::istringstream is(line);
-    std::string magic;
-    if (!(is >> magic >> nbytes) || magic != kMagic)
+    std::string magic, count;
+    if (!(is >> magic >> count) || magic != kMagic)
         return false;
-    // An outlandish length is a framing error, not a request.
-    return nbytes > 0 && nbytes <= (std::size_t(1) << 24);
+    return parseLength(count, nbytes) && nbytes > 0;
 }
 
 bool
@@ -207,7 +228,15 @@ serve(const std::string &sockPath, SweepService &service,
     }
     inform("sweep service: listening on %s", sockPath.c_str());
 
-    std::vector<std::jthread> handlers;
+    // Handlers park in a list so finished ones can be reaped as the
+    // daemon accepts more — a serve-forever process must not accumulate
+    // one joinable thread per connection it ever served.
+    struct Handler
+    {
+        std::atomic<bool> done{false};
+        std::jthread thread;
+    };
+    std::list<Handler> handlers;
     for (unsigned accepted = 0; maxConns == 0 || accepted < maxConns;
          ++accepted) {
         const int conn = ::accept(fd, nullptr, nullptr);
@@ -218,8 +247,13 @@ serve(const std::string &sockPath, SweepService &service,
             ::close(fd);
             return err;
         }
-        handlers.emplace_back(
-            [conn, &service] { handleConnection(conn, service); });
+        handlers.remove_if( // join (instant: they already finished)
+            [](const Handler &h) { return h.done.load(); });
+        Handler &h = handlers.emplace_back();
+        h.thread = std::jthread([conn, &service, &h] {
+            handleConnection(conn, service);
+            h.done.store(true);
+        });
     }
     handlers.clear(); // join: finish in-flight replies before teardown
     ::close(fd);
@@ -252,8 +286,13 @@ runClient(const std::string &sockPath, const std::string &requestJson,
     std::string line;
     while (reader.readLine(line)) {
         if (line.rfind("#report ", 0) == 0) {
-            const std::size_t n =
-                std::stoull(line.substr(std::strlen("#report ")));
+            std::size_t n = 0;
+            if (!parseLength(line.substr(std::strlen("#report ")), n)) {
+                warn("sweep client: malformed report terminator '%s'",
+                     line.c_str());
+                ::close(fd);
+                return EPROTO;
+            }
             std::string report;
             if (!reader.readExact(report, n)) {
                 ::close(fd);

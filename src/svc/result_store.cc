@@ -140,27 +140,41 @@ ResultStore::evictLocked()
         lru.pop_front();
         entries.erase(victim);
         ++stats.evictions;
+        ++deadLines;
     }
-    if (appender.is_open()) {
-        appender.close();
-        std::ofstream out(path, std::ios::trunc);
-        for (const auto &key : lru)
-            out << entries.at(key).line << "\n";
-        appender.open(path, std::ios::app);
-    }
+    // Evicted entries' lines stay in the file until enough accumulate
+    // to be worth a rewrite — compacting on every eviction would make
+    // each put() at the size bound O(store) disk I/O under the mutex.
+    // Leftover dead lines are harmless across a restart: each is still
+    // a valid fingerprint-checked result, and load() re-caps to
+    // maxEntries, so resurrection costs only recency fidelity — which
+    // the store already defines as "as of the last compaction".
+    if (deadLines > entries.size() + 64)
+        compactLocked();
 }
 
 void
-ResultStore::compact()
+ResultStore::compactLocked()
 {
-    std::lock_guard<std::mutex> lock(mu);
     if (!appender.is_open())
         return;
     appender.close();
     std::ofstream out(path, std::ios::trunc);
     for (const auto &key : lru)
         out << entries.at(key).line << "\n";
+    deadLines = 0;
     appender.open(path, std::ios::app);
+    if (!appender)
+        warn("result store: cannot reopen '%s' after compaction; "
+             "further entries will not persist",
+             path.c_str());
+}
+
+void
+ResultStore::compact()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    compactLocked();
 }
 
 std::size_t

@@ -86,13 +86,14 @@ class ResultStore
 
     /** Rewrite the backing file to exactly the live entries in recency
      *  order (oldest first). Called automatically on open when stale
-     *  entries were dropped and on every eviction. */
+     *  entries were dropped, and amortized across evictions once enough
+     *  dead lines accumulate. */
     void compact();
 
   private:
     void load();
-    void appendLine(const std::string &line);
     void evictLocked();
+    void compactLocked();
 
     struct Slot
     {
@@ -108,6 +109,7 @@ class ResultStore
     std::map<std::string, Slot> entries;
     std::list<std::string> lru; ///< keys, least recently used first
     std::ofstream appender;     ///< open only when `path` is non-empty
+    std::size_t deadLines = 0;  ///< evicted lines still in the file
     StoreCounters stats;
 };
 

@@ -1,6 +1,7 @@
 #include "svc/sweep_service.hh"
 
 #include <atomic>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -75,6 +76,11 @@ SweepService::run(const exp::SweepRequest &request, const StatusFn &status,
     rs.jobs = jobs.size();
     std::mutex rsMu;
 
+    // Serializes this request's status lines. Per-request, not
+    // service-wide: the callback is a blocking socket write, and a
+    // client that stops draining its socket must only stall its own
+    // request's stream, never another connection's.
+    std::mutex statusMu;
     const auto emit = [&](const std::string &line) {
         if (!status)
             return;
@@ -85,30 +91,37 @@ SweepService::run(const exp::SweepRequest &request, const StatusFn &status,
     // One cell. Classification and execution must see a consistent
     // (store, inflight) pair: a finishing request puts to the store
     // *before* retiring its inflight cell, so no racer can miss both.
+    // Only classification happens under inflightMu — rebuild and emit
+    // (a potentially blocking client write) run outside it, so a slow
+    // client cannot stall the whole daemon's classification.
     const auto serveOne = [&](const exp::Job &job) {
         const std::string key = exp::checkpointKey(job);
         std::shared_ptr<Cell> cell;
         bool owner = false;
+        std::optional<exp::CheckpointEntry> cached;
         {
             std::lock_guard<std::mutex> lock(inflightMu);
             const auto it = inflight.find(key);
             if (it != inflight.end()) {
                 cell = it->second; // join the in-flight computation
-            } else if (auto entry = resultStore.get(key)) {
-                exp::JobResult res =
-                    rebuildJobResult(*entry, job, accountant);
-                emit(jobStatusLine(job, key, "cache", res));
-                {
-                    std::lock_guard<std::mutex> slock(rsMu);
-                    ++rs.cacheHits;
-                }
-                out.jobs[job.index] = std::move(res);
-                return;
+            } else if ((cached = resultStore.get(key))) {
+                // Served below, outside the lock.
             } else {
                 cell = std::make_shared<Cell>();
                 inflight[key] = cell;
                 owner = true;
             }
+        }
+
+        if (cached) {
+            exp::JobResult res = rebuildJobResult(*cached, job, accountant);
+            emit(jobStatusLine(job, key, "cache", res));
+            {
+                std::lock_guard<std::mutex> slock(rsMu);
+                ++rs.cacheHits;
+            }
+            out.jobs[job.index] = std::move(res);
+            return;
         }
 
         if (owner) {

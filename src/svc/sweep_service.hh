@@ -116,8 +116,6 @@ class SweepService
 
     std::mutex inflightMu;
     std::map<std::string, std::shared_ptr<Cell>> inflight;
-
-    std::mutex statusMu; ///< serializes StatusFn invocations
 };
 
 } // namespace pilotrf::svc
