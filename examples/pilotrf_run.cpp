@@ -159,6 +159,8 @@ usage(const char *argv0, int code)
         "  --base-seed S   base seed mixed into every derived job seed\n"
         "  --workers N     per-job Gpu engine workers (0 = config knob;\n"
         "                  >1 shards SMs; outputs identical at any N)\n"
+        "  --schedule S    shard schedule: static | dynamic (default:\n"
+        "                  config knob; outputs identical either way)\n"
         "  --no-timing     omit wall-clock/thread/provenance fields\n"
         "                  (stable bytes)\n"
         "  --no-kernels    omit the per-kernel arrays\n"
@@ -259,7 +261,12 @@ main(int argc, char **argv)
             req.baseSeed = std::strtoull(value(), nullptr, 10);
         else if (arg == "--workers")
             req.workers = unsigned(std::strtoul(value(), nullptr, 10));
-        else if (arg == "--no-timing")
+        else if (arg == "--schedule") {
+            req.schedule = value();
+            if (!sim::parseShardSchedule(req.schedule).has_value())
+                fatal("--schedule must be 'static' or 'dynamic', got '%s'",
+                      req.schedule.c_str());
+        } else if (arg == "--no-timing")
             req.includeTiming = false;
         else if (arg == "--no-kernels")
             req.includeKernels = false;
@@ -378,6 +385,8 @@ main(int argc, char **argv)
     // --- batch mode.
     exp::Sweep sweep = req.toSweep();
     ropts.numWorkers = req.workers;
+    if (!req.schedule.empty())
+        ropts.schedule = sim::parseShardSchedule(req.schedule);
 
     const exp::ExperimentRunner runner(threads, ropts);
     std::fprintf(stderr,

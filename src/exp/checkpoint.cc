@@ -105,6 +105,10 @@ checkpointLine(const std::string &sweep, const JobResult &r,
     jsonString(os, r.engine);
     field(os, "workers", first);
     os << r.workers;
+    field(os, "schedule", first);
+    jsonString(os, r.schedule);
+    field(os, "stragglerRatio", first);
+    jsonNumber(os, r.stragglerRatio);
     if (r.status == JobStatus::Ok) {
         field(os, "cycles", first);
         jsonNumber(os, double(r.run.totalCycles));
@@ -155,6 +159,8 @@ parseCheckpointLine(std::string_view line, std::string *error)
     e.wallSeconds = v.numberOr("wallSeconds", 0.0);
     e.engine = v.stringOr("engine", "lockstep");
     e.workers = unsigned(v.numberOr("workers", 1));
+    e.schedule = v.stringOr("schedule", "static");
+    e.stragglerRatio = v.numberOr("stragglerRatio", 0.0);
     if (e.status == JobStatus::Ok) {
         e.cycles = std::uint64_t(v.numberOr("cycles", 0));
         e.instructions = std::uint64_t(v.numberOr("instructions", 0));
@@ -217,6 +223,8 @@ rebuildJobResult(const CheckpointEntry &entry, const Job &job,
     res.wallSeconds = entry.wallSeconds;
     res.engine = entry.engine;
     res.workers = entry.workers;
+    res.schedule = entry.schedule;
+    res.stragglerRatio = entry.stragglerRatio;
     res.run.totalCycles = entry.cycles;
     res.run.totalInstructions = entry.instructions;
     res.run.rfStats = entry.rfStats;

@@ -51,6 +51,8 @@ struct CheckpointEntry
      *  before the fields existed, so the defaults mirror a serial run. */
     std::string engine = "lockstep";
     unsigned workers = 1;
+    std::string schedule = "static";
+    double stragglerRatio = 0.0;
     std::uint64_t cycles = 0;
     std::uint64_t instructions = 0;
     StatSet rfStats;

@@ -253,6 +253,7 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
     gpuOpts.enableTraceHub = !opts.obs.chromeTracePath.empty() ||
                              !opts.obs.jsonlTracePath.empty();
     gpuOpts.numWorkers = opts.numWorkers;
+    gpuOpts.shardSchedule = opts.schedule;
     sim::Gpu gpu(job.cfg, gpuOpts);
 
     // Observability: per-job files keyed by (workload, config, seed), so
@@ -301,6 +302,8 @@ ExperimentRunner::execute(const Job &job, unsigned attempt,
 
     res.engine = sim::toString(gpu.engineUsed());
     res.workers = gpu.workersUsed();
+    res.schedule = sim::toString(gpu.scheduleUsed());
+    res.stragglerRatio = gpu.schedTelemetry().meanStragglerRatio();
     res.wallSeconds = secondsSince(t0);
     return res;
 }

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -104,12 +105,17 @@ struct JobResult
     /** Result came from the checkpoint manifest, not a fresh run.
      *  Execution provenance: reports emit it only with includeTiming. */
     bool resumed = false;
-    /** Stepping engine the Gpu selected ("lockstep"/"sharded") and the
-     *  worker count it resolved. Execution provenance like `resumed`:
-     *  reports emit them only with includeTiming, and resumed jobs
-     *  restore them from the checkpoint entry. */
+    /** Stepping engine the Gpu selected ("lockstep"/"sharded"), the
+     *  worker count and shard schedule it resolved, and the mean
+     *  per-epoch straggler ratio its scheduler measured (0 when nothing
+     *  was measured — lockstep runs, or sharded runs too short to
+     *  complete a full balanced round). Execution provenance like
+     *  `resumed`: reports emit them only with includeTiming, and
+     *  resumed jobs restore them from the checkpoint entry. */
     std::string engine = "lockstep";
     unsigned workers = 1;
+    std::string schedule = "static";
+    double stragglerRatio = 0.0;
 
     /** The report-facing status string: "ok", "failed:<error>",
      *  "timeout". Deterministic — never mentions resumption. */
@@ -258,6 +264,11 @@ struct RunnerOptions
      *  at any value (per-shard buffered emission), so this is purely a
      *  wall-clock knob. */
     unsigned numWorkers = 0;
+
+    /** Shard schedule for each job's sharded Gpu engine; nullopt
+     *  inherits the config's shardSchedule knob. Another pure wall-clock
+     *  knob: results are byte-identical under either value. */
+    std::optional<sim::ShardSchedule> schedule;
 };
 
 /**

@@ -105,6 +105,10 @@ writeJob(std::ostream &os, const JobResult &j, const ReportOptions &opts,
         jsonString(os, j.engine);
         field(os, depth + 1, "workers", first);
         jsonNumber(os, double(j.workers));
+        field(os, depth + 1, "schedule", first);
+        jsonString(os, j.schedule);
+        field(os, depth + 1, "stragglerRatio", first);
+        jsonNumber(os, j.stragglerRatio);
         field(os, depth + 1, "wallSeconds", first);
         jsonNumber(os, j.wallSeconds);
     }

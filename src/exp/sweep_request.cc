@@ -129,6 +129,8 @@ SweepRequest::toJson(std::ostream &os, unsigned depth) const
     jsonNumber(os, double(baseSeed));
     key("workers");
     jsonNumber(os, double(workers));
+    key("schedule");
+    jsonString(os, schedule);
     key("includeTiming");
     os << (includeTiming ? "true" : "false");
     key("includeKernels");
@@ -173,6 +175,8 @@ SweepRequest::fromJson(const JsonValue &v)
             r.baseSeed = asU64("baseSeed", val);
         else if (key == "workers")
             r.workers = asUnsigned("workers", val);
+        else if (key == "schedule")
+            r.schedule = asString("schedule", val);
         else if (key == "includeTiming")
             r.includeTiming = asBool("includeTiming", val);
         else if (key == "includeKernels")
@@ -186,6 +190,9 @@ SweepRequest::fromJson(const JsonValue &v)
         bad("field 'configLabel' must not be empty");
     if (!knownSweep(r.sweep))
         bad("unknown sweep '" + r.sweep + "'");
+    if (!r.schedule.empty() &&
+        !sim::parseShardSchedule(r.schedule).has_value())
+        bad("field 'schedule' must be \"static\", \"dynamic\" or \"\"");
     for (const auto &w : r.workloads)
         if (!knownWorkload(w))
             bad("unknown workload '" + w + "'");

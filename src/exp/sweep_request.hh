@@ -63,6 +63,11 @@ struct SweepRequest
      *  value. */
     unsigned workers = 0;
 
+    /** Per-job shard schedule: "static", "dynamic", or "" to inherit
+     *  the config's shardSchedule knob. Like workers, purely a
+     *  wall-clock knob. */
+    std::string schedule;
+
     /** Report shape: wall-clock/provenance fields and per-kernel
      *  arrays (the --no-timing / --no-kernels flags, inverted). */
     bool includeTiming = true;

@@ -9,6 +9,16 @@
  * through the `EpochContext` the orchestrator hands in: the kernel's
  * start cycle, the epoch's exclusive end cycle and the watchdog bound.
  *
+ * Because a step call touches only the stepped SM plus this read-only
+ * context, *which worker thread* makes the call is irrelevant to the
+ * result. The orchestrator exploits that freedom with two schedules
+ * (SimConfig::shardSchedule): a fixed SM i -> worker i % workers map,
+ * or per-round claiming where workers take SMs off a shared
+ * longest-first ticket queue. Ownership is exclusive per round either
+ * way — exactly one worker steps a given SM between two barriers — so
+ * stats, traces and end cycles are byte-identical across schedules and
+ * worker counts.
+ *
  * Two cross-SM interactions cannot happen from inside a shard. Taking
  * CTAs from the shared dispenser is observable in serial (cycle, smId)
  * order, so `step` *pauses* with `StepStop::NeedsCta` and the

@@ -1,6 +1,8 @@
 #include "sim/gpu.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 
 #include "common/logging.hh"
 #include "isa/static_profiler.hh"
@@ -128,6 +130,12 @@ Gpu::effectiveWorkers() const
     if (w == 0)
         w = 1;
     return std::min(w, cfg.numSms);
+}
+
+ShardSchedule
+Gpu::effectiveSchedule() const
+{
+    return opts.shardSchedule ? *opts.shardSchedule : cfg.shardSchedule;
 }
 
 bool
@@ -285,9 +293,15 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
     // pauses with NeedsMem and the round loop below replays and wakes it.
     ctx.memLookahead = memSys ? memSys->minResponseLatency() + 1 : 0;
 
-    // SM i belongs to shard i % shards. Workers write only their own
-    // SMs' phase/res entries; every transfer to or from the
-    // orchestrator goes through the pool's barrier.
+    // Ownership per stepping round: under the static schedule SM i
+    // belongs to worker i % shards; under the dynamic schedule each
+    // round's runnable SMs are claimed from a shared ticket queue, so
+    // ownership lasts one round. Either way exactly one worker steps a
+    // given SM per round and workers write only the phase/res/epochWork
+    // entries of SMs they stepped; every transfer to or from the
+    // orchestrator goes through the pool's barrier. Which worker stepped
+    // which SM is therefore observationally invisible — the schedule is
+    // a pure wall-clock knob.
     enum class Phase : std::uint8_t
     { Runnable, Paused, MemWait, AtBarrier, Done };
     std::vector<Phase> phase(sms.size(), Phase::Runnable);
@@ -320,28 +334,148 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
         sm->setL2Deferred(memSys != nullptr);
     }
 
+    const ShardSchedule schedule = effectiveSchedule();
+    if (sched.workers.size() < shards)
+        sched.workers.resize(shards);
+
+    // Dynamic-schedule state. `cost[i]` estimates SM i's next-epoch wall
+    // cost as its previous-epoch stepping time; the orchestrator sorts
+    // each round's runnable SMs by it, longest first (LPT), with
+    // ascending smId as the deterministic tiebreak. Workers then claim
+    // ranges of that order via the shared ticket at guided-chunk
+    // granularity. All of this steers only *which worker* steps an SM —
+    // never whether or when it is stepped — so results stay
+    // byte-identical to the static schedule.
+    std::vector<std::uint64_t> cost(sms.size(), 0);
+    std::vector<std::uint64_t> epochWork(sms.size(), 0);
+    std::vector<unsigned> claimOrder;
+    claimOrder.reserve(sms.size());
+    std::atomic<unsigned> ticket{0};
+    std::vector<std::uint64_t> roundBusy(shards, 0);
+
+    // Step SM i on worker slot `slot`, timing the call for telemetry.
+    // The timing feeds cost[] (dynamic schedule only) and the public
+    // counters; the step itself is schedule-independent.
+    auto stepSm = [&](std::size_t i, unsigned slot) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const StepResult r = sms[i]->step(ctx);
+        const auto ns = std::uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        res[i] = r;
+        phase[i] = r.stop == StepStop::Finished  ? Phase::Done
+                   : r.stop == StepStop::NeedsCta ? Phase::Paused
+                   : r.stop == StepStop::NeedsMem ? Phase::MemWait
+                                                  : Phase::AtBarrier;
+        epochWork[i] += ns;
+        roundBusy[slot] += ns;
+        WorkerTelemetry &wt = sched.workers[slot];
+        wt.busyNs += ns;
+        ++wt.smsStepped;
+        if (unsigned(i % shards) != slot) {
+            wt.stealNs += ns;
+            ++wt.smsStolen;
+        }
+    };
+
+    // Step every Runnable SM exactly once, distributed per the schedule.
+    // Returns the number of worker slots that participated (0 when the
+    // round could not use every slot — the caller skips balance
+    // accounting for such rounds).
+    auto runRound = [&]() -> unsigned {
+        std::fill(roundBusy.begin(), roundBusy.end(), 0);
+        if (schedule == ShardSchedule::Static) {
+            unsigned runnable = 0;
+            for (std::size_t i = 0; i < sms.size(); ++i)
+                runnable += unsigned(phase[i] == Phase::Runnable);
+            if (!runnable)
+                return 0;
+            pool->run(shards, [&](unsigned s) {
+                for (std::size_t i = s; i < sms.size(); i += shards)
+                    if (phase[i] == Phase::Runnable)
+                        stepSm(i, s);
+            });
+            return runnable >= shards ? shards : 0;
+        }
+        claimOrder.clear();
+        for (std::size_t i = 0; i < sms.size(); ++i)
+            if (phase[i] == Phase::Runnable)
+                claimOrder.push_back(unsigned(i));
+        if (claimOrder.empty())
+            return 0;
+        std::sort(claimOrder.begin(), claimOrder.end(),
+                  [&](unsigned a, unsigned b) {
+                      return cost[a] != cost[b] ? cost[a] > cost[b]
+                                                : a < b;
+                  });
+        const unsigned total = unsigned(claimOrder.size());
+        const unsigned nWake = std::min(shards, total);
+        ticket.store(0, std::memory_order_relaxed);
+        pool->run(nWake, [&](unsigned slot) {
+            while (true) {
+                // Guided chunks, sized to the *claimed prefix*: the
+                // queue is sorted costliest-first, so the head must be
+                // claimed singly (one straggler SM per worker — the
+                // point of LPT) and only the cheap tail is worth
+                // batching to save ticket round trips. The prefix
+                // estimate may race with other claims; only the
+                // fetch-add range is authoritative.
+                const unsigned seen =
+                    ticket.load(std::memory_order_relaxed);
+                if (seen >= total)
+                    break;
+                const unsigned chunk =
+                    std::max(1u, seen / (4 * nWake));
+                const unsigned begin =
+                    ticket.fetch_add(chunk, std::memory_order_relaxed);
+                if (begin >= total)
+                    break;
+                const unsigned end = std::min(begin + chunk, total);
+                for (unsigned k = begin; k < end; ++k)
+                    stepSm(claimOrder[k], slot);
+            }
+        });
+        return nWake;
+    };
+
+    // Fold one measured round into the balance telemetry. Only rounds
+    // where every worker slot participated are comparable — that is the
+    // epoch-opening round while >= shards SMs are live; the resolve
+    // rounds after it step min-cycle batches and would read as false
+    // imbalance.
+    auto accountRound = [&](unsigned participants) {
+        if (participants != shards || shards < 2)
+            return;
+        std::uint64_t maxBusy = 0, sum = 0;
+        for (unsigned s = 0; s < shards; ++s) {
+            maxBusy = std::max(maxBusy, roundBusy[s]);
+            sum += roundBusy[s];
+        }
+        if (!sum)
+            return;
+        for (unsigned s = 0; s < shards; ++s)
+            sched.workers[s].idleNs += maxBusy - roundBusy[s];
+        const double ratio =
+            double(maxBusy) * double(shards) / double(sum);
+        ++sched.epochs;
+        sched.stragglerRatioSum += ratio;
+        sched.maxStragglerRatio = std::max(sched.maxStragglerRatio, ratio);
+    };
+
     unsigned live = unsigned(sms.size());
     while (live) {
         ctx.epochEnd = epochStart + kEpochLen;
         for (std::size_t i = 0; i < sms.size(); ++i)
             if (phase[i] != Phase::Done)
                 phase[i] = Phase::Runnable;
+        bool firstRound = true;
         while (true) {
-            pool->runTasks(shards, [&](unsigned s) {
-                for (std::size_t i = s; i < sms.size(); i += shards) {
-                    if (phase[i] != Phase::Runnable)
-                        continue;
-                    const StepResult r = sms[i]->step(ctx);
-                    res[i] = r;
-                    phase[i] = r.stop == StepStop::Finished
-                                   ? Phase::Done
-                               : r.stop == StepStop::NeedsCta
-                                   ? Phase::Paused
-                               : r.stop == StepStop::NeedsMem
-                                   ? Phase::MemWait
-                                   : Phase::AtBarrier;
-                }
-            });
+            const unsigned participants = runRound();
+            if (firstRound) {
+                accountRound(participants);
+                firstRound = false;
+            }
             Cycle cmin = kNeverCycle;
             for (std::size_t i = 0; i < sms.size(); ++i)
                 if (phase[i] == Phase::Paused || phase[i] == Phase::MemWait)
@@ -394,6 +528,12 @@ Gpu::runKernelSharded(const isa::Kernel &kernel, Cycle kernelStart)
                 endCycle = std::max(endCycle, res[i].now);
             else
                 ++live;
+            // The LPT cost estimate for the next epoch is simply this
+            // epoch's measured stepping time — SM workloads are phase-
+            // stable at epoch granularity, so last epoch predicts the
+            // next well enough to sort by.
+            cost[i] = epochWork[i];
+            epochWork[i] = 0;
         }
         epochStart = ctx.epochEnd;
     }
@@ -448,7 +588,8 @@ Gpu::run(const Workload &workload)
     // has nothing to report and would drown every test log otherwise.
     if (std::max(opts.numWorkers, cfg.numWorkers) > 1) {
         if (engine == Engine::Sharded)
-            inform("engine=sharded workers=%u", effectiveWorkers());
+            inform("engine=sharded workers=%u schedule=%s",
+                   effectiveWorkers(), toString(effectiveSchedule()));
         else
             inform("engine=lockstep reason=single-worker");
     }

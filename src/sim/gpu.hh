@@ -8,6 +8,7 @@
 #define PILOTRF_SIM_GPU_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,47 @@ struct GpuOptions
     /** Worker threads for sharded stepping; 0 inherits
      *  SimConfig::numWorkers. Clamped to the SM count. */
     unsigned numWorkers = 0;
+
+    /** Shard scheduling override for the sharded engine; nullopt
+     *  inherits SimConfig::shardSchedule. Observationally invisible
+     *  (see the config knob) — a wall-clock knob like numWorkers. */
+    std::optional<ShardSchedule> shardSchedule = std::nullopt;
+};
+
+/**
+ * Wall-clock telemetry for one worker slot of the sharded engine
+ * (telemetry only — never feeds back into scheduling inputs that could
+ * perturb simulation results, which stay byte-identical). "Steal"
+ * counts work on SMs the static i % workers assignment would have
+ * given a different slot, so a static-schedule run always shows zero.
+ */
+struct WorkerTelemetry
+{
+    std::uint64_t busyNs = 0;  ///< wall ns inside Sm::step calls
+    std::uint64_t idleNs = 0;  ///< ns idle while the epoch round's
+                               ///< straggler was still stepping
+    std::uint64_t stealNs = 0; ///< busy ns spent on stolen SMs
+    std::uint64_t smsStepped = 0; ///< step calls executed by this slot
+    std::uint64_t smsStolen = 0;  ///< subset on stolen SMs
+};
+
+/** Run-wide scheduling telemetry of the sharded engine (empty under
+ *  lockstep). The straggler ratio of an epoch is max/mean per-worker
+ *  busy time over the epoch's full stepping round — 1.0 is a perfectly
+ *  balanced epoch; W (the worker count) means one worker did all the
+ *  work while the rest idled at the barrier. */
+struct SchedTelemetry
+{
+    std::vector<WorkerTelemetry> workers; ///< one entry per worker slot
+    std::uint64_t epochs = 0;      ///< epoch rounds measured
+    double stragglerRatioSum = 0;  ///< sum of per-epoch ratios
+    double maxStragglerRatio = 0;  ///< worst epoch seen
+
+    /** Mean per-epoch straggler ratio; 0 when nothing was measured. */
+    double meanStragglerRatio() const
+    {
+        return epochs ? stragglerRatioSum / double(epochs) : 0.0;
+    }
 };
 
 /** Which stepping engine Gpu::run() drives (see engineUsed()). */
@@ -102,9 +144,13 @@ const char *toString(Engine e);
  * worker the engine runs *lockstep*: one-cycle epochs, SMs stepped in
  * smId order, a global all-idle event-horizon skip; this is exactly the
  * seed's serial loop. With multiple workers it runs *sharded*: the SM
- * array is partitioned round-robin over a persistent worker pool, each
- * SM fast-forwards its own dead spans locally, and CTA launches are
- * resolved at deterministic barriers in global (cycle, smId) order.
+ * array is distributed over a persistent worker pool — statically
+ * (SM i -> worker i % workers) or, by default, dynamically, with each
+ * round's runnable SMs sorted longest-first by their previous-epoch
+ * stepping time and claimed by workers from a shared ticket queue
+ * (SimConfig::shardSchedule) — each SM fast-forwards its own dead spans
+ * locally, and CTA launches are resolved at deterministic barriers in
+ * global (cycle, smId) order.
  * Observers ride along under either engine — trace events buffer per SM
  * and merge-replay into the sinks at epoch barriers in serial order,
  * and the time-series sampler is shard-local — so merged statistics,
@@ -154,6 +200,16 @@ class Gpu
      *  config knob, clamped to [1, numSms]. Provenance for reports. */
     unsigned workersUsed() const { return effectiveWorkers(); }
 
+    /** Resolved shard schedule: the options override, else the config
+     *  knob. Provenance for reports (moot under lockstep). */
+    ShardSchedule scheduleUsed() const { return effectiveSchedule(); }
+
+    /** Per-worker busy/steal/idle counters and per-epoch straggler
+     *  ratios accumulated by the sharded engine across run() calls;
+     *  empty workers vector under the lockstep engine. Wall-clock
+     *  telemetry only — results are independent of it. */
+    const SchedTelemetry &schedTelemetry() const { return sched; }
+
     bool timeSeriesEnabled() const;
 
     /** Write the collected per-SM time series as one JSON document
@@ -194,6 +250,10 @@ class Gpu
      *  knob, clamped to [1, numSms]. */
     unsigned effectiveWorkers() const;
 
+    /** Resolved shard schedule: the options override, else the config
+     *  knob. */
+    ShardSchedule effectiveSchedule() const;
+
     /** Run one kernel to completion; returns the kernel's end cycle
      *  (the first cycle with every SM finished). */
     Cycle runKernelLockstep(const isa::Kernel &kernel, Cycle kernelStart);
@@ -216,6 +276,7 @@ class Gpu
     std::unique_ptr<WorkerPool> pool; ///< lazy; sharded runs only
     Cycle now = 0;
     std::uint64_t skippedGlobal = 0; ///< see skippedCycles()
+    SchedTelemetry sched;            ///< see schedTelemetry()
     obs::TraceHub hub;        ///< per-GPU sink fan-out (see traceHub())
     bool hubAttached = false; ///< hub wired into the SMs (ctor-time)
     Engine engine = Engine::Lockstep; ///< fixed at construction

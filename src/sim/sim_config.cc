@@ -29,6 +29,25 @@ parseSchedulerPolicy(std::string_view name)
 }
 
 const char *
+toString(ShardSchedule s)
+{
+    switch (s) {
+      case ShardSchedule::Static: return "static";
+      case ShardSchedule::Dynamic: return "dynamic";
+    }
+    return "?";
+}
+
+std::optional<ShardSchedule>
+parseShardSchedule(std::string_view name)
+{
+    for (unsigned s = 0; s < numShardSchedules; ++s)
+        if (name == toString(ShardSchedule(s)))
+            return ShardSchedule(s);
+    return std::nullopt;
+}
+
+const char *
 toString(RfKind k)
 {
     switch (k) {

@@ -40,6 +40,27 @@ inline constexpr unsigned numSchedulerPolicies = 3;
 /** Inverse of toString(); nullopt for unknown names. */
 std::optional<SchedulerPolicy> parseSchedulerPolicy(std::string_view name);
 
+/**
+ * How the sharded engine assigns SMs to worker threads between epoch
+ * barriers. Pure mechanism: results are byte-identical either way — an
+ * SM is stepped by exactly one worker per round regardless of which
+ * worker claims it, and every cross-SM interaction resolves in serial
+ * (cycle, smId) order at the barrier.
+ */
+enum class ShardSchedule
+{
+    Static,  ///< fixed SM i -> worker i % workers assignment
+    Dynamic, ///< per-round ticket-queue claiming, LPT-sorted by cost
+};
+
+const char *toString(ShardSchedule s);
+
+/** Number of ShardSchedule enumerators (bounds the parse scan). */
+inline constexpr unsigned numShardSchedules = 2;
+
+/** Inverse of toString(); nullopt for unknown names. */
+std::optional<ShardSchedule> parseShardSchedule(std::string_view name);
+
 /** Register-file organization under test. */
 enum class RfKind
 {
@@ -134,6 +155,15 @@ struct SimConfig
      *  CTA launches, buffered trace events and deferred shared-L2
      *  requests all resolve in the serial (cycle, smId) order. */
     unsigned numWorkers = 1;
+
+    /** Shard scheduling for the sharded engine (numWorkers > 1):
+     *  `Dynamic` (the default) lets each worker claim SMs from a shared
+     *  ticket queue sorted longest-processing-time-first by the SM's
+     *  previous-epoch activity, so one slow shard no longer idles every
+     *  other worker; `Static` keeps the fixed i % workers assignment.
+     *  Observationally invisible either way (byte-identical stats,
+     *  goldens and trace streams) — a wall-clock knob like numWorkers. */
+    ShardSchedule shardSchedule = ShardSchedule::Dynamic;
 
     // Watchdog: abort runaway simulations.
     std::uint64_t maxCycles = 100'000'000;

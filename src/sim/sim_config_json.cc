@@ -306,6 +306,7 @@ SimConfig::toJson(std::ostream &os, unsigned depth) const
     o.field("mrfLatencyOverride", double(mrfLatencyOverride));
     o.field("enableCycleSkip", enableCycleSkip);
     o.field("numWorkers", double(numWorkers));
+    o.field("shardSchedule", toString(shardSchedule));
     o.field("maxCycles", double(maxCycles));
     o.close();
 }
@@ -405,6 +406,9 @@ SimConfig::fromJson(const JsonValue &v)
             c.enableCycleSkip = asBool("enableCycleSkip", val);
         else if (key == "numWorkers")
             c.numWorkers = asUnsigned("numWorkers", val);
+        else if (key == "shardSchedule")
+            c.shardSchedule = asEnum<ShardSchedule>("shardSchedule", val,
+                                                    parseShardSchedule);
         else if (key == "maxCycles")
             c.maxCycles = asU64("maxCycles", val);
         else

@@ -1,5 +1,7 @@
 #include "sim/worker_pool.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pilotrf::sim
@@ -27,8 +29,9 @@ WorkerPool::workerMain(std::stop_token st)
 {
     std::uint64_t seen = 0;
     while (true) {
-        const std::function<void(unsigned)> *fn;
-        unsigned total;
+        TaskFn fn = nullptr;
+        void *ctx = nullptr;
+        unsigned total = 0;
         {
             std::unique_lock lock(mu);
             cv.wait(lock, st, [&] { return generation != seen; });
@@ -36,40 +39,78 @@ WorkerPool::workerMain(std::stop_token st)
                 return;
             seen = generation;
             fn = task;
+            ctx = taskCtx;
             total = numTasks;
+            if (fn)
+                ++activeWorkers; // registered: see quiescence note (hh)
         }
+        // A null task means the pass this generation announced already
+        // completed without us (we were never woken, or woke late):
+        // nothing to run, and nothing to report — completion is counted
+        // per participant, and we never became one.
+        if (!fn)
+            continue;
         while (true) {
             const unsigned i =
                 nextTask.fetch_add(1, std::memory_order_relaxed);
             if (i >= total)
                 break;
-            (*fn)(i);
+            fn(ctx, i);
+            tasksDone.fetch_add(1, std::memory_order_relaxed);
         }
         {
+            // Deregister; the last participant out signals completion.
+            // The mutex orders every fn() effect (shard writes included)
+            // before the orchestrator's wakeup, and guarantees no claim
+            // counter touch from this pass can land after runTasks
+            // returns.
             std::lock_guard lock(mu);
-            if (--busyWorkers == 0)
+            if (--activeWorkers == 0)
                 doneCv.notify_one();
         }
     }
 }
 
 void
-WorkerPool::runTasks(unsigned n, const std::function<void(unsigned)> &fn)
+WorkerPool::runTasks(unsigned n, TaskFn fn, void *ctx)
 {
     if (n == 0)
         return;
     {
         std::lock_guard lock(mu);
-        task = &fn;
+        task = fn;
+        taskCtx = ctx;
         numTasks = n;
         nextTask.store(0, std::memory_order_relaxed);
-        busyWorkers = unsigned(workers.size());
+        tasksDone.store(0, std::memory_order_relaxed);
         ++generation;
     }
-    cv.notify_all();
-    std::unique_lock lock(mu);
-    doneCv.wait(lock, [&] { return busyWorkers == 0; });
-    task = nullptr;
+    // Wake only as many workers as there are tasks. A notify that lands
+    // while a worker is mid-transition (not yet waiting) is absorbed by
+    // the generation predicate: the worker re-checks on its next wait
+    // and joins the pass anyway, so progress never depends on a wakeup
+    // landing.
+    const unsigned wake = std::min(n, unsigned(workers.size()));
+    if (wake == workers.size())
+        cv.notify_all();
+    else
+        for (unsigned i = 0; i < wake; ++i)
+            cv.notify_one();
+    {
+        std::unique_lock lock(mu);
+        // Both conditions matter: all tasks done AND every participant
+        // out of its claim loop (quiescent), so the next pass can reset
+        // the counters without a stale claim racing it. Participants
+        // only exit on an exhausted claim counter and each claimed task
+        // completes before the claimer exits, so active == 0 found
+        // after at least one worker participated implies done == n.
+        doneCv.wait(lock, [&] {
+            return activeWorkers == 0 &&
+                   tasksDone.load(std::memory_order_relaxed) == numTasks;
+        });
+        task = nullptr;
+        taskCtx = nullptr;
+    }
 }
 
 } // namespace pilotrf::sim

@@ -3,9 +3,29 @@
  * Persistent worker pool for sharded SM stepping: N std::jthread workers
  * parked on a condition variable between passes. One pass runs a task
  * function over a task index range; runTasks() blocks until every index
- * completed, so the pool's mutex doubles as the epoch barrier — all
- * worker writes to shard state happen-before the orchestrator's reads,
- * and the orchestrator's resolution writes happen-before the next pass.
+ * completed, so the pass doubles as the epoch barrier — all worker
+ * writes to shard state happen-before the orchestrator's reads (via the
+ * completion counter's release/acquire pair), and the orchestrator's
+ * resolution writes happen-before the next pass (via the pool mutex).
+ *
+ * The fast path is allocation- and herd-free: the task travels as a raw
+ * function pointer + context (no std::function), completion is tracked
+ * per participating worker instead of an every-worker handshake, and
+ * runTasks() wakes only as many workers as there are tasks — a
+ * one-task resolution round on an 8-worker pool wakes one thread, not
+ * eight. Workers that sleep through a pass never touch its state; a
+ * late waker finds the claim counter exhausted (or the task already
+ * cleared) and goes straight back to sleep.
+ *
+ * Completion requires quiescence, not just a done-task count: a worker
+ * discovers exhaustion by one final fetch-add on the claim counter, so
+ * if runTasks() returned the moment the last task finished, the next
+ * pass could reset that counter underneath a previous participant and
+ * lose a ticket to its stale claim. Each participant therefore
+ * registers (under the pool mutex, when it picks up the task) and
+ * deregisters (after leaving its claim loop), and runTasks() waits for
+ * all tasks done AND zero registered participants — only then can no
+ * stale claim ever touch the next pass's state.
  */
 
 #ifndef PILOTRF_SIM_WORKER_POOL_HH
@@ -14,9 +34,9 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace pilotrf::sim
@@ -25,6 +45,9 @@ namespace pilotrf::sim
 class WorkerPool
 {
   public:
+    /** Raw per-index task: fn(ctx, i). Raw so a pass never allocates. */
+    using TaskFn = void (*)(void *ctx, unsigned index);
+
     /** Spawn `numWorkers` (>= 1) parked worker threads. */
     explicit WorkerPool(unsigned numWorkers);
     ~WorkerPool();
@@ -33,12 +56,24 @@ class WorkerPool
     WorkerPool &operator=(const WorkerPool &) = delete;
 
     /**
-     * Run fn(i) for every i in [0, numTasks), distributed over the
-     * workers (an idle claim counter, so uneven tasks load-balance).
-     * Blocks until all indices completed. Not reentrant.
+     * Run fn(ctx, i) for every i in [0, numTasks), distributed over the
+     * workers (an atomic claim counter, so uneven tasks load-balance).
+     * Wakes at most numTasks workers. Blocks until all indices
+     * completed. Not reentrant.
      */
-    void runTasks(unsigned numTasks,
-                  const std::function<void(unsigned)> &fn);
+    void runTasks(unsigned numTasks, TaskFn fn, void *ctx);
+
+    /** Convenience wrapper: run a callable f(i) over [0, numTasks).
+     *  The callable is passed by reference — zero allocations. */
+    template <typename F>
+    void run(unsigned numTasks, F &&f)
+    {
+        using Fn = std::remove_reference_t<F>;
+        runTasks(
+            numTasks,
+            [](void *ctx, unsigned i) { (*static_cast<Fn *>(ctx))(i); },
+            const_cast<std::remove_const_t<Fn> *>(&f));
+    }
 
     unsigned size() const { return unsigned(workers.size()); }
 
@@ -48,11 +83,19 @@ class WorkerPool
     std::mutex mu;
     std::condition_variable_any cv; ///< workers wait for a new pass
     std::condition_variable doneCv; ///< runTasks waits for completion
-    const std::function<void(unsigned)> *task = nullptr; // guarded by mu
-    unsigned numTasks = 0;                               // guarded by mu
-    std::uint64_t generation = 0;                        // guarded by mu
-    unsigned busyWorkers = 0;                            // guarded by mu
+    TaskFn task = nullptr;          // guarded by mu
+    void *taskCtx = nullptr;        // guarded by mu
+    unsigned numTasks = 0;          // guarded by mu
+    std::uint64_t generation = 0;   // guarded by mu
+    /** Workers currently inside the pass: registered when a woken
+     *  worker picks up a non-null task, deregistered when it leaves its
+     *  claim loop. Late wakers that find no task never register, so a
+     *  pass does not require every worker to participate (the condvar
+     *  thundering-herd fix). Guarded by mu. */
+    unsigned activeWorkers = 0;
     std::atomic<unsigned> nextTask{0};
+    /** Completed-task count for the current pass. */
+    std::atomic<unsigned> tasksDone{0};
     std::vector<std::jthread> workers;
 };
 

@@ -62,6 +62,8 @@ SweepService::run(const exp::SweepRequest &request, const StatusFn &status,
 
     exp::RunnerOptions ropts = opts.runner;
     ropts.numWorkers = request.workers;
+    if (!request.schedule.empty())
+        ropts.schedule = sim::parseShardSchedule(request.schedule);
     const exp::ExperimentRunner runner(1, ropts);
 
     exp::SweepResult out;

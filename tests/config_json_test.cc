@@ -52,6 +52,20 @@ TEST(EnumRoundTrip, SchedulerPolicy)
     EXPECT_FALSE(parseSchedulerPolicy("bogus").has_value());
 }
 
+TEST(EnumRoundTrip, ShardSchedule)
+{
+    for (unsigned i = 0; i < numShardSchedules; ++i) {
+        const auto s = ShardSchedule(i);
+        const auto back = parseShardSchedule(toString(s));
+        ASSERT_TRUE(back.has_value()) << toString(s);
+        EXPECT_EQ(*back, s);
+    }
+    EXPECT_STREQ(toString(ShardSchedule(numShardSchedules)), "?");
+    EXPECT_FALSE(parseShardSchedule("bogus").has_value());
+    // Names are lowercase on the wire, like every other enum knob.
+    EXPECT_FALSE(parseShardSchedule("Static").has_value());
+}
+
 TEST(EnumRoundTrip, Profiling)
 {
     for (unsigned i = 0; i < regfile::numProfilings; ++i) {
@@ -156,6 +170,7 @@ everyFieldNonDefault()
     c.mrfLatencyOverride = 7;
     c.enableCycleSkip = false;
     c.numWorkers = 4;
+    c.shardSchedule = ShardSchedule::Static;
     c.maxCycles = 12345678;
     return c;
 }

@@ -294,6 +294,87 @@ TEST_P(ShardDeterminism, TracedL2RunBytesAreWorkerCountInvariant)
                                                      << GetParam();
 }
 
+TEST_P(ShardDeterminism, ScheduleIsObservationallyInvisible)
+{
+    // SimConfig::shardSchedule is a pure wall-clock knob: with the
+    // thrashing L2 + DRAM live and every trace sink attached, the full
+    // canonical dump must match the serial engine byte for byte under
+    // BOTH schedules at 2 and 7 workers. (The other cases in this suite
+    // exercise the default dynamic schedule; this one pins each policy
+    // explicitly, so a future default flip cannot silently drop
+    // coverage of either claim path.)
+    const std::vector<isa::Kernel> kernels = randomKernels(GetParam());
+    const SimConfig base = l2Config(/*thrash=*/true);
+    const std::string serial = render(base, kernels, 1, /*traced=*/true);
+    for (const ShardSchedule schedule :
+         {ShardSchedule::Static, ShardSchedule::Dynamic}) {
+        SimConfig cfg = base;
+        cfg.shardSchedule = schedule;
+        EXPECT_EQ(serial, render(cfg, kernels, 2, true))
+            << toString(schedule) << " seed " << GetParam();
+        EXPECT_EQ(serial, render(cfg, kernels, 7, true))
+            << toString(schedule) << " seed " << GetParam();
+    }
+}
+
+TEST(ShardDeterminism, TornEpochsWithL2UnderBothSchedules)
+{
+    // The 7-workers-on-2-SMs clamp with the NeedsMem lookahead bound,
+    // pinned per schedule: the dynamic ticket queue must shut down
+    // cleanly when a round has a single runnable SM (one wake, one
+    // claim, exhausted queue), and static must tolerate rounds where
+    // most shards own nothing runnable.
+    setQuiet(true);
+    const std::vector<isa::Kernel> kernels = randomKernels(3);
+    SimConfig cfg = l2Config(/*thrash=*/true);
+    cfg.numSms = 2;
+    const std::string serial = render(cfg, kernels, 1);
+    for (const ShardSchedule schedule :
+         {ShardSchedule::Static, ShardSchedule::Dynamic}) {
+        cfg.shardSchedule = schedule;
+        EXPECT_EQ(serial, render(cfg, kernels, 7)) << toString(schedule);
+    }
+}
+
+TEST(ShardDeterminism, ScheduleKnobAndTelemetry)
+{
+    // scheduleUsed() reports the effective policy (GpuOptions override
+    // beats SimConfig), static never steals, and the two schedules step
+    // the same total number of SM slices — the round structure is
+    // simulation-determined, only the worker assignment differs.
+    setQuiet(true);
+    const std::vector<isa::Kernel> kernels = randomKernels(5);
+    SimConfig cfg;
+    cfg.numSms = 4;
+    cfg.numWorkers = 2;
+    cfg.shardSchedule = ShardSchedule::Static;
+
+    Gpu staticGpu(cfg);
+    EXPECT_EQ(staticGpu.scheduleUsed(), ShardSchedule::Static);
+    staticGpu.run({"sched_static", kernels});
+    const SchedTelemetry &st = staticGpu.schedTelemetry();
+    ASSERT_GE(st.workers.size(), 2u);
+    EXPECT_GT(st.epochs, 0u);
+    std::uint64_t staticStepped = 0;
+    for (const WorkerTelemetry &w : st.workers) {
+        staticStepped += w.smsStepped;
+        EXPECT_EQ(w.smsStolen, 0u); // static: shard i never leaves worker i
+        EXPECT_EQ(w.stealNs, 0u);
+    }
+    EXPECT_GT(staticStepped, 0u);
+
+    GpuOptions opts;
+    opts.shardSchedule = ShardSchedule::Dynamic; // overrides the config
+    Gpu dynGpu(cfg, opts);
+    EXPECT_EQ(dynGpu.scheduleUsed(), ShardSchedule::Dynamic);
+    dynGpu.run({"sched_dynamic", kernels});
+    EXPECT_GT(dynGpu.schedTelemetry().epochs, 0u);
+    std::uint64_t dynStepped = 0;
+    for (const WorkerTelemetry &w : dynGpu.schedTelemetry().workers)
+        dynStepped += w.smsStepped;
+    EXPECT_EQ(dynStepped, staticStepped);
+}
+
 TEST(ShardDeterminism, TornEpochsWithL2AndMoreWorkersThanSms)
 {
     // The NeedsMem lookahead bound (minResponseLatency + 1 cycles past

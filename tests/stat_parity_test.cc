@@ -78,7 +78,8 @@ renderStats(std::ostream &os, const char *title, const StatSet &s)
 
 std::string
 renderWorkload(const std::string &name, bool cycleSkip,
-               unsigned numWorkers = 1, bool traced = false)
+               unsigned numWorkers = 1, bool traced = false,
+               ShardSchedule schedule = ShardSchedule::Dynamic)
 {
     const auto &wl = workloads::workload(name);
     std::ostringstream os;
@@ -86,6 +87,7 @@ renderWorkload(const std::string &name, bool cycleSkip,
         SimConfig cfg = v.cfg;
         cfg.enableCycleSkip = cycleSkip;
         cfg.numWorkers = numWorkers;
+        cfg.shardSchedule = schedule;
         Gpu gpu(cfg, {.enableTraceHub = traced});
         // The sink's output is discarded: tracing must not perturb the
         // statistics (observer effect), even under the sharded engine's
@@ -196,6 +198,13 @@ TEST_P(StatParity, MatchesSeedStats)
     // and the barrier-time merge must leave every statistic untouched.
     const std::string traced = renderWorkload(GetParam(), true, 2, true);
     expectMatchesGolden(golden.str(), traced, "sharded, 2 workers, traced");
+    // The shard-schedule knob is pure mechanism: the renders above ran
+    // the default dynamic ticket queue, so pin the static assignment
+    // against the same unmodified goldens.
+    const std::string staticSched =
+        renderWorkload(GetParam(), true, 2, false, ShardSchedule::Static);
+    expectMatchesGolden(golden.str(), staticSched,
+                        "sharded, 2 workers, static schedule");
 }
 
 namespace
